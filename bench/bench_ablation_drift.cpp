@@ -1,0 +1,103 @@
+// ABL-drift: the paper's key delta over [4] — "the universal protocol of
+// [4], but fine-tuned to work correctly in the presence of clock drift".
+//
+// Ablation: naive windows (a_i = A_i) vs drift-compensated windows
+// (a_i = A_i * (1+rho)). We sweep the drift bound rho in an adversarial-but-
+// legal environment (delays concentrated near Delta, clocks at the rho
+// envelope) and report payment failure rates, plus the cost of compensation
+// (window inflation and termination-bound growth).
+
+#include <iostream>
+
+#include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
+#include "props/checkers.hpp"
+#include "proto/timebounded.hpp"
+#include "support/table.hpp"
+
+using namespace xcp;
+
+namespace {
+
+struct Outcome {
+  bool bob_paid = false;
+  bool def1_holds = true;
+};
+
+Outcome run_one(bool compensated, double rho, int n, std::uint64_t seed) {
+  auto cfg = exp::thm1_config(n, seed);
+  cfg.compensated = compensated;
+  cfg.assumed.rho = rho;
+  cfg.env.actual_rho = rho;
+  // The corner the analysis must survive: every delay close to its bound.
+  cfg.env.delta_min = Duration::millis(90);
+  const auto record = proto::run_time_bounded(cfg);
+  Outcome o;
+  o.bob_paid = record.bob_paid();
+  o.def1_holds =
+      props::check_definition1(record, props::CheckOptions{}).all_hold();
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kSeeds = 40;
+  constexpr int kN = 4;
+
+  std::cout << "== ABL-drift: naive [4] vs drift-compensated (Thm 1) "
+               "schedules ==\n"
+            << "n = " << kN << ", delays ~ U[90,100]ms (worst-case-ish), "
+            << kSeeds << " seeds per cell\n";
+
+  Table table({"rho (drift bound)", "naive: paid", "naive: Def.1",
+               "compensated: paid", "compensated: Def.1"});
+  for (double rho : {0.0, 0.001, 0.01, 0.05, 0.10, 0.15, 0.25}) {
+    std::size_t naive_paid = 0;
+    std::size_t naive_holds = 0;
+    std::size_t comp_paid = 0;
+    std::size_t comp_holds = 0;
+    std::function<Outcome(std::uint64_t)> naive_fn =
+        [rho](std::uint64_t seed) { return run_one(false, rho, kN, seed); };
+    std::function<Outcome(std::uint64_t)> comp_fn =
+        [rho](std::uint64_t seed) { return run_one(true, rho, kN, seed); };
+    for (const auto& o : exp::parallel_sweep<Outcome>(1, kSeeds, naive_fn)) {
+      naive_paid += o.bob_paid;
+      naive_holds += o.def1_holds;
+    }
+    for (const auto& o : exp::parallel_sweep<Outcome>(1, kSeeds, comp_fn)) {
+      comp_paid += o.bob_paid;
+      comp_holds += o.def1_holds;
+    }
+    table.add_row({Table::fmt(rho, 3),
+                   Table::pct(static_cast<double>(naive_paid) / kSeeds),
+                   Table::pct(static_cast<double>(naive_holds) / kSeeds),
+                   Table::pct(static_cast<double>(comp_paid) / kSeeds),
+                   Table::pct(static_cast<double>(comp_holds) / kSeeds)});
+  }
+  table.print(std::cout,
+              "failure rate vs drift: the compensated column stays at 100%");
+
+  // Cost of compensation: how much window/bound inflation buys correctness.
+  Table cost({"rho", "a_0 naive", "a_0 compensated", "inflation",
+              "horizon naive", "horizon compensated"});
+  for (double rho : {0.001, 0.01, 0.05, 0.15}) {
+    auto timing = exp::default_timing();
+    timing.rho = rho;
+    const auto naive = proto::TimelockSchedule::naive(kN, timing);
+    const auto comp = proto::TimelockSchedule::drift_compensated(kN, timing);
+    cost.add_row(
+        {Table::fmt(rho, 3), naive.a(0).str(), comp.a(0).str(),
+         Table::pct(static_cast<double>(comp.a(0).count()) /
+                        static_cast<double>(naive.a(0).count()) -
+                    1.0, 2),
+         naive.horizon().str(), comp.horizon().str()});
+  }
+  cost.print(std::cout, "cost of drift compensation (window inflation)");
+
+  std::cout << "\nreading: the naive schedule's acceptance windows under-cover"
+               " the true\nround-trip exactly when an escrow clock runs fast; "
+               "failures grow with rho,\nwhile compensation costs only a "
+               "(1+rho) window stretch.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// FIG1-topology: the linear customer/escrow chain of Figure 1.
+//
+// Reproduces the figure's structure as measurements: for growing chain
+// length n we report the message count (which the topology makes Theta(n)),
+// the end-to-end payment latency (Theta(n) relay steps), per-hop latency,
+// simulator event counts and wall-clock simulation throughput.
+
+#include <chrono>
+#include <iostream>
+
+#include "exp/scenario.hpp"
+#include "props/checkers.hpp"
+#include "proto/timebounded.hpp"
+#include "support/table.hpp"
+
+using namespace xcp;
+
+int main() {
+  std::cout << "== FIG1-topology: cost of the Fig. 1 chain vs n ==\n"
+            << "c_0 (Alice) - e_0 - c_1 - e_1 - ... - e_{n-1} - c_n (Bob)\n";
+
+  Table table({"n (escrows)", "participants", "messages", "bob paid at",
+               "latency/hop (ms)", "sim events", "wall us/run",
+               "all props"});
+
+  for (int n : {1, 2, 4, 8, 16, 32, 64}) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto cfg = exp::thm1_config(n, /*seed=*/1);
+    const auto record = proto::run_time_bounded(cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    const auto report = props::check_definition1(record, props::CheckOptions{});
+    // Latency: global time at which Bob's balance increased.
+    TimePoint paid_at;
+    for (const auto& e : record.trace.events()) {
+      if (e.kind == props::EventKind::kTransfer &&
+          e.peer == record.parts.bob()) {
+        paid_at = e.at;
+      }
+    }
+    const double per_hop_ms =
+        paid_at.to_seconds() * 1000.0 / (2.0 * n + 1.0);  // money+chi legs
+    table.add_row(
+        {Table::fmt(static_cast<std::int64_t>(n)),
+         Table::fmt(static_cast<std::int64_t>(2 * n + 1)),
+         Table::fmt(record.stats.messages_sent), paid_at.str(),
+         Table::fmt(per_hop_ms, 2), Table::fmt(record.stats.events_executed),
+         Table::fmt(static_cast<std::int64_t>(
+             std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+                 .count())),
+         Table::fmt(report.all_hold())});
+  }
+  table.print(std::cout, "messages and latency scale linearly in n (Fig. 1)");
+
+  // Message-kind census for one representative run: the protocol sends
+  // exactly n G's, n P's, 2n+? $'s and n+? chi's on the happy path.
+  const auto record = proto::run_time_bounded(exp::thm1_config(4, 2));
+  Table census({"message kind", "count", "expected (n=4)"});
+  for (const char* kind : {"G", "P", "$", "chi"}) {
+    std::size_t count = 0;
+    for (const auto& e : record.trace.events()) {
+      if (e.kind == props::EventKind::kSend && e.label == kind) ++count;
+    }
+    std::string expected;
+    if (std::string(kind) == "G" || std::string(kind) == "P") expected = "n = 4";
+    if (std::string(kind) == "$") expected = "2n = 8 (pay in + pay out)";
+    if (std::string(kind) == "chi") expected = "2n = 8 (escrow+customer relay)";
+    census.add_row({kind, Table::fmt(static_cast<std::uint64_t>(count)),
+                    expected});
+  }
+  census.print(std::cout, "message census, happy path, n = 4");
+  return 0;
+}

@@ -1,0 +1,153 @@
+// PERF-core: google-benchmark microbenchmarks of the substrates — event
+// queue, network delivery, drift-clock conversion, signature checks,
+// end-to-end protocol runs and BFT agreement throughput. These are the
+// engineering numbers a downstream user sizes experiments with.
+
+#include <benchmark/benchmark.h>
+
+#include "crypto/certificate.hpp"
+#include "exp/scenario.hpp"
+#include "net/delay_model.hpp"
+#include "net/network.hpp"
+#include "proto/timebounded.hpp"
+#include "proto/weak/protocol.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace xcp;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    Rng rng(1);
+    for (std::int64_t i = 0; i < n; ++i) {
+      q.push(TimePoint::micros(rng.next_int(0, 1'000'000)), [] {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(16384);
+
+void BM_DriftClockConversion(benchmark::State& state) {
+  Rng rng(2);
+  const auto clock = sim::DriftClock::sample(rng, 1e-3, Duration::millis(10));
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    t += 997;
+    benchmark::DoNotOptimize(clock.to_local(TimePoint::micros(t)));
+    benchmark::DoNotOptimize(clock.to_global(TimePoint::micros(t)));
+  }
+}
+BENCHMARK(BM_DriftClockConversion);
+
+void BM_SignatureVerify(benchmark::State& state) {
+  crypto::KeyRegistry keys(3);
+  const auto signer = keys.signer_for(sim::ProcessId(1));
+  const auto sig = signer.sign(0x1234);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(keys.verify(sig, 0x1234));
+  }
+}
+BENCHMARK(BM_SignatureVerify);
+
+void BM_QuorumCertVerify(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  crypto::KeyRegistry keys(4);
+  std::vector<sim::ProcessId> members;
+  for (int i = 0; i < m; ++i) members.push_back(sim::ProcessId(i));
+  crypto::Certificate shape;
+  shape.kind = crypto::CertKind::kAbort;
+  shape.deal_id = 1;
+  shape.issuer = sim::ProcessId(999);
+  std::vector<crypto::Signature> sigs;
+  for (int i = 0; i < m; ++i) {
+    sigs.push_back(keys.signer_for(members[static_cast<std::size_t>(i)])
+                       .sign(shape.digest()));
+  }
+  const auto cert = crypto::make_quorum_cert(crypto::CertKind::kAbort, 1,
+                                             shape.issuer, sigs);
+  const std::size_t threshold = static_cast<std::size_t>(2 * ((m - 1) / 3) + 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::verify_quorum_cert(keys, cert, members, threshold));
+  }
+}
+BENCHMARK(BM_QuorumCertVerify)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_TimeBoundedPayment(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto cfg = exp::thm1_config(n, seed++);
+    const auto record = proto::run_time_bounded(cfg);
+    benchmark::DoNotOptimize(record.stats.messages_sent);
+  }
+  state.SetLabel("payments/iteration, n=" + std::to_string(n));
+}
+BENCHMARK(BM_TimeBoundedPayment)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_WeakProtocolTrusted(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto cfg = exp::thm3_config(proto::weak::TmKind::kTrustedParty, 4, seed++);
+    cfg.env.gst = TimePoint::origin() + Duration::millis(100);
+    const auto record = proto::weak::run_weak(cfg);
+    benchmark::DoNotOptimize(record.bob_paid());
+  }
+}
+BENCHMARK(BM_WeakProtocolTrusted);
+
+void BM_WeakProtocolCommittee(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto cfg = exp::thm3_config(proto::weak::TmKind::kNotaryCommittee, 2,
+                                seed++);
+    cfg.env.gst = TimePoint::origin() + Duration::millis(100);
+    cfg.notary_count = m;
+    const auto record = proto::weak::run_weak(cfg);
+    benchmark::DoNotOptimize(record.bob_paid());
+  }
+  state.SetLabel("m=" + std::to_string(m) + " notaries");
+}
+BENCHMARK(BM_WeakProtocolCommittee)->Arg(4)->Arg(7)->Arg(13);
+
+void BM_NetworkDelivery(benchmark::State& state) {
+  // Raw message throughput through the simulator+network stack.
+  class Echo final : public net::Actor {
+   public:
+    int remaining = 0;
+    sim::ProcessId peer;
+    void on_message(const net::Message&) override {
+      if (remaining-- > 0) send(peer, "ping", nullptr);
+    }
+    using net::Actor::send;
+  };
+  const int kMessages = 10'000;
+  for (auto _ : state) {
+    sim::Simulator sim(1);
+    net::Network net(sim, std::make_unique<net::SynchronousModel>(
+                              Duration::micros(1), Duration::micros(10)));
+    auto& a = sim.spawn<Echo>("a");
+    auto& b = sim.spawn<Echo>("b");
+    net.attach(a);
+    net.attach(b);
+    a.remaining = kMessages / 2;
+    b.remaining = kMessages / 2;
+    a.peer = b.id();
+    b.peer = a.id();
+    sim.schedule_at(TimePoint::origin(), [&] { a.send(b.id(), "ping", nullptr); });
+    sim.run();
+    benchmark::DoNotOptimize(net.stats().messages_delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * kMessages);
+}
+BENCHMARK(BM_NetworkDelivery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,203 @@
+// THM2-impossibility: "If communications are partially synchronous, there is
+// no eventually terminating cross-chain payment protocol."
+//
+// An impossibility theorem cannot be *proven* by running code; it is
+// *illustrated* by exhibiting, for each natural protocol choice, the
+// adversarial partially-synchronous execution the proof constructs:
+//
+//  (a) the Thm-1 protocol run beyond its timing assumptions: the adversary
+//      holds chi in flight past escrow deadlines (legal pre-GST) — safety
+//      survives, but Bob/connectors never terminate and L fails;
+//  (b) "wait longer" variants (timeouts scaled 10x, 100x): the same attack
+//      merely moves the deadline; the adversary (who knows the protocol)
+//      delays past any fixed bound — eventual termination still fails;
+//  (c) an "impatient" variant where stuck customers give up: they terminate,
+//      but now a connector terminates at a loss — CS3 (safety) is violated.
+//
+// Together: for every way of resolving the wait-vs-give-up dilemma, some
+// Definition-1 requirement falls, which is the dichotomy at the heart of
+// the proof.
+
+#include <iostream>
+
+#include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
+#include "net/adversary.hpp"
+#include "props/checkers.hpp"
+#include "proto/timebounded.hpp"
+#include "support/table.hpp"
+
+using namespace xcp;
+
+namespace {
+
+proto::AdversaryFactory hold_chi_until(TimePoint release) {
+  return [release](const proto::Participants& parts,
+                   const proto::TimelockSchedule&)
+             -> std::unique_ptr<net::Adversary> {
+    auto adv = std::make_unique<net::RuleBasedAdversary>();
+    for (auto escrow : parts.escrows) {
+      adv->hold_until(net::RuleBasedAdversary::all_of(
+                          {net::RuleBasedAdversary::kind_is("chi"),
+                           net::RuleBasedAdversary::to_process(escrow)}),
+                      release);
+    }
+    return adv;
+  };
+}
+
+struct Verdict {
+  bool safety_violated = false;
+  bool all_terminated = true;
+  bool bob_paid = false;
+  std::string detail;
+};
+
+Verdict run_case(double timeout_scale, std::uint64_t seed) {
+  auto cfg = exp::thm1_config(2, seed);
+  // Stretch the protocol's assumed Delta by timeout_scale: this scales every
+  // a_i/d_i window ("just wait longer").
+  cfg.assumed.delta_max = cfg.assumed.delta_max * static_cast<std::int64_t>(
+                              timeout_scale);
+  // Partially synchronous environment whose GST exceeds every window: the
+  // adversary holds chi until after the last deadline. Message delays are
+  // otherwise normal.
+  const auto horizon_guess =
+      proto::TimelockSchedule::drift_compensated(2, cfg.assumed).horizon();
+  const TimePoint release = TimePoint::origin() + horizon_guess * 3;
+  cfg.env = exp::partial_env(cfg.assumed, /*gst_seconds=*/0,
+                             Duration::millis(150));
+  cfg.env.gst = release;  // GST after every deadline
+  cfg.adversary = hold_chi_until(release);
+  cfg.extra_horizon = horizon_guess * 6;
+
+  const auto record = proto::run_time_bounded(cfg);
+
+  Verdict v;
+  v.bob_paid = record.bob_paid();
+  std::vector<props::PropertyResult> safety{
+      props::check_conservation(record),
+      props::check_escrow_security(record),
+      props::check_cs1(record, false), props::check_cs2(record, false),
+      props::check_cs3(record)};
+  for (const auto& res : safety) {
+    if (res.applicable && !res.holds) {
+      v.safety_violated = true;
+      v.detail = res.str();
+    }
+  }
+  for (const auto& p : record.participants) {
+    if (!p.is_escrow && !p.terminated) {
+      v.all_terminated = false;
+      if (v.detail.empty()) v.detail = p.role + " never terminates";
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kSeeds = 10;
+  std::cout
+      << "== THM2: the wait-vs-give-up dichotomy under partial synchrony ==\n"
+      << "adversary holds chi in flight past every escrow deadline (legal "
+         "pre-GST);\nn = 2, "
+      << kSeeds << " seeds per row\n";
+
+  Table table({"protocol variant", "safety holds", "all terminate",
+               "bob paid", "requirement lost", "witness"});
+
+  for (double scale : {1.0, 10.0, 100.0}) {
+    std::function<Verdict(std::uint64_t)> fn = [scale](std::uint64_t seed) {
+      return run_case(scale, seed);
+    };
+    const auto results = exp::parallel_sweep<Verdict>(1, kSeeds, fn);
+    std::size_t safe = 0;
+    std::size_t term = 0;
+    std::size_t paid = 0;
+    std::string witness;
+    for (const auto& r : results) {
+      safe += !r.safety_violated;
+      term += r.all_terminated;
+      paid += r.bob_paid;
+      if (witness.empty() && !r.detail.empty()) witness = r.detail;
+    }
+    table.add_row(
+        {"timeouts x" + Table::fmt(scale, 0),
+         Table::pct(static_cast<double>(safe) / kSeeds),
+         Table::pct(static_cast<double>(term) / kSeeds),
+         Table::pct(static_cast<double>(paid) / kSeeds),
+         term == kSeeds ? "-" : "T (eventual termination) + L", witness});
+  }
+  table.print(std::cout,
+              "option A: keep waiting -> safety survives, termination dies");
+
+  // Option B: give up. Model the impatient variant by crashing the stuck
+  // connector at its own patience deadline (equivalent to an automaton that
+  // times out of await_$): it terminates at a loss, violating CS3.
+  std::cout
+      << "\noption B: give up instead of waiting -> termination survives,\n"
+         "safety dies. An impatient connector that walks away after paying\n"
+         "and redeeming chi upstream ends strictly down its hop amount:\n";
+  {
+    auto cfg = exp::thm1_config(2, 3);
+    const auto horizon_guess =
+        proto::TimelockSchedule::drift_compensated(2, cfg.assumed).horizon();
+    const TimePoint release = TimePoint::origin() + horizon_guess * 3;
+    cfg.env = exp::partial_env(cfg.assumed, 0, Duration::millis(150));
+    cfg.env.gst = release;
+    // Hold only e_0's chi: e_1 pays Bob, Chloe_1 forwards chi to e_0, which
+    // refunds Alice at its deadline. Chloe_1 is left waiting for money that
+    // never comes. If she "gives up", she has lost v_1.
+    cfg.adversary = [release](const proto::Participants& parts,
+                              const proto::TimelockSchedule&)
+        -> std::unique_ptr<net::Adversary> {
+      auto adv = std::make_unique<net::RuleBasedAdversary>();
+      adv->hold_until(net::RuleBasedAdversary::all_of(
+                          {net::RuleBasedAdversary::kind_is("chi"),
+                           net::RuleBasedAdversary::to_process(parts.escrow(0))}),
+                      release);
+      return adv;
+    };
+    cfg.extra_horizon = horizon_guess * 6;
+    const auto record = proto::run_time_bounded(cfg);
+    const auto& chloe = record.customer(1);
+    Table t({"participant", "terminated", "net change", "interpretation"});
+    for (const auto& p : record.participants) {
+      const std::int64_t net = p.net_units(Currency::generic());
+      std::string interp = "-";
+      if (p.role == "chloe_1") {
+        interp = p.terminated ? "?" : "stuck: would lose " +
+                                          std::to_string(-net) +
+                                          " by giving up (CS3)";
+      }
+      if (p.role == "bob" && net > 0) interp = "paid via e_1";
+      if (p.role == "alice" && net == 0) interp = "refunded by e_0";
+      t.add_row({p.role, Table::fmt(p.terminated),
+                 Table::fmt(net), interp});
+    }
+    t.print(std::cout, "the stranded-connector execution (n=2, chi to e_0 held)");
+    std::cout << "chloe_1 net position if she gave up now: "
+              << chloe.net_units(Currency::generic())
+              << " GEN  => any terminating rule violates CS3; any safe rule "
+                 "violates T.\n";
+
+    // And the same statement checker-verified: run the *impatient variant*
+    // (customers give up after a finite local wait) under the same attack —
+    // every customer terminates, and CS3 is formally violated.
+    auto impatient = cfg;
+    impatient.customer_giveup = horizon_guess;
+    const auto record2 = proto::run_time_bounded(impatient);
+    const auto cs3 = props::check_cs3(record2);
+    bool all_terminated = true;
+    for (const auto& p : record2.participants) {
+      if (!p.is_escrow) all_terminated = all_terminated && p.terminated;
+    }
+    std::cout << "\nimpatient variant under the same attack: all customers "
+                 "terminated = "
+              << (all_terminated ? "yes" : "no") << "; checker verdict: \n  "
+              << cs3.str() << "\n";
+  }
+  return 0;
+}

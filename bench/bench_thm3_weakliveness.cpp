@@ -1,0 +1,158 @@
+// THM3-weak: "There exists a cross-chain payment protocol with weak liveness
+// guarantees."
+//
+// Validation harness for Definition 2 under partial synchrony:
+//  - all-honest, patient runs commit across all three TM back-ends
+//    (trusted party / smart contract / notary committee);
+//  - Byzantine participants never break C, CC, T, ES, CS1', CS2', CS3;
+//  - the patience sweep: success is conditional on customers waiting out the
+//    pre-GST chaos — impatient runs abort *safely* (Lw's conditionality).
+
+#include <iostream>
+
+#include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
+#include "props/checkers.hpp"
+#include "proto/weak/protocol.hpp"
+#include "support/table.hpp"
+
+using namespace xcp;
+using proto::weak::TmKind;
+using proto::weak::WeakByz;
+using proto::weak::WeakByzAssignment;
+
+namespace {
+
+struct Cell {
+  bool def2_holds = true;
+  bool bob_paid = false;
+  bool aborted = false;
+  std::string failure;
+};
+
+Cell run_one(TmKind tm, int n, Duration patience,
+             std::vector<WeakByzAssignment> byz, std::uint64_t seed,
+             std::int64_t gst_seconds) {
+  auto cfg = exp::thm3_config(tm, n, seed);
+  cfg.env = exp::partial_env(exp::default_timing(), gst_seconds,
+                             Duration::seconds(2));
+  cfg.patience = patience;
+  cfg.byzantine = std::move(byz);
+  cfg.horizon = Duration::seconds(300);
+  const auto record = proto::weak::run_weak(cfg);
+  const auto report = props::check_definition2(record, props::CheckOptions{});
+  Cell c;
+  c.def2_holds = report.all_hold();
+  if (!c.def2_holds) c.failure = report.failed().front();
+  c.bob_paid = record.bob_paid();
+  c.aborted = record.trace.count_label(props::EventKind::kDecide, "abort") > 0;
+  return c;
+}
+
+const char* tm_label(TmKind tm) {
+  switch (tm) {
+    case TmKind::kTrustedParty: return "trusted party";
+    case TmKind::kSmartContract: return "smart contract";
+    case TmKind::kNotaryCommittee: return "notary committee";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kSeeds = 20;
+  const std::vector<TmKind> kTms{TmKind::kTrustedParty, TmKind::kSmartContract,
+                                 TmKind::kNotaryCommittee};
+
+  std::cout << "== THM3: the weak-liveness protocol under partial synchrony "
+               "(GST = 5s, pre-GST delays ~2s) ==\n";
+
+  // Part 1: all honest, patient — Def. 2 holds and Bob is paid.
+  Table happy({"TM back-end", "n", "Def.2 holds", "bob paid"});
+  for (TmKind tm : kTms) {
+    for (int n : {1, 2, 4, 8}) {
+      std::function<Cell(std::uint64_t)> fn = [&](std::uint64_t seed) {
+        return run_one(tm, n, Duration::seconds(120), {}, seed, 5);
+      };
+      const auto cells = exp::parallel_sweep<Cell>(1, kSeeds, fn);
+      std::size_t holds = 0;
+      std::size_t paid = 0;
+      for (const auto& c : cells) {
+        holds += c.def2_holds;
+        paid += c.bob_paid;
+      }
+      happy.add_row({tm_label(tm), Table::fmt(static_cast<std::int64_t>(n)),
+                     Table::pct(static_cast<double>(holds) / kSeeds),
+                     Table::pct(static_cast<double>(paid) / kSeeds)});
+    }
+  }
+  happy.print(std::cout, "all honest + patient: weak liveness delivers");
+
+  // Part 2: patience sweep — success is conditional on waiting long enough.
+  Table patience({"patience", "commit rate", "abort rate", "Def.2 holds"});
+  for (std::int64_t patience_ms : {200, 1000, 3000, 8000, 20000, 60000}) {
+    std::function<Cell(std::uint64_t)> fn = [&](std::uint64_t seed) {
+      return run_one(TmKind::kTrustedParty, 3,
+                     Duration::millis(patience_ms), {}, seed, 5);
+    };
+    const auto cells = exp::parallel_sweep<Cell>(1, kSeeds, fn);
+    std::size_t paid = 0;
+    std::size_t aborted = 0;
+    std::size_t holds = 0;
+    for (const auto& c : cells) {
+      paid += c.bob_paid;
+      aborted += c.aborted;
+      holds += c.def2_holds;
+    }
+    patience.add_row({Duration::millis(patience_ms).str(),
+                      Table::pct(static_cast<double>(paid) / kSeeds),
+                      Table::pct(static_cast<double>(aborted) / kSeeds),
+                      Table::pct(static_cast<double>(holds) / kSeeds)});
+  }
+  patience.print(
+      std::cout,
+      "patience sweep (n=3, trusted TM): impatience aborts, but always safely");
+
+  // Part 3: Byzantine participants — safety and termination survive.
+  struct ByzCase {
+    const char* label;
+    std::vector<WeakByzAssignment> assignments;
+  };
+  const std::vector<ByzCase> cases{
+      {"alice crashes", {WeakByzAssignment::customer(0, WeakByz::kCrash)}},
+      {"chloe_1 never deposits",
+       {WeakByzAssignment::customer(1, WeakByz::kNoDeposit)}},
+      {"bob withholds chi", {WeakByzAssignment::customer(2, WeakByz::kNoChi)}},
+      {"escrow_0 never reports",
+       {WeakByzAssignment::escrow(0, WeakByz::kNoReport)}},
+      {"escrow_1 never resolves",
+       {WeakByzAssignment::escrow(1, WeakByz::kNoResolve)}},
+      {"two colluders",
+       {WeakByzAssignment::customer(1, WeakByz::kNoDeposit),
+        WeakByzAssignment::escrow(1, WeakByz::kNoResolve)}},
+  };
+  Table byz({"deviation", "TM", "Def.2 holds", "outcome"});
+  for (const auto& c : cases) {
+    for (TmKind tm : kTms) {
+      std::function<Cell(std::uint64_t)> fn = [&](std::uint64_t seed) {
+        return run_one(tm, 2, Duration::seconds(20), c.assignments, seed, 2);
+      };
+      const auto cells = exp::parallel_sweep<Cell>(1, kSeeds / 2, fn);
+      std::size_t holds = 0;
+      std::size_t commits = 0;
+      for (const auto& cell : cells) {
+        holds += cell.def2_holds;
+        commits += cell.bob_paid;
+      }
+      byz.add_row({c.label, tm_label(tm),
+                   Table::pct(static_cast<double>(holds) / (kSeeds / 2)),
+                   commits == kSeeds / 2 ? "commit"
+                   : commits == 0        ? "abort"
+                                         : "mixed"});
+    }
+  }
+  byz.print(std::cout,
+            "Byzantine sweeps: Def.2 safety/termination must read 100%");
+  return 0;
+}

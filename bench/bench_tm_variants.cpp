@@ -1,0 +1,177 @@
+// TM-variants: the three transaction-manager instantiations of Sec. 3 —
+// "a single external party trusted by all, or a smart contract running on a
+// permissionless blockchain ..., or a collection of notaries ... running a
+// consensus algorithm for partial synchrony".
+//
+// Measures per back-end: commit latency, abort latency, message counts; the
+// notary committee under f Byzantine members; and the contract chain's
+// block-interval sensitivity.
+
+#include <iostream>
+
+#include "exp/scenario.hpp"
+#include "exp/stats.hpp"
+#include "exp/sweep.hpp"
+#include "props/checkers.hpp"
+#include "proto/weak/protocol.hpp"
+#include "support/table.hpp"
+
+using namespace xcp;
+using proto::weak::TmKind;
+
+namespace {
+
+struct Sample {
+  double commit_latency_s = 0.0;  // time of the Decide event
+  std::uint64_t messages = 0;
+  bool paid = false;
+  bool def2 = true;
+};
+
+Sample run_one(proto::weak::WeakConfig cfg) {
+  const auto record = proto::weak::run_weak(cfg);
+  Sample s;
+  s.paid = record.bob_paid();
+  s.messages = record.stats.messages_sent;
+  s.def2 = props::check_definition2(record, props::CheckOptions{}).all_hold();
+  if (const auto* d = record.trace.first_label(props::EventKind::kDecide,
+                                               record.bob_paid() ? "commit"
+                                                                 : "abort")) {
+    s.commit_latency_s = d->at.to_seconds();
+  }
+  return s;
+}
+
+const char* tm_label(TmKind tm) {
+  switch (tm) {
+    case TmKind::kTrustedParty: return "trusted party";
+    case TmKind::kSmartContract: return "smart contract";
+    case TmKind::kNotaryCommittee: return "notary committee (m=4)";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kSeeds = 20;
+  std::cout << "== TM-variants: trusted party vs smart contract vs notary "
+               "committee ==\n(n = 3, GST = 1s, post-GST Delta = 100ms)\n";
+
+  // Part 1: commit path comparison.
+  Table commit({"TM back-end", "decide latency p50/p95 (s)", "messages (mean)",
+                "paid", "Def.2"});
+  for (TmKind tm : {TmKind::kTrustedParty, TmKind::kSmartContract,
+                    TmKind::kNotaryCommittee}) {
+    std::function<Sample(std::uint64_t)> fn = [tm](std::uint64_t seed) {
+      auto cfg = exp::thm3_config(tm, 3, seed);
+      cfg.env = exp::partial_env(exp::default_timing(), 1,
+                                 Duration::millis(300));
+      return run_one(cfg);
+    };
+    const auto samples = exp::parallel_sweep<Sample>(1, kSeeds, fn);
+    exp::Summary lat;
+    double msgs = 0;
+    std::size_t paid = 0;
+    std::size_t def2 = 0;
+    for (const auto& s : samples) {
+      lat.add(s.commit_latency_s);
+      msgs += static_cast<double>(s.messages);
+      paid += s.paid;
+      def2 += s.def2;
+    }
+    commit.add_row({tm_label(tm),
+                    Table::fmt(lat.median(), 3) + " / " +
+                        Table::fmt(lat.percentile(95), 3),
+                    Table::fmt(msgs / kSeeds, 1),
+                    Table::pct(static_cast<double>(paid) / kSeeds),
+                    Table::pct(static_cast<double>(def2) / kSeeds)});
+  }
+  commit.print(std::cout, "commit path: latency and message cost per back-end");
+
+  // Part 2: abort path (one immediately-impatient customer).
+  Table abort_t({"TM back-end", "abort latency (mean s)", "Def.2"});
+  for (TmKind tm : {TmKind::kTrustedParty, TmKind::kSmartContract,
+                    TmKind::kNotaryCommittee}) {
+    std::function<Sample(std::uint64_t)> fn = [tm](std::uint64_t seed) {
+      auto cfg = exp::thm3_config(tm, 3, seed);
+      cfg.env = exp::partial_env(exp::default_timing(), 1,
+                                 Duration::millis(300));
+      cfg.patience_overrides.push_back({1, Duration::millis(1)});
+      return run_one(cfg);
+    };
+    const auto samples = exp::parallel_sweep<Sample>(1, kSeeds, fn);
+    double lat = 0;
+    std::size_t def2 = 0;
+    for (const auto& s : samples) {
+      lat += s.commit_latency_s;
+      def2 += s.def2;
+    }
+    abort_t.add_row({tm_label(tm), Table::fmt(lat / kSeeds, 3),
+                     Table::pct(static_cast<double>(def2) / kSeeds)});
+  }
+  abort_t.print(std::cout, "abort path (impatient chloe_1)");
+
+  // Part 3: notary committee under Byzantine members, m = 3f'+1 sizes.
+  Table byz({"committee m", "byz notaries", "behaviour", "paid", "Def.2"});
+  struct ByzRow {
+    int m;
+    int f;
+    consensus::NotaryBehaviour b;
+    const char* label;
+  };
+  for (const ByzRow& row :
+       {ByzRow{4, 0, consensus::NotaryBehaviour::kSilent, "-"},
+        ByzRow{4, 1, consensus::NotaryBehaviour::kSilent, "silent"},
+        ByzRow{4, 1, consensus::NotaryBehaviour::kEquivocator, "equivocator"},
+        ByzRow{7, 2, consensus::NotaryBehaviour::kSilent, "silent"},
+        ByzRow{7, 2, consensus::NotaryBehaviour::kEquivocator, "equivocator"},
+        ByzRow{10, 3, consensus::NotaryBehaviour::kSilent, "silent"}}) {
+    std::function<Sample(std::uint64_t)> fn = [row](std::uint64_t seed) {
+      auto cfg = exp::thm3_config(TmKind::kNotaryCommittee, 2, seed);
+      cfg.env = exp::partial_env(exp::default_timing(), 1,
+                                 Duration::millis(300));
+      cfg.notary_count = row.m;
+      cfg.byzantine_notaries = row.f;
+      cfg.notary_byz = row.b;
+      return run_one(cfg);
+    };
+    const auto samples = exp::parallel_sweep<Sample>(1, kSeeds / 2, fn);
+    std::size_t paid = 0;
+    std::size_t def2 = 0;
+    for (const auto& s : samples) {
+      paid += s.paid;
+      def2 += s.def2;
+    }
+    byz.add_row({Table::fmt(static_cast<std::int64_t>(row.m)),
+                 Table::fmt(static_cast<std::int64_t>(row.f)), row.label,
+                 Table::pct(static_cast<double>(paid) / (kSeeds / 2)),
+                 Table::pct(static_cast<double>(def2) / (kSeeds / 2))});
+  }
+  byz.print(std::cout, "notary committee with f < m/3 Byzantine members");
+
+  // Part 4: contract-chain block interval sweep (latency follows blocks).
+  Table blocks({"block interval", "decide latency (mean s)", "paid"});
+  for (std::int64_t interval_ms : {100, 250, 500, 1000, 2000}) {
+    std::function<Sample(std::uint64_t)> fn =
+        [interval_ms](std::uint64_t seed) {
+          auto cfg = exp::thm3_config(TmKind::kSmartContract, 2, seed);
+          cfg.env = exp::partial_env(exp::default_timing(), 1,
+                                     Duration::millis(300));
+          cfg.block_interval = Duration::millis(interval_ms);
+          return run_one(cfg);
+        };
+    const auto samples = exp::parallel_sweep<Sample>(1, kSeeds / 2, fn);
+    double lat = 0;
+    std::size_t paid = 0;
+    for (const auto& s : samples) {
+      lat += s.commit_latency_s;
+      paid += s.paid;
+    }
+    blocks.add_row({Duration::millis(interval_ms).str(),
+                    Table::fmt(lat / (kSeeds / 2), 3),
+                    Table::pct(static_cast<double>(paid) / (kSeeds / 2))});
+  }
+  blocks.print(std::cout, "smart-contract TM: block interval sensitivity");
+  return 0;
+}

@@ -1,0 +1,85 @@
+#include "anta/analysis.hpp"
+
+#include <deque>
+#include <sstream>
+
+namespace xcp::anta {
+
+std::vector<bool> reachable_states(const Automaton& a) {
+  std::vector<bool> seen(a.state_count(), false);
+  std::deque<StateId> queue{a.initial()};
+  seen[static_cast<std::size_t>(a.initial())] = true;
+  while (!queue.empty()) {
+    const StateId s = queue.front();
+    queue.pop_front();
+    for (const Transition* t : a.out_of(s)) {
+      if (!seen[static_cast<std::size_t>(t->to)]) {
+        seen[static_cast<std::size_t>(t->to)] = true;
+        queue.push_back(t->to);
+      }
+    }
+  }
+  return seen;
+}
+
+std::vector<bool> can_reach_final(const Automaton& a) {
+  // Backward closure from final states over the reversed transition graph.
+  const std::size_t n = a.state_count();
+  std::vector<std::vector<StateId>> rev(n);
+  for (const auto& t : a.transitions()) {
+    rev[static_cast<std::size_t>(t.to)].push_back(t.from);
+  }
+  std::vector<bool> ok(n, false);
+  std::deque<StateId> queue;
+  for (StateId s = 0; static_cast<std::size_t>(s) < n; ++s) {
+    if (a.state_kind(s) == StateKind::kFinal) {
+      ok[static_cast<std::size_t>(s)] = true;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    const StateId s = queue.front();
+    queue.pop_front();
+    for (StateId p : rev[static_cast<std::size_t>(s)]) {
+      if (!ok[static_cast<std::size_t>(p)]) {
+        ok[static_cast<std::size_t>(p)] = true;
+        queue.push_back(p);
+      }
+    }
+  }
+  return ok;
+}
+
+AnalysisReport analyze(const Automaton& a) {
+  AnalysisReport r;
+  const auto reach = reachable_states(a);
+  const auto final_ok = can_reach_final(a);
+  for (StateId s = 0; static_cast<std::size_t>(s) < a.state_count(); ++s) {
+    const bool reachable = reach[static_cast<std::size_t>(s)];
+    if (!reachable) {
+      r.unreachable.push_back(s);
+      continue;  // dead-end / sink checks only meaningful for live states
+    }
+    if (a.state_kind(s) == StateKind::kFinal) {
+      r.has_final = true;
+      continue;
+    }
+    if (!final_ok[static_cast<std::size_t>(s)]) r.dead_ends.push_back(s);
+    if (a.state_kind(s) == StateKind::kInput && a.out_of(s).empty()) {
+      r.input_sinks.push_back(s);
+    }
+  }
+  return r;
+}
+
+std::string AnalysisReport::str(const Automaton& a) const {
+  std::ostringstream os;
+  os << a.name() << ": " << (clean() ? "clean" : "ISSUES");
+  for (StateId s : unreachable) os << "\n  unreachable: " << a.state_name(s);
+  for (StateId s : dead_ends) os << "\n  dead-end: " << a.state_name(s);
+  for (StateId s : input_sinks) os << "\n  wait-forever: " << a.state_name(s);
+  if (!has_final) os << "\n  no final state";
+  return os.str();
+}
+
+}  // namespace xcp::anta

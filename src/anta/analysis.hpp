@@ -1,0 +1,43 @@
+#pragma once
+// Static analysis of ANTA automata: reachability and dead-end detection.
+//
+// Requirement C (consistency) demands that "for each participant in the
+// protocol it is possible to abide by the protocol". The runtime checkers
+// test this on executions; these structural checks complement them at
+// build time: every state of a well-formed protocol automaton must be
+// reachable from the initial state, and every non-final state must have a
+// path to some final state (no dead ends: a participant can always finish,
+// given cooperative inputs).
+
+#include <string>
+#include <vector>
+
+#include "anta/automaton.hpp"
+
+namespace xcp::anta {
+
+struct AnalysisReport {
+  std::vector<StateId> unreachable;       // states no path reaches
+  std::vector<StateId> dead_ends;         // non-final states with no path to
+                                          // any final state
+  std::vector<StateId> input_sinks;       // input states with no exits at all
+                                          // (wait-forever; legal in ANTA but
+                                          // worth surfacing)
+  bool has_final = false;
+
+  bool clean() const {
+    return unreachable.empty() && dead_ends.empty() && has_final;
+  }
+  std::string str(const Automaton& a) const;
+};
+
+/// Runs all structural checks (assumes a.validate() already passed).
+AnalysisReport analyze(const Automaton& a);
+
+/// States reachable from the initial state following any transition.
+std::vector<bool> reachable_states(const Automaton& a);
+
+/// For each state: does some path lead to a final state?
+std::vector<bool> can_reach_final(const Automaton& a);
+
+}  // namespace xcp::anta

@@ -1,0 +1,122 @@
+#include "anta/automaton.hpp"
+
+#include "support/status.hpp"
+
+namespace xcp::anta {
+
+StateId Automaton::add_state(std::string name, StateKind kind) {
+  states_.push_back(State{std::move(name), kind});
+  return static_cast<StateId>(states_.size() - 1);
+}
+
+VarId Automaton::add_var(std::string name) {
+  vars_.push_back(std::move(name));
+  return static_cast<VarId>(vars_.size() - 1);
+}
+
+void Automaton::set_initial(StateId s) {
+  XCP_REQUIRE(s >= 0 && static_cast<std::size_t>(s) < states_.size(),
+              "bad initial state");
+  initial_ = s;
+}
+
+Transition& Automaton::add_receive(StateId from, StateId to,
+                                   sim::ProcessId sender, std::string kind,
+                                   std::string label) {
+  Transition t;
+  t.kind = Transition::Kind::kReceive;
+  t.from = from;
+  t.to = to;
+  t.expect_from = sender;
+  t.expect_kind = std::move(kind);
+  t.label = label.empty() ? "r(p" + std::to_string(sender.value()) + "," +
+                                t.expect_kind + ")"
+                          : std::move(label);
+  transitions_.push_back(std::move(t));
+  return transitions_.back();
+}
+
+Transition& Automaton::add_timeout(StateId from, StateId to, TimeGuard guard,
+                                   std::string label) {
+  Transition t;
+  t.kind = Transition::Kind::kTimeout;
+  t.from = from;
+  t.to = to;
+  t.guard = guard;
+  t.label = label.empty() ? "now >= " + vars_.at(guard.var) + " + " +
+                                guard.offset.str()
+                          : std::move(label);
+  transitions_.push_back(std::move(t));
+  return transitions_.back();
+}
+
+Transition& Automaton::set_send(StateId from, StateId to, sim::ProcessId dest,
+                                std::string kind, std::string label) {
+  Transition t;
+  t.kind = Transition::Kind::kSend;
+  t.from = from;
+  t.to = to;
+  t.send_to = dest;
+  t.send_kind = kind;
+  t.label = label.empty()
+                ? "s(p" + std::to_string(dest.value()) + "," + kind + ")"
+                : std::move(label);
+  transitions_.push_back(std::move(t));
+  return transitions_.back();
+}
+
+std::vector<const Transition*> Automaton::out_of(StateId s) const {
+  std::vector<const Transition*> out;
+  for (const auto& t : transitions_) {
+    if (t.from == s) out.push_back(&t);
+  }
+  return out;
+}
+
+void Automaton::validate() const {
+  XCP_REQUIRE(initial_ != kNoState, "automaton '" + name_ + "' has no initial state");
+  for (const auto& t : transitions_) {
+    XCP_REQUIRE(t.from >= 0 && static_cast<std::size_t>(t.from) < states_.size(),
+                "transition from unknown state");
+    XCP_REQUIRE(t.to >= 0 && static_cast<std::size_t>(t.to) < states_.size(),
+                "transition to unknown state");
+    const StateKind from_kind = states_[t.from].kind;
+    switch (t.kind) {
+      case Transition::Kind::kSend:
+        XCP_REQUIRE(from_kind == StateKind::kOutput,
+                    "send transition must leave an output state");
+        break;
+      case Transition::Kind::kReceive:
+      case Transition::Kind::kTimeout:
+        XCP_REQUIRE(from_kind == StateKind::kInput,
+                    "receive/timeout must leave an input state");
+        break;
+    }
+    if (t.guard) {
+      XCP_REQUIRE(t.guard->var >= 0 &&
+                      static_cast<std::size_t>(t.guard->var) < vars_.size(),
+                  "guard references unknown clock variable");
+    }
+  }
+  for (StateId s = 0; static_cast<std::size_t>(s) < states_.size(); ++s) {
+    if (states_[s].kind == StateKind::kOutput) {
+      int sends = 0;
+      for (const auto& t : transitions_) {
+        if (t.from == s) {
+          XCP_REQUIRE(t.kind == Transition::Kind::kSend,
+                      "output state with non-send exit");
+          ++sends;
+        }
+      }
+      XCP_REQUIRE(sends == 1, "output state '" + states_[s].name +
+                                  "' must have exactly one send exit");
+    }
+    if (states_[s].kind == StateKind::kFinal) {
+      for (const auto& t : transitions_) {
+        XCP_REQUIRE(t.from != s, "final state must have no exits");
+      }
+    }
+  }
+}
+
+}  // namespace xcp::anta

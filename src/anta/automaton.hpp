@@ -1,0 +1,129 @@
+#pragma once
+// Asynchronous Networks of Timed Automata (ANTA) — the specification
+// formalism the paper introduces and uses to present the time-bounded
+// protocol (Fig. 2).
+//
+// Faithful to the paper's description:
+//  - each automaton has a finite set of states; *output* states (grey) spend
+//    a bounded amount of time calculating and are left by sending a message;
+//    *input* states (white) are left when an outgoing transition becomes
+//    enabled: either a message of the awaited shape arrives (r(id, m)) or a
+//    time-out guard over the local clock becomes true (now >= x + d);
+//  - transitions may carry assignments x := now recording the local time at
+//    which they are taken;
+//  - every automaton reads time from its own (drifting) clock.
+//
+// An Automaton is a pure description; the Interpreter (anta/interpreter.hpp)
+// runs one instance of it as a network actor. Effects and validations attach
+// to transitions as callbacks, so protocol semantics (ledger movements,
+// certificate verification) live with the protocol builder, not the engine.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/message.hpp"
+#include "support/time.hpp"
+
+namespace xcp::anta {
+
+class Interpreter;
+
+using StateId = int;
+using VarId = int;
+inline constexpr StateId kNoState = -1;
+
+enum class StateKind {
+  kInput,   // white: waits for a receive or time-out transition
+  kOutput,  // grey: computes for bounded time, then sends
+  kFinal,   // terminal: the participant has terminated
+};
+
+/// Time-out guard: enabled when the local clock reads >= var + offset.
+struct TimeGuard {
+  VarId var = -1;
+  Duration offset;
+};
+
+struct Transition {
+  enum class Kind { kReceive, kTimeout, kSend };
+  Kind kind = Kind::kReceive;
+  StateId from = kNoState;
+  StateId to = kNoState;
+  std::string label;  // for rendering / traces
+
+  // --- kReceive ---
+  sim::ProcessId expect_from;  // r(id, m): the awaited sender
+  std::string expect_kind;     // the awaited message tag
+  /// Optional extra validation (verify a receipt, a certificate, a promise).
+  /// A message matching (from, kind) but failing `accept` is *consumed and
+  /// ignored* — the paper's automata simply never react to ill-formed input.
+  std::function<bool(const net::Message&, Interpreter&)> accept;
+
+  // --- kTimeout ---
+  std::optional<TimeGuard> guard;
+
+  // --- kSend (the unique exit of an output state) ---
+  sim::ProcessId send_to;
+  std::string send_kind;
+  /// Builds the payload at send time (may consult interpreter slots).
+  std::function<net::BodyPtr(Interpreter&)> make_body;
+
+  /// Effect executed when the transition is taken (after accept / guard).
+  /// Typical uses: x := now assignments, storing payload fields in slots,
+  /// ledger transfers.
+  std::function<void(Interpreter&)> effect;
+};
+
+class Automaton {
+ public:
+  explicit Automaton(std::string name) : name_(std::move(name)) {}
+
+  StateId add_state(std::string name, StateKind kind);
+  VarId add_var(std::string name);
+
+  void set_initial(StateId s);
+
+  /// Adds r(sender, kind) transition from an input state.
+  Transition& add_receive(StateId from, StateId to, sim::ProcessId sender,
+                          std::string kind, std::string label = "");
+
+  /// Adds a time-out transition (now >= var + offset) from an input state.
+  Transition& add_timeout(StateId from, StateId to, TimeGuard guard,
+                          std::string label = "");
+
+  /// Sets the send action leaving an output state: s(dest, kind).
+  Transition& set_send(StateId from, StateId to, sim::ProcessId dest,
+                       std::string kind, std::string label = "");
+
+  const std::string& name() const { return name_; }
+  StateId initial() const { return initial_; }
+  StateKind state_kind(StateId s) const { return states_.at(s).kind; }
+  const std::string& state_name(StateId s) const { return states_.at(s).name; }
+  std::size_t state_count() const { return states_.size(); }
+  std::size_t var_count() const { return vars_.size(); }
+  const std::string& var_name(VarId v) const { return vars_.at(v); }
+
+  /// Transitions leaving `s`, in declaration order (matching priority).
+  std::vector<const Transition*> out_of(StateId s) const;
+  const std::vector<Transition>& transitions() const { return transitions_; }
+
+  /// Structural validation: initial set, output states have exactly one
+  /// send exit, receive/timeout only leave input states, all targets exist.
+  void validate() const;
+
+ private:
+  struct State {
+    std::string name;
+    StateKind kind;
+  };
+  std::string name_;
+  std::vector<State> states_;
+  std::vector<std::string> vars_;
+  std::vector<Transition> transitions_;
+  StateId initial_ = kNoState;
+};
+
+}  // namespace xcp::anta

@@ -1,0 +1,43 @@
+#include "anta/render.hpp"
+
+#include <sstream>
+
+namespace xcp::anta {
+
+std::string to_dot(const Automaton& a) {
+  std::ostringstream os;
+  os << "digraph \"" << a.name() << "\" {\n  rankdir=LR;\n";
+  for (StateId s = 0; static_cast<std::size_t>(s) < a.state_count(); ++s) {
+    os << "  s" << s << " [label=\"" << a.state_name(s) << "\"";
+    switch (a.state_kind(s)) {
+      case StateKind::kOutput:
+        os << ", style=filled, fillcolor=lightgrey";
+        break;
+      case StateKind::kFinal:
+        os << ", shape=doublecircle";
+        break;
+      case StateKind::kInput:
+        break;
+    }
+    os << "];\n";
+  }
+  os << "  init [shape=point];\n  init -> s" << a.initial() << ";\n";
+  for (const auto& t : a.transitions()) {
+    os << "  s" << t.from << " -> s" << t.to << " [label=\"" << t.label
+       << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_ascii(const Automaton& a) {
+  std::ostringstream os;
+  os << a.name() << " (initial: " << a.state_name(a.initial()) << ")\n";
+  for (const auto& t : a.transitions()) {
+    os << "  " << a.state_name(t.from) << " --" << t.label << "--> "
+       << a.state_name(t.to) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace xcp::anta

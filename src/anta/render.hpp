@@ -1,0 +1,18 @@
+#pragma once
+// Rendering of automata, for the Figure-2 reproduction bench and for
+// debugging protocol builders: Graphviz dot and a compact ASCII listing.
+
+#include <string>
+
+#include "anta/automaton.hpp"
+
+namespace xcp::anta {
+
+/// Graphviz dot: output states are grey (as in Fig. 2), input states white,
+/// final states doubly circled.
+std::string to_dot(const Automaton& a);
+
+/// One line per transition: `state --label--> state`.
+std::string to_ascii(const Automaton& a);
+
+}  // namespace xcp::anta

@@ -1,0 +1,23 @@
+#include "baselines/interledger.hpp"
+
+namespace xcp::baselines {
+
+proto::RunRecord run_universal(proto::TimeBoundedConfig config) {
+  config.compensated = false;
+  proto::RunRecord record = proto::run_time_bounded(config);
+  record.protocol = "interledger-universal";
+  return record;
+}
+
+proto::RunRecord run_atomic(AtomicConfig config) {
+  config.weak.tm = proto::weak::TmKind::kTrustedParty;
+  config.weak.tm_abort_deadline = config.notary_deadline;
+  // Atomic-protocol customers do not petition; the notary deadline is the
+  // only abort trigger. Model that with effectively infinite patience.
+  config.weak.patience = Duration::seconds(86'400);
+  proto::RunRecord record = proto::weak::run_weak(config.weak);
+  record.protocol = "interledger-atomic";
+  return record;
+}
+
+}  // namespace xcp::baselines

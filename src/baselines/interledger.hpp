@@ -1,0 +1,35 @@
+#pragma once
+// The Interledger baselines of Thomas & Schwartz [4], as characterised in
+// the paper's introduction:
+//
+//  - the *universal* protocol "requires synchrony" and, crucially for the
+//    ablation, "does not consider clock drift": it is the time-bounded
+//    protocol run with the *naive* timelock schedule (a_i = A_i, no (1+rho)
+//    inflation);
+//  - the *atomic* protocol "merely requires partial synchrony" but
+//    establishes no success guarantee: escrows follow a notary that aborts
+//    on its own fixed deadline, so an all-abort run is possible even when
+//    every participant is honest and willing.
+
+#include "proto/timebounded.hpp"
+#include "proto/weak/protocol.hpp"
+
+namespace xcp::baselines {
+
+/// Universal protocol [4]: the Fig. 2 machine with the naive schedule.
+/// Identical to proto::run_time_bounded with compensated = false; this entry
+/// point exists so benches name the baseline explicitly.
+proto::RunRecord run_universal(proto::TimeBoundedConfig config);
+
+struct AtomicConfig {
+  proto::weak::WeakConfig weak;  // participants, environment, deal
+  /// The notary's fixed local abort deadline.
+  Duration notary_deadline = Duration::seconds(5);
+};
+
+/// Atomic protocol [4]: weak-protocol participants driven by a single
+/// deadline-based notary. Safety matches the weak protocol's; strong
+/// liveness does not hold (the deadline may beat slow honest traffic).
+proto::RunRecord run_atomic(AtomicConfig config);
+
+}  // namespace xcp::baselines

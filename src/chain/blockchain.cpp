@@ -1,0 +1,151 @@
+#include "chain/blockchain.hpp"
+
+#include "support/hash.hpp"
+#include "support/log.hpp"
+#include "support/status.hpp"
+
+namespace xcp::chain {
+
+ChainContext::ChainContext(Blockchain& chain, std::uint64_t height, TimePoint at)
+    : chain_(chain), height_(height), at_(at) {}
+
+sim::ProcessId ChainContext::chain_id() const { return chain_.id(); }
+
+const crypto::Signer& ChainContext::chain_signer() const {
+  return chain_.signer();
+}
+
+const crypto::KeyRegistry& ChainContext::keys() const {
+  return chain_.key_registry();
+}
+
+void ChainContext::emit(const std::string& contract, std::string topic,
+                        std::optional<crypto::Certificate> cert,
+                        std::string detail) {
+  ChainEventMsg e;
+  e.contract = contract;
+  e.topic = std::move(topic);
+  e.block_height = height_;
+  e.cert = std::move(cert);
+  e.detail = std::move(detail);
+  pending_events_.push_back(std::move(e));
+}
+
+props::TraceRecorder* ChainContext::trace() { return chain_.trace_recorder(); }
+
+std::uint64_t InclusionProof::statement_digest(sim::ProcessId chain_id) const {
+  HashWriter w;
+  w.write_str("inclusion");
+  w.write_u32(chain_id.value());
+  w.write_u64(tx_digest);
+  w.write_u64(height);
+  w.write_u64(block_hash);
+  return w.digest();
+}
+
+bool verify_inclusion(const crypto::KeyRegistry& keys, sim::ProcessId chain_id,
+                      const InclusionProof& proof) {
+  if (proof.sig.signer != chain_id) return false;
+  return keys.verify(proof.sig, proof.statement_digest(chain_id));
+}
+
+std::optional<InclusionProof> Blockchain::prove_inclusion(
+    std::uint64_t tx_digest) const {
+  for (const Block& b : blocks_) {
+    for (const Transaction& tx : b.txs) {
+      if (tx.digest() != tx_digest) continue;
+      InclusionProof proof;
+      proof.tx_digest = tx_digest;
+      proof.height = b.height;
+      proof.block_hash = b.hash;
+      proof.sig = signer_.sign(proof.statement_digest(id()));
+      return proof;
+    }
+  }
+  return std::nullopt;
+}
+
+Blockchain::Blockchain(Duration block_interval, crypto::KeyRegistry& keys)
+    : block_interval_(block_interval), keys_(keys) {
+  XCP_REQUIRE(block_interval > Duration::zero(), "block interval must be > 0");
+}
+
+void Blockchain::register_contract(std::unique_ptr<Contract> contract) {
+  XCP_REQUIRE(contract != nullptr, "null contract");
+  const std::string name = contract->name();
+  XCP_REQUIRE(contracts_.emplace(name, std::move(contract)).second,
+              "duplicate contract name: " + name);
+}
+
+void Blockchain::on_start() {
+  signer_ = keys_.signer_for(id());
+  set_timer_local_after(block_interval_, /*token=*/0);
+}
+
+void Blockchain::on_message(const net::Message& m) {
+  if (m.kind != "tx") return;
+  const auto* body = m.body_as<TxMsg>();
+  if (body == nullptr) return;
+  // The submitting message's network sender must be the transaction sender;
+  // combined with the signature check this pins authorship.
+  if (m.from != body->tx.sender || !verify_tx(keys_, body->tx)) {
+    ++stats_.txs_rejected_sig;
+    return;
+  }
+  mempool_.push_back(body->tx);
+}
+
+void Blockchain::on_timer(std::uint64_t) {
+  if (stopped_) return;
+  seal_block();
+  set_timer_local_after(block_interval_, /*token=*/0);
+}
+
+void Blockchain::seal_block() {
+  Block b;
+  b.height = blocks_.size() + 1;
+  b.sealed_at = global_now();
+  b.parent_hash = blocks_.empty() ? 0 : blocks_.back().hash;
+
+  ChainContext ctx(*this, b.height, b.sealed_at);
+  while (!mempool_.empty()) {
+    Transaction tx = std::move(mempool_.front());
+    mempool_.pop_front();
+    auto it = contracts_.find(tx.contract);
+    if (it == contracts_.end()) {
+      ++stats_.txs_rejected_apply;
+      continue;
+    }
+    const Status s = it->second->apply(tx, ctx);
+    if (s.is_ok()) {
+      ++stats_.txs_accepted;
+      b.txs.push_back(std::move(tx));
+    } else {
+      ++stats_.txs_rejected_apply;
+      XCP_LOG(LogLevel::kDebug, "chain rejected tx: " << s.message());
+    }
+  }
+
+  HashWriter w;
+  w.write_u64(b.height);
+  w.write_u64(b.parent_hash);
+  w.write_i64(b.sealed_at.count());
+  for (const auto& tx : b.txs) w.write_u64(tx.digest());
+  b.hash = w.digest();
+
+  // Empty blocks are sealed too (height advances), matching real chains and
+  // keeping block timestamps usable as a clock.
+  ++stats_.blocks_sealed;
+  const bool had_events = !ctx.pending_events_.empty();
+  for (ChainEventMsg& e : ctx.pending_events_) {
+    auto body = std::make_shared<ChainEventMsg>(std::move(e));
+    for (sim::ProcessId sub : subscribers_) {
+      send(sub, "chain_event", body);
+    }
+    ++stats_.events_emitted;
+  }
+  (void)had_events;
+  blocks_.push_back(std::move(b));
+}
+
+}  // namespace xcp::chain

@@ -1,0 +1,97 @@
+#pragma once
+// A simulated blockchain actor: clients submit signed transactions; the
+// chain seals a block every `block_interval`, applying transactions in
+// arrival order through registered contracts and broadcasting contract
+// events to subscribers.
+//
+// Simplifications (recorded in DESIGN.md): a single fork-free chain with
+// instant finality per block — the "certified blockchain" abstraction of
+// Herlihy et al. [3], where a proof of inclusion is unforgeable. Consensus
+// *inside* the chain is out of scope here; the notary-committee TM
+// (src/consensus) covers the distributed-agreement case explicitly.
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/contract.hpp"
+#include "chain/transaction.hpp"
+#include "net/network.hpp"
+
+namespace xcp::chain {
+
+struct Block {
+  std::uint64_t height = 0;
+  TimePoint sealed_at;
+  std::vector<Transaction> txs;
+  std::uint64_t parent_hash = 0;
+  std::uint64_t hash = 0;
+};
+
+/// A certified-blockchain inclusion proof [3]: the chain attests that a
+/// transaction with the given digest is included at `height`. Unforgeable in
+/// the model (only the chain holds its signing key), so any party can hand
+/// it to any other as evidence — the primitive the certified-blockchain
+/// commit protocol of the deals baseline relies on.
+struct InclusionProof {
+  std::uint64_t tx_digest = 0;
+  std::uint64_t height = 0;
+  std::uint64_t block_hash = 0;
+  crypto::Signature sig;  // chain's signature over the statement
+
+  std::uint64_t statement_digest(sim::ProcessId chain_id) const;
+};
+
+/// Verifies a proof against the chain identity that allegedly issued it.
+bool verify_inclusion(const crypto::KeyRegistry& keys, sim::ProcessId chain_id,
+                      const InclusionProof& proof);
+
+struct BlockchainStats {
+  std::uint64_t txs_accepted = 0;
+  std::uint64_t txs_rejected_sig = 0;
+  std::uint64_t txs_rejected_apply = 0;
+  std::uint64_t blocks_sealed = 0;
+  std::uint64_t events_emitted = 0;
+};
+
+class Blockchain : public net::Actor {
+ public:
+  Blockchain(Duration block_interval, crypto::KeyRegistry& keys);
+
+  void register_contract(std::unique_ptr<Contract> contract);
+  void subscribe(sim::ProcessId pid) { subscribers_.push_back(pid); }
+
+  const std::vector<Block>& blocks() const { return blocks_; }
+  const BlockchainStats& stats() const { return stats_; }
+  const crypto::Signer& signer() const { return signer_; }
+  const crypto::KeyRegistry& key_registry() const { return keys_; }
+  props::TraceRecorder* trace_recorder() { return net().trace(); }
+
+  /// Stops sealing further blocks (end-of-run cleanliness for tests).
+  void stop() { stopped_ = true; }
+
+  /// Issues an inclusion proof for a sealed transaction, or nullopt if no
+  /// sealed block contains a transaction with this digest.
+  std::optional<InclusionProof> prove_inclusion(std::uint64_t tx_digest) const;
+
+  void on_start() override;
+  void on_message(const net::Message& m) override;
+  void on_timer(std::uint64_t token) override;
+
+ private:
+  void seal_block();
+
+  Duration block_interval_;
+  crypto::KeyRegistry& keys_;
+  crypto::Signer signer_;
+  std::unordered_map<std::string, std::unique_ptr<Contract>> contracts_;
+  std::deque<Transaction> mempool_;
+  std::vector<Block> blocks_;
+  std::vector<sim::ProcessId> subscribers_;
+  BlockchainStats stats_;
+  bool stopped_ = false;
+};
+
+}  // namespace xcp::chain

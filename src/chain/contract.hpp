@@ -1,0 +1,59 @@
+#pragma once
+// Smart contracts: deterministic state machines applied in block order.
+// The TM contract of the weak-liveness protocol (proto/weak/contract_tm.cpp)
+// and the certified-commit contract of the deals baseline are Contracts.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chain/transaction.hpp"
+#include "props/trace.hpp"
+#include "support/status.hpp"
+#include "support/time.hpp"
+
+namespace xcp::chain {
+
+class Blockchain;
+
+/// Execution context handed to Contract::apply. Events emitted here are
+/// broadcast to every chain subscriber after the block is sealed.
+class ChainContext {
+ public:
+  ChainContext(Blockchain& chain, std::uint64_t height, TimePoint at);
+
+  /// The chain's own identity (issuer of contract-signed certificates) and
+  /// its signing capability — the contract's code is the chain's code.
+  sim::ProcessId chain_id() const;
+  const crypto::Signer& chain_signer() const;
+  const crypto::KeyRegistry& keys() const;
+
+  std::uint64_t block_height() const { return height_; }
+  TimePoint block_time() const { return at_; }
+
+  /// Queues an event for broadcast to all subscribers.
+  void emit(const std::string& contract, std::string topic,
+            std::optional<crypto::Certificate> cert = std::nullopt,
+            std::string detail = "");
+
+  props::TraceRecorder* trace();
+
+ private:
+  friend class Blockchain;
+  Blockchain& chain_;
+  std::uint64_t height_;
+  TimePoint at_;
+  std::vector<ChainEventMsg> pending_events_;
+};
+
+class Contract {
+ public:
+  virtual ~Contract() = default;
+  virtual const std::string& name() const = 0;
+  /// Applies one transaction. A failed Status means the transaction is
+  /// rejected (no state change); the chain records and moves on.
+  virtual Status apply(const Transaction& tx, ChainContext& ctx) = 0;
+};
+
+}  // namespace xcp::chain

@@ -1,0 +1,42 @@
+#include "chain/transaction.hpp"
+
+#include "support/hash.hpp"
+
+namespace xcp::chain {
+
+std::uint64_t Transaction::digest() const {
+  HashWriter w;
+  w.write_u32(sender.valid() ? sender.value() : 0xffffffffu);
+  w.write_str(contract);
+  w.write_str(op);
+  w.write_u64(arg);
+  w.write_u64(arg2);
+  if (cert) {
+    w.write_u64(cert->digest());
+    w.write_u64(cert->signature.mac);
+  } else {
+    w.write_u64(0);
+  }
+  return w.digest();
+}
+
+Transaction make_signed_tx(const crypto::Signer& signer, std::string contract,
+                           std::string op, std::uint64_t arg, std::uint64_t arg2,
+                           std::optional<crypto::Certificate> cert) {
+  Transaction tx;
+  tx.sender = signer.id();
+  tx.contract = std::move(contract);
+  tx.op = std::move(op);
+  tx.arg = arg;
+  tx.arg2 = arg2;
+  tx.cert = std::move(cert);
+  tx.sig = signer.sign(tx.digest());
+  return tx;
+}
+
+bool verify_tx(const crypto::KeyRegistry& keys, const Transaction& tx) {
+  if (tx.sig.signer != tx.sender) return false;
+  return keys.verify(tx.sig, tx.digest());
+}
+
+}  // namespace xcp::chain

@@ -1,0 +1,63 @@
+#pragma once
+// Transactions for the simulated blockchain. Every transaction is signed by
+// its sender (Byzantine-with-authentication: the chain rejects transactions
+// whose signature does not verify, so nobody can submit in another's name).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "crypto/certificate.hpp"
+#include "crypto/identity.hpp"
+#include "net/message.hpp"
+
+namespace xcp::chain {
+
+struct Transaction {
+  sim::ProcessId sender;
+  std::string contract;  // target contract name
+  std::string op;        // operation tag interpreted by the contract
+  std::uint64_t arg = 0;
+  std::uint64_t arg2 = 0;
+  /// Optional certificate payload (e.g. Bob submitting chi to the TM
+  /// contract).
+  std::optional<crypto::Certificate> cert;
+  crypto::Signature sig;
+
+  /// Canonical digest covering all semantic fields.
+  std::uint64_t digest() const;
+};
+
+/// Builds a transaction signed by `signer` (the sender).
+Transaction make_signed_tx(const crypto::Signer& signer, std::string contract,
+                           std::string op, std::uint64_t arg = 0,
+                           std::uint64_t arg2 = 0,
+                           std::optional<crypto::Certificate> cert = std::nullopt);
+
+/// Verifies the sender's signature.
+bool verify_tx(const crypto::KeyRegistry& keys, const Transaction& tx);
+
+/// Network body wrapping a transaction submission.
+struct TxMsg final : net::MessageBody {
+  Transaction tx;
+  std::string describe() const override {
+    return "tx(" + tx.contract + "." + tx.op + " from p" +
+           std::to_string(tx.sender.value()) + ")";
+  }
+};
+
+/// Network body for a contract event broadcast to subscribers.
+struct ChainEventMsg final : net::MessageBody {
+  std::string contract;
+  std::string topic;
+  std::uint64_t block_height = 0;
+  std::optional<crypto::Certificate> cert;
+  std::string detail;
+
+  std::string describe() const override {
+    return "event(" + contract + "." + topic + " @" +
+           std::to_string(block_height) + ")";
+  }
+};
+
+}  // namespace xcp::chain

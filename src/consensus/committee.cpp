@@ -1,0 +1,49 @@
+#include "consensus/committee.hpp"
+
+#include <algorithm>
+
+namespace xcp::consensus {
+
+bool ValidityRules::valid(Value v, const Justification& just) const {
+  if (keys == nullptr) return false;
+  if (v == Value::kCommit) {
+    if (!just.chi.has_value()) return false;
+    const crypto::Certificate& chi = *just.chi;
+    if (chi.kind != crypto::CertKind::kPayment || chi.deal_id != deal_id ||
+        chi.issuer != bob || !crypto::verify_cert(*keys, chi)) {
+      return false;
+    }
+    // One valid "escrowed" statement from each expected escrow.
+    for (sim::ProcessId e : expected_escrows) {
+      const bool found = std::any_of(
+          just.statements.begin(), just.statements.end(),
+          [&](const SignedStatement& s) {
+            return s.kind == "escrowed" && s.deal_id == deal_id &&
+                   s.subject == e && s.verify(*keys);
+          });
+      if (!found) return false;
+    }
+    return true;
+  }
+  // Abort: one valid petition from an expected customer.
+  return std::any_of(just.statements.begin(), just.statements.end(),
+                     [&](const SignedStatement& s) {
+                       if (s.kind != "abort-petition" || s.deal_id != deal_id ||
+                           !s.verify(*keys)) {
+                         return false;
+                       }
+                       return std::find(expected_customers.begin(),
+                                        expected_customers.end(),
+                                        s.subject) != expected_customers.end();
+                     });
+}
+
+Duration CommitteeConfig::round_duration(int round) const {
+  // DLS-style growing rounds: linear back-off, capped. Linear (not
+  // exponential) keeps post-GST latency modest while still guaranteeing that
+  // round durations eventually exceed any fixed post-GST message delay.
+  Duration d = base_round * static_cast<std::int64_t>(round + 1);
+  return std::min(d, max_round);
+}
+
+}  // namespace xcp::consensus

@@ -1,0 +1,54 @@
+#include "consensus/messages.hpp"
+
+namespace xcp::consensus {
+
+const char* value_name(Value v) {
+  return v == Value::kCommit ? "commit" : "abort";
+}
+
+crypto::CertKind cert_kind_of(Value v) {
+  return v == Value::kCommit ? crypto::CertKind::kCommit
+                             : crypto::CertKind::kAbort;
+}
+
+net::BodyPtr make_report_body(SignedStatement s) {
+  auto body = std::make_shared<ReportMsg>();
+  body->statement = std::move(s);
+  return body;
+}
+
+SignedStatement make_statement(const crypto::Signer& signer, std::string kind,
+                               std::uint64_t deal_id, std::uint64_t detail) {
+  SignedStatement s;
+  s.kind = std::move(kind);
+  s.deal_id = deal_id;
+  s.subject = signer.id();
+  s.detail = detail;
+  s.sig = signer.sign(s.digest());
+  return s;
+}
+
+std::uint64_t proposal_digest(std::uint64_t instance, int round, Value v) {
+  return crypto::statement_digest("bft-proposal", instance, sim::ProcessId(),
+                                  (static_cast<std::uint64_t>(round) << 8) |
+                                      static_cast<std::uint64_t>(v));
+}
+
+std::uint64_t prevote_digest(std::uint64_t instance, int round, Value v) {
+  return crypto::statement_digest("bft-prevote", instance, sim::ProcessId(),
+                                  (static_cast<std::uint64_t>(round) << 8) |
+                                      static_cast<std::uint64_t>(v));
+}
+
+std::uint64_t decision_digest(std::uint64_t instance, sim::ProcessId committee,
+                              Value v) {
+  // Must equal Certificate::digest() of the quorum certificate the
+  // participants verify: statement_digest(kind-name, deal, issuer).
+  crypto::Certificate c;
+  c.kind = cert_kind_of(v);
+  c.deal_id = instance;
+  c.issuer = committee;
+  return c.digest();
+}
+
+}  // namespace xcp::consensus

@@ -1,0 +1,128 @@
+#pragma once
+// Messages of the notary-committee agreement.
+//
+// The paper (Sec. 3): the transaction manager "can also be a collection of
+// notaries appointed by the participants in the protocol, of which less than
+// one-third is assumed to be unreliable. They would run a consensus
+// algorithm for partial synchrony such as the one from Dwork, Lynch &
+// Stockmeyer". We implement a single-shot binary agreement in that style:
+// rotating leaders, rounds with growing timeouts, 2f+1 prevote/precommit
+// quorums and value locking — safe under asynchrony, live after GST.
+//
+// A precommit is a signature over the *decision certificate digest* for the
+// value, so 2f+1 precommits literally assemble into the quorum certificate
+// (crypto::Certificate with `quorum`) that participants verify.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/certificate.hpp"
+#include "crypto/signature.hpp"
+#include "net/message.hpp"
+
+namespace xcp::consensus {
+
+enum class Value : std::uint8_t { kCommit = 0, kAbort = 1 };
+
+const char* value_name(Value v);
+
+/// Converts between decision values and certificate kinds.
+crypto::CertKind cert_kind_of(Value v);
+
+/// A signed application-level statement used to justify proposals: escrow
+/// e_i saying "deposit i is escrowed", or a customer petitioning abort.
+struct SignedStatement {
+  std::string kind;  // "escrowed" | "abort-petition"
+  std::uint64_t deal_id = 0;
+  sim::ProcessId subject;  // the signer's protocol identity
+  std::uint64_t detail = 0;
+  crypto::Signature sig;
+
+  std::uint64_t digest() const {
+    return crypto::statement_digest(kind, deal_id, subject, detail);
+  }
+  bool verify(const crypto::KeyRegistry& keys) const {
+    return sig.signer == subject && keys.verify(sig, digest());
+  }
+};
+
+SignedStatement make_statement(const crypto::Signer& signer, std::string kind,
+                               std::uint64_t deal_id, std::uint64_t detail = 0);
+
+/// Evidence carried by a proposal. Commit proposals need Bob's chi plus one
+/// "escrowed" statement per escrow; abort proposals need one petition.
+struct Justification {
+  std::vector<SignedStatement> statements;
+  std::optional<crypto::Certificate> chi;
+};
+
+/// Participant -> notary (or other TM) report carrying a signed statement.
+struct ReportMsg final : net::MessageBody {
+  SignedStatement statement;
+  std::string describe() const override {
+    return "report(" + statement.kind + ")";
+  }
+};
+
+net::BodyPtr make_report_body(SignedStatement s);
+
+struct ProposalMsg final : net::MessageBody {
+  std::uint64_t instance = 0;  // = deal id
+  int round = 0;
+  Value value = Value::kAbort;
+  Justification just;
+  crypto::Signature sig;  // leader's signature over (instance, round, value)
+
+  std::string describe() const override {
+    return "propose(r=" + std::to_string(round) + ", " + value_name(value) + ")";
+  }
+};
+
+struct VoteMsg final : net::MessageBody {
+  enum class Phase : std::uint8_t { kPrevote = 0, kPrecommit = 1 };
+  std::uint64_t instance = 0;
+  int round = 0;
+  Value value = Value::kAbort;
+  Phase phase = Phase::kPrevote;
+  /// Prevotes sign (instance, round, phase, value); precommits sign the
+  /// decision-certificate digest for `value` (round-independent; see header
+  /// comment — the no-conflicting-locks argument makes that safe).
+  crypto::Signature sig;
+
+  std::string describe() const override {
+    return std::string(phase == Phase::kPrevote ? "prevote" : "precommit") +
+           "(r=" + std::to_string(round) + ", " + value_name(value) + ")";
+  }
+};
+
+struct NewRoundMsg final : net::MessageBody {
+  std::uint64_t instance = 0;
+  int round = 0;  // the round being entered
+  std::optional<Value> locked;
+  int lock_round = -1;
+
+  std::string describe() const override {
+    return "new-round(r=" + std::to_string(round) + ")";
+  }
+};
+
+struct DecisionMsg final : net::MessageBody {
+  crypto::Certificate cert;  // quorum certificate
+
+  std::string describe() const override { return "decision " + cert.str(); }
+};
+
+/// Digest a leader signs for its proposal.
+std::uint64_t proposal_digest(std::uint64_t instance, int round, Value v);
+
+/// Digest a notary signs for a prevote.
+std::uint64_t prevote_digest(std::uint64_t instance, int round, Value v);
+
+/// Digest of the decision certificate for (instance, value) issued under the
+/// committee identity; precommits sign this.
+std::uint64_t decision_digest(std::uint64_t instance, sim::ProcessId committee,
+                              Value v);
+
+}  // namespace xcp::consensus

@@ -1,0 +1,98 @@
+#pragma once
+// A notary: one member of the committee transaction manager. It plays two
+// roles at once:
+//  - report collector: participants broadcast "escrowed" statements, Bob's
+//    chi and abort petitions to every notary; from these each notary forms
+//    its preference (commit once the full escrow evidence is in; abort once
+//    any petition arrives);
+//  - consensus participant: rotating-leader rounds with prevote/precommit
+//    quorums and value locking (consensus/messages.hpp for the scheme).
+//
+// On deciding, a notary assembles the 2f+1 precommit signatures into a
+// quorum certificate and broadcasts it to all parties in `config.notify`.
+//
+// Byzantine notary behaviours (for fault-injection tests and the TM bench):
+// silent (crashes immediately) and equivocator (prevotes and precommits both
+// values, and proposes whichever value it can when leader).
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "consensus/committee.hpp"
+#include "net/network.hpp"
+#include "props/trace.hpp"
+
+namespace xcp::consensus {
+
+enum class NotaryBehaviour { kHonest, kSilent, kEquivocator };
+
+class Notary : public net::Actor {
+ public:
+  Notary(std::shared_ptr<const CommitteeConfig> config,
+         crypto::KeyRegistry& keys,
+         NotaryBehaviour behaviour = NotaryBehaviour::kHonest);
+
+  bool decided() const { return decided_.has_value(); }
+  std::optional<Value> decision() const { return decided_; }
+  int rounds_entered() const { return round_ + 1; }
+
+  void on_start() override;
+  void on_message(const net::Message& m) override;
+  void on_timer(std::uint64_t token) override;
+
+ private:
+  // --- report collection / preference formation ---
+  void ingest_report(const net::Message& m);
+  std::optional<Value> preference() const;
+  Justification justification_for(Value v) const;
+
+  // --- consensus core ---
+  bool is_leader(int round) const;
+  void enter_round(int round);
+  void maybe_propose();
+  void handle_proposal(const ProposalMsg& p, sim::ProcessId from);
+  void handle_vote(const VoteMsg& v, sim::ProcessId from);
+  void handle_new_round(const NewRoundMsg& nr, sim::ProcessId from);
+  void handle_decision(const DecisionMsg& d);
+  void broadcast_to_committee(const std::string& kind, net::BodyPtr body);
+  void send_prevote(Value v);
+  void send_precommit(Value v);
+  void decide(Value v);
+  void record_decide_event(Value v);
+
+  std::shared_ptr<const CommitteeConfig> config_;
+  crypto::KeyRegistry& keys_;
+  NotaryBehaviour behaviour_;
+  crypto::Signer signer_;
+  int self_index_ = -1;
+
+  // Collected application evidence.
+  std::map<std::uint32_t, SignedStatement> escrowed_;  // by escrow pid
+  std::optional<crypto::Certificate> chi_;
+  std::optional<SignedStatement> petition_;
+
+  // Round state.
+  int round_ = 0;
+  bool proposed_this_round_ = false;
+  bool prevoted_this_round_ = false;
+  bool precommitted_this_round_ = false;
+  std::optional<Value> locked_;
+  int lock_round_ = -1;
+  sim::TimerId round_timer_ = 0;
+
+  // Vote bookkeeping: prevotes per (round, value) by signer; precommit
+  // signatures per value by signer (accumulated across rounds — they sign
+  // the round-independent decision digest).
+  std::map<std::pair<int, int>, std::set<std::uint32_t>> prevotes_;
+  std::map<int, std::map<std::uint32_t, crypto::Signature>> precommits_;
+  // Highest locked value reported by peers entering the current round.
+  std::optional<Value> reported_lock_;
+  int reported_lock_round_ = -1;
+
+  std::optional<Value> decided_;
+};
+
+}  // namespace xcp::consensus

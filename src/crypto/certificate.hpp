@@ -1,0 +1,74 @@
+#pragma once
+// The certificates of the paper.
+//
+//  - The payment certificate chi: "a certificate signed by Bob saying that
+//    Alice's obligation to pay him has been met" (Def. 1). It is the object
+//    relayed upstream in the time-bounded protocol of Fig. 2.
+//  - The commit certificate chi_c and abort certificate chi_a of Def. 2
+//    (weak-liveness protocol), issued by the transaction manager; CC requires
+//    that both can never be issued. chi_c embeds Bob's chi so that "the
+//    commit certificate can be used by Alice as a proof that Bob has been
+//    paid" (Sec. 3).
+//  - Quorum certificates: a commit/abort decision signed by 2f+1 of m
+//    notaries, for the notary-committee transaction manager.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/identity.hpp"
+#include "crypto/signature.hpp"
+
+namespace xcp::crypto {
+
+enum class CertKind : std::uint8_t {
+  kPayment,  // chi   — signed by Bob
+  kCommit,   // chi_c — signed by the transaction manager, embeds chi
+  kAbort,    // chi_a — signed by the transaction manager
+};
+
+const char* cert_kind_name(CertKind k);
+
+struct Certificate {
+  CertKind kind = CertKind::kPayment;
+  std::uint64_t deal_id = 0;
+  sim::ProcessId issuer;           // Bob for chi; the TM identity otherwise
+  Signature signature;             // single-signer form
+  std::vector<Signature> quorum;   // multi-signer form (notary committees)
+  // chi_c embeds Bob's chi (empty for other kinds). Stored flat to keep the
+  // type a value type.
+  std::optional<Signature> embedded_payment_sig;
+  sim::ProcessId embedded_payment_issuer;
+
+  std::uint64_t digest() const;
+  std::string str() const;
+};
+
+/// Builds chi: Bob certifies that Alice's obligation to him has been met.
+Certificate make_payment_cert(const Signer& bob, std::uint64_t deal_id);
+
+/// Builds chi_c, embedding (and re-checking) Bob's chi.
+Certificate make_commit_cert(const Signer& tm, std::uint64_t deal_id,
+                             const Certificate& payment_cert);
+
+/// Builds chi_a.
+Certificate make_abort_cert(const Signer& tm, std::uint64_t deal_id);
+
+/// Builds a quorum certificate from notary signatures (signatures over the
+/// same digest as the single-signer form; issuer = the committee identity).
+Certificate make_quorum_cert(CertKind kind, std::uint64_t deal_id,
+                             sim::ProcessId committee,
+                             std::vector<Signature> sigs,
+                             const Certificate* embedded_payment = nullptr);
+
+/// Verifies a single-signer certificate against the registry.
+bool verify_cert(const KeyRegistry& reg, const Certificate& cert);
+
+/// Verifies a quorum certificate: at least `threshold` distinct signers, all
+/// members of `committee_members`, each with a valid signature.
+bool verify_quorum_cert(const KeyRegistry& reg, const Certificate& cert,
+                        const std::vector<sim::ProcessId>& committee_members,
+                        std::size_t threshold);
+
+}  // namespace xcp::crypto

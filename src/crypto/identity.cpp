@@ -1,0 +1,38 @@
+#include "crypto/identity.hpp"
+
+namespace xcp::crypto {
+
+namespace {
+std::uint64_t compute_mac(std::uint64_t secret, std::uint64_t digest) {
+  // Keyed mix: H(secret || digest) via two splitmix-style avalanche rounds.
+  std::uint64_t s = secret ^ 0xa5a5a5a55a5a5a5aULL;
+  std::uint64_t a = hash_combine(s, digest);
+  std::uint64_t b = a;
+  (void)splitmix64(b);
+  return splitmix64(b);
+}
+}  // namespace
+
+Signature Signer::sign(std::uint64_t digest) const {
+  return Signature{id_, compute_mac(secret_, digest)};
+}
+
+KeyRegistry::KeyRegistry(std::uint64_t seed) : seed_state_(seed) {}
+
+Signer KeyRegistry::signer_for(sim::ProcessId pid) {
+  auto it = secrets_.find(pid);
+  if (it == secrets_.end()) {
+    const std::uint64_t secret =
+        splitmix64(seed_state_) ^ (static_cast<std::uint64_t>(pid.value()) << 32);
+    it = secrets_.emplace(pid, secret).first;
+  }
+  return Signer(pid, it->second);
+}
+
+bool KeyRegistry::verify(const Signature& sig, std::uint64_t digest) const {
+  auto it = secrets_.find(sig.signer);
+  if (it == secrets_.end()) return false;
+  return compute_mac(it->second, digest) == sig.mac;
+}
+
+}  // namespace xcp::crypto

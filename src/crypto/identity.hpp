@@ -1,0 +1,65 @@
+#pragma once
+// Identities and the key registry for the Byzantine-with-authentication model.
+//
+// The paper assumes "the classic Byzantine model with authentication": every
+// message/certificate can be attributed to its signer and signatures cannot
+// be forged. Real cryptography is unnecessary for the model's guarantees, so
+// we *simulate* authentication: the KeyRegistry assigns each process a random
+// secret; a signature is a MAC = H(secret, digest). Unforgeability holds by
+// construction because only the owner is handed a Signer for its secret, and
+// Byzantine strategies in this codebase can only use Signers they were given.
+// (Substitution recorded in DESIGN.md.)
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/process.hpp"
+#include "support/hash.hpp"
+
+namespace xcp::crypto {
+
+struct Signature {
+  sim::ProcessId signer;
+  std::uint64_t mac = 0;
+
+  bool operator==(const Signature&) const = default;
+};
+
+class KeyRegistry;
+
+/// The signing capability for one identity. Handed out once per process by
+/// the registry; possession of a Signer is possession of the secret key.
+class Signer {
+ public:
+  Signer() = default;
+
+  sim::ProcessId id() const { return id_; }
+  bool valid() const { return id_.valid(); }
+
+  Signature sign(std::uint64_t digest) const;
+
+ private:
+  friend class KeyRegistry;
+  Signer(sim::ProcessId id, std::uint64_t secret) : id_(id), secret_(secret) {}
+  sim::ProcessId id_;
+  std::uint64_t secret_ = 0;
+};
+
+/// Central authority knowing every secret; verification recomputes the MAC.
+class KeyRegistry {
+ public:
+  explicit KeyRegistry(std::uint64_t seed);
+
+  /// Registers (or returns the existing) signer for a process.
+  Signer signer_for(sim::ProcessId pid);
+
+  /// True iff `sig` is a valid signature by `sig.signer` over `digest`.
+  bool verify(const Signature& sig, std::uint64_t digest) const;
+
+ private:
+  std::uint64_t mac(std::uint64_t secret, std::uint64_t digest) const;
+  std::uint64_t seed_state_;
+  std::unordered_map<sim::ProcessId, std::uint64_t> secrets_;
+};
+
+}  // namespace xcp::crypto

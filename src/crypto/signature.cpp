@@ -1,0 +1,16 @@
+#include "crypto/signature.hpp"
+
+namespace xcp::crypto {
+
+std::uint64_t statement_digest(std::string_view statement_kind,
+                               std::uint64_t deal_id, sim::ProcessId subject,
+                               std::uint64_t detail) {
+  HashWriter w;
+  w.write_str(statement_kind);
+  w.write_u64(deal_id);
+  w.write_u32(subject.valid() ? subject.value() : 0xffffffffu);
+  w.write_u64(detail);
+  return w.digest();
+}
+
+}  // namespace xcp::crypto

@@ -1,0 +1,19 @@
+#pragma once
+// Digest helpers for signing structured protocol statements.
+
+#include <cstdint>
+#include <string_view>
+
+#include "crypto/identity.hpp"
+#include "support/hash.hpp"
+
+namespace xcp::crypto {
+
+/// Canonical digest of a (statement-kind, deal-id, subject, detail) tuple.
+/// All signed protocol statements funnel through this so that a signature
+/// over one statement can never validate another.
+std::uint64_t statement_digest(std::string_view statement_kind,
+                               std::uint64_t deal_id, sim::ProcessId subject,
+                               std::uint64_t detail = 0);
+
+}  // namespace xcp::crypto

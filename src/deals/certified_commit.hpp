@@ -1,0 +1,49 @@
+#pragma once
+// The certified-blockchain commit protocol for cross-chain deals [3]:
+// all escrows and votes go through a certified chain (here: the simulated
+// blockchain, whose inclusion proofs are unforgeable by construction).
+// Requires only partial synchrony and preserves Safety and Termination, but
+// *not* strong liveness — any party may time out and vote abort, so the
+// all-abort outcome is always possible. Used for the TAB-properties and
+// SEC5 benches.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "deals/deal_matrix.hpp"
+#include "deals/timelock_commit.hpp"  // PartyResult
+#include "proto/timebounded.hpp"      // EnvironmentConfig
+
+namespace xcp::deals {
+
+struct CertifiedDealConfig {
+  std::uint64_t seed = 1;
+  DealMatrix deal = DealMatrix::swap_cycle(3, Amount(100, Currency::generic()));
+  proto::EnvironmentConfig env = [] {
+    proto::EnvironmentConfig e;
+    e.synchrony = proto::SynchronyKind::kPartiallySynchronous;
+    return e;
+  }();
+  Duration block_interval = Duration::millis(500);
+  /// Per-party local patience: a compliant party votes abort if the deal has
+  /// not committed by then.
+  Duration patience = Duration::seconds(30);
+  std::vector<int> crashed_parties;  // Byzantine: never deposit
+  Duration horizon = Duration::seconds(120);
+};
+
+struct CertifiedDealResult {
+  bool committed = false;
+  bool aborted = false;
+  int transfers_completed = 0;
+  int transfers_refunded = 0;
+  std::vector<PartyResult> parties;  // reuse the timelock result row type
+  bool safety_holds = true;          // every compliant party acceptable payoff
+  bool no_asset_stuck = true;        // nothing escrowed forever (termination)
+  std::string summary() const;
+};
+
+CertifiedDealResult run_certified_deal(const CertifiedDealConfig& config);
+
+}  // namespace xcp::deals

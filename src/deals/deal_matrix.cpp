@@ -1,0 +1,95 @@
+#include "deals/deal_matrix.hpp"
+
+#include <sstream>
+
+#include "support/status.hpp"
+
+namespace xcp::deals {
+
+DealMatrix::DealMatrix(int parties) : parties_(parties) {
+  XCP_REQUIRE(parties >= 1, "deal needs parties");
+  cells_.resize(static_cast<std::size_t>(parties) *
+                static_cast<std::size_t>(parties));
+}
+
+void DealMatrix::set(int from, int to, Amount amount) {
+  XCP_REQUIRE(from >= 0 && from < parties_ && to >= 0 && to < parties_,
+              "party index out of range");
+  XCP_REQUIRE(from != to, "no self-transfers in a deal");
+  XCP_REQUIRE(amount.units() > 0, "transfers must be positive");
+  cells_[static_cast<std::size_t>(from) * static_cast<std::size_t>(parties_) +
+         static_cast<std::size_t>(to)] = amount;
+}
+
+std::optional<Amount> DealMatrix::get(int from, int to) const {
+  return cells_[static_cast<std::size_t>(from) *
+                    static_cast<std::size_t>(parties_) +
+                static_cast<std::size_t>(to)];
+}
+
+std::vector<DealMatrix::Transfer> DealMatrix::transfers() const {
+  std::vector<Transfer> out;
+  for (int i = 0; i < parties_; ++i) {
+    for (int j = 0; j < parties_; ++j) {
+      if (const auto a = get(i, j)) out.push_back({i, j, *a});
+    }
+  }
+  return out;
+}
+
+Digraph DealMatrix::to_digraph() const {
+  Digraph g(parties_);
+  for (const auto& t : transfers()) g.add_edge(t.from, t.to);
+  return g;
+}
+
+DealMatrix DealMatrix::from_payment_path(const std::vector<Amount>& hops) {
+  DealMatrix m(static_cast<int>(hops.size()) + 1);
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    m.set(static_cast<int>(i), static_cast<int>(i) + 1, hops[i]);
+  }
+  return m;
+}
+
+DealMatrix DealMatrix::swap_cycle(int parties, Amount amount) {
+  DealMatrix m(parties);
+  for (int i = 0; i < parties; ++i) {
+    m.set(i, (i + 1) % parties, amount);
+  }
+  return m;
+}
+
+std::int64_t DealMatrix::net_due(int party, Currency c) const {
+  std::int64_t due = 0;
+  for (const auto& t : transfers()) {
+    if (t.amount.currency() != c) continue;
+    if (t.to == party) due += t.amount.units();
+    if (t.from == party) due -= t.amount.units();
+  }
+  return due;
+}
+
+bool DealMatrix::payoff_acceptable(
+    int party,
+    const std::vector<std::pair<Currency, std::int64_t>>& net_by_currency)
+    const {
+  bool all_in = true;       // got at least the deal's net in every currency
+  bool nothing_lost = true; // net >= 0 in every currency
+  for (const auto& [c, net] : net_by_currency) {
+    if (net < net_due(party, c)) all_in = false;
+    if (net < 0) nothing_lost = false;
+  }
+  return all_in || nothing_lost;
+}
+
+std::string DealMatrix::str() const {
+  std::ostringstream os;
+  os << "deal(" << parties_ << " parties";
+  for (const auto& t : transfers()) {
+    os << ", " << t.from << "->" << t.to << ":" << t.amount.str();
+  }
+  os << ")" << (well_formed() ? " [well-formed]" : " [NOT well-formed]");
+  return os.str();
+}
+
+}  // namespace xcp::deals

@@ -1,0 +1,62 @@
+#pragma once
+// Cross-chain deals in the sense of Herlihy, Liskov & Shrira [3]: a matrix M
+// where M[i][j] lists the asset party i transfers to party j; equivalently a
+// directed labelled graph. A deal is *well-formed* iff that graph is
+// strongly connected; both commit protocols of [3] are proven correct for
+// well-formed deals only — the hinge of the paper's Sec. 5 comparison,
+// because a payment's path graph is not strongly connected.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "deals/digraph.hpp"
+#include "support/amount.hpp"
+
+namespace xcp::deals {
+
+class DealMatrix {
+ public:
+  explicit DealMatrix(int parties);
+
+  void set(int from, int to, Amount amount);
+  std::optional<Amount> get(int from, int to) const;
+  int party_count() const { return parties_; }
+
+  /// All non-zero transfers as (from, to, amount).
+  struct Transfer {
+    int from;
+    int to;
+    Amount amount;
+  };
+  std::vector<Transfer> transfers() const;
+
+  Digraph to_digraph() const;
+  bool well_formed() const { return to_digraph().strongly_connected(); }
+
+  /// Encodes the cross-chain *payment* of Fig. 1 as a deal: a path
+  /// c_0 -> c_1 -> ... -> c_n with hop values (this is the Sec. 5 embedding;
+  /// it is never well-formed for n >= 1 since the path is not strongly
+  /// connected).
+  static DealMatrix from_payment_path(const std::vector<Amount>& hops);
+
+  /// A classic well-formed example: a cycle of swaps.
+  static DealMatrix swap_cycle(int parties, Amount amount);
+
+  /// Acceptable-payoff test for party i given its net changes per currency:
+  /// either "all in" (received everything due, paid everything owed — or
+  /// better) or "nothing lost" (net >= 0 everywhere).
+  bool payoff_acceptable(int party,
+                         const std::vector<std::pair<Currency, std::int64_t>>&
+                             net_by_currency) const;
+
+  std::string str() const;
+
+ private:
+  std::int64_t net_due(int party, Currency c) const;
+
+  int parties_;
+  std::vector<std::optional<Amount>> cells_;  // row-major
+};
+
+}  // namespace xcp::deals

@@ -1,0 +1,422 @@
+#include "deals/timelock_commit.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <sstream>
+
+#include "crypto/certificate.hpp"
+#include "ledger/ledger.hpp"
+#include "net/delay_model.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "support/status.hpp"
+
+namespace xcp::deals {
+
+const char* party_behaviour_name(PartyBehaviour b) {
+  switch (b) {
+    case PartyBehaviour::kCompliant: return "compliant";
+    case PartyBehaviour::kNoEscrow: return "no-escrow";
+    case PartyBehaviour::kCrash: return "crash";
+    case PartyBehaviour::kNoForward: return "no-forward";
+    case PartyBehaviour::kRogueLeader: return "rogue-leader";
+  }
+  return "?";
+}
+
+namespace {
+
+/// A commit proof: the party path from the leader, one signature per hop.
+/// Signature k is party path[k]'s signature over the proof prefix digest.
+struct ProofMsg final : net::MessageBody {
+  std::vector<int> path;
+  std::vector<crypto::Signature> sigs;
+  std::string describe() const override {
+    return "proof(len=" + std::to_string(path.size()) + ")";
+  }
+};
+
+struct DepositMsg final : net::MessageBody {
+  int arc = 0;
+  ledger::TransferId receipt = ledger::kInvalidTransfer;
+  std::string describe() const override {
+    return "deposit(arc=" + std::to_string(arc) + ")";
+  }
+};
+
+struct FundedMsg final : net::MessageBody {
+  int arc = 0;
+  std::string describe() const override {
+    return "funded(arc=" + std::to_string(arc) + ")";
+  }
+};
+
+struct SharedState {
+  DealMatrix deal{1};
+  std::vector<DealMatrix::Transfer> arcs;
+  std::vector<sim::ProcessId> party_ids;
+  std::vector<sim::ProcessId> escrow_ids;
+  ledger::Ledger* ledger = nullptr;
+  crypto::KeyRegistry* keys = nullptr;
+  Duration step;         // per-hop proof budget (timelock unit)
+  TimePoint claim_start;  // T0: when the proof clock starts
+  int deadline_hops = 0;
+
+  std::uint64_t proof_digest(const std::vector<int>& path,
+                             std::size_t upto) const {
+    HashWriter w;
+    w.write_str("deal-proof");
+    for (std::size_t k = 0; k < upto; ++k) w.write_i64(path[k]);
+    return w.digest();
+  }
+
+  bool proof_valid(const ProofMsg& p) const {
+    if (p.path.empty() || p.path.front() != 0) return false;
+    if (p.sigs.size() != p.path.size()) return false;
+    for (std::size_t k = 0; k < p.path.size(); ++k) {
+      const int party = p.path[k];
+      if (party < 0 || party >= deal.party_count()) return false;
+      if (k > 0 && !deal.get(p.path[k - 1], party)) return false;  // arc exists
+      const crypto::Signature& sig = p.sigs[k];
+      if (sig.signer != party_ids[static_cast<std::size_t>(party)]) return false;
+      if (!keys->verify(sig, proof_digest(p.path, k + 1))) return false;
+    }
+    return true;
+  }
+};
+
+using SharedPtr = std::shared_ptr<SharedState>;
+
+/// One escrow per arc: holds party `from`'s asset for `to`.
+class ArcEscrow final : public net::Actor {
+ public:
+  ArcEscrow(SharedPtr s, int arc) : s_(std::move(s)), arc_(arc) {}
+
+  bool completed() const { return state_ == State::kCompleted; }
+  bool refunded() const { return state_ == State::kRefunded; }
+  bool funded_but_stuck() const { return state_ == State::kFunded; }
+  bool ever_funded() const { return ever_funded_; }
+
+  void on_start() override {
+    // Refund timeout: generous enough for escrow phase + full propagation.
+    set_timer_local_after(
+        (s_->claim_start - TimePoint::origin()) +
+            s_->step * static_cast<std::int64_t>(s_->deadline_hops + 2),
+        /*token=*/1);
+  }
+
+  void on_message(const net::Message& m) override {
+    const auto& t = s_->arcs[static_cast<std::size_t>(arc_)];
+    if (m.kind == "deposit" && state_ == State::kEmpty) {
+      const auto* body = m.body_as<DepositMsg>();
+      if (body == nullptr || body->arc != arc_) return;
+      const auto from_id = s_->party_ids[static_cast<std::size_t>(t.from)];
+      if (m.from != from_id ||
+          !s_->ledger->verify_exact(body->receipt, from_id, id(), t.amount)) {
+        return;
+      }
+      state_ = State::kFunded;
+      ever_funded_ = true;
+      auto funded = std::make_shared<FundedMsg>();
+      funded->arc = arc_;
+      for (sim::ProcessId pid : s_->party_ids) send(pid, "funded", funded);
+      return;
+    }
+    if (m.kind == "claim" && state_ == State::kFunded) {
+      const auto* body = m.body_as<ProofMsg>();
+      if (body == nullptr || !s_->proof_valid(*body)) return;
+      // The proof must end at the beneficiary and arrive within its hop
+      // budget: local time <= T0 + |path| * step.
+      if (body->path.back() != t.to) return;
+      if (m.from != s_->party_ids[static_cast<std::size_t>(t.to)]) return;
+      const TimePoint deadline =
+          s_->claim_start +
+          s_->step * static_cast<std::int64_t>(body->path.size());
+      if (!(local_now() <= deadline)) return;
+      s_->ledger
+          ->transfer(id(), s_->party_ids[static_cast<std::size_t>(t.to)],
+                     t.amount, global_now())
+          .expect("arc escrow release");
+      state_ = State::kCompleted;
+      return;
+    }
+  }
+
+  void on_timer(std::uint64_t) override {
+    if (state_ != State::kFunded) return;
+    const auto& t = s_->arcs[static_cast<std::size_t>(arc_)];
+    s_->ledger
+        ->transfer(id(), s_->party_ids[static_cast<std::size_t>(t.from)],
+                   t.amount, global_now())
+        .expect("arc escrow refund");
+    state_ = State::kRefunded;
+  }
+
+ private:
+  enum class State { kEmpty, kFunded, kCompleted, kRefunded };
+  SharedPtr s_;
+  int arc_;
+  State state_ = State::kEmpty;
+  bool ever_funded_ = false;
+};
+
+class DealParty final : public net::Actor {
+ public:
+  DealParty(SharedPtr s, int index, PartyBehaviour behaviour)
+      : s_(std::move(s)), index_(index), behaviour_(behaviour) {}
+
+  bool holds_proof() const { return acted_on_proof_; }
+
+  void on_start() override {
+    if (behaviour_ == PartyBehaviour::kCrash) return;
+    signer_ = s_->keys->signer_for(id());
+    if (behaviour_ != PartyBehaviour::kNoEscrow) {
+      // Phase 1: escrow every outgoing asset.
+      for (std::size_t a = 0; a < s_->arcs.size(); ++a) {
+        const auto& t = s_->arcs[a];
+        if (t.from != index_) continue;
+        ledger::TransferId tid = ledger::kInvalidTransfer;
+        s_->ledger
+            ->transfer(id(), s_->escrow_ids[a], t.amount, global_now(), &tid)
+            .expect("deal escrow deposit");
+        auto body = std::make_shared<DepositMsg>();
+        body->arc = static_cast<int>(a);
+        body->receipt = tid;
+        send(s_->escrow_ids[a], "deposit", body);
+      }
+    }
+    if (behaviour_ == PartyBehaviour::kRogueLeader && index_ == 0) {
+      start_commit();  // without waiting for the all-escrowed gate
+    }
+  }
+
+  void on_message(const net::Message& m) override {
+    if (behaviour_ == PartyBehaviour::kCrash) return;
+    if (m.kind == "funded") {
+      const auto* body = m.body_as<FundedMsg>();
+      if (body == nullptr) return;
+      funded_.insert(body->arc);
+      if (index_ == 0 && behaviour_ != PartyBehaviour::kRogueLeader &&
+          all_escrowed() && !started_) {
+        start_commit();
+      }
+      if (pending_proof_ && all_escrowed()) {
+        const ProofMsg proof = *pending_proof_;
+        pending_proof_.reset();
+        act_on_proof(proof);
+      }
+      return;
+    }
+    if (m.kind == "proof") {
+      const auto* body = m.body_as<ProofMsg>();
+      if (body == nullptr || acted_on_proof_) return;
+      if (!s_->proof_valid(*body)) return;
+      // Must arrive along an arc into this party.
+      const int last = body->path.back();
+      if (!s_->deal.get(last, index_)) return;
+      if (m.from != s_->party_ids[static_cast<std::size_t>(last)]) return;
+      if (!all_escrowed() && behaviour_ != PartyBehaviour::kRogueLeader) {
+        pending_proof_ = *body;  // compliant gate: act once fully escrowed
+        return;
+      }
+      act_on_proof(*body);
+      return;
+    }
+  }
+
+ private:
+  bool all_escrowed() const {
+    return funded_.size() >= s_->arcs.size();
+  }
+
+  void start_commit() {
+    started_ = true;
+    ProofMsg seed;
+    seed.path = {0};
+    seed.sigs = {signer_.sign(s_->proof_digest(seed.path, 1))};
+    acted_on_proof_ = true;
+    claim_and_forward(seed);
+  }
+
+  void act_on_proof(const ProofMsg& incoming) {
+    acted_on_proof_ = true;
+    ProofMsg mine = incoming;
+    mine.path.push_back(index_);
+    mine.sigs.push_back(
+        signer_.sign(s_->proof_digest(mine.path, mine.path.size())));
+    claim_and_forward(mine);
+  }
+
+  void claim_and_forward(const ProofMsg& proof) {
+    auto body = std::make_shared<ProofMsg>(proof);
+    // Claim all inbound escrows with the proof ending at this party.
+    for (std::size_t a = 0; a < s_->arcs.size(); ++a) {
+      if (s_->arcs[a].to == index_) send(s_->escrow_ids[a], "claim", body);
+    }
+    if (behaviour_ == PartyBehaviour::kNoForward) return;
+    // Forward along outbound arcs.
+    std::set<int> neighbours;
+    for (const auto& t : s_->arcs) {
+      if (t.from == index_) neighbours.insert(t.to);
+    }
+    for (int nb : neighbours) {
+      send(s_->party_ids[static_cast<std::size_t>(nb)], "proof", body);
+    }
+  }
+
+  SharedPtr s_;
+  int index_;
+  PartyBehaviour behaviour_;
+  crypto::Signer signer_;
+  std::set<int> funded_;
+  bool started_ = false;
+  bool acted_on_proof_ = false;
+  std::optional<ProofMsg> pending_proof_;
+};
+
+}  // namespace
+
+TimelockDealResult run_timelock_deal(const TimelockDealConfig& config) {
+  TimelockDealResult result;
+  result.config = config;
+  result.well_formed = config.deal.well_formed();
+
+  sim::Simulator simulator(config.seed);
+  net::Network network(
+      simulator,
+      std::make_unique<net::SynchronousModel>(Duration::micros(1), config.delta));
+  ledger::Ledger ledger;
+  crypto::KeyRegistry keys(config.seed ^ 0xdeaddeadULL);
+
+  auto s = std::make_shared<SharedState>();
+  s->deal = config.deal;
+  s->arcs = config.deal.transfers();
+  s->ledger = &ledger;
+  s->keys = &keys;
+  // Per-hop budget: a proof hop costs at most one delivery + processing,
+  // inflated for drift; the claim clock starts after the escrow phase
+  // (deposits + funded broadcasts: 2 deliveries + processing, with margin).
+  s->step = ((config.delta + config.processing) * 2).scaled_up(1.0 + config.rho);
+  s->claim_start = TimePoint::origin() +
+                   ((config.delta + config.processing) * 4).scaled_up(1.0 + config.rho);
+  s->deadline_hops = config.deal.party_count() + 1;
+
+  const int parties = config.deal.party_count();
+  auto behaviour_of = [&](int i) {
+    return i < static_cast<int>(config.behaviours.size())
+               ? config.behaviours[static_cast<std::size_t>(i)]
+               : PartyBehaviour::kCompliant;
+  };
+
+  // Spawn parties then escrows (ids predicted inside SharedState).
+  for (int i = 0; i < parties; ++i) {
+    s->party_ids.push_back(sim::ProcessId(static_cast<std::uint32_t>(i)));
+  }
+  for (std::size_t a = 0; a < s->arcs.size(); ++a) {
+    s->escrow_ids.push_back(
+        sim::ProcessId(static_cast<std::uint32_t>(parties + a)));
+  }
+
+  std::vector<DealParty*> party_actors;
+  for (int i = 0; i < parties; ++i) {
+    auto& p = simulator.spawn<DealParty>("party_" + std::to_string(i), s, i,
+                                         behaviour_of(i));
+    XCP_REQUIRE(p.id() == s->party_ids[static_cast<std::size_t>(i)],
+                "party id prediction broken");
+    network.attach(p);
+    party_actors.push_back(&p);
+  }
+  std::vector<ArcEscrow*> escrow_actors;
+  for (std::size_t a = 0; a < s->arcs.size(); ++a) {
+    auto& e = simulator.spawn<ArcEscrow>("arc_" + std::to_string(a), s,
+                                         static_cast<int>(a));
+    XCP_REQUIRE(e.id() == s->escrow_ids[a], "escrow id prediction broken");
+    network.attach(e);
+    escrow_actors.push_back(&e);
+  }
+
+  // Drifting clocks.
+  {
+    Rng clock_rng = simulator.rng().fork();
+    for (std::uint32_t pid = 0; pid < simulator.process_count(); ++pid) {
+      simulator.set_clock(
+          sim::ProcessId(pid),
+          sim::DriftClock::sample(clock_rng, config.rho, Duration::millis(10)));
+    }
+  }
+
+  // Fund parties with exactly their outgoing obligations.
+  std::vector<std::vector<Amount>> initial(
+      static_cast<std::size_t>(parties));
+  for (const auto& t : s->arcs) {
+    ledger.mint(s->party_ids[static_cast<std::size_t>(t.from)], t.amount);
+  }
+  for (int i = 0; i < parties; ++i) {
+    initial[static_cast<std::size_t>(i)] =
+        ledger.holdings(s->party_ids[static_cast<std::size_t>(i)]);
+  }
+
+  const Duration horizon =
+      (s->claim_start - TimePoint::origin()) +
+      s->step * static_cast<std::int64_t>(s->deadline_hops + 4) +
+      config.extra_horizon;
+  simulator.run_until(TimePoint::origin() + horizon);
+
+  // Extract per-party results.
+  for (int i = 0; i < parties; ++i) {
+    PartyResult pr;
+    pr.party = i;
+    pr.compliant = behaviour_of(i) == PartyBehaviour::kCompliant;
+    pr.holds_any_proof = party_actors[static_cast<std::size_t>(i)]->holds_proof();
+    std::set<std::uint16_t> currencies;
+    for (const Amount& a : initial[static_cast<std::size_t>(i)]) {
+      currencies.insert(a.currency().id());
+    }
+    for (const Amount& a :
+         ledger.holdings(s->party_ids[static_cast<std::size_t>(i)])) {
+      currencies.insert(a.currency().id());
+    }
+    for (std::uint16_t c : currencies) {
+      std::int64_t net = 0;
+      for (const Amount& a :
+           ledger.holdings(s->party_ids[static_cast<std::size_t>(i)])) {
+        if (a.currency().id() == c) net += a.units();
+      }
+      for (const Amount& a : initial[static_cast<std::size_t>(i)]) {
+        if (a.currency().id() == c) net -= a.units();
+      }
+      pr.net_by_currency.emplace_back(Currency(c), net);
+    }
+    pr.payoff_acceptable = config.deal.payoff_acceptable(i, pr.net_by_currency);
+    result.parties.push_back(std::move(pr));
+  }
+
+  for (const auto* e : escrow_actors) {
+    if (e->completed()) ++result.transfers_completed;
+    if (e->refunded()) ++result.transfers_refunded;
+    if (e->funded_but_stuck()) ++result.transfers_stuck;
+  }
+  for (const auto& pr : result.parties) {
+    if (pr.compliant && !pr.payoff_acceptable) result.all_or_nothing = false;
+  }
+  return result;
+}
+
+std::string TimelockDealResult::summary() const {
+  std::ostringstream os;
+  os << config.deal.str() << "\n"
+     << "completed=" << transfers_completed << " refunded=" << transfers_refunded
+     << " stuck=" << transfers_stuck
+     << " all-or-nothing=" << (all_or_nothing ? "yes" : "NO") << "\n";
+  for (const auto& p : parties) {
+    os << "  party_" << p.party << (p.compliant ? "" : " (byz)") << ": ";
+    for (const auto& [c, net] : p.net_by_currency) {
+      os << net << " " << c.code() << " ";
+    }
+    os << (p.payoff_acceptable ? "[acceptable]" : "[UNACCEPTABLE]") << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace xcp::deals

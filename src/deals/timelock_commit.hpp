@@ -1,0 +1,73 @@
+#pragma once
+// The timelock commit protocol for cross-chain deals (Herlihy, Liskov &
+// Shrira [3]) — the synchronous baseline of Sec. 5. Reconstruction
+// (simplifications recorded in DESIGN.md):
+//
+//  - one escrow actor per transfer/arc (each asset lives on its own chain);
+//  - phase 1: every compliant party escrows its outgoing assets; escrows
+//    announce funding to all parties;
+//  - phase 2: once a compliant party observes *every* arc of the deal
+//    escrowed, it is ready; the ready leader (party 0) starts the commit by
+//    signing a path proof [0]; a ready party receiving a valid proof along
+//    an arc extends it with its signature, claims its inbound escrows with
+//    it, and forwards it along its outbound arcs;
+//  - timelocks: an escrow accepts a claim whose proof has k signatures only
+//    before local time T0 + k*step (each hop of the proof is allowed one
+//    step), and refunds its depositor at T0 + (parties+2)*step.
+//
+// Under synchrony with a well-formed (strongly connected) deal this gives
+// safety + termination + strong liveness; the Sec. 5 experiments run it on
+// payment-shaped (path) deals, where well-formedness fails, to compare with
+// the payment protocols.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "deals/deal_matrix.hpp"
+#include "support/time.hpp"
+
+namespace xcp::deals {
+
+enum class PartyBehaviour {
+  kCompliant,
+  kNoEscrow,      // never escrows its outgoing assets
+  kCrash,         // does nothing at all
+  kNoForward,     // escrows and claims, but never propagates proofs
+  kRogueLeader,   // (leader only) starts commit without the all-escrowed gate
+};
+
+const char* party_behaviour_name(PartyBehaviour b);
+
+struct TimelockDealConfig {
+  std::uint64_t seed = 1;
+  DealMatrix deal = DealMatrix::swap_cycle(3, Amount(100, Currency::generic()));
+  Duration delta = Duration::millis(100);   // message bound the step derives from
+  Duration processing = Duration::millis(5);
+  double rho = 1e-3;                        // clock drift of all actors
+  std::vector<PartyBehaviour> behaviours;   // per party; default compliant
+  Duration extra_horizon = Duration::zero();
+};
+
+struct PartyResult {
+  int party = 0;
+  bool compliant = true;
+  std::vector<std::pair<Currency, std::int64_t>> net_by_currency;
+  bool payoff_acceptable = true;
+  bool holds_any_proof = false;  // did it ever possess a commit proof?
+};
+
+struct TimelockDealResult {
+  TimelockDealConfig config;
+  bool well_formed = false;
+  std::vector<PartyResult> parties;
+  int transfers_completed = 0;
+  int transfers_refunded = 0;
+  int transfers_stuck = 0;
+  bool all_or_nothing = true;  // every compliant party all-in or untouched
+  std::string summary() const;
+};
+
+TimelockDealResult run_timelock_deal(const TimelockDealConfig& config);
+
+}  // namespace xcp::deals

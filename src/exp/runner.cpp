@@ -1,0 +1,198 @@
+#include "exp/runner.hpp"
+
+#include "baselines/interledger.hpp"
+#include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
+#include "net/adversary.hpp"
+#include "proto/weak/protocol.hpp"
+
+namespace xcp::exp {
+
+const char* protocol_kind_name(ProtocolKind k) {
+  switch (k) {
+    case ProtocolKind::kTimeBounded: return "time-bounded (Thm 1)";
+    case ProtocolKind::kUniversalNaive: return "universal [4] (naive)";
+    case ProtocolKind::kInterledgerAtomic: return "atomic [4]";
+    case ProtocolKind::kWeakTrusted: return "weak (Thm 3, trusted)";
+    case ProtocolKind::kWeakContract: return "weak (Thm 3, contract)";
+    case ProtocolKind::kWeakCommittee: return "weak (Thm 3, notaries)";
+  }
+  return "?";
+}
+
+const char* regime_name(Regime r) {
+  switch (r) {
+    case Regime::kSynchronyConforming: return "synchrony";
+    case Regime::kSynchronyHighDrift: return "synchrony+heavy-drift";
+    case Regime::kPartialSynchrony: return "partial-synchrony";
+    case Regime::kPartialSynchronyAdversarial: return "partial+adversary";
+  }
+  return "?";
+}
+
+namespace {
+
+bool is_weak_family(ProtocolKind k) {
+  return k == ProtocolKind::kWeakTrusted || k == ProtocolKind::kWeakContract ||
+         k == ProtocolKind::kWeakCommittee ||
+         k == ProtocolKind::kInterledgerAtomic;
+}
+
+/// The Thm-2 style griefing adversary: hold every chi addressed to escrows
+/// until `release` — legal under partial synchrony (GST unknown), lethal for
+/// deadline-based protocols.
+proto::AdversaryFactory chi_griefing_adversary(TimePoint release) {
+  return [release](const proto::Participants& parts,
+                   const proto::TimelockSchedule&)
+             -> std::unique_ptr<net::Adversary> {
+    auto adv = std::make_unique<net::RuleBasedAdversary>();
+    for (auto escrow : parts.escrows) {
+      adv->hold_until(net::RuleBasedAdversary::all_of(
+                          {net::RuleBasedAdversary::kind_is("chi"),
+                           net::RuleBasedAdversary::to_process(escrow)}),
+                      release);
+    }
+    return adv;
+  };
+}
+
+proto::RunRecord run_time_bounded_family(ProtocolKind protocol, Regime regime,
+                                         int n, std::uint64_t seed) {
+  proto::TimeBoundedConfig cfg = thm1_config(n, seed);
+  cfg.compensated = protocol == ProtocolKind::kTimeBounded;
+  switch (regime) {
+    case Regime::kSynchronyConforming:
+      break;
+    case Regime::kSynchronyHighDrift:
+      // Heavy (but declared) drift with delays concentrated near Delta:
+      // the compensated schedule is sized for exactly this corner, the
+      // naive one ignores rho and under-covers.
+      cfg.assumed.rho = 0.15;
+      cfg.env.actual_rho = 0.15;
+      cfg.env.delta_min = Duration::millis(90);
+      break;
+    case Regime::kPartialSynchrony:
+      cfg.env = partial_env(cfg.assumed, /*gst_seconds=*/2,
+                            Duration::millis(500));
+      cfg.extra_horizon = Duration::seconds(10);
+      break;
+    case Regime::kPartialSynchronyAdversarial: {
+      cfg.env = partial_env(cfg.assumed, /*gst_seconds=*/120,
+                            Duration::millis(150));
+      cfg.adversary =
+          chi_griefing_adversary(TimePoint::origin() + Duration::seconds(120));
+      cfg.extra_horizon = Duration::seconds(30);
+      break;
+    }
+  }
+  return run_time_bounded(cfg);
+}
+
+proto::RunRecord run_weak_family(ProtocolKind protocol, Regime regime, int n,
+                                 std::uint64_t seed) {
+  using proto::weak::TmKind;
+  TmKind tm = TmKind::kTrustedParty;
+  if (protocol == ProtocolKind::kWeakContract) tm = TmKind::kSmartContract;
+  if (protocol == ProtocolKind::kWeakCommittee) tm = TmKind::kNotaryCommittee;
+
+  proto::weak::WeakConfig cfg = thm3_config(tm, n, seed);
+  switch (regime) {
+    case Regime::kSynchronyConforming:
+    case Regime::kSynchronyHighDrift:
+      cfg.env = conforming_env(default_timing());
+      if (regime == Regime::kSynchronyHighDrift) {
+        cfg.env.actual_rho = default_timing().rho * 20.0;
+      }
+      break;
+    case Regime::kPartialSynchrony:
+      // A rough pre-GST period: several seconds of erratic delivery. The
+      // weak protocols ride it out on customer patience; the atomic
+      // baseline's fixed notary deadline does not.
+      cfg.env = partial_env(default_timing(), /*gst_seconds=*/10,
+                            Duration::seconds(2));
+      cfg.patience = Duration::seconds(60);
+      break;
+    case Regime::kPartialSynchronyAdversarial:
+      // Hold all TM-bound evidence until a late GST: the decision is merely
+      // delayed; patient customers still commit.
+      cfg.env = partial_env(default_timing(), /*gst_seconds=*/20,
+                            Duration::millis(500));
+      cfg.adversary = [](const proto::Participants&)
+          -> std::unique_ptr<net::Adversary> {
+        auto adv = std::make_unique<net::RuleBasedAdversary>();
+        adv->hold_until(net::RuleBasedAdversary::kind_is("tm_chi"),
+                        TimePoint::origin() + Duration::seconds(20));
+        adv->hold_until(net::RuleBasedAdversary::kind_is("tm_report"),
+                        TimePoint::origin() + Duration::seconds(20));
+        adv->hold_until(net::RuleBasedAdversary::kind_is("tx"),
+                        TimePoint::origin() + Duration::seconds(20));
+        return adv;
+      };
+      cfg.patience = Duration::seconds(90);
+      cfg.horizon = Duration::seconds(300);
+      break;
+  }
+
+  if (protocol == ProtocolKind::kInterledgerAtomic) {
+    baselines::AtomicConfig acfg;
+    acfg.weak = cfg;
+    acfg.notary_deadline = Duration::seconds(3);
+    return baselines::run_atomic(acfg);
+  }
+  return proto::weak::run_weak(cfg);
+}
+
+}  // namespace
+
+MatrixCell run_matrix_cell(ProtocolKind protocol, Regime regime, int n,
+                           std::size_t seeds, std::uint64_t first_seed) {
+  MatrixCell cell;
+  cell.protocol = protocol;
+  cell.regime = regime;
+  cell.runs = seeds;
+
+  const bool weak_family = is_weak_family(protocol);
+
+  std::function<proto::RunRecord(std::uint64_t)> one = [&](std::uint64_t seed) {
+    return weak_family ? run_weak_family(protocol, regime, n, seed)
+                       : run_time_bounded_family(protocol, regime, n, seed);
+  };
+  const auto records = parallel_sweep<proto::RunRecord>(first_seed, seeds, one);
+
+  for (const auto& record : records) {
+    // Safety: must hold in every regime.
+    std::vector<props::PropertyResult> safety;
+    safety.push_back(props::check_conservation(record));
+    safety.push_back(props::check_escrow_security(record));
+    safety.push_back(props::check_cs1(record, weak_family));
+    safety.push_back(props::check_cs2(record, weak_family));
+    safety.push_back(props::check_cs3(record));
+    if (weak_family) {
+      safety.push_back(props::check_certificate_consistency(record));
+    }
+    bool violated = false;
+    for (const auto& res : safety) {
+      if (res.applicable && !res.holds) {
+        violated = true;
+        if (cell.example_violations.size() < 4) {
+          cell.example_violations.push_back(res.str());
+        }
+      }
+    }
+    if (violated) ++cell.safety_violations;
+
+    // Termination: in all-honest runs every customer must terminate within
+    // the observation window.
+    bool term_failed = false;
+    for (int i = 0; i <= record.spec.n; ++i) {
+      if (!record.customer(i).terminated) term_failed = true;
+    }
+    if (term_failed) ++cell.termination_failures;
+
+    // Strong liveness: all honest => Bob paid.
+    if (!record.bob_paid()) ++cell.liveness_failures;
+  }
+  return cell;
+}
+
+}  // namespace xcp::exp

@@ -1,0 +1,53 @@
+#pragma once
+// Property-matrix runner: executes a named protocol under a named regime and
+// summarizes which of the paper's requirements held. Feeds the
+// TAB-properties bench (the §1/§5 comparison) and several tests.
+
+#include <string>
+#include <vector>
+
+#include "props/checkers.hpp"
+#include "proto/outcome.hpp"
+
+namespace xcp::exp {
+
+enum class ProtocolKind {
+  kTimeBounded,          // Thm 1 (drift-compensated universal protocol)
+  kUniversalNaive,       // [4] universal, no drift handling
+  kInterledgerAtomic,    // [4] atomic, deadline notary
+  kWeakTrusted,          // Thm 3, trusted-party TM
+  kWeakContract,         // Thm 3, smart-contract TM
+  kWeakCommittee,        // Thm 3, notary-committee TM
+};
+
+const char* protocol_kind_name(ProtocolKind k);
+
+enum class Regime {
+  kSynchronyConforming,   // synchronous, drift within rho
+  kSynchronyHighDrift,    // synchronous, drift 20x beyond the schedule's rho
+  kPartialSynchrony,      // GST environment, no timing adversary
+  kPartialSynchronyAdversarial,  // GST + certificate-griefing adversary
+};
+
+const char* regime_name(Regime r);
+
+struct MatrixCell {
+  ProtocolKind protocol;
+  Regime regime;
+  std::size_t runs = 0;
+  std::size_t safety_violations = 0;   // ES/CS/CC failures
+  std::size_t termination_failures = 0;
+  std::size_t liveness_failures = 0;   // Bob unpaid in all-honest runs
+  std::vector<std::string> example_violations;
+
+  bool safety_ok() const { return safety_violations == 0; }
+  bool termination_ok() const { return termination_failures == 0; }
+  bool liveness_ok() const { return liveness_failures == 0; }
+};
+
+/// Runs `seeds` all-honest executions of `protocol` under `regime` (chain
+/// length n) and aggregates property outcomes.
+MatrixCell run_matrix_cell(ProtocolKind protocol, Regime regime, int n,
+                           std::size_t seeds, std::uint64_t first_seed = 1);
+
+}  // namespace xcp::exp

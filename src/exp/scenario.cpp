@@ -1,0 +1,63 @@
+#include "exp/scenario.hpp"
+
+namespace xcp::exp {
+
+proto::TimingParams default_timing() {
+  proto::TimingParams p;
+  p.delta_max = Duration::millis(100);
+  p.processing = Duration::millis(5);
+  p.rho = 1e-3;
+  p.slack = Duration::millis(10);
+  return p;
+}
+
+proto::EnvironmentConfig conforming_env(const proto::TimingParams& assumed) {
+  proto::EnvironmentConfig env;
+  env.synchrony = proto::SynchronyKind::kSynchronous;
+  env.delta_min = Duration::millis(1);
+  env.delta_max = assumed.delta_max;
+  env.processing = assumed.processing;
+  env.actual_rho = assumed.rho;
+  env.clock_offset_max = Duration::millis(50);
+  return env;
+}
+
+proto::EnvironmentConfig partial_env(const proto::TimingParams& assumed,
+                                     std::int64_t gst_seconds,
+                                     Duration pre_gst_typical) {
+  proto::EnvironmentConfig env;
+  env.synchrony = proto::SynchronyKind::kPartiallySynchronous;
+  env.gst = TimePoint::origin() + Duration::seconds(gst_seconds);
+  env.delta_max = assumed.delta_max;
+  env.pre_gst_typical = pre_gst_typical;
+  env.processing = assumed.processing;
+  env.actual_rho = assumed.rho;
+  env.clock_offset_max = Duration::millis(50);
+  return env;
+}
+
+proto::TimeBoundedConfig thm1_config(int n, std::uint64_t seed) {
+  proto::TimeBoundedConfig cfg;
+  cfg.seed = seed;
+  cfg.spec = proto::DealSpec::uniform(/*deal_id=*/1, n, /*base=*/1000,
+                                      /*commission=*/10);
+  cfg.assumed = default_timing();
+  cfg.compensated = true;
+  cfg.env = conforming_env(cfg.assumed);
+  return cfg;
+}
+
+proto::weak::WeakConfig thm3_config(proto::weak::TmKind tm, int n,
+                                    std::uint64_t seed) {
+  proto::weak::WeakConfig cfg;
+  cfg.seed = seed;
+  cfg.spec = proto::DealSpec::uniform(/*deal_id=*/1, n, /*base=*/1000,
+                                      /*commission=*/10);
+  cfg.tm = tm;
+  cfg.env = partial_env(default_timing(), /*gst_seconds=*/2,
+                        Duration::millis(500));
+  cfg.patience = Duration::seconds(60);
+  return cfg;
+}
+
+}  // namespace xcp::exp

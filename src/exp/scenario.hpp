@@ -1,0 +1,31 @@
+#pragma once
+// Shared experiment configuration presets. Every bench builds its scenarios
+// from these so that "the paper's environment" means one thing across the
+// whole harness.
+
+#include "proto/timebounded.hpp"
+#include "proto/weak/protocol.hpp"
+
+namespace xcp::exp {
+
+/// Canonical timing assumptions: Delta = 100ms, eps = 5ms, rho = 1e-3,
+/// slack = 10ms. All benches sweep around these.
+proto::TimingParams default_timing();
+
+/// A synchronous environment exactly matching `assumed` (Thm 1 regime).
+proto::EnvironmentConfig conforming_env(const proto::TimingParams& assumed);
+
+/// A partially synchronous environment: GST at `gst_seconds`, post-GST bound
+/// = assumed.delta_max, pre-GST delays around `pre_gst_typical`.
+proto::EnvironmentConfig partial_env(const proto::TimingParams& assumed,
+                                     std::int64_t gst_seconds,
+                                     Duration pre_gst_typical);
+
+/// Time-bounded protocol config for the Thm 1 experiments.
+proto::TimeBoundedConfig thm1_config(int n, std::uint64_t seed);
+
+/// Weak protocol config for the Thm 3 experiments.
+proto::weak::WeakConfig thm3_config(proto::weak::TmKind tm, int n,
+                                    std::uint64_t seed);
+
+}  // namespace xcp::exp

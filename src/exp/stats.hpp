@@ -1,0 +1,63 @@
+#pragma once
+// Small descriptive-statistics helper for bench aggregation: mean, stddev,
+// min/max, percentiles over double samples. Header-only.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace xcp::exp {
+
+class Summary {
+ public:
+  void add(double x) { samples_.push_back(x); }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double mean() const {
+    XCP_REQUIRE(!empty(), "mean of empty summary");
+    double s = 0;
+    for (double x : samples_) s += x;
+    return s / static_cast<double>(samples_.size());
+  }
+
+  double stddev() const {
+    XCP_REQUIRE(!empty(), "stddev of empty summary");
+    const double m = mean();
+    double s = 0;
+    for (double x : samples_) s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(samples_.size()));
+  }
+
+  double min() const {
+    XCP_REQUIRE(!empty(), "min of empty summary");
+    return *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  double max() const {
+    XCP_REQUIRE(!empty(), "max of empty summary");
+    return *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  /// Nearest-rank percentile, p in [0, 100].
+  double percentile(double p) const {
+    XCP_REQUIRE(!empty(), "percentile of empty summary");
+    XCP_REQUIRE(p >= 0.0 && p <= 100.0, "percentile out of range");
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    if (p == 0.0) return sorted.front();
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+    return sorted[std::min(rank, sorted.size()) - 1];
+  }
+
+  double median() const { return percentile(50.0); }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace xcp::exp

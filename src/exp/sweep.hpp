@@ -1,0 +1,53 @@
+#pragma once
+// Parallel seed sweeps. The simulator is single-threaded and deterministic;
+// throughput comes from running many independent (seed, config) simulations
+// concurrently — the classic embarrassingly-parallel HPC pattern. Work is
+// fanned out over a bounded pool of std::async tasks; results return in seed
+// order so aggregation stays deterministic.
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <thread>
+#include <vector>
+
+namespace xcp::exp {
+
+/// Runs `fn(seed)` for seeds [first, first+count) across `workers` threads
+/// (0 = hardware concurrency). Results are returned in seed order.
+template <typename R>
+std::vector<R> parallel_sweep(std::uint64_t first_seed, std::size_t count,
+                              const std::function<R(std::uint64_t)>& fn,
+                              unsigned workers = 0) {
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  std::vector<R> results(count);
+  std::size_t next = 0;
+  while (next < count) {
+    const std::size_t batch = std::min<std::size_t>(workers, count - next);
+    std::vector<std::future<R>> futs;
+    futs.reserve(batch);
+    for (std::size_t k = 0; k < batch; ++k) {
+      const std::uint64_t seed = first_seed + next + k;
+      futs.push_back(std::async(std::launch::async, fn, seed));
+    }
+    for (std::size_t k = 0; k < batch; ++k) {
+      results[next + k] = futs[k].get();
+    }
+    next += batch;
+  }
+  return results;
+}
+
+/// Counts how many sweep results satisfy a predicate.
+template <typename R>
+std::size_t count_where(const std::vector<R>& results,
+                        const std::function<bool(const R&)>& pred) {
+  std::size_t n = 0;
+  for (const auto& r : results) n += pred(r) ? 1 : 0;
+  return n;
+}
+
+}  // namespace xcp::exp

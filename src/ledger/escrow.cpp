@@ -1,0 +1,101 @@
+#include "ledger/escrow.hpp"
+
+namespace xcp::ledger {
+
+const char* escrow_state_name(EscrowState s) {
+  switch (s) {
+    case EscrowState::kLocked: return "locked";
+    case EscrowState::kCompleted: return "completed";
+    case EscrowState::kRefunded: return "refunded";
+  }
+  return "?";
+}
+
+Status EscrowRegistry::lock(sim::ProcessId escrow, sim::ProcessId depositor,
+                            sim::ProcessId beneficiary, Amount amount,
+                            TransferId tid, TimePoint at,
+                            std::uint64_t* out_deal) {
+  if (!ledger_.verify_incoming(tid, escrow, amount)) {
+    return Status::error("escrow lock: transfer receipt does not fund escrow");
+  }
+  const auto r = ledger_.receipt(tid);
+  if (r->from != depositor) {
+    return Status::error("escrow lock: receipt not from claimed depositor");
+  }
+  EscrowDeal d;
+  d.id = deals_.size() + 1;
+  d.escrow = escrow;
+  d.depositor = depositor;
+  d.beneficiary = beneficiary;
+  d.amount = amount;
+  d.state = EscrowState::kLocked;
+  d.locked_at = at;
+  deals_.push_back(d);
+  if (out_deal != nullptr) *out_deal = d.id;
+  record(props::EventKind::kEscrowLock, d, at);
+  return Status::ok();
+}
+
+Status EscrowRegistry::complete(std::uint64_t deal_id, TimePoint at,
+                                TransferId* out_tid) {
+  if (deal_id == 0 || deal_id > deals_.size()) {
+    return Status::error("unknown escrow deal");
+  }
+  EscrowDeal& d = deals_[deal_id - 1];
+  if (d.state != EscrowState::kLocked) {
+    return Status::error(std::string("complete on ") + escrow_state_name(d.state) +
+                         " deal");
+  }
+  Status s = ledger_.transfer(d.escrow, d.beneficiary, d.amount, at, out_tid);
+  if (!s) return s;
+  d.state = EscrowState::kCompleted;
+  d.resolved_at = at;
+  record(props::EventKind::kEscrowComplete, d, at);
+  return Status::ok();
+}
+
+Status EscrowRegistry::refund(std::uint64_t deal_id, TimePoint at,
+                              TransferId* out_tid) {
+  if (deal_id == 0 || deal_id > deals_.size()) {
+    return Status::error("unknown escrow deal");
+  }
+  EscrowDeal& d = deals_[deal_id - 1];
+  if (d.state != EscrowState::kLocked) {
+    return Status::error(std::string("refund on ") + escrow_state_name(d.state) +
+                         " deal");
+  }
+  Status s = ledger_.transfer(d.escrow, d.depositor, d.amount, at, out_tid);
+  if (!s) return s;
+  d.state = EscrowState::kRefunded;
+  d.resolved_at = at;
+  record(props::EventKind::kEscrowRefund, d, at);
+  return Status::ok();
+}
+
+const EscrowDeal* EscrowRegistry::deal(std::uint64_t deal_id) const {
+  if (deal_id == 0 || deal_id > deals_.size()) return nullptr;
+  return &deals_[deal_id - 1];
+}
+
+std::vector<const EscrowDeal*> EscrowRegistry::unresolved() const {
+  std::vector<const EscrowDeal*> out;
+  for (const auto& d : deals_) {
+    if (d.state == EscrowState::kLocked) out.push_back(&d);
+  }
+  return out;
+}
+
+void EscrowRegistry::record(props::EventKind kind, const EscrowDeal& d,
+                            TimePoint at) {
+  if (trace_ == nullptr) return;
+  props::TraceEvent e;
+  e.kind = kind;
+  e.at = at;
+  e.local_at = at;
+  e.actor = d.escrow;
+  e.peer = kind == props::EventKind::kEscrowComplete ? d.beneficiary : d.depositor;
+  e.amount = d.amount;
+  trace_->record(e);
+}
+
+}  // namespace xcp::ledger

@@ -1,0 +1,72 @@
+#pragma once
+// Escrow deals over the ledger.
+//
+// "Two customers may make a deal with an escrow to place value from the
+// first customer in escrow, and, after a predefined period, depending on
+// which conditions are met, either complete the transfer to the second
+// customer, or return the value to the first one." (Sec. 2)
+//
+// EscrowRegistry tracks each deal's lifecycle so that (a) escrow processes
+// have a uniform lock/complete/refund API with the ledger operations and
+// trace events bundled, and (b) the ES/CS property checkers can audit that
+// every locked deposit was either completed or refunded — never both, never
+// neither (for abiding escrows).
+
+#include <cstdint>
+#include <vector>
+
+#include "ledger/ledger.hpp"
+
+namespace xcp::ledger {
+
+enum class EscrowState { kLocked, kCompleted, kRefunded };
+
+const char* escrow_state_name(EscrowState s);
+
+struct EscrowDeal {
+  std::uint64_t id = 0;
+  sim::ProcessId escrow;       // the escrow process holding the funds
+  sim::ProcessId depositor;    // upstream customer who paid in
+  sim::ProcessId beneficiary;  // downstream customer to pay on completion
+  Amount amount;
+  EscrowState state = EscrowState::kLocked;
+  TimePoint locked_at;
+  TimePoint resolved_at;
+};
+
+class EscrowRegistry {
+ public:
+  EscrowRegistry(Ledger& ledger, props::TraceRecorder* trace = nullptr)
+      : ledger_(ledger), trace_(trace) {}
+
+  /// Records that `escrow` holds `amount` received from `depositor` via the
+  /// verified incoming transfer `tid`, to be paid to `beneficiary` on
+  /// completion. Fails if the receipt does not actually fund the escrow.
+  Status lock(sim::ProcessId escrow, sim::ProcessId depositor,
+              sim::ProcessId beneficiary, Amount amount, TransferId tid,
+              TimePoint at, std::uint64_t* out_deal = nullptr);
+
+  /// Pays the locked amount to the beneficiary. Fails unless Locked.
+  Status complete(std::uint64_t deal_id, TimePoint at,
+                  TransferId* out_tid = nullptr);
+
+  /// Returns the locked amount to the depositor. Fails unless Locked.
+  Status refund(std::uint64_t deal_id, TimePoint at,
+                TransferId* out_tid = nullptr);
+
+  const EscrowDeal* deal(std::uint64_t deal_id) const;
+  const std::vector<EscrowDeal>& deals() const { return deals_; }
+
+  /// Deals still locked (used by checkers: an abiding escrow must end with
+  /// none, matching [3]'s "no asset is escrowed forever").
+  std::vector<const EscrowDeal*> unresolved() const;
+
+ private:
+  void record(props::EventKind kind, const EscrowDeal& d, TimePoint at);
+
+  Ledger& ledger_;
+  props::TraceRecorder* trace_;
+  std::vector<EscrowDeal> deals_;
+};
+
+}  // namespace xcp::ledger

@@ -1,0 +1,107 @@
+#include "ledger/ledger.hpp"
+
+#include <algorithm>
+
+namespace xcp::ledger {
+
+void Ledger::mint(sim::ProcessId who, Amount amount) {
+  XCP_REQUIRE(!amount.is_negative(), "cannot mint negative value");
+  balances_[Key{who.value(), amount.currency().id()}] += amount.units();
+  supply_[amount.currency().id()] += amount.units();
+}
+
+Amount Ledger::balance(sim::ProcessId who, Currency c) const {
+  auto it = balances_.find(Key{who.value(), c.id()});
+  return Amount(it == balances_.end() ? 0 : it->second, c);
+}
+
+Status Ledger::transfer(sim::ProcessId from, sim::ProcessId to, Amount amount,
+                        TimePoint at, TransferId* out_id) {
+  if (amount.units() <= 0) {
+    return Status::error("transfer amount must be positive");
+  }
+  if (from == to) {
+    return Status::error("self-transfer");
+  }
+  auto& from_bal = balances_[Key{from.value(), amount.currency().id()}];
+  if (from_bal < amount.units()) {
+    return Status::error("insufficient funds: p" + std::to_string(from.value()) +
+                         " holds " + std::to_string(from_bal) + ", needs " +
+                         std::to_string(amount.units()) + " " +
+                         amount.currency().code());
+  }
+  from_bal -= amount.units();
+  balances_[Key{to.value(), amount.currency().id()}] += amount.units();
+
+  TransferReceipt r;
+  r.id = receipts_.size() + 1;
+  r.from = from;
+  r.to = to;
+  r.amount = amount;
+  r.at = at;
+  receipts_.push_back(r);
+  if (out_id != nullptr) *out_id = r.id;
+
+  if (trace_ != nullptr) {
+    props::TraceEvent e;
+    e.kind = props::EventKind::kTransfer;
+    e.at = at;
+    e.local_at = at;
+    e.actor = from;
+    e.peer = to;
+    e.amount = amount;
+    trace_->record(e);
+  }
+  return Status::ok();
+}
+
+std::optional<TransferReceipt> Ledger::receipt(TransferId id) const {
+  if (id == kInvalidTransfer || id > receipts_.size()) return std::nullopt;
+  return receipts_[id - 1];
+}
+
+bool Ledger::verify_incoming(TransferId id, sim::ProcessId expected_to,
+                             Amount expected_amount) const {
+  const auto r = receipt(id);
+  if (!r) return false;
+  if (r->to != expected_to) return false;
+  if (r->amount.currency() != expected_amount.currency()) return false;
+  return !r->amount.less_than(expected_amount);
+}
+
+bool Ledger::verify_exact(TransferId id, sim::ProcessId expected_from,
+                          sim::ProcessId expected_to,
+                          Amount expected_amount) const {
+  const auto r = receipt(id);
+  if (!r) return false;
+  return r->from == expected_from && r->to == expected_to &&
+         r->amount == expected_amount;
+}
+
+std::int64_t Ledger::total_supply(Currency c) const {
+  auto it = supply_.find(c.id());
+  return it == supply_.end() ? 0 : it->second;
+}
+
+std::int64_t Ledger::sum_of_balances(Currency c) const {
+  std::int64_t sum = 0;
+  for (const auto& [key, units] : balances_) {
+    if (key.cur == c.id()) sum += units;
+  }
+  return sum;
+}
+
+std::vector<Amount> Ledger::holdings(sim::ProcessId who) const {
+  std::vector<Amount> out;
+  for (const auto& [key, units] : balances_) {
+    if (key.pid == who.value() && units != 0) {
+      out.emplace_back(units, Currency(key.cur));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Amount& a, const Amount& b) {
+    return a.currency().id() < b.currency().id();
+  });
+  return out;
+}
+
+}  // namespace xcp::ledger

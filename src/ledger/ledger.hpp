@@ -1,0 +1,88 @@
+#pragma once
+// The value substrate. The paper's "$" messages move real value; here the
+// Ledger is the single source of truth for who holds what. A transfer debits
+// the sender at initiation and produces a TransferReceipt; the "$" message
+// carries the receipt id, and the receiver *verifies* it before treating the
+// payment as made. A Byzantine process can therefore claim to have paid, but
+// cannot fake the receipt — the analogue of not being able to mint money.
+//
+// The ledger enforces: no overdrafts, per-currency conservation (checked by
+// an always-on audit), and append-only receipts.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "props/trace.hpp"
+#include "sim/process.hpp"
+#include "support/amount.hpp"
+#include "support/status.hpp"
+
+namespace xcp::ledger {
+
+using TransferId = std::uint64_t;
+inline constexpr TransferId kInvalidTransfer = 0;
+
+struct TransferReceipt {
+  TransferId id = kInvalidTransfer;
+  sim::ProcessId from;
+  sim::ProcessId to;
+  Amount amount;
+  TimePoint at;  // global time of the debit
+};
+
+class Ledger {
+ public:
+  explicit Ledger(props::TraceRecorder* trace = nullptr) : trace_(trace) {}
+
+  /// Creates value out of thin air; only for scenario setup.
+  void mint(sim::ProcessId who, Amount amount);
+
+  Amount balance(sim::ProcessId who, Currency c) const;
+
+  /// Moves value; fails (without side effects) on overdraft or non-positive
+  /// amounts. On success appends a receipt and returns its id.
+  Status transfer(sim::ProcessId from, sim::ProcessId to, Amount amount,
+                  TimePoint at, TransferId* out_id = nullptr);
+
+  /// Looks up a receipt; nullopt for unknown ids.
+  std::optional<TransferReceipt> receipt(TransferId id) const;
+
+  /// True iff `id` names a completed transfer to `expected_to` of at least
+  /// `expected_amount` (receivers use >= so commissions can't be griefed by
+  /// overpaying). Exact-match variant available via verify_exact.
+  bool verify_incoming(TransferId id, sim::ProcessId expected_to,
+                       Amount expected_amount) const;
+  bool verify_exact(TransferId id, sim::ProcessId expected_from,
+                    sim::ProcessId expected_to, Amount expected_amount) const;
+
+  /// Total units in existence for a currency (minted supply). The audit
+  /// invariant: sum of balances == total_supply at all times.
+  std::int64_t total_supply(Currency c) const;
+  std::int64_t sum_of_balances(Currency c) const;
+
+  /// Snapshot of a process's balance in every currency it ever touched.
+  std::vector<Amount> holdings(sim::ProcessId who) const;
+
+  const std::vector<TransferReceipt>& receipts() const { return receipts_; }
+
+ private:
+  struct Key {
+    std::uint32_t pid;
+    std::uint16_t cur;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return (static_cast<std::size_t>(k.pid) << 16) ^ k.cur;
+    }
+  };
+
+  props::TraceRecorder* trace_;
+  std::unordered_map<Key, std::int64_t, KeyHash> balances_;
+  std::unordered_map<std::uint16_t, std::int64_t> supply_;
+  std::vector<TransferReceipt> receipts_;  // receipts_[id-1]
+};
+
+}  // namespace xcp::ledger

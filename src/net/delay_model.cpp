@@ -1,0 +1,65 @@
+#include "net/delay_model.hpp"
+
+#include <algorithm>
+
+#include "support/status.hpp"
+
+namespace xcp::net {
+
+SynchronousModel::SynchronousModel(Duration delta_min, Duration delta_max)
+    : delta_min_(delta_min), delta_max_(delta_max) {
+  XCP_REQUIRE(Duration::zero() <= delta_min && delta_min <= delta_max,
+              "need 0 <= delta_min <= delta_max");
+}
+
+Duration SynchronousModel::sample(const Message&, TimePoint, Rng& rng) {
+  return rng.next_duration(delta_min_, delta_max_);
+}
+
+TimePoint SynchronousModel::latest_delivery(const Message&, TimePoint now) const {
+  return now + delta_max_;
+}
+
+PartialSynchronyModel::PartialSynchronyModel(TimePoint gst, Duration delta,
+                                             Duration pre_gst_typical)
+    : gst_(gst), delta_(delta), pre_gst_typical_(pre_gst_typical) {
+  XCP_REQUIRE(delta > Duration::zero(), "delta must be positive");
+}
+
+Duration PartialSynchronyModel::sample(const Message& m, TimePoint now, Rng& rng) {
+  if (now >= gst_) {
+    return rng.next_duration(Duration::micros(1), delta_);
+  }
+  // Before GST: erratic by default, but still within the legal envelope.
+  const Duration erratic =
+      rng.next_duration(Duration::micros(1), pre_gst_typical_);
+  const TimePoint latest = latest_delivery(m, now);
+  return std::min(erratic, latest - now);
+}
+
+TimePoint PartialSynchronyModel::latest_delivery(const Message&, TimePoint now) const {
+  // DLS guarantee: delivered by max(send, GST) + delta.
+  return std::max(now, gst_) + delta_;
+}
+
+AsynchronousModel::AsynchronousModel(Duration typical, Duration cap)
+    : typical_(typical), cap_(cap) {
+  XCP_REQUIRE(Duration::zero() < typical && typical <= cap,
+              "need 0 < typical <= cap");
+}
+
+Duration AsynchronousModel::sample(const Message&, TimePoint, Rng& rng) {
+  // Geometric layering: with prob 1/2 the delay doubles, capped. This gives
+  // an unbounded-looking tail while keeping runs finite.
+  Duration d = rng.next_duration(Duration::micros(1), typical_);
+  while (d < cap_ && rng.next_bool(0.5)) {
+    d = std::min(cap_, d * 2);
+  }
+  return d;
+}
+
+TimePoint AsynchronousModel::latest_delivery(const Message&, TimePoint now) const {
+  return now + cap_;  // finite (so simulations terminate) but huge/unknown
+}
+
+}  // namespace xcp::net

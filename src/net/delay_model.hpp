@@ -1,0 +1,99 @@
+#pragma once
+// Synchrony models. The paper's three timing regimes become three delay
+// models over the virtual clock:
+//
+//  - Synchronous: every message arrives within a *known* bound Delta
+//    (uniform in [delta_min, Delta]). Used by Theorem 1.
+//  - Partially synchronous (Dwork-Lynch-Stockmeyer GST formulation): there
+//    is an unknown Global Stabilisation Time; messages sent at time t are
+//    delivered by max(t, GST) + Delta, but before GST the adversary controls
+//    timing arbitrarily. Used by Theorems 2 and 3.
+//  - Asynchronous: finite but unbounded delays (heavy-tailed sampling with a
+//    configurable cap so simulations terminate); no bound is known to the
+//    protocol.
+//
+// A model both *samples* a default delay and *clamps* adversary proposals to
+// what the regime legally allows: the network adversary may reorder and
+// stretch deliveries, but never break the synchrony guarantee itself.
+
+#include <memory>
+#include <optional>
+
+#include "net/message.hpp"
+#include "support/rng.hpp"
+#include "support/time.hpp"
+
+namespace xcp::net {
+
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+
+  /// Default delivery delay for a message sent at `now`.
+  virtual Duration sample(const Message& m, TimePoint now, Rng& rng) = 0;
+
+  /// Latest legal delivery time for a message sent at `now`; the adversary's
+  /// proposals are clamped to this. TimePoint::max() means "unbounded".
+  virtual TimePoint latest_delivery(const Message& m, TimePoint now) const = 0;
+
+  /// The bound the *protocol* is entitled to assume, if any (Delta). For the
+  /// partially synchronous and asynchronous models there is no known bound.
+  virtual std::optional<Duration> known_bound() const = 0;
+};
+
+/// Synchronous network: delay uniform in [delta_min, delta_max]; the bound
+/// delta_max is known to protocols.
+class SynchronousModel final : public DelayModel {
+ public:
+  SynchronousModel(Duration delta_min, Duration delta_max);
+
+  Duration sample(const Message& m, TimePoint now, Rng& rng) override;
+  TimePoint latest_delivery(const Message& m, TimePoint now) const override;
+  std::optional<Duration> known_bound() const override { return delta_max_; }
+
+  Duration delta_max() const { return delta_max_; }
+
+ private:
+  Duration delta_min_;
+  Duration delta_max_;
+};
+
+/// Partially synchronous network with Global Stabilisation Time `gst`:
+/// a message sent at t is delivered by max(t, gst) + delta; before GST the
+/// default sampling is already erratic (uniform up to the pre-GST cap), and
+/// the adversary may stretch it to the legal limit. `gst` is part of the
+/// *environment*, never revealed to protocols (known_bound() is empty).
+class PartialSynchronyModel final : public DelayModel {
+ public:
+  PartialSynchronyModel(TimePoint gst, Duration delta,
+                        Duration pre_gst_typical);
+
+  Duration sample(const Message& m, TimePoint now, Rng& rng) override;
+  TimePoint latest_delivery(const Message& m, TimePoint now) const override;
+  std::optional<Duration> known_bound() const override { return std::nullopt; }
+
+  TimePoint gst() const { return gst_; }
+  Duration delta() const { return delta_; }
+
+ private:
+  TimePoint gst_;
+  Duration delta_;
+  Duration pre_gst_typical_;
+};
+
+/// Asynchronous network: finite but unbounded delay. Sampling is
+/// exponential-ish via layered uniforms, capped at `cap` so that runs end.
+class AsynchronousModel final : public DelayModel {
+ public:
+  AsynchronousModel(Duration typical, Duration cap);
+
+  Duration sample(const Message& m, TimePoint now, Rng& rng) override;
+  TimePoint latest_delivery(const Message& m, TimePoint now) const override;
+  std::optional<Duration> known_bound() const override { return std::nullopt; }
+
+ private:
+  Duration typical_;
+  Duration cap_;
+};
+
+}  // namespace xcp::net

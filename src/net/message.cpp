@@ -1,0 +1,15 @@
+#include "net/message.hpp"
+
+#include <sstream>
+
+namespace xcp::net {
+
+std::string Message::describe() const {
+  std::ostringstream os;
+  os << "msg#" << id << " p" << from.value() << "->p" << to.value() << " ["
+     << kind << "]";
+  if (body) os << " " << body->describe();
+  return os.str();
+}
+
+}  // namespace xcp::net

@@ -1,0 +1,42 @@
+#pragma once
+// Message model. A Message is an addressed envelope around an immutable,
+// shared, polymorphic body; each protocol layer defines its own body types
+// and downcasts on receipt (the `kind` tag makes dispatch cheap and keeps
+// traces readable). Bodies are immutable once sent: the network shares them
+// between duplicate deliveries and the trace.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/process.hpp"
+
+namespace xcp::net {
+
+/// Base class for message payloads.
+struct MessageBody {
+  virtual ~MessageBody() = default;
+  /// One-line human-readable description, used in traces and logs.
+  virtual std::string describe() const = 0;
+};
+
+using BodyPtr = std::shared_ptr<const MessageBody>;
+
+struct Message {
+  std::uint64_t id = 0;  // unique per network, assigned at send
+  sim::ProcessId from;
+  sim::ProcessId to;
+  std::string kind;      // small routing/trace tag, e.g. "G", "P", "$", "chi"
+  BodyPtr body;          // may be null for pure-signal messages
+
+  /// Convenience downcast; returns nullptr if the body is absent or of a
+  /// different type.
+  template <typename T>
+  const T* body_as() const {
+    return dynamic_cast<const T*>(body.get());
+  }
+
+  std::string describe() const;
+};
+
+}  // namespace xcp::net

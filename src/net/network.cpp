@@ -1,0 +1,102 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+#include "support/status.hpp"
+
+namespace xcp::net {
+
+Network& Actor::net() const {
+  XCP_REQUIRE(net_ != nullptr, "actor not attached to a network");
+  return *net_;
+}
+
+void Actor::send(sim::ProcessId to, std::string kind, BodyPtr body) {
+  net().send(id(), to, std::move(kind), std::move(body));
+}
+
+Network::Network(sim::Simulator& sim, std::unique_ptr<DelayModel> model,
+                 props::TraceRecorder* trace)
+    : sim_(sim), model_(std::move(model)), trace_(trace), rng_(sim.rng().fork()) {
+  XCP_REQUIRE(model_ != nullptr, "network needs a delay model");
+}
+
+void Network::attach(Actor& actor) {
+  XCP_REQUIRE(actor.id().valid(), "attach before spawning");
+  actor.net_ = this;
+  actors_[actor.id()] = &actor;
+}
+
+void Network::send(sim::ProcessId from, sim::ProcessId to, std::string kind,
+                   BodyPtr body) {
+  Message m;
+  m.id = next_message_id_++;
+  m.from = from;
+  m.to = to;
+  m.kind = std::move(kind);
+  m.body = std::move(body);
+
+  const TimePoint now = sim_.now();
+  ++stats_.messages_sent;
+
+  if (trace_) {
+    props::TraceEvent e;
+    e.kind = props::EventKind::kSend;
+    e.at = now;
+    e.local_at = sim_.process(from).local_now();
+    e.actor = from;
+    e.peer = to;
+    e.label = m.kind;
+    trace_->record(e);
+  }
+
+  if (drop_probability_ > 0.0 && rng_.next_bool(drop_probability_)) {
+    ++stats_.messages_dropped;
+    if (trace_) {
+      props::TraceEvent e;
+      e.kind = props::EventKind::kDrop;
+      e.at = now;
+      e.local_at = now;
+      e.actor = from;
+      e.peer = to;
+      e.label = m.kind;
+      trace_->record(e);
+    }
+    return;
+  }
+
+  // Delivery time: adversary proposal (if any) clamped into the synchrony
+  // model's legal envelope; otherwise the model's own sample.
+  TimePoint deliver_at = now + model_->sample(m, now, rng_);
+  if (adversary_ != nullptr) {
+    if (auto proposal = adversary_->propose_delivery(m, now)) {
+      deliver_at = *proposal;
+    }
+  }
+  const TimePoint latest = model_->latest_delivery(m, now);
+  deliver_at = std::clamp(deliver_at, now, latest);
+
+  sim_.schedule_at(deliver_at, [this, m = std::move(m)] { deliver(m); });
+}
+
+void Network::deliver(Message m) {
+  auto it = actors_.find(m.to);
+  if (it == actors_.end()) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  ++stats_.messages_delivered;
+  if (trace_) {
+    props::TraceEvent e;
+    e.kind = props::EventKind::kDeliver;
+    e.at = sim_.now();
+    e.local_at = it->second->local_now();
+    e.actor = m.to;
+    e.peer = m.from;
+    e.label = m.kind;
+    trace_->record(e);
+  }
+  it->second->on_message(m);
+}
+
+}  // namespace xcp::net

@@ -1,0 +1,82 @@
+#pragma once
+// The message transport, tying processes, delay model and adversary to the
+// simulator. `Actor` is the base class for every protocol participant: a
+// simulated process that can receive messages.
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "net/adversary.hpp"
+#include "net/delay_model.hpp"
+#include "net/message.hpp"
+#include "props/trace.hpp"
+#include "sim/simulator.hpp"
+
+namespace xcp::net {
+
+class Network;
+
+/// A process that participates in message exchange.
+class Actor : public sim::Process {
+ public:
+  virtual void on_message(const Message& m) = 0;
+
+ protected:
+  Network& net() const;
+  /// Sends `body` to `to`; delivery time is governed by the network.
+  void send(sim::ProcessId to, std::string kind, BodyPtr body = nullptr);
+
+ private:
+  friend class Network;
+  Network* net_ = nullptr;
+};
+
+struct NetworkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;
+};
+
+class Network {
+ public:
+  Network(sim::Simulator& sim, std::unique_ptr<DelayModel> model,
+          props::TraceRecorder* trace = nullptr);
+
+  /// Registers an actor (already spawned in the simulator) for delivery.
+  void attach(Actor& actor);
+
+  /// Timing adversary; may be null. Not owned.
+  void set_adversary(Adversary* adversary) { adversary_ = adversary; }
+
+  /// Sends a message; computes the delivery time as
+  ///   clamp(adversary proposal or model sample)  within the legal envelope
+  /// and schedules delivery. Messages to unattached ids are dropped.
+  void send(sim::ProcessId from, sim::ProcessId to, std::string kind,
+            BodyPtr body);
+
+  /// Message loss injection: each message is dropped with probability p.
+  /// (Only meaningful for experiments that explicitly model lossy links;
+  /// the paper's models assume reliable delivery, so the default is 0.)
+  void set_drop_probability(double p) { drop_probability_ = p; }
+
+  const NetworkStats& stats() const { return stats_; }
+  DelayModel& model() { return *model_; }
+  sim::Simulator& simulator() { return sim_; }
+  props::TraceRecorder* trace() { return trace_; }
+
+ private:
+  void deliver(Message m);
+
+  sim::Simulator& sim_;
+  std::unique_ptr<DelayModel> model_;
+  props::TraceRecorder* trace_;
+  Adversary* adversary_ = nullptr;
+  std::unordered_map<sim::ProcessId, Actor*> actors_;
+  std::uint64_t next_message_id_ = 1;
+  double drop_probability_ = 0.0;
+  Rng rng_;
+  NetworkStats stats_;
+};
+
+}  // namespace xcp::net

@@ -1,0 +1,363 @@
+#include "props/checkers.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace xcp::props {
+
+std::string PropertyResult::str() const {
+  std::ostringstream os;
+  os << name << ": ";
+  if (!applicable) {
+    os << "n/a";
+  } else if (holds) {
+    os << "holds";
+  } else {
+    os << "VIOLATED";
+    for (const auto& v : violations) os << "\n    - " << v;
+  }
+  return os.str();
+}
+
+bool PropertyReport::all_hold() const {
+  for (const auto& r : results_) {
+    if (r.applicable && !r.holds) return false;
+  }
+  return true;
+}
+
+std::vector<std::string> PropertyReport::failed() const {
+  std::vector<std::string> out;
+  for (const auto& r : results_) {
+    if (r.applicable && !r.holds) out.push_back(r.name);
+  }
+  return out;
+}
+
+std::string PropertyReport::str() const {
+  std::ostringstream os;
+  for (const auto& r : results_) os << "  " << r.str() << "\n";
+  return os.str();
+}
+
+namespace {
+
+bool escrow_abides(const proto::RunRecord& r, int i) {
+  return r.escrow(i).abiding;
+}
+
+/// Escrows of customer c_i: e_{i-1} (if i>0) and e_i (if i<n).
+bool customers_escrows_abide(const proto::RunRecord& r, int i) {
+  if (i > 0 && !escrow_abides(r, i - 1)) return false;
+  if (i < r.spec.n && !escrow_abides(r, i)) return false;
+  return true;
+}
+
+bool all_abide(const proto::RunRecord& r) {
+  for (const auto& p : r.participants) {
+    if (!p.abiding) return false;
+  }
+  return true;
+}
+
+void violate(PropertyResult& res, std::string msg) {
+  res.holds = false;
+  res.violations.push_back(std::move(msg));
+}
+
+}  // namespace
+
+PropertyResult check_conservation(const proto::RunRecord& r) {
+  PropertyResult res;
+  res.name = "conservation";
+  std::map<std::uint16_t, std::int64_t> net;
+  for (const auto& p : r.participants) {
+    for (const Amount& a : p.initial_holdings) net[a.currency().id()] -= a.units();
+    for (const Amount& a : p.final_holdings) net[a.currency().id()] += a.units();
+  }
+  for (const auto& [cur, delta] : net) {
+    if (delta != 0) {
+      violate(res, "currency " + Currency(cur).code() + " net " +
+                       std::to_string(delta) + " != 0");
+    }
+  }
+  return res;
+}
+
+PropertyResult check_escrow_security(const proto::RunRecord& r) {
+  PropertyResult res;
+  res.name = "ES";
+  for (int i = 0; i < r.spec.n; ++i) {
+    const auto& e = r.escrow(i);
+    if (!e.abiding) continue;
+    // Consider every currency the escrow ever touched.
+    auto check_currency = [&](Currency c) {
+      const std::int64_t net = e.net_units(c);
+      if (net < 0) {
+        violate(res, e.role + " lost " + std::to_string(-net) + " " + c.code());
+      }
+    };
+    for (const Amount& a : e.initial_holdings) check_currency(a.currency());
+    for (const Amount& a : e.final_holdings) check_currency(a.currency());
+    check_currency(r.spec.hop_amount(i).currency());
+  }
+  return res;
+}
+
+PropertyResult check_consistency(const proto::RunRecord& r) {
+  PropertyResult res;
+  res.name = "C";
+  // Every deposit an abiding escrow locked must be resolved by run end —
+  // an abiding escrow's automaton always completes or refunds (its await_chi
+  // state has a time-out exit), so a dangling lock means the protocol
+  // prescribed an impossible or never-scheduled action. Only claimable when
+  // the run drained (otherwise the horizon cut it off).
+  if (!r.stats.drained) {
+    res.applicable = false;
+    return res;
+  }
+  for (const auto& d : r.escrow_deals) {
+    const auto* e = r.find(d.escrow);
+    if (e == nullptr || !e->abiding) continue;
+    if (d.state == ledger::EscrowState::kLocked) {
+      violate(res, e->role + " deal " + std::to_string(d.id) +
+                       " still locked at run end");
+    }
+  }
+  // Promise G(d): resolution within d of the deposit. Compare in true time,
+  // allowing the worst-case clock-rate conversion.
+  if (r.schedule) {
+    const double rho = r.schedule->params().rho;
+    for (const auto& d : r.escrow_deals) {
+      const auto* e = r.find(d.escrow);
+      if (e == nullptr || !e->abiding) continue;
+      if (d.state == ledger::EscrowState::kLocked) continue;
+      int idx = 0;
+      for (int i = 0; i < r.spec.n; ++i) {
+        if (r.parts.escrow(i) == d.escrow) idx = i;
+      }
+      const Duration promised = r.schedule->d(idx);
+      const Duration true_budget = promised.scaled_up(1.0 / (1.0 - rho)) +
+                                   r.schedule->params().processing;
+      const Duration took = d.resolved_at - d.locked_at;
+      if (took > true_budget) {
+        violate(res, e->role + " broke G(d): resolved after " + took.str() +
+                         " > budget " + true_budget.str());
+      }
+    }
+  }
+  return res;
+}
+
+PropertyResult check_cs1(const proto::RunRecord& r, bool weak_form) {
+  PropertyResult res;
+  res.name = weak_form ? "CS1'" : "CS1";
+  const auto& alice = r.alice();
+  if (!alice.abiding || !escrow_abides(r, 0)) {
+    res.applicable = false;
+    return res;
+  }
+  if (!alice.terminated) return res;  // "upon termination"
+  const Currency c0 = r.spec.hop_amount(0).currency();
+  const bool money_back = alice.net_units(c0) >= 0;
+  const bool has_cert =
+      weak_form ? alice.received_commit_cert : alice.received_payment_cert;
+  if (!money_back && !has_cert) {
+    violate(res, "alice terminated down " +
+                     std::to_string(-alice.net_units(c0)) + " " + c0.code() +
+                     " without " + (weak_form ? "chi_c" : "chi"));
+  }
+  return res;
+}
+
+PropertyResult check_cs2(const proto::RunRecord& r, bool weak_form) {
+  PropertyResult res;
+  res.name = weak_form ? "CS2'" : "CS2";
+  const auto& bob = r.bob();
+  if (!bob.abiding || !escrow_abides(r, r.spec.n - 1)) {
+    res.applicable = false;
+    return res;
+  }
+  if (!bob.terminated) return res;
+  const bool paid = r.bob_paid();
+  if (weak_form) {
+    if (!paid && !bob.received_abort_cert) {
+      violate(res, "bob terminated unpaid and without chi_a");
+    }
+  } else {
+    if (!paid && bob.issued_payment_cert) {
+      violate(res, "bob terminated unpaid after issuing chi");
+    }
+  }
+  return res;
+}
+
+PropertyResult check_cs3(const proto::RunRecord& r) {
+  PropertyResult res;
+  res.name = "CS3";
+  bool any_applicable = false;
+  for (int i = 1; i <= r.spec.n - 1; ++i) {
+    const auto& chloe = r.customer(i);
+    if (!chloe.abiding || !customers_escrows_abide(r, i)) continue;
+    if (!chloe.terminated) continue;  // "upon termination"
+    any_applicable = true;
+    const Amount pay = r.spec.hop_amount(i);       // what she paid out
+    const Amount recv = r.spec.hop_amount(i - 1);  // what success pays her
+    const std::int64_t net_pay_cur = chloe.net_units(pay.currency());
+    const std::int64_t net_recv_cur = chloe.net_units(recv.currency());
+    const bool refunded =
+        net_pay_cur >= 0 &&
+        (pay.currency() == recv.currency() || net_recv_cur >= 0);
+    const bool paid_through =
+        pay.currency() == recv.currency()
+            ? net_pay_cur >= recv.units() - pay.units()
+            : (net_pay_cur >= -pay.units() && net_recv_cur >= recv.units());
+    if (!refunded && !paid_through) {
+      std::string detail = std::to_string(net_pay_cur) + " " +
+                           pay.currency().code();
+      if (pay.currency() != recv.currency()) {
+        detail += ", " + std::to_string(net_recv_cur) + " " +
+                  recv.currency().code();
+      }
+      violate(res, chloe.role + " lost value: net " + detail);
+    }
+  }
+  res.applicable = any_applicable;
+  return res;
+}
+
+PropertyResult check_termination(const proto::RunRecord& r,
+                                 const CheckOptions& opts) {
+  PropertyResult res;
+  res.name = opts.time_bounded ? "T(bounded)" : "T(eventual)";
+  if (!opts.environment_conforms) {
+    res.applicable = false;
+    return res;
+  }
+  bool any = false;
+  for (int i = 0; i <= r.spec.n; ++i) {
+    const auto& c = r.customer(i);
+    if (!c.abiding || !customers_escrows_abide(r, i)) continue;
+    // Did c_i make a payment or issue a certificate?
+    const bool paid_or_issued =
+        r.trace.count(EventKind::kTransfer, c.pid) > 0 || c.issued_payment_cert;
+    if (!paid_or_issued) continue;
+    any = true;
+    if (!c.terminated) {
+      violate(res, c.role + " paid/issued but never terminated");
+      continue;
+    }
+    if (opts.time_bounded && r.schedule && r.schedule->n() > 0) {
+      const Duration bound = r.schedule->customer_termination_bound(i);
+      const Duration took = c.terminated_global - TimePoint::origin();
+      if (took > bound) {
+        violate(res, c.role + " terminated after " + took.str() +
+                         " > a-priori bound " + bound.str());
+      }
+      // The customer-visible form of the same promise: elapsed time on her
+      // own clock within the (1+rho)-inflated bound.
+      const Duration local_bound =
+          r.schedule->customer_termination_bound_local(i);
+      const Duration local_took = c.terminated_local - c.local_at_start;
+      if (local_took > local_bound) {
+        violate(res, c.role + " local clock shows " + local_took.str() +
+                         " > local a-priori bound " + local_bound.str());
+      }
+    }
+  }
+  res.applicable = any;
+  return res;
+}
+
+PropertyResult check_strong_liveness(const proto::RunRecord& r,
+                                     const CheckOptions& opts) {
+  PropertyResult res;
+  res.name = "L";
+  if (!all_abide(r) || !opts.environment_conforms) {
+    res.applicable = false;
+    return res;
+  }
+  if (!r.bob_paid()) violate(res, "all parties abided but bob was not paid");
+  return res;
+}
+
+PropertyResult check_certificate_consistency(const proto::RunRecord& r) {
+  PropertyResult res;
+  res.name = "CC";
+  // Decide events carry a deal id when several deals share one substrate
+  // (multi-deal runs); only this record's deal (or unscoped events) count.
+  auto issued = [&](const char* label) {
+    for (const auto& e : r.trace.events()) {
+      if (e.kind == EventKind::kDecide && e.label == label &&
+          (e.deal_id == 0 || e.deal_id == r.spec.deal_id)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  const bool commit_issued = issued("commit");
+  const bool abort_issued = issued("abort");
+  if (commit_issued && abort_issued) {
+    violate(res, "both chi_c and chi_a were issued");
+  }
+  // Also cross-check what participants ended up holding.
+  bool holds_commit = false;
+  bool holds_abort = false;
+  for (const auto& p : r.participants) {
+    holds_commit = holds_commit || p.received_commit_cert;
+    holds_abort = holds_abort || p.received_abort_cert;
+  }
+  if (holds_commit && holds_abort) {
+    violate(res, "some participants hold chi_c while others hold chi_a");
+  }
+  return res;
+}
+
+PropertyResult check_weak_liveness(const proto::RunRecord& r,
+                                   const CheckOptions& opts) {
+  PropertyResult res;
+  res.name = "Lw";
+  const bool nobody_aborted =
+      r.trace.count(EventKind::kAbortRequested) == 0;
+  if (!all_abide(r) || !nobody_aborted || !opts.environment_conforms) {
+    res.applicable = false;
+    return res;
+  }
+  if (!r.bob_paid()) {
+    violate(res, "all abided, nobody lost patience, but bob was not paid");
+  }
+  return res;
+}
+
+PropertyReport check_definition1(const proto::RunRecord& r,
+                                 const CheckOptions& opts) {
+  PropertyReport report;
+  report.add(check_conservation(r));
+  report.add(check_consistency(r));
+  report.add(check_termination(r, opts));
+  report.add(check_escrow_security(r));
+  report.add(check_cs1(r, /*weak_form=*/false));
+  report.add(check_cs2(r, /*weak_form=*/false));
+  report.add(check_cs3(r));
+  report.add(check_strong_liveness(r, opts));
+  return report;
+}
+
+PropertyReport check_definition2(const proto::RunRecord& r,
+                                 const CheckOptions& opts) {
+  PropertyReport report;
+  CheckOptions eventual = opts;
+  eventual.time_bounded = false;
+  report.add(check_conservation(r));
+  report.add(check_consistency(r));
+  report.add(check_certificate_consistency(r));
+  report.add(check_termination(r, eventual));
+  report.add(check_escrow_security(r));
+  report.add(check_cs1(r, /*weak_form=*/true));
+  report.add(check_cs2(r, /*weak_form=*/true));
+  report.add(check_cs3(r));
+  report.add(check_weak_liveness(r, opts));
+  return report;
+}
+
+}  // namespace xcp::props

@@ -1,0 +1,126 @@
+#pragma once
+// Executable versions of the paper's correctness requirements.
+//
+// Definition 1 (time-bounded / eventually-terminating cross-chain payment):
+//   C    consistency           — every abiding participant could follow the
+//                                protocol: no abiding escrow ends with a
+//                                dangling locked deposit, and every promise
+//                                G(d) it made was honoured in time.
+//   T    termination           — each abiding customer that paid or issued a
+//                                certificate terminates (time-bounded form:
+//                                within the a-priori bound), provided her
+//                                escrows abide.
+//   ES   escrow security       — no abiding escrow loses money.
+//   CS1  customer security (Alice) — upon termination: money back or chi.
+//   CS2  customer security (Bob)   — upon termination: paid or chi not issued.
+//   CS3  customer security (Chloe) — upon termination: money back (or paid
+//                                through with her commission).
+//   L    strong liveness       — if all parties abide, Bob is paid.
+//
+// Definition 2 adds (weak-liveness protocol):
+//   CC   certificate consistency — chi_c and chi_a can never both be issued.
+//   CS1' Alice: money back or chi_c.   CS2' Bob: paid or chi_a.
+//   Lw   weak liveness — if all abide and everyone is patient, Bob is paid.
+//
+// Checkers evaluate a RunRecord (trace + outcomes) only; they never look at
+// protocol internals. Each returns applicability (safety clauses are
+// conditional on "her escrows abide") plus a violation list.
+
+#include <string>
+#include <vector>
+
+#include "proto/outcome.hpp"
+
+namespace xcp::props {
+
+struct PropertyResult {
+  std::string name;
+  bool applicable = true;  // preconditions met (e.g. relevant escrows abide)
+  bool holds = true;
+  std::vector<std::string> violations;
+
+  std::string str() const;
+};
+
+class PropertyReport {
+ public:
+  void add(PropertyResult r) { results_.push_back(std::move(r)); }
+  const std::vector<PropertyResult>& results() const { return results_; }
+
+  /// True iff every applicable property holds.
+  bool all_hold() const;
+  /// Names of applicable properties that failed.
+  std::vector<std::string> failed() const;
+
+  std::string str() const;
+
+ private:
+  std::vector<PropertyResult> results_;
+};
+
+struct CheckOptions {
+  /// The environment stayed within the schedule's TimingParams (synchrony,
+  /// drift, processing). Liveness/termination are only claimed then.
+  bool environment_conforms = true;
+  /// Check the time-*bounded* form of T (vs merely eventual termination).
+  bool time_bounded = true;
+};
+
+// --- individual checkers ---
+
+/// Per-currency conservation: the sum of all net balance changes is zero.
+PropertyResult check_conservation(const proto::RunRecord& r);
+
+/// ES: every abiding escrow has non-negative net change in every currency.
+PropertyResult check_escrow_security(const proto::RunRecord& r);
+
+/// C (consistency): abiding escrows end with no locked deposits (when the
+/// run drained), and honoured G(d): each deposit was completed or refunded
+/// within d of receipt, allowing for clock-rate conversion.
+PropertyResult check_consistency(const proto::RunRecord& r);
+
+/// CS1 for the time-bounded protocol (chi) or the weak protocol (chi_c).
+PropertyResult check_cs1(const proto::RunRecord& r, bool weak_form);
+
+/// CS2: time-bounded form (paid or chi never issued) or weak form (paid or
+/// chi_a in hand).
+PropertyResult check_cs2(const proto::RunRecord& r, bool weak_form);
+
+/// CS3: every abiding connector whose two escrows abide ends, upon
+/// termination, refunded in full or paid through (upstream hop received,
+/// downstream hop paid).
+PropertyResult check_cs3(const proto::RunRecord& r);
+
+/// T: abiding customers that paid or issued a certificate terminate —
+/// within the schedule bound when opts.time_bounded and the record carries a
+/// schedule; eventually (before the horizon) otherwise. Conditional on
+/// escrows abiding.
+PropertyResult check_termination(const proto::RunRecord& r,
+                                 const CheckOptions& opts);
+
+/// L: all parties abide => Bob paid. Applicable only if all abide and the
+/// environment conforms.
+PropertyResult check_strong_liveness(const proto::RunRecord& r,
+                                     const CheckOptions& opts);
+
+/// CC: at most one of {chi_c, chi_a} was ever issued (kDecide trace events
+/// and certificates in outcomes).
+PropertyResult check_certificate_consistency(const proto::RunRecord& r);
+
+/// Lw: weak liveness — all abide + nobody lost patience => Bob paid.
+/// Applicability: all abide, no kAbortRequested events, env conforms enough
+/// for the run to have drained.
+PropertyResult check_weak_liveness(const proto::RunRecord& r,
+                                   const CheckOptions& opts);
+
+// --- bundles ---
+
+/// The Def. 1 bundle for the time-bounded protocol family.
+PropertyReport check_definition1(const proto::RunRecord& r,
+                                 const CheckOptions& opts);
+
+/// The Def. 2 bundle for the weak-liveness protocol family.
+PropertyReport check_definition2(const proto::RunRecord& r,
+                                 const CheckOptions& opts);
+
+}  // namespace xcp::props

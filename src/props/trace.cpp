@@ -1,0 +1,99 @@
+#include "props/trace.hpp"
+
+#include <sstream>
+
+namespace xcp::props {
+
+const char* event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kSend: return "send";
+    case EventKind::kDeliver: return "deliver";
+    case EventKind::kDrop: return "drop";
+    case EventKind::kTransfer: return "transfer";
+    case EventKind::kEscrowLock: return "escrow-lock";
+    case EventKind::kEscrowComplete: return "escrow-complete";
+    case EventKind::kEscrowRefund: return "escrow-refund";
+    case EventKind::kCertIssued: return "cert-issued";
+    case EventKind::kCertReceived: return "cert-received";
+    case EventKind::kTerminate: return "terminate";
+    case EventKind::kDecide: return "decide";
+    case EventKind::kAbortRequested: return "abort-requested";
+    case EventKind::kViolation: return "violation";
+    case EventKind::kCustom: return "custom";
+  }
+  return "?";
+}
+
+std::string TraceEvent::str() const {
+  std::ostringstream os;
+  os << at.str() << " " << event_kind_name(kind) << " actor=p" << actor.value();
+  if (peer.valid()) os << " peer=p" << peer.value();
+  if (!label.empty()) os << " [" << label << "]";
+  if (amount) os << " " << amount->str();
+  return os.str();
+}
+
+std::size_t TraceRecorder::count(EventKind kind) const {
+  std::size_t n = 0;
+  for (const auto& e : events_) n += (e.kind == kind);
+  return n;
+}
+
+std::size_t TraceRecorder::count(EventKind kind, sim::ProcessId actor) const {
+  std::size_t n = 0;
+  for (const auto& e : events_) n += (e.kind == kind && e.actor == actor);
+  return n;
+}
+
+std::size_t TraceRecorder::count_label(EventKind kind, const std::string& label) const {
+  std::size_t n = 0;
+  for (const auto& e : events_) n += (e.kind == kind && e.label == label);
+  return n;
+}
+
+std::size_t TraceRecorder::count(EventKind kind, sim::ProcessId actor,
+                                 const std::string& label) const {
+  std::size_t n = 0;
+  for (const auto& e : events_) {
+    n += (e.kind == kind && e.actor == actor && e.label == label);
+  }
+  return n;
+}
+
+const TraceEvent* TraceRecorder::first(EventKind kind, sim::ProcessId actor) const {
+  for (const auto& e : events_) {
+    if (e.kind == kind && e.actor == actor) return &e;
+  }
+  return nullptr;
+}
+
+const TraceEvent* TraceRecorder::first_label(EventKind kind,
+                                             const std::string& label) const {
+  for (const auto& e : events_) {
+    if (e.kind == kind && e.label == label) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<const TraceEvent*> TraceRecorder::all(EventKind kind) const {
+  std::vector<const TraceEvent*> out;
+  for (const auto& e : events_) {
+    if (e.kind == kind) out.push_back(&e);
+  }
+  return out;
+}
+
+std::string TraceRecorder::render(std::size_t max_lines) const {
+  std::ostringstream os;
+  std::size_t n = 0;
+  for (const auto& e : events_) {
+    if (n++ >= max_lines) {
+      os << "... (" << events_.size() - max_lines << " more)\n";
+      break;
+    }
+    os << e.str() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace xcp::props

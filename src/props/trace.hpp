@@ -1,0 +1,83 @@
+#pragma once
+// Execution traces. Every observable action of a run — message send/deliver,
+// value transfer, escrow state change, certificate issuance, termination,
+// transaction-manager decision — is appended to a TraceRecorder. The property
+// checkers (props/checkers.hpp) evaluate the paper's requirements C, T, ES,
+// CS1-3, L and CC over these traces, never over protocol internals, so a
+// protocol cannot "self-certify".
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/process.hpp"
+#include "support/amount.hpp"
+#include "support/time.hpp"
+
+namespace xcp::props {
+
+enum class EventKind {
+  kSend,            // actor -> peer, label = message kind
+  kDeliver,         // peer -> actor (actor received), label = message kind
+  kDrop,            // network dropped a message
+  kTransfer,        // ledger movement actor -> peer of `amount`
+  kEscrowLock,      // escrow `actor` locked `amount` from `peer`
+  kEscrowComplete,  // escrow `actor` paid out `amount` to `peer`
+  kEscrowRefund,    // escrow `actor` refunded `amount` to `peer`
+  kCertIssued,      // actor signed/issued a certificate, label = cert kind
+  kCertReceived,    // actor received + verified a certificate
+  kTerminate,       // actor's protocol role reached a final state
+  kDecide,          // transaction manager / consensus decision, label = value
+  kAbortRequested,  // actor petitioned the TM to abort (lost patience)
+  kViolation,       // a checker-visible anomaly recorded by substrate code
+  kCustom,
+};
+
+const char* event_kind_name(EventKind k);
+
+struct TraceEvent {
+  EventKind kind = EventKind::kCustom;
+  TimePoint at;                     // global time
+  TimePoint local_at;               // actor's local-clock reading
+  sim::ProcessId actor;             // subject
+  sim::ProcessId peer;              // counterparty (if any)
+  std::string label;                // message kind / cert kind / detail
+  std::optional<Amount> amount;
+  std::uint64_t deal_id = 0;        // 0 = unscoped; set by deal-aware
+                                    // emitters (TM decisions) so concurrent
+                                    // deals on shared substrates stay
+                                    // distinguishable
+
+  std::string str() const;
+};
+
+class TraceRecorder {
+ public:
+  void record(TraceEvent e) { events_.push_back(std::move(e)); }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  /// Number of events of a given kind (optionally for one actor / label).
+  std::size_t count(EventKind kind) const;
+  std::size_t count(EventKind kind, sim::ProcessId actor) const;
+  std::size_t count_label(EventKind kind, const std::string& label) const;
+  std::size_t count(EventKind kind, sim::ProcessId actor,
+                    const std::string& label) const;
+
+  /// First event of a kind for an actor, if any.
+  const TraceEvent* first(EventKind kind, sim::ProcessId actor) const;
+  const TraceEvent* first_label(EventKind kind, const std::string& label) const;
+
+  /// All events of a kind.
+  std::vector<const TraceEvent*> all(EventKind kind) const;
+
+  /// Renders the first `max_lines` events; for narrating example runs.
+  std::string render(std::size_t max_lines = 200) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace xcp::props

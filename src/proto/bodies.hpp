@@ -1,0 +1,69 @@
+#pragma once
+// Message bodies shared by the cross-chain payment protocols: the three
+// message kinds of the paper (promises G(d) and P(a), value "$", certificate
+// chi) plus the weak-liveness protocol's TM traffic (proto/weak/messages.hpp).
+
+#include <cstdint>
+#include <sstream>
+
+#include "crypto/certificate.hpp"
+#include "ledger/ledger.hpp"
+#include "net/message.hpp"
+#include "support/amount.hpp"
+#include "support/time.hpp"
+
+namespace xcp::proto {
+
+/// G(d): "I guarantee that if I receive $ from you at my local time w, then
+/// I will send you either $ or chi by my local time w + d." Escrow -> its
+/// upstream customer.
+struct PromiseG final : net::MessageBody {
+  std::uint64_t deal_id = 0;
+  Duration d;
+  Amount amount;  // the value the escrow expects to receive
+
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "G(d=" << d.str() << ", " << amount.str() << ", deal=" << deal_id << ")";
+    return os.str();
+  }
+};
+
+/// P(a): "I promise that if I receive chi from you at my time v, with
+/// v < now + a, then I will send you $ by my local time v + eps." Escrow ->
+/// its downstream customer.
+struct PromiseP final : net::MessageBody {
+  std::uint64_t deal_id = 0;
+  Duration a;
+  Amount amount;  // the value the escrow will pay on chi
+
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "P(a=" << a.str() << ", " << amount.str() << ", deal=" << deal_id << ")";
+    return os.str();
+  }
+};
+
+/// "$": a value transfer notification. Carries the ledger receipt id; the
+/// receiver verifies the receipt actually credits it before reacting — a
+/// Byzantine sender can send this message but cannot fake the receipt.
+struct MoneyMsg final : net::MessageBody {
+  std::uint64_t deal_id = 0;
+  ledger::TransferId receipt = ledger::kInvalidTransfer;
+  Amount amount;
+
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "$(" << amount.str() << ", receipt=" << receipt << ")";
+    return os.str();
+  }
+};
+
+/// chi / chi_c / chi_a carrier.
+struct CertMsg final : net::MessageBody {
+  crypto::Certificate cert;
+
+  std::string describe() const override { return cert.str(); }
+};
+
+}  // namespace xcp::proto

@@ -1,0 +1,90 @@
+#include "proto/byzantine.hpp"
+
+#include "proto/bodies.hpp"
+
+namespace xcp::proto {
+
+const char* byz_strategy_name(ByzStrategy s) {
+  switch (s) {
+    case ByzStrategy::kNone: return "none";
+    case ByzStrategy::kCrashAtStart: return "crash-at-start";
+    case ByzStrategy::kCrashAt: return "crash-at";
+    case ByzStrategy::kWithholdMoney: return "withhold-money";
+    case ByzStrategy::kWithholdCert: return "withhold-cert";
+    case ByzStrategy::kDelayCert: return "delay-cert";
+    case ByzStrategy::kFakeCert: return "fake-cert";
+    case ByzStrategy::kMute: return "mute";
+  }
+  return "?";
+}
+
+std::string ByzantineAssignment::str() const {
+  return std::string(is_escrow ? "e" : "c") + std::to_string(index) + ":" +
+         byz_strategy_name(strategy);
+}
+
+void apply_byzantine(anta::Interpreter& interp, const ByzantineAssignment& b,
+                     const Fig2ContextPtr& ctx) {
+  using anta::SendAction;
+  switch (b.strategy) {
+    case ByzStrategy::kNone:
+      return;
+    case ByzStrategy::kCrashAtStart:
+      interp.set_send_interceptor(
+          [](const anta::Transition&, anta::Interpreter&) {
+            return SendAction::halt();
+          });
+      // Also ensure it reacts to nothing even in input states.
+      interp.schedule_crash_at(TimePoint::origin());
+      return;
+    case ByzStrategy::kCrashAt:
+      interp.schedule_crash_at(b.crash_at);
+      return;
+    case ByzStrategy::kWithholdMoney:
+      interp.set_send_interceptor(
+          [](const anta::Transition& t, anta::Interpreter&) {
+            // Halting (not merely skipping) on "$": an abiding-looking state
+            // change without the ledger movement would make the automaton
+            // proceed as if it had paid; a Byzantine non-payer just stops.
+            return t.send_kind == "$" ? SendAction::halt() : SendAction::allow();
+          });
+      return;
+    case ByzStrategy::kWithholdCert:
+      interp.set_send_interceptor(
+          [](const anta::Transition& t, anta::Interpreter&) {
+            return t.send_kind == "chi" ? SendAction::halt()
+                                        : SendAction::allow();
+          });
+      return;
+    case ByzStrategy::kDelayCert:
+      interp.set_send_interceptor(
+          [delay = b.delay](const anta::Transition& t, anta::Interpreter&) {
+            return t.send_kind == "chi" ? SendAction::delayed(delay)
+                                        : SendAction::allow();
+          });
+      return;
+    case ByzStrategy::kFakeCert:
+      interp.set_send_interceptor(
+          [ctx](const anta::Transition& t, anta::Interpreter& in) {
+            if (t.send_kind != "chi") return SendAction::allow();
+            // A chi-shaped certificate with a junk signature. Receivers must
+            // reject it: the sender does not hold Bob's key.
+            auto body = std::make_shared<CertMsg>();
+            body->cert.kind = crypto::CertKind::kPayment;
+            body->cert.deal_id = ctx->spec.deal_id;
+            body->cert.issuer = ctx->parts.bob();
+            body->cert.signature =
+                crypto::Signature{ctx->parts.bob(), in.runtime_rng().next_u64()};
+            return SendAction::substituted(std::move(body));
+          });
+      return;
+    case ByzStrategy::kMute:
+      interp.set_send_interceptor(
+          [](const anta::Transition&, anta::Interpreter&) {
+            return SendAction::halt();
+          });
+      return;
+  }
+}
+
+}  // namespace xcp::proto

@@ -1,0 +1,55 @@
+#pragma once
+// Byzantine participant strategies for the payment protocols.
+//
+// The model is Byzantine-with-authentication: a faulty participant may
+// deviate arbitrarily from its automaton — stay silent, stop early, withhold
+// money or certificates, send garbage — but cannot forge signatures or
+// ledger receipts. We implement deviations as interceptors wrapped around
+// the honest automaton: every dishonest behaviour is a filter on the honest
+// sends (drop / delay / substitute / halt), which covers the strategies the
+// paper's safety arguments must survive.
+
+#include <string>
+
+#include "anta/interpreter.hpp"
+#include "proto/figure2.hpp"
+#include "support/time.hpp"
+
+namespace xcp::proto {
+
+enum class ByzStrategy {
+  kNone,           // abiding
+  kCrashAtStart,   // never takes a single action
+  kCrashAt,        // halts at a given global time
+  kWithholdMoney,  // performs the protocol but never sends "$"
+  kWithholdCert,   // performs the protocol but never sends "chi"
+  kDelayCert,      // sends "chi" late by `delay` (deadline griefing)
+  kFakeCert,       // sends an invalidly-signed chi instead of a real one
+  kMute,           // receives but never sends anything
+};
+
+const char* byz_strategy_name(ByzStrategy s);
+
+struct ByzantineAssignment {
+  bool is_escrow = false;  // else customer
+  int index = 0;           // e_index or c_index
+  ByzStrategy strategy = ByzStrategy::kNone;
+  TimePoint crash_at;      // for kCrashAt
+  Duration delay;          // for kDelayCert
+
+  static ByzantineAssignment customer(int i, ByzStrategy s) {
+    return {false, i, s, TimePoint::origin(), Duration::zero()};
+  }
+  static ByzantineAssignment escrow(int i, ByzStrategy s) {
+    return {true, i, s, TimePoint::origin(), Duration::zero()};
+  }
+
+  std::string str() const;
+};
+
+/// Installs the strategy on an interpreter running the honest automaton.
+/// `ctx` supplies the deal id (for forged certificates).
+void apply_byzantine(anta::Interpreter& interp, const ByzantineAssignment& b,
+                     const Fig2ContextPtr& ctx);
+
+}  // namespace xcp::proto

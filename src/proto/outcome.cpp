@@ -1,0 +1,87 @@
+#include "proto/outcome.hpp"
+
+#include <sstream>
+
+#include "support/status.hpp"
+#include "support/table.hpp"
+
+namespace xcp::proto {
+
+std::int64_t ParticipantOutcome::net_units(Currency c) const {
+  std::int64_t initial = 0;
+  std::int64_t final_units = 0;
+  for (const Amount& a : initial_holdings) {
+    if (a.currency() == c) initial += a.units();
+  }
+  for (const Amount& a : final_holdings) {
+    if (a.currency() == c) final_units += a.units();
+  }
+  return final_units - initial;
+}
+
+const ParticipantOutcome* RunRecord::find(sim::ProcessId pid) const {
+  for (const auto& p : participants) {
+    if (p.pid == pid) return &p;
+  }
+  return nullptr;
+}
+
+const ParticipantOutcome& RunRecord::customer(int i) const {
+  const ParticipantOutcome* p = find(parts.customer(i));
+  XCP_REQUIRE(p != nullptr, "customer outcome missing");
+  return *p;
+}
+
+const ParticipantOutcome& RunRecord::escrow(int i) const {
+  const ParticipantOutcome* p = find(parts.escrow(i));
+  XCP_REQUIRE(p != nullptr, "escrow outcome missing");
+  return *p;
+}
+
+bool RunRecord::bob_paid() const {
+  const Amount last_hop = spec.hop_amount(spec.n - 1);
+  return bob().net_units(last_hop.currency()) >= last_hop.units();
+}
+
+std::string RunRecord::summary() const {
+  Table t({"participant", "abiding", "terminated", "final state", "t_local",
+           "net change", "certs"});
+  for (const auto& p : participants) {
+    std::string net;
+    for (const Amount& a : p.final_holdings) {
+      const std::int64_t d = p.net_units(a.currency());
+      if (d != 0) net += (net.empty() ? "" : ", ") + Amount(d, a.currency()).str();
+    }
+    for (const Amount& a : p.initial_holdings) {
+      // currencies fully drained would be missed above
+      bool seen = false;
+      for (const Amount& f : p.final_holdings) {
+        seen = seen || f.currency() == a.currency();
+      }
+      if (!seen) {
+        const std::int64_t d = p.net_units(a.currency());
+        if (d != 0) {
+          net += (net.empty() ? "" : ", ") + Amount(d, a.currency()).str();
+        }
+      }
+    }
+    std::string certs;
+    if (p.issued_payment_cert) certs += "issued-chi ";
+    if (p.received_payment_cert) certs += "chi ";
+    if (p.received_commit_cert) certs += "chi_c ";
+    if (p.received_abort_cert) certs += "chi_a ";
+    t.add_row({p.role, Table::fmt(p.abiding), Table::fmt(p.terminated),
+               p.terminated ? p.final_state : "-",
+               p.terminated ? p.terminated_local.str() : "-",
+               net.empty() ? "0" : net, certs.empty() ? "-" : certs});
+  }
+  std::ostringstream os;
+  os << "protocol: " << protocol << ", messages: " << stats.messages_sent
+     << " sent / " << stats.messages_delivered << " delivered, end "
+     << stats.end_time.str() << (stats.drained ? " (drained)" : " (horizon)")
+     << "\n"
+     << t.render();
+  return os.str();
+}
+
+}  // namespace xcp::proto

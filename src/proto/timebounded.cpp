@@ -1,0 +1,177 @@
+#include "proto/timebounded.hpp"
+
+#include <memory>
+
+#include "anta/interpreter.hpp"
+#include "crypto/certificate.hpp"
+#include "net/delay_model.hpp"
+#include "net/network.hpp"
+#include "proto/figure2.hpp"
+#include "sim/simulator.hpp"
+#include "support/status.hpp"
+
+namespace xcp::proto {
+
+const char* synchrony_name(SynchronyKind k) {
+  switch (k) {
+    case SynchronyKind::kSynchronous: return "synchronous";
+    case SynchronyKind::kPartiallySynchronous: return "partially-synchronous";
+    case SynchronyKind::kAsynchronous: return "asynchronous";
+  }
+  return "?";
+}
+
+namespace {
+
+std::unique_ptr<net::DelayModel> make_model(const EnvironmentConfig& env) {
+  switch (env.synchrony) {
+    case SynchronyKind::kSynchronous:
+      return std::make_unique<net::SynchronousModel>(env.delta_min,
+                                                     env.delta_max);
+    case SynchronyKind::kPartiallySynchronous:
+      return std::make_unique<net::PartialSynchronyModel>(
+          env.gst, env.delta_max, env.pre_gst_typical);
+    case SynchronyKind::kAsynchronous:
+      return std::make_unique<net::AsynchronousModel>(env.async_typical,
+                                                      env.async_cap);
+  }
+  XCP_REQUIRE(false, "unreachable synchrony kind");
+  return nullptr;
+}
+
+}  // namespace
+
+RunRecord run_time_bounded(const TimeBoundedConfig& config) {
+  config.spec.validate();
+  const int n = config.spec.n;
+
+  RunRecord record;
+  record.protocol = config.compensated ? "time-bounded" : "universal-naive";
+  record.spec = config.spec;
+  record.schedule =
+      config.compensated
+          ? TimelockSchedule::drift_compensated(n, config.assumed)
+          : TimelockSchedule::naive(n, config.assumed);
+
+  sim::Simulator simulator(config.seed);
+  net::Network network(simulator, make_model(config.env), &record.trace);
+  network.set_drop_probability(config.env.drop_probability);
+  ledger::Ledger ledger(&record.trace);
+  ledger::EscrowRegistry escrows(ledger, &record.trace);
+  crypto::KeyRegistry keys(config.seed ^ 0x9e3779b97f4a7c15ULL);
+
+  // Predict the cast: customers first (c_0..c_n), then escrows (e_0..e_{n-1}).
+  Participants parts;
+  for (int i = 0; i <= n; ++i) {
+    parts.customers.push_back(sim::ProcessId(static_cast<std::uint32_t>(i)));
+  }
+  for (int i = 0; i < n; ++i) {
+    parts.escrows.push_back(sim::ProcessId(static_cast<std::uint32_t>(n + 1 + i)));
+  }
+  record.parts = parts;
+
+  auto ctx = std::make_shared<Fig2Context>();
+  ctx->spec = config.spec;
+  ctx->parts = parts;
+  ctx->schedule = *record.schedule;
+  ctx->ledger = &ledger;
+  ctx->escrows = &escrows;
+  ctx->keys = &keys;
+  ctx->trace = &record.trace;
+  ctx->bob_signer = keys.signer_for(parts.bob());
+  ctx->customer_giveup = config.customer_giveup;
+
+  // Spawn interpreters in the predicted order and verify the prediction.
+  std::vector<anta::Interpreter*> interps;
+  for (int i = 0; i <= n; ++i) {
+    auto& in = simulator.spawn<anta::Interpreter>(
+        parts.role_name(parts.customer(i)), build_customer_automaton(ctx, i),
+        config.env.processing);
+    XCP_REQUIRE(in.id() == parts.customer(i), "customer id prediction broken");
+    network.attach(in);
+    interps.push_back(&in);
+  }
+  for (int i = 0; i < n; ++i) {
+    auto& in = simulator.spawn<anta::Interpreter>(
+        parts.role_name(parts.escrow(i)), build_escrow_automaton(ctx, i),
+        config.env.processing);
+    XCP_REQUIRE(in.id() == parts.escrow(i), "escrow id prediction broken");
+    network.attach(in);
+    interps.push_back(&in);
+  }
+
+  // Clocks with the environment's actual drift.
+  {
+    Rng clock_rng = simulator.rng().fork();
+    for (const auto* in : interps) {
+      simulator.set_clock(in->id(),
+                          sim::DriftClock::sample(clock_rng, config.env.actual_rho,
+                                                  config.env.clock_offset_max));
+    }
+  }
+
+  // Fund the paying customers with exactly their hop amount.
+  for (int i = 0; i < n; ++i) {
+    ledger.mint(parts.customer(i), config.spec.hop_amount(i));
+  }
+
+  // Byzantine strategies.
+  std::vector<bool> abiding(interps.size(), true);
+  for (const ByzantineAssignment& b : config.byzantine) {
+    const sim::ProcessId pid =
+        b.is_escrow ? parts.escrow(b.index) : parts.customer(b.index);
+    anta::Interpreter* in = interps.at(pid.value());
+    XCP_REQUIRE(in->id() == pid, "byzantine target mismatch");
+    apply_byzantine(*in, b, ctx);
+    abiding[pid.value()] = (b.strategy == ByzStrategy::kNone);
+  }
+
+  // Timing adversary (within the synchrony model's envelope).
+  std::unique_ptr<net::Adversary> adversary;
+  if (config.adversary) {
+    adversary = config.adversary(parts, *record.schedule);
+    network.set_adversary(adversary.get());
+  }
+
+  // Snapshot initial holdings.
+  std::vector<std::vector<Amount>> initial;
+  initial.reserve(interps.size());
+  for (const auto* in : interps) initial.push_back(ledger.holdings(in->id()));
+
+  const Duration horizon = record.schedule->horizon() + config.extra_horizon;
+  const bool drained = simulator.run_until(TimePoint::origin() + horizon);
+
+  // Extract outcomes.
+  for (std::size_t k = 0; k < interps.size(); ++k) {
+    const anta::Interpreter* in = interps[k];
+    ParticipantOutcome p;
+    p.pid = in->id();
+    p.role = parts.role_name(p.pid);
+    p.abiding = abiding[k];
+    p.is_escrow = parts.is_escrow(p.pid);
+    p.index = p.is_escrow ? static_cast<int>(k) - (n + 1) : static_cast<int>(k);
+    p.terminated = in->finished();
+    p.terminated_local = in->terminated_local();
+    p.terminated_global = in->terminated_global();
+    p.local_at_start = in->clock().to_local(TimePoint::origin());
+    p.final_state = in->automaton().state_name(in->state());
+    p.initial_holdings = initial[k];
+    p.final_holdings = ledger.holdings(p.pid);
+    p.issued_payment_cert =
+        record.trace.count(props::EventKind::kCertIssued, p.pid) > 0;
+    p.received_payment_cert =
+        record.trace.count(props::EventKind::kCertReceived, p.pid) > 0;
+    record.participants.push_back(std::move(p));
+  }
+
+  record.escrow_deals = escrows.deals();
+  record.stats.messages_sent = network.stats().messages_sent;
+  record.stats.messages_delivered = network.stats().messages_delivered;
+  record.stats.messages_dropped = network.stats().messages_dropped;
+  record.stats.events_executed = simulator.events_executed();
+  record.stats.end_time = simulator.now();
+  record.stats.drained = drained;
+  return record;
+}
+
+}  // namespace xcp::proto

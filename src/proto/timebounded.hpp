@@ -1,0 +1,84 @@
+#pragma once
+// Runner for the time-bounded protocol (Fig. 2 / Thm 1) and its baseline
+// variants. A run wires up: simulator, network with a chosen synchrony
+// model, ledger + escrow registry, key registry, the Fig. 2 automata, clock
+// drift, Byzantine strategies and an optional timing adversary — then
+// executes to the schedule's horizon and extracts a RunRecord.
+//
+// The config deliberately separates what the protocol *assumes*
+// (TimingParams -> TimelockSchedule) from what the environment *does*
+// (EnvironmentConfig): Theorem 1 runs have the environment within the
+// assumptions; the ablation and impossibility experiments deliberately break
+// them (actual drift above rho, partial synchrony with delays beyond Delta).
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/adversary.hpp"
+#include "proto/byzantine.hpp"
+#include "proto/deal_spec.hpp"
+#include "proto/outcome.hpp"
+#include "proto/timelock_schedule.hpp"
+
+namespace xcp::proto {
+
+enum class SynchronyKind { kSynchronous, kPartiallySynchronous, kAsynchronous };
+
+const char* synchrony_name(SynchronyKind k);
+
+struct EnvironmentConfig {
+  SynchronyKind synchrony = SynchronyKind::kSynchronous;
+
+  // Synchronous model: delays uniform in [delta_min, delta_max].
+  Duration delta_min = Duration::millis(1);
+  Duration delta_max = Duration::millis(100);
+
+  // Partially synchronous model.
+  TimePoint gst = TimePoint::origin() + Duration::seconds(10);
+  Duration pre_gst_typical = Duration::seconds(5);
+
+  // Asynchronous model.
+  Duration async_typical = Duration::millis(100);
+  Duration async_cap = Duration::seconds(300);
+
+  // Clocks: rates sampled in [1-actual_rho, 1+actual_rho], offsets in
+  // [-clock_offset_max, +clock_offset_max].
+  double actual_rho = 0.0;
+  Duration clock_offset_max = Duration::zero();
+
+  // True-time bound on output-state computation actually exhibited.
+  Duration processing = Duration::millis(5);
+
+  // Message loss probability. The paper's models assume reliable links
+  // (default 0); non-zero values deliberately step outside the model for
+  // robustness experiments — safety must still hold, liveness need not.
+  double drop_probability = 0.0;
+};
+
+/// Builds a timing adversary once participant ids are known. The returned
+/// adversary is owned by the run for its duration.
+using AdversaryFactory = std::function<std::unique_ptr<net::Adversary>(
+    const Participants&, const TimelockSchedule&)>;
+
+struct TimeBoundedConfig {
+  std::uint64_t seed = 1;
+  DealSpec spec = DealSpec::uniform(/*deal_id=*/1, /*n=*/2, /*base=*/1000,
+                                    /*commission=*/10);
+  TimingParams assumed;      // the bounds the schedule is derived from
+  bool compensated = true;   // drift-compensated (paper) vs naive [4]
+  EnvironmentConfig env;
+  std::vector<ByzantineAssignment> byzantine;
+  AdversaryFactory adversary;          // may be null
+  Duration extra_horizon = Duration::zero();  // extend the observation window
+
+  /// The "impatient" protocol variant (Thm 2's option B): customers give up
+  /// after this local-clock wait in money-awaiting states. Terminates where
+  /// the paper's protocol would hang — at the price of CS3 (the checkers
+  /// catch it). Unset = the paper's protocol.
+  std::optional<Duration> customer_giveup;
+};
+
+RunRecord run_time_bounded(const TimeBoundedConfig& config);
+
+}  // namespace xcp::proto

@@ -1,0 +1,72 @@
+#include "proto/timelock_schedule.hpp"
+
+#include <algorithm>
+
+#include "support/status.hpp"
+
+namespace xcp::proto {
+
+TimelockSchedule::TimelockSchedule(int n, const TimingParams& p, bool compensated)
+    : params_(p), compensated_(compensated) {
+  XCP_REQUIRE(n >= 1, "schedule needs n >= 1");
+  XCP_REQUIRE(p.slack > Duration::zero(),
+              "slack must be positive (strict acceptance inequality)");
+  XCP_REQUIRE(p.rho >= 0.0 && p.rho < 1.0, "rho in [0,1)");
+
+  const Duration step = p.step();
+
+  // True-time windows, back to front.
+  A_.assign(static_cast<std::size_t>(n), Duration::zero());
+  A_[static_cast<std::size_t>(n - 1)] = 2 * step + p.slack;
+  for (int i = n - 2; i >= 0; --i) {
+    A_[static_cast<std::size_t>(i)] = A_[static_cast<std::size_t>(i + 1)] + 4 * step;
+  }
+
+  const double inflate = compensated ? (1.0 + p.rho) : 1.0;
+  a_.reserve(A_.size());
+  d_.reserve(A_.size());
+  for (const Duration& A : A_) {
+    const Duration a = A.scaled_up(inflate);
+    a_.push_back(a);
+    d_.push_back(a + (2 * p.processing).scaled_up(inflate));
+  }
+}
+
+TimelockSchedule TimelockSchedule::drift_compensated(int n, const TimingParams& p) {
+  return TimelockSchedule(n, p, /*compensated=*/true);
+}
+
+TimelockSchedule TimelockSchedule::naive(int n, const TimingParams& p) {
+  return TimelockSchedule(n, p, /*compensated=*/false);
+}
+
+Duration TimelockSchedule::customer_termination_bound(int i) const {
+  // Worst true-time path for customer c_i, measured from protocol start:
+  //  - setup: G(d_i) arrives by Delta+eps; the P promise c_i also needs has
+  //    propagated through i relay steps: <= (2i+1)*(Delta+eps);
+  //  - c_i pays (<= eps, folded into the step terms below);
+  //  - its downstream escrow resolves within d_i on its own clock, which is
+  //    at most d_i / (1 - rho) of true time, plus delivery Delta;
+  //  - if the outcome was chi, c_i forwards it and waits for the upstream
+  //    escrow's payout: another 2*(Delta+eps).
+  const TimingParams& p = params_;
+  const Duration step = p.step();
+  const Duration setup = (2 * i + 1) * step + step;
+  const int idx = std::min(i, n() - 1);  // c_n uses e_{n-1}'s promise
+  const Duration escrow_resolution =
+      d(idx).scaled_up(1.0 / (1.0 - p.rho)) + p.delta_max;
+  const Duration upstream_payout = (i >= 1) ? 2 * step : Duration::zero();
+  return setup + escrow_resolution + upstream_payout + p.slack;
+}
+
+Duration TimelockSchedule::horizon() const {
+  Duration h = Duration::zero();
+  for (int i = 0; i <= n(); ++i) {
+    h = std::max(h, customer_termination_bound(i));
+  }
+  // Escrows terminate within one more delivery+processing of the last
+  // customer action they react to.
+  return h + 2 * params_.step();
+}
+
+}  // namespace xcp::proto

@@ -1,0 +1,79 @@
+#include "proto/weak/contract_tm.hpp"
+
+#include <algorithm>
+
+#include "support/status.hpp"
+
+namespace xcp::proto::weak {
+
+TmContract::TmContract(consensus::ValidityRules validity, std::string name)
+    : name_(std::move(name)), validity_(std::move(validity)) {}
+
+Status TmContract::apply(const chain::Transaction& tx, chain::ChainContext& ctx) {
+  if (decision_) return Status::error("tm: already decided");
+
+  if (tx.op == "escrowed") {
+    // The chain verified tx.sender's signature; authorship is the evidence.
+    const auto& expected = validity_.expected_escrows;
+    if (std::find(expected.begin(), expected.end(), tx.sender) ==
+        expected.end()) {
+      return Status::error("tm: escrowed from non-escrow");
+    }
+    escrowed_.insert(tx.sender.value());
+    maybe_decide(ctx);
+    return Status::ok();
+  }
+  if (tx.op == "chi") {
+    if (!tx.cert.has_value()) return Status::error("tm: chi without cert");
+    const crypto::Certificate& cert = *tx.cert;
+    if (cert.kind != crypto::CertKind::kPayment ||
+        cert.deal_id != validity_.deal_id || cert.issuer != validity_.bob ||
+        !crypto::verify_cert(ctx.keys(), cert)) {
+      return Status::error("tm: invalid chi");
+    }
+    chi_ = cert;
+    maybe_decide(ctx);
+    return Status::ok();
+  }
+  if (tx.op == "abort") {
+    const auto& customers = validity_.expected_customers;
+    if (std::find(customers.begin(), customers.end(), tx.sender) ==
+        customers.end()) {
+      return Status::error("tm: abort from non-customer");
+    }
+    petitioned_ = true;
+    maybe_decide(ctx);
+    return Status::ok();
+  }
+  return Status::error("tm: unknown op " + tx.op);
+}
+
+void TmContract::maybe_decide(chain::ChainContext& ctx) {
+  if (chi_ && escrowed_.size() >= validity_.expected_escrows.size()) {
+    decide(consensus::Value::kCommit, ctx);
+  } else if (petitioned_) {
+    decide(consensus::Value::kAbort, ctx);
+  }
+}
+
+void TmContract::decide(consensus::Value v, chain::ChainContext& ctx) {
+  XCP_REQUIRE(!decision_.has_value(), "tm contract deciding twice");
+  decision_ = v;
+  crypto::Certificate cert =
+      v == consensus::Value::kCommit
+          ? crypto::make_commit_cert(ctx.chain_signer(), validity_.deal_id, *chi_)
+          : crypto::make_abort_cert(ctx.chain_signer(), validity_.deal_id);
+  if (ctx.trace() != nullptr) {
+    props::TraceEvent e;
+    e.kind = props::EventKind::kDecide;
+    e.at = ctx.block_time();
+    e.local_at = ctx.block_time();
+    e.actor = ctx.chain_id();
+    e.label = consensus::value_name(v);
+    e.deal_id = validity_.deal_id;
+    ctx.trace()->record(e);
+  }
+  ctx.emit(name_, "decided", std::move(cert), consensus::value_name(v));
+}
+
+}  // namespace xcp::proto::weak

@@ -1,0 +1,40 @@
+#pragma once
+// Transaction manager back-end #2: "a smart contract running on a
+// permissionless blockchain shared by every customer" (Sec. 3). The contract
+// runs on the simulated chain (src/chain); serialization of transactions in
+// block order makes the commit-xor-abort decision trivially unique (CC).
+
+#include <optional>
+#include <set>
+
+#include "chain/contract.hpp"
+#include "consensus/committee.hpp"
+
+namespace xcp::proto::weak {
+
+class TmContract final : public chain::Contract {
+ public:
+  /// `name` is the contract's registration name on the chain; multi-deal
+  /// runs register one instance per deal (e.g. "tm_7").
+  explicit TmContract(consensus::ValidityRules validity,
+                      std::string name = "tm");
+
+  const std::string& name() const override { return name_; }
+  Status apply(const chain::Transaction& tx, chain::ChainContext& ctx) override;
+
+  bool decided() const { return decision_.has_value(); }
+  std::optional<consensus::Value> decision() const { return decision_; }
+
+ private:
+  void maybe_decide(chain::ChainContext& ctx);
+  void decide(consensus::Value v, chain::ChainContext& ctx);
+
+  std::string name_ = "tm";
+  consensus::ValidityRules validity_;
+  std::set<std::uint32_t> escrowed_;
+  std::optional<crypto::Certificate> chi_;
+  bool petitioned_ = false;
+  std::optional<consensus::Value> decision_;
+};
+
+}  // namespace xcp::proto::weak

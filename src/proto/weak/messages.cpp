@@ -1,0 +1,41 @@
+#include "proto/weak/messages.hpp"
+
+#include "proto/bodies.hpp"
+
+namespace xcp::proto::weak {
+
+const char* tm_kind_name(TmKind k) {
+  switch (k) {
+    case TmKind::kTrustedParty: return "trusted-party";
+    case TmKind::kSmartContract: return "smart-contract";
+    case TmKind::kNotaryCommittee: return "notary-committee";
+  }
+  return "?";
+}
+
+std::optional<crypto::Certificate> extract_tm_cert(const net::Message& m) {
+  if (const auto* c = m.body_as<CertMsg>()) return c->cert;
+  if (const auto* d = m.body_as<consensus::DecisionMsg>()) return d->cert;
+  if (const auto* e = m.body_as<chain::ChainEventMsg>()) return e->cert;
+  return std::nullopt;
+}
+
+bool TmCertVerifier::verify(const crypto::Certificate& cert) const {
+  if (keys == nullptr) return false;
+  if (cert.deal_id != deal_id) return false;
+  if (cert.kind != crypto::CertKind::kCommit &&
+      cert.kind != crypto::CertKind::kAbort) {
+    return false;
+  }
+  switch (kind) {
+    case TmKind::kTrustedParty:
+    case TmKind::kSmartContract:
+      return cert.issuer == single_issuer && crypto::verify_cert(*keys, cert);
+    case TmKind::kNotaryCommittee:
+      return cert.issuer == committee_identity &&
+             crypto::verify_quorum_cert(*keys, cert, committee_members, quorum);
+  }
+  return false;
+}
+
+}  // namespace xcp::proto::weak

@@ -1,0 +1,39 @@
+#pragma once
+// Wire helpers for the weak-liveness protocol: participants talk to the
+// transaction manager in one of three dialects (direct messages to a trusted
+// party, transactions to a contract chain, broadcasts to a notary
+// committee); certificates come back as "tm_cert" messages or chain events.
+
+#include <optional>
+
+#include "chain/transaction.hpp"
+#include "consensus/messages.hpp"
+#include "crypto/certificate.hpp"
+#include "net/message.hpp"
+
+namespace xcp::proto::weak {
+
+/// How participants reach the transaction manager.
+enum class TmKind { kTrustedParty, kSmartContract, kNotaryCommittee };
+
+const char* tm_kind_name(TmKind k);
+
+/// Extracts a TM-issued certificate from any of the delivery forms:
+/// CertMsg ("tm_cert" from the trusted party or relaying escrows),
+/// DecisionMsg ("tm_cert" from notaries), ChainEventMsg ("chain_event").
+std::optional<crypto::Certificate> extract_tm_cert(const net::Message& m);
+
+/// Verifier for TM certificates, fixed per run by the runner.
+struct TmCertVerifier {
+  TmKind kind = TmKind::kTrustedParty;
+  std::uint64_t deal_id = 0;
+  const crypto::KeyRegistry* keys = nullptr;
+  sim::ProcessId single_issuer;                // trusted party / chain id
+  sim::ProcessId committee_identity;           // committee form
+  std::vector<sim::ProcessId> committee_members;
+  std::size_t quorum = 0;
+
+  bool verify(const crypto::Certificate& cert) const;
+};
+
+}  // namespace xcp::proto::weak

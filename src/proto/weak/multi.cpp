@@ -1,0 +1,259 @@
+#include "proto/weak/multi.hpp"
+
+#include <algorithm>
+
+#include "chain/blockchain.hpp"
+#include "net/delay_model.hpp"
+#include "proto/weak/contract_tm.hpp"
+#include "proto/weak/trusted_tm.hpp"
+#include "support/status.hpp"
+
+namespace xcp::proto::weak {
+
+namespace {
+
+std::unique_ptr<net::DelayModel> make_model(const EnvironmentConfig& env) {
+  switch (env.synchrony) {
+    case SynchronyKind::kSynchronous:
+      return std::make_unique<net::SynchronousModel>(env.delta_min,
+                                                     env.delta_max);
+    case SynchronyKind::kPartiallySynchronous:
+      return std::make_unique<net::PartialSynchronyModel>(
+          env.gst, env.delta_max, env.pre_gst_typical);
+    case SynchronyKind::kAsynchronous:
+      return std::make_unique<net::AsynchronousModel>(env.async_typical,
+                                                      env.async_cap);
+  }
+  XCP_REQUIRE(false, "unreachable synchrony kind");
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<RunRecord> run_weak_multi(const MultiWeakConfig& config) {
+  XCP_REQUIRE(!config.deals.empty(), "no deals");
+  XCP_REQUIRE(config.tm == TmKind::kTrustedParty ||
+                  config.tm == TmKind::kSmartContract,
+              "multi-deal supports trusted-party and smart-contract TMs");
+  {
+    std::vector<std::uint64_t> ids;
+    for (const auto& d : config.deals) ids.push_back(d.spec.deal_id);
+    std::sort(ids.begin(), ids.end());
+    XCP_REQUIRE(std::adjacent_find(ids.begin(), ids.end()) == ids.end(),
+                "deal ids must be unique");
+  }
+
+  const std::size_t k = config.deals.size();
+  // One shared trace lives in records[0]; copied to the others at the end.
+  std::vector<RunRecord> records(k);
+
+  sim::Simulator simulator(config.seed);
+  props::TraceRecorder trace;
+  net::Network network(simulator, make_model(config.env), &trace);
+  network.set_drop_probability(config.env.drop_probability);
+  ledger::Ledger ledger(&trace);
+  ledger::EscrowRegistry escrows(ledger, &trace);
+  crypto::KeyRegistry keys(config.seed ^ 0xabcdef12345ULL);
+
+  // --- id prediction: per-deal customers+escrows, then TM process(es) ---
+  std::uint32_t next_id = 0;
+  std::vector<Participants> parts(k);
+  for (std::size_t d = 0; d < k; ++d) {
+    config.deals[d].spec.validate();
+    const int n = config.deals[d].spec.n;
+    for (int i = 0; i <= n; ++i) parts[d].customers.emplace_back(next_id++);
+    for (int i = 0; i < n; ++i) parts[d].escrows.emplace_back(next_id++);
+  }
+  std::vector<sim::ProcessId> tm_ids;
+  if (config.tm == TmKind::kTrustedParty) {
+    for (std::size_t d = 0; d < k; ++d) tm_ids.emplace_back(next_id++);
+  } else {
+    tm_ids.emplace_back(next_id++);  // one shared chain
+  }
+
+  // --- contexts and participants ---
+  std::vector<WeakContextPtr> ctxs(k);
+  std::vector<std::vector<WeakParticipant*>> members(k);
+  std::vector<std::vector<bool>> abiding(k);
+  std::vector<consensus::ValidityRules> validity(k);
+
+  for (std::size_t d = 0; d < k; ++d) {
+    const DealSetup& setup = config.deals[d];
+    const int n = setup.spec.n;
+
+    validity[d].deal_id = setup.spec.deal_id;
+    validity[d].expected_escrows = parts[d].escrows;
+    validity[d].expected_customers = parts[d].customers;
+    validity[d].bob = parts[d].bob();
+    validity[d].keys = &keys;
+
+    auto ctx = std::make_shared<WeakContext>();
+    ctx->spec = setup.spec;
+    ctx->parts = parts[d];
+    ctx->tm_kind = config.tm;
+    ctx->tm_addresses = {config.tm == TmKind::kTrustedParty ? tm_ids[d]
+                                                            : tm_ids[0]};
+    ctx->tm_contract_name = "tm_" + std::to_string(setup.spec.deal_id);
+    ctx->ledger = &ledger;
+    ctx->escrows = &escrows;
+    ctx->keys = &keys;
+    ctx->trace = &trace;
+    ctx->verifier.kind = config.tm;
+    ctx->verifier.deal_id = setup.spec.deal_id;
+    ctx->verifier.keys = &keys;
+    ctx->verifier.single_issuer = ctx->tm_addresses.front();
+    ctxs[d] = ctx;
+
+    auto behaviour_of = [&](bool is_escrow, int index) {
+      for (const auto& b : setup.byzantine) {
+        if (b.is_escrow == is_escrow && b.index == index) return b.behaviour;
+      }
+      return WeakByz::kHonest;
+    };
+    auto patience_of = [&](int index) {
+      for (const auto& [i, p] : setup.patience_overrides) {
+        if (i == index) return p;
+      }
+      return setup.patience;
+    };
+
+    for (int i = 0; i <= n; ++i) {
+      const WeakByz b = behaviour_of(false, i);
+      auto& c = simulator.spawn<WeakCustomer>(
+          "d" + std::to_string(setup.spec.deal_id) + "_" +
+              parts[d].role_name(parts[d].customer(i)),
+          ctx, i, patience_of(i), b);
+      XCP_REQUIRE(c.id() == parts[d].customer(i), "multi id prediction broken");
+      network.attach(c);
+      members[d].push_back(&c);
+      abiding[d].push_back(b == WeakByz::kHonest || b == WeakByz::kEagerAbort);
+    }
+    for (int i = 0; i < n; ++i) {
+      const WeakByz b = behaviour_of(true, i);
+      auto& e = simulator.spawn<WeakEscrow>(
+          "d" + std::to_string(setup.spec.deal_id) + "_" +
+              parts[d].role_name(parts[d].escrow(i)),
+          ctx, i, b);
+      XCP_REQUIRE(e.id() == parts[d].escrow(i), "multi id prediction broken");
+      network.attach(e);
+      members[d].push_back(&e);
+      abiding[d].push_back(b == WeakByz::kHonest);
+    }
+  }
+
+  // --- transaction managers ---
+  chain::Blockchain* chain_ptr = nullptr;
+  if (config.tm == TmKind::kTrustedParty) {
+    for (std::size_t d = 0; d < k; ++d) {
+      std::vector<sim::ProcessId> notify;
+      for (auto pid : parts[d].customers) notify.push_back(pid);
+      for (auto pid : parts[d].escrows) notify.push_back(pid);
+      auto& tm = simulator.spawn<TrustedPartyTm>(
+          "tm_" + std::to_string(config.deals[d].spec.deal_id), validity[d],
+          notify, keys);
+      XCP_REQUIRE(tm.id() == tm_ids[d], "multi tm id prediction broken");
+      network.attach(tm);
+    }
+  } else {
+    auto& bc =
+        simulator.spawn<chain::Blockchain>("chain", config.block_interval, keys);
+    XCP_REQUIRE(bc.id() == tm_ids[0], "multi chain id prediction broken");
+    network.attach(bc);
+    for (std::size_t d = 0; d < k; ++d) {
+      bc.register_contract(std::make_unique<TmContract>(
+          validity[d], ctxs[d]->tm_contract_name));
+      // Chain events go to every subscriber; verification scopes by deal.
+      for (auto pid : parts[d].customers) bc.subscribe(pid);
+      for (auto pid : parts[d].escrows) bc.subscribe(pid);
+    }
+    chain_ptr = &bc;
+  }
+
+  // Clocks + funding + initial snapshots.
+  {
+    Rng clock_rng = simulator.rng().fork();
+    for (std::uint32_t pid = 0; pid < simulator.process_count(); ++pid) {
+      simulator.set_clock(sim::ProcessId(pid),
+                          sim::DriftClock::sample(clock_rng,
+                                                  config.env.actual_rho,
+                                                  config.env.clock_offset_max));
+    }
+  }
+  for (std::size_t d = 0; d < k; ++d) {
+    for (int i = 0; i < config.deals[d].spec.n; ++i) {
+      ledger.mint(parts[d].customer(i), config.deals[d].spec.hop_amount(i));
+    }
+  }
+  std::vector<std::vector<std::vector<Amount>>> initial(k);
+  for (std::size_t d = 0; d < k; ++d) {
+    for (const auto* m : members[d]) {
+      initial[d].push_back(ledger.holdings(m->id()));
+    }
+  }
+
+  // --- run (slice loop so the shared chain can be stopped) ---
+  const TimePoint deadline = TimePoint::origin() + config.horizon;
+  bool drained = false;
+  while (simulator.now() < deadline) {
+    const TimePoint next =
+        std::min(deadline, simulator.now() + Duration::seconds(1));
+    drained = simulator.run_until(next);
+    bool all_done = true;
+    for (std::size_t d = 0; d < k; ++d) {
+      for (std::size_t m = 0; m < members[d].size(); ++m) {
+        if (abiding[d][m] && !members[d][m]->terminated()) all_done = false;
+      }
+    }
+    if (all_done) {
+      if (chain_ptr != nullptr) chain_ptr->stop();
+      drained = true;
+      break;
+    }
+    if (drained) break;
+  }
+
+  // --- extraction ---
+  for (std::size_t d = 0; d < k; ++d) {
+    RunRecord& record = records[d];
+    record.protocol = std::string("weak-multi:") + tm_kind_name(config.tm);
+    record.spec = config.deals[d].spec;
+    record.parts = parts[d];
+    for (std::size_t m = 0; m < members[d].size(); ++m) {
+      const WeakParticipant* w = members[d][m];
+      ParticipantOutcome p;
+      p.pid = w->id();
+      p.role = parts[d].role_name(p.pid);
+      p.abiding = abiding[d][m];
+      p.is_escrow = parts[d].is_escrow(p.pid);
+      p.terminated = w->terminated();
+      p.terminated_local = w->terminated_local();
+      p.terminated_global = w->terminated_global();
+      p.local_at_start = w->clock().to_local(TimePoint::origin());
+      p.final_state = w->final_state();
+      p.initial_holdings = initial[d][m];
+      p.final_holdings = ledger.holdings(p.pid);
+      p.received_commit_cert = w->got_commit_cert();
+      p.received_abort_cert = w->got_abort_cert();
+      if (const auto* c = dynamic_cast<const WeakCustomer*>(w)) {
+        p.issued_payment_cert = c->issued_chi();
+      }
+      p.received_payment_cert =
+          trace.count(props::EventKind::kCertReceived, p.pid, "chi") > 0;
+      record.participants.push_back(std::move(p));
+    }
+    // Escrow deals involving this deal's escrows only.
+    for (const auto& deal : escrows.deals()) {
+      if (parts[d].is_escrow(deal.escrow)) record.escrow_deals.push_back(deal);
+    }
+    record.stats.messages_sent = network.stats().messages_sent;
+    record.stats.messages_delivered = network.stats().messages_delivered;
+    record.stats.messages_dropped = network.stats().messages_dropped;
+    record.stats.events_executed = simulator.events_executed();
+    record.stats.end_time = simulator.now();
+    record.stats.drained = drained;
+    record.trace = trace;  // full shared trace (CC scopes by deal id)
+  }
+  return records;
+}
+
+}  // namespace xcp::proto::weak

@@ -1,0 +1,48 @@
+#pragma once
+// Concurrent deals over shared substrates.
+//
+// A bank or blockchain serves many payments at once; this runner executes K
+// independent weak-protocol deals against one simulator, one ledger and —
+// for the smart-contract back-end — one blockchain hosting one TM-contract
+// instance per deal. It exists to test isolation (an abort in one deal never
+// touches another), global conservation across deals, and the shared chain's
+// throughput behaviour.
+//
+// Supported TM back-ends: trusted party (one TM actor per deal) and smart
+// contract (one chain, K contracts). Notary committees are per-deal
+// committees by construction; running K of them adds nothing beyond the
+// single-deal case, so they are not duplicated here.
+
+#include <vector>
+
+#include "proto/weak/protocol.hpp"
+
+namespace xcp::proto::weak {
+
+struct DealSetup {
+  DealSpec spec;  // deal_id must be unique across the batch
+  Duration patience = Duration::seconds(60);
+  std::vector<std::pair<int, Duration>> patience_overrides;
+  std::vector<WeakByzAssignment> byzantine;
+};
+
+struct MultiWeakConfig {
+  std::uint64_t seed = 1;
+  TmKind tm = TmKind::kSmartContract;  // kTrustedParty or kSmartContract
+  EnvironmentConfig env = [] {
+    EnvironmentConfig e;
+    e.synchrony = SynchronyKind::kPartiallySynchronous;
+    return e;
+  }();
+  Duration block_interval = Duration::millis(500);
+  std::vector<DealSetup> deals;
+  Duration horizon = Duration::seconds(240);
+};
+
+/// Runs all deals concurrently; returns one RunRecord per deal (in input
+/// order). Each record carries the full shared trace; the per-deal checkers
+/// scope certificate consistency by deal id and everything else by the
+/// deal's participants.
+std::vector<RunRecord> run_weak_multi(const MultiWeakConfig& config);
+
+}  // namespace xcp::proto::weak

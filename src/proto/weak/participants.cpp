@@ -1,0 +1,320 @@
+#include "proto/weak/participants.hpp"
+
+#include "proto/bodies.hpp"
+#include "support/status.hpp"
+
+namespace xcp::proto::weak {
+
+namespace {
+constexpr std::uint64_t kPatienceToken = 1;
+
+// Customer/escrow final-state labels (consumed by tests and benches).
+constexpr const char* kDoneCommit = "done_commit";
+constexpr const char* kDoneAbort = "done_abort";
+constexpr const char* kDoneCompleted = "done_completed";
+constexpr const char* kDoneRefunded = "done_refunded";
+constexpr const char* kDoneIdle = "done_idle";
+}  // namespace
+
+const char* weak_byz_name(WeakByz b) {
+  switch (b) {
+    case WeakByz::kHonest: return "honest";
+    case WeakByz::kCrash: return "crash";
+    case WeakByz::kNoDeposit: return "no-deposit";
+    case WeakByz::kNoReport: return "no-report";
+    case WeakByz::kNoResolve: return "no-resolve";
+    case WeakByz::kNoChi: return "no-chi";
+    case WeakByz::kEagerAbort: return "eager-abort";
+  }
+  return "?";
+}
+
+void WeakParticipant::terminate(const std::string& state,
+                                props::TraceRecorder* trace) {
+  if (terminated_) return;
+  terminated_ = true;
+  terminated_local_ = local_now();
+  terminated_global_ = global_now();
+  final_state_ = state;
+  if (trace != nullptr) {
+    props::TraceEvent e;
+    e.kind = props::EventKind::kTerminate;
+    e.at = terminated_global_;
+    e.local_at = terminated_local_;
+    e.actor = id();
+    e.label = state;
+    trace->record(e);
+  }
+}
+
+// ---------------------------------------------------------------- customer
+
+WeakCustomer::WeakCustomer(WeakContextPtr ctx, int index, Duration patience,
+                           WeakByz behaviour)
+    : ctx_(std::move(ctx)), index_(index), patience_(patience),
+      behaviour_(behaviour) {}
+
+void WeakCustomer::on_start() {
+  if (behaviour_ == WeakByz::kCrash) return;
+  signer_ = ctx_->keys->signer_for(id());
+
+  if (behaviour_ == WeakByz::kEagerAbort) {
+    petition_abort();
+    // Still follows the protocol otherwise (an impatient-but-abiding user).
+  }
+  if (is_bob()) {
+    if (behaviour_ != WeakByz::kNoChi) submit_chi();
+  } else {
+    if (behaviour_ != WeakByz::kNoDeposit) deposit();
+  }
+  // Patience timer: an abiding customer eventually loses patience, which is
+  // what guarantees a TM decision (and hence everyone's termination) even
+  // when some other participant stalls the happy path.
+  set_timer_local_after(patience_, kPatienceToken);
+}
+
+void WeakCustomer::deposit() {
+  const sim::ProcessId escrow = ctx_->parts.escrow(index_);
+  const Amount v = ctx_->spec.hop_amount(index_);
+  ledger::TransferId tid = ledger::kInvalidTransfer;
+  ctx_->ledger->transfer(id(), escrow, v, global_now(), &tid)
+      .expect("weak deposit");
+  deposited_ = true;
+  auto body = std::make_shared<MoneyMsg>();
+  body->deal_id = ctx_->spec.deal_id;
+  body->receipt = tid;
+  body->amount = v;
+  send(escrow, "$", body);
+}
+
+void WeakCustomer::submit_chi() {
+  auto body = std::make_shared<CertMsg>();
+  body->cert = crypto::make_payment_cert(signer_, ctx_->spec.deal_id);
+  issued_chi_ = true;
+  if (ctx_->trace != nullptr) {
+    props::TraceEvent e;
+    e.kind = props::EventKind::kCertIssued;
+    e.at = global_now();
+    e.local_at = local_now();
+    e.actor = id();
+    e.label = "chi";
+    ctx_->trace->record(e);
+  }
+  if (ctx_->tm_kind == TmKind::kSmartContract) {
+    auto tx = std::make_shared<chain::TxMsg>();
+    tx->tx = chain::make_signed_tx(signer_, ctx_->tm_contract_name, "chi", 0, 0, body->cert);
+    for (sim::ProcessId a : ctx_->tm_addresses) send(a, "tx", tx);
+  } else {
+    for (sim::ProcessId a : ctx_->tm_addresses) send(a, "tm_chi", body);
+  }
+}
+
+void WeakCustomer::petition_abort() {
+  if (petitioned_ || terminated() || commit_cert_ || abort_cert_) return;
+  petitioned_ = true;
+  if (ctx_->trace != nullptr) {
+    props::TraceEvent e;
+    e.kind = props::EventKind::kAbortRequested;
+    e.at = global_now();
+    e.local_at = local_now();
+    e.actor = id();
+    ctx_->trace->record(e);
+  }
+  if (ctx_->tm_kind == TmKind::kSmartContract) {
+    auto tx = std::make_shared<chain::TxMsg>();
+    tx->tx = chain::make_signed_tx(signer_, ctx_->tm_contract_name, "abort");
+    for (sim::ProcessId a : ctx_->tm_addresses) send(a, "tx", tx);
+  } else {
+    auto body = consensus::make_report_body(consensus::make_statement(
+        signer_, "abort-petition", ctx_->spec.deal_id));
+    for (sim::ProcessId a : ctx_->tm_addresses) send(a, "tm_report", body);
+  }
+}
+
+void WeakCustomer::handle_cert(const crypto::Certificate& cert) {
+  if (!ctx_->verifier.verify(cert)) return;
+  if (ctx_->trace != nullptr && !commit_cert_ && !abort_cert_) {
+    props::TraceEvent e;
+    e.kind = props::EventKind::kCertReceived;
+    e.at = global_now();
+    e.local_at = local_now();
+    e.actor = id();
+    e.label = crypto::cert_kind_name(cert.kind);
+    ctx_->trace->record(e);
+  }
+  if (cert.kind == crypto::CertKind::kCommit && !commit_cert_) {
+    commit_cert_ = cert;
+  } else if (cert.kind == crypto::CertKind::kAbort && !abort_cert_) {
+    abort_cert_ = cert;
+  }
+  maybe_terminate();
+}
+
+void WeakCustomer::maybe_terminate() {
+  if (terminated()) return;
+  if (commit_cert_) {
+    if (is_alice()) {
+      // CS1': her money went through; chi_c (embedding chi) is her proof.
+      terminate(kDoneCommit, ctx_->trace);
+    } else if (payout_received_) {
+      terminate(kDoneCommit, ctx_->trace);
+    }
+    return;
+  }
+  if (abort_cert_) {
+    if (is_bob() || !deposited_ || refund_received_) {
+      terminate(kDoneAbort, ctx_->trace);
+    }
+  }
+}
+
+void WeakCustomer::on_message(const net::Message& m) {
+  if (behaviour_ == WeakByz::kCrash || terminated()) return;
+  if (m.kind == "tm_cert" || m.kind == "chain_event") {
+    if (const auto cert = extract_tm_cert(m)) handle_cert(*cert);
+    return;
+  }
+  if (m.kind == "$") {
+    const auto* body = m.body_as<MoneyMsg>();
+    if (body == nullptr || body->deal_id != ctx_->spec.deal_id) return;
+    // Refund (from my escrow e_i) or payout (from upstream e_{i-1}).
+    if (!is_bob() && m.from == ctx_->parts.escrow(index_) &&
+        ctx_->ledger->verify_exact(body->receipt, m.from, id(),
+                                   ctx_->spec.hop_amount(index_))) {
+      refund_received_ = true;
+    }
+    if (index_ >= 1 && m.from == ctx_->parts.escrow(index_ - 1) &&
+        ctx_->ledger->verify_exact(body->receipt, m.from, id(),
+                                   ctx_->spec.hop_amount(index_ - 1))) {
+      payout_received_ = true;
+    }
+    maybe_terminate();
+  }
+}
+
+void WeakCustomer::on_timer(std::uint64_t token) {
+  if (behaviour_ == WeakByz::kCrash || terminated()) return;
+  if (token == kPatienceToken) {
+    // kNoDeposit models a *Byzantine* silent customer: it also never
+    // petitions, to exercise the case where progress hinges on others'
+    // patience running out.
+    if (behaviour_ != WeakByz::kNoDeposit) petition_abort();
+  }
+}
+
+// ------------------------------------------------------------------ escrow
+
+WeakEscrow::WeakEscrow(WeakContextPtr ctx, int index, WeakByz behaviour)
+    : ctx_(std::move(ctx)), index_(index), behaviour_(behaviour) {}
+
+void WeakEscrow::on_start() {
+  if (behaviour_ == WeakByz::kCrash) return;
+  signer_ = ctx_->keys->signer_for(id());
+}
+
+void WeakEscrow::report_escrowed() {
+  if (behaviour_ == WeakByz::kNoReport) return;
+  if (ctx_->tm_kind == TmKind::kSmartContract) {
+    auto tx = std::make_shared<chain::TxMsg>();
+    tx->tx = chain::make_signed_tx(signer_, ctx_->tm_contract_name, "escrowed",
+                                   static_cast<std::uint64_t>(index_));
+    for (sim::ProcessId a : ctx_->tm_addresses) send(a, "tx", tx);
+  } else {
+    auto body = consensus::make_report_body(consensus::make_statement(
+        signer_, "escrowed", ctx_->spec.deal_id,
+        static_cast<std::uint64_t>(index_)));
+    for (sim::ProcessId a : ctx_->tm_addresses) send(a, "tm_report", body);
+  }
+}
+
+void WeakEscrow::handle_cert(const crypto::Certificate& cert) {
+  if (!ctx_->verifier.verify(cert)) return;
+  if (cert.kind == crypto::CertKind::kCommit && !commit_cert_) {
+    commit_cert_ = cert;
+  } else if (cert.kind == crypto::CertKind::kAbort && !abort_cert_) {
+    abort_cert_ = cert;
+  }
+  // Relay the certificate to both customers once: guarantees they learn the
+  // outcome even if the TM's direct sends raced ahead of their attachment.
+  if (!cert_forwarded_ && (commit_cert_ || abort_cert_)) {
+    cert_forwarded_ = true;
+    auto body = std::make_shared<CertMsg>();
+    body->cert = commit_cert_ ? *commit_cert_ : *abort_cert_;
+    send(ctx_->parts.customer(index_), "tm_cert", body);
+    send(ctx_->parts.customer(index_ + 1), "tm_cert", body);
+  }
+  resolve_if_ready();
+}
+
+void WeakEscrow::resolve_if_ready() {
+  // Deliberately *not* guarded on terminated(): an escrow that terminated
+  // "idle" after an abort must still honour a deposit that was in flight
+  // when the abort was decided — the refund path of a real escrow contract
+  // stays callable forever. terminate() is idempotent.
+  if (resolved_) return;
+  if (behaviour_ == WeakByz::kNoResolve) return;
+
+  if (commit_cert_ && escrow_deal_ != 0) {
+    ledger::TransferId tid = ledger::kInvalidTransfer;
+    ctx_->escrows->complete(escrow_deal_, global_now(), &tid)
+        .expect("weak escrow complete");
+    auto body = std::make_shared<MoneyMsg>();
+    body->deal_id = ctx_->spec.deal_id;
+    body->receipt = tid;
+    body->amount = ctx_->spec.hop_amount(index_);
+    send(ctx_->parts.customer(index_ + 1), "$", body);
+    resolved_ = true;
+    terminate(kDoneCompleted, ctx_->trace);
+    return;
+  }
+  if (abort_cert_ && escrow_deal_ != 0) {
+    ledger::TransferId tid = ledger::kInvalidTransfer;
+    ctx_->escrows->refund(escrow_deal_, global_now(), &tid)
+        .expect("weak escrow refund");
+    auto body = std::make_shared<MoneyMsg>();
+    body->deal_id = ctx_->spec.deal_id;
+    body->receipt = tid;
+    body->amount = ctx_->spec.hop_amount(index_);
+    send(ctx_->parts.customer(index_), "$", body);
+    resolved_ = true;
+    terminate(kDoneRefunded, ctx_->trace);
+    return;
+  }
+  if (abort_cert_ && escrow_deal_ == 0) {
+    // Nothing held; the abort ends this escrow's involvement.
+    terminate(kDoneIdle, ctx_->trace);
+  }
+  // commit cert with no deposit: wait — an abiding escrow only appears in a
+  // committed deal if it reported "escrowed", i.e. it holds the deposit; if
+  // the deposit message is still in flight, resolve when it lands.
+}
+
+void WeakEscrow::on_message(const net::Message& m) {
+  if (behaviour_ == WeakByz::kCrash) return;
+  // Late deposits are still accepted after termination (see
+  // resolve_if_ready); everything else is ignored once terminated.
+  if (terminated() && m.kind != "$") return;
+  if (m.kind == "$") {
+    const auto* body = m.body_as<MoneyMsg>();
+    if (body == nullptr || body->deal_id != ctx_->spec.deal_id) return;
+    if (escrow_deal_ != 0) return;  // already funded
+    const sim::ProcessId depositor = ctx_->parts.customer(index_);
+    const Amount v = ctx_->spec.hop_amount(index_);
+    if (m.from != depositor ||
+        !ctx_->ledger->verify_exact(body->receipt, depositor, id(), v)) {
+      return;
+    }
+    ctx_->escrows
+        ->lock(id(), depositor, ctx_->parts.customer(index_ + 1), v,
+               body->receipt, global_now(), &escrow_deal_)
+        .expect("weak escrow lock");
+    report_escrowed();
+    resolve_if_ready();  // a certificate may already be in hand
+    return;
+  }
+  if (m.kind == "tm_cert" || m.kind == "chain_event") {
+    if (const auto cert = extract_tm_cert(m)) handle_cert(*cert);
+  }
+}
+
+}  // namespace xcp::proto::weak

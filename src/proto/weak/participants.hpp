@@ -1,0 +1,143 @@
+#pragma once
+// Participants of the weak-liveness protocol (Def. 2 / Thm 3).
+//
+// Reconstruction from Sec. 3 (details in DESIGN.md §5):
+//  - every paying customer c_i (i < n) deposits v_i at its escrow e_i when
+//    ready; Bob submits his signed chi to the transaction manager;
+//  - each escrow verifies + locks the deposit and reports "escrowed" to the
+//    TM;
+//  - the TM decides commit (all n escrowed + chi) or abort (any petition),
+//    at most once (CC), and publishes the certificate;
+//  - any customer may lose patience at any time and petition abort — without
+//    risk: money only ever moves on a verified certificate;
+//  - on chi_c escrows pay downstream; on chi_a they refund upstream; every
+//    participant terminates once its certificate (and any money due under
+//    it) has arrived.
+
+#include <memory>
+#include <optional>
+
+#include "crypto/certificate.hpp"
+#include "ledger/escrow.hpp"
+#include "net/network.hpp"
+#include "proto/deal_spec.hpp"
+#include "proto/weak/messages.hpp"
+#include "props/trace.hpp"
+
+namespace xcp::proto::weak {
+
+/// Byzantine deviations specific to the weak protocol.
+enum class WeakByz {
+  kHonest,
+  kCrash,        // never acts at all
+  kNoDeposit,    // customer never pays (but still listens) — never petitions
+  kNoReport,     // escrow locks the deposit but never reports "escrowed"
+  kNoResolve,    // escrow receives the certificate but never moves money
+  kNoChi,        // Bob never submits chi
+  kEagerAbort,   // petitions abort immediately (this is *allowed* behaviour —
+                 // losing patience at time zero — useful in liveness tests)
+};
+
+const char* weak_byz_name(WeakByz b);
+
+/// Shared run context (analogue of Fig2Context).
+struct WeakContext {
+  DealSpec spec;
+  Participants parts;
+  TmKind tm_kind = TmKind::kTrustedParty;
+  std::vector<sim::ProcessId> tm_addresses;  // trusted party / chain / notaries
+  /// Contract name on the shared chain (smart-contract back-end). Multi-deal
+  /// runs give each deal its own contract instance on one chain.
+  std::string tm_contract_name = "tm";
+  TmCertVerifier verifier;
+  ledger::Ledger* ledger = nullptr;
+  ledger::EscrowRegistry* escrows = nullptr;
+  crypto::KeyRegistry* keys = nullptr;
+  props::TraceRecorder* trace = nullptr;
+};
+
+using WeakContextPtr = std::shared_ptr<WeakContext>;
+
+/// Common outcome surface for extraction by the runner.
+class WeakParticipant : public net::Actor {
+ public:
+  bool terminated() const { return terminated_; }
+  TimePoint terminated_local() const { return terminated_local_; }
+  TimePoint terminated_global() const { return terminated_global_; }
+  const std::string& final_state() const { return final_state_; }
+  bool got_commit_cert() const { return commit_cert_.has_value(); }
+  bool got_abort_cert() const { return abort_cert_.has_value(); }
+
+ protected:
+  void terminate(const std::string& state, props::TraceRecorder* trace);
+
+  std::optional<crypto::Certificate> commit_cert_;
+  std::optional<crypto::Certificate> abort_cert_;
+
+ private:
+  bool terminated_ = false;
+  TimePoint terminated_local_;
+  TimePoint terminated_global_;
+  std::string final_state_ = "running";
+};
+
+class WeakCustomer final : public WeakParticipant {
+ public:
+  /// `patience`: local-clock duration after which, if not terminated and no
+  /// certificate has arrived, the customer petitions abort. "Waiting
+  /// sufficiently long" (weak liveness) means patience exceeding the happy
+  /// path's duration.
+  WeakCustomer(WeakContextPtr ctx, int index, Duration patience,
+               WeakByz behaviour = WeakByz::kHonest);
+
+  bool petitioned() const { return petitioned_; }
+  bool issued_chi() const { return issued_chi_; }
+
+  void on_start() override;
+  void on_message(const net::Message& m) override;
+  void on_timer(std::uint64_t token) override;
+
+ private:
+  bool is_bob() const { return index_ == ctx_->spec.n; }
+  bool is_alice() const { return index_ == 0; }
+  void deposit();
+  void submit_chi();
+  void petition_abort();
+  void send_to_tm_report(consensus::SignedStatement s, const std::string& op);
+  void handle_cert(const crypto::Certificate& cert);
+  void maybe_terminate();
+
+  WeakContextPtr ctx_;
+  int index_;
+  Duration patience_;
+  WeakByz behaviour_;
+  crypto::Signer signer_;
+  bool deposited_ = false;
+  bool refund_received_ = false;
+  bool payout_received_ = false;
+  bool petitioned_ = false;
+  bool issued_chi_ = false;
+};
+
+class WeakEscrow final : public WeakParticipant {
+ public:
+  WeakEscrow(WeakContextPtr ctx, int index, WeakByz behaviour = WeakByz::kHonest);
+
+  void on_start() override;
+  void on_message(const net::Message& m) override;
+
+ private:
+  void report_escrowed();
+  void handle_cert(const crypto::Certificate& cert);
+  void resolve_if_ready();
+
+  WeakContextPtr ctx_;
+  int index_;
+  WeakByz behaviour_;
+  crypto::Signer signer_;
+  std::uint64_t escrow_deal_ = 0;  // 0 = no deposit yet
+  bool resolved_ = false;
+  bool cert_forwarded_ = false;
+};
+
+}  // namespace xcp::proto::weak

@@ -1,0 +1,69 @@
+#pragma once
+// Runner for the weak-liveness protocol (Thm 3): wires participants, the
+// chosen transaction-manager back-end, synchrony model, drift, patience and
+// Byzantine assignments; executes; extracts a RunRecord compatible with the
+// Definition-2 property checkers.
+
+#include <utility>
+#include <vector>
+
+#include "consensus/notary.hpp"
+#include "proto/outcome.hpp"
+#include "proto/timebounded.hpp"  // EnvironmentConfig, SynchronyKind
+#include "proto/weak/participants.hpp"
+
+namespace xcp::proto::weak {
+
+struct WeakByzAssignment {
+  bool is_escrow = false;
+  int index = 0;
+  WeakByz behaviour = WeakByz::kHonest;
+
+  static WeakByzAssignment customer(int i, WeakByz b) { return {false, i, b}; }
+  static WeakByzAssignment escrow(int i, WeakByz b) { return {true, i, b}; }
+};
+
+struct WeakConfig {
+  std::uint64_t seed = 1;
+  DealSpec spec = DealSpec::uniform(/*deal_id=*/1, /*n=*/2, /*base=*/1000,
+                                    /*commission=*/10);
+  /// Default environment: partial synchrony (the regime Thm 3 targets).
+  EnvironmentConfig env = [] {
+    EnvironmentConfig e;
+    e.synchrony = SynchronyKind::kPartiallySynchronous;
+    return e;
+  }();
+
+  TmKind tm = TmKind::kTrustedParty;
+
+  // Notary-committee back-end.
+  int notary_count = 4;
+  int byzantine_notaries = 0;
+  consensus::NotaryBehaviour notary_byz = consensus::NotaryBehaviour::kSilent;
+  Duration notary_base_round = Duration::millis(500);
+
+  // Smart-contract back-end.
+  Duration block_interval = Duration::millis(500);
+
+  /// Trusted-party back-end only: a fixed local abort deadline (the
+  /// Interledger atomic-protocol notary [4]). Unset = the paper's TM, which
+  /// only aborts on customer petitions.
+  std::optional<Duration> tm_abort_deadline;
+
+  /// Local-clock patience before an unterminated customer petitions abort.
+  Duration patience = Duration::seconds(60);
+  /// Per-customer overrides (index, patience) — the "impatient" scenarios.
+  std::vector<std::pair<int, Duration>> patience_overrides;
+
+  std::vector<WeakByzAssignment> byzantine;
+
+  /// Observation window (no a-priori schedule bound exists here).
+  Duration horizon = Duration::seconds(240);
+
+  /// An adversary factory over the participant ids (timing attacks).
+  std::function<std::unique_ptr<net::Adversary>(const Participants&)> adversary;
+};
+
+RunRecord run_weak(const WeakConfig& config);
+
+}  // namespace xcp::proto::weak

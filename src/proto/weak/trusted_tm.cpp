@@ -1,0 +1,96 @@
+#include "proto/weak/trusted_tm.hpp"
+
+#include <algorithm>
+
+#include "proto/bodies.hpp"
+#include "support/status.hpp"
+
+namespace xcp::proto::weak {
+
+TrustedPartyTm::TrustedPartyTm(consensus::ValidityRules validity,
+                               std::vector<sim::ProcessId> notify,
+                               crypto::KeyRegistry& keys)
+    : validity_(std::move(validity)), notify_(std::move(notify)), keys_(keys) {}
+
+void TrustedPartyTm::on_start() {
+  signer_ = keys_.signer_for(id());
+  if (abort_deadline_) set_timer_local_after(*abort_deadline_, /*token=*/1);
+}
+
+void TrustedPartyTm::on_timer(std::uint64_t) {
+  if (!decision_) decide(consensus::Value::kAbort);
+}
+
+void TrustedPartyTm::on_message(const net::Message& m) {
+  if (decision_) return;  // the decision is final; late traffic is ignored
+
+  if (m.kind == "tm_chi") {
+    const auto* body = m.body_as<CertMsg>();
+    if (body == nullptr) return;
+    const crypto::Certificate& cert = body->cert;
+    if (cert.kind == crypto::CertKind::kPayment &&
+        cert.deal_id == validity_.deal_id && cert.issuer == validity_.bob &&
+        crypto::verify_cert(keys_, cert)) {
+      chi_ = cert;
+      maybe_decide();
+    }
+    return;
+  }
+  if (m.kind != "tm_report") return;
+  const auto* body = m.body_as<consensus::ReportMsg>();
+  if (body == nullptr) return;
+  const consensus::SignedStatement& s = body->statement;
+  if (s.deal_id != validity_.deal_id || !s.verify(*validity_.keys)) return;
+
+  if (s.kind == "escrowed") {
+    const auto& expected = validity_.expected_escrows;
+    if (std::find(expected.begin(), expected.end(), s.subject) !=
+        expected.end()) {
+      escrowed_.insert(s.subject.value());
+    }
+  } else if (s.kind == "abort-petition") {
+    const auto& customers = validity_.expected_customers;
+    if (std::find(customers.begin(), customers.end(), s.subject) !=
+        customers.end()) {
+      petitioned_ = true;
+    }
+  }
+  maybe_decide();
+}
+
+void TrustedPartyTm::maybe_decide() {
+  // Commit wins when complete; otherwise a pending petition aborts. The
+  // order of evaluation implements "first condition reached decides" since
+  // this method runs after every single ingested message.
+  if (chi_ && escrowed_.size() >= validity_.expected_escrows.size()) {
+    decide(consensus::Value::kCommit);
+  } else if (petitioned_) {
+    decide(consensus::Value::kAbort);
+  }
+}
+
+void TrustedPartyTm::decide(consensus::Value v) {
+  XCP_REQUIRE(!decision_.has_value(), "trusted TM deciding twice");
+  decision_ = v;
+
+  auto body = std::make_shared<CertMsg>();
+  if (v == consensus::Value::kCommit) {
+    body->cert = crypto::make_commit_cert(signer_, validity_.deal_id, *chi_);
+  } else {
+    body->cert = crypto::make_abort_cert(signer_, validity_.deal_id);
+  }
+
+  if (net().trace() != nullptr) {
+    props::TraceEvent e;
+    e.kind = props::EventKind::kDecide;
+    e.at = global_now();
+    e.local_at = local_now();
+    e.actor = id();
+    e.label = consensus::value_name(v);
+    e.deal_id = validity_.deal_id;
+    net().trace()->record(e);
+  }
+  for (sim::ProcessId pid : notify_) send(pid, "tm_cert", body);
+}
+
+}  // namespace xcp::proto::weak

@@ -1,0 +1,54 @@
+#pragma once
+// Transaction manager back-end #1: "a single external party trusted by all"
+// (Sec. 3). Collects escrowed reports, Bob's chi and abort petitions;
+// decides once; issues chi_c (embedding chi) or chi_a and broadcasts it.
+
+#include <optional>
+#include <set>
+
+#include "consensus/committee.hpp"
+#include "net/network.hpp"
+#include "props/trace.hpp"
+
+namespace xcp::proto::weak {
+
+class TrustedPartyTm final : public net::Actor {
+ public:
+  /// `validity` supplies the expected escrows/customers/Bob and the key
+  /// registry; `notify` lists everyone who receives the certificate.
+  TrustedPartyTm(consensus::ValidityRules validity,
+                 std::vector<sim::ProcessId> notify,
+                 crypto::KeyRegistry& keys);
+
+  /// Interledger "atomic protocol" mode [4]: the notary aborts on its own
+  /// fixed local deadline instead of waiting for customer petitions. This is
+  /// exactly what costs the protocol its success guarantee — the deadline
+  /// can fire while honest traffic is merely slow (see the property-matrix
+  /// bench). No deadline (the default) is the paper's weak-liveness TM.
+  void set_abort_deadline(Duration local_deadline) {
+    abort_deadline_ = local_deadline;
+  }
+
+  bool decided() const { return decision_.has_value(); }
+  std::optional<consensus::Value> decision() const { return decision_; }
+
+  void on_start() override;
+  void on_message(const net::Message& m) override;
+  void on_timer(std::uint64_t token) override;
+
+ private:
+  std::optional<Duration> abort_deadline_;
+  void maybe_decide();
+  void decide(consensus::Value v);
+
+  consensus::ValidityRules validity_;
+  std::vector<sim::ProcessId> notify_;
+  crypto::KeyRegistry& keys_;
+  crypto::Signer signer_;
+  std::set<std::uint32_t> escrowed_;
+  std::optional<crypto::Certificate> chi_;
+  bool petitioned_ = false;
+  std::optional<consensus::Value> decision_;
+};
+
+}  // namespace xcp::proto::weak

@@ -1,0 +1,47 @@
+#include "sim/clock.hpp"
+
+#include <cmath>
+
+#include "support/status.hpp"
+
+namespace xcp::sim {
+
+DriftClock::DriftClock(TimePoint global_origin, TimePoint local_origin, double rate)
+    : global_origin_(global_origin), local_origin_(local_origin), rate_(rate) {
+  XCP_REQUIRE(rate > 0.0, "clock rate must be positive");
+}
+
+DriftClock DriftClock::sample(Rng& rng, double rho, Duration max_offset,
+                              TimePoint global_origin) {
+  XCP_REQUIRE(rho >= 0.0 && rho < 1.0, "drift bound rho must be in [0,1)");
+  const double rate = rng.next_double(1.0 - rho, 1.0 + rho);
+  const Duration offset =
+      rng.next_duration(-max_offset, max_offset);
+  return DriftClock(global_origin, global_origin + offset, rate);
+}
+
+TimePoint DriftClock::to_local(TimePoint g) const {
+  const double elapsed = static_cast<double>((g - global_origin_).count());
+  const auto local_elapsed =
+      static_cast<std::int64_t>(std::floor(elapsed * rate_));
+  return local_origin_ + Duration::micros(local_elapsed);
+}
+
+TimePoint DriftClock::to_global(TimePoint local) const {
+  const double local_elapsed =
+      static_cast<double>((local - local_origin_).count());
+  // Round up, then nudge forward until the local reading truly passes the
+  // deadline (floor in to_local can leave us one microsecond short).
+  auto global_elapsed =
+      static_cast<std::int64_t>(std::ceil(local_elapsed / rate_));
+  TimePoint g = global_origin_ + Duration::micros(global_elapsed);
+  while (to_local(g) < local) g = g + Duration::micros(1);
+  return g;
+}
+
+Duration DriftClock::measure(Duration true_duration) const {
+  const double scaled = static_cast<double>(true_duration.count()) * rate_;
+  return Duration::micros(static_cast<std::int64_t>(std::floor(scaled)));
+}
+
+}  // namespace xcp::sim

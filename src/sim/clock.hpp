@@ -1,0 +1,50 @@
+#pragma once
+// Per-process local clocks with bounded drift.
+//
+// The paper's synchronous protocol is "fine-tuned to work correctly in the
+// presence of clock drift": each participant reads `now` from its own clock
+// and sets deadlines on it, while the network's delay bounds hold in true
+// (global) time. We model a local clock as the affine map
+//
+//     local(g) = local_origin + rate * (g - global_origin)
+//
+// with rate drawn from [1 - rho, 1 + rho]. This is the standard bounded-rate
+// drifting clock; offsets model unsynchronised starts.
+
+#include "support/rng.hpp"
+#include "support/time.hpp"
+
+namespace xcp::sim {
+
+class DriftClock {
+ public:
+  /// Perfect clock: rate 1, no offset.
+  DriftClock() = default;
+
+  DriftClock(TimePoint global_origin, TimePoint local_origin, double rate);
+
+  /// Samples a clock with rate uniform in [1-rho, 1+rho] and local origin
+  /// offset uniform in [-max_offset, +max_offset] relative to global_origin.
+  static DriftClock sample(Rng& rng, double rho, Duration max_offset,
+                           TimePoint global_origin = TimePoint::origin());
+
+  double rate() const { return rate_; }
+
+  /// Local reading at global instant g (monotone in g).
+  TimePoint to_local(TimePoint g) const;
+
+  /// Earliest *global* instant at which the local reading is >= `local`.
+  /// Used to schedule a timer for a local-clock deadline: the timer fires at
+  /// the first global time where the guard `now >= deadline` holds locally.
+  TimePoint to_global(TimePoint local) const;
+
+  /// Local measure of a true duration (rounded down: what the clock shows).
+  Duration measure(Duration true_duration) const;
+
+ private:
+  TimePoint global_origin_ = TimePoint::origin();
+  TimePoint local_origin_ = TimePoint::origin();
+  double rate_ = 1.0;
+};
+
+}  // namespace xcp::sim

@@ -1,0 +1,51 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+
+#include "support/status.hpp"
+
+namespace xcp::sim {
+
+EventId EventQueue::push(TimePoint at, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  heap_.push_back(Entry{at, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (id == kInvalidEvent) return;
+  cancelled_.insert(id);
+}
+
+void EventQueue::drop_cancelled_top() const {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.front().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+    heap_.pop_back();
+  }
+}
+
+bool EventQueue::empty() const {
+  drop_cancelled_top();
+  return heap_.empty();
+}
+
+TimePoint EventQueue::next_time() const {
+  drop_cancelled_top();
+  XCP_REQUIRE(!heap_.empty(), "next_time on empty queue");
+  return heap_.front().at;
+}
+
+std::pair<TimePoint, std::function<void()>> EventQueue::pop() {
+  drop_cancelled_top();
+  XCP_REQUIRE(!heap_.empty(), "pop on empty queue");
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  return {e.at, std::move(e.fn)};
+}
+
+}  // namespace xcp::sim

@@ -1,0 +1,56 @@
+#pragma once
+// The simulator's event queue: a binary min-heap ordered by (time, sequence
+// number). The sequence number makes simultaneous events execute in schedule
+// order, which keeps whole experiments bit-for-bit deterministic.
+// Cancellation is lazy: cancelled ids are skipped at pop time.
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "support/time.hpp"
+
+namespace xcp::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class EventQueue {
+ public:
+  /// Enqueues `fn` to run at virtual time `at`. Returns a cancellable id.
+  EventId push(TimePoint at, std::function<void()> fn);
+
+  /// Marks an event as cancelled; a no-op for already-fired or unknown ids.
+  void cancel(EventId id);
+
+  /// True when no live (non-cancelled) events remain.
+  bool empty() const;
+
+  /// Time of the next live event. Requires !empty().
+  TimePoint next_time() const;
+
+  /// Pops the next live event. Requires !empty().
+  std::pair<TimePoint, std::function<void()>> pop();
+
+  std::size_t live_size() const { return heap_.size() - cancelled_.size(); }
+
+ private:
+  struct Entry {
+    TimePoint at;
+    EventId id;
+    std::function<void()> fn;
+    bool operator>(const Entry& o) const {
+      if (at != o.at) return at > o.at;
+      return id > o.id;
+    }
+  };
+
+  void drop_cancelled_top() const;
+
+  mutable std::vector<Entry> heap_;  // std::push_heap/pop_heap with greater<>
+  mutable std::unordered_set<EventId> cancelled_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace xcp::sim

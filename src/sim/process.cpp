@@ -1,0 +1,30 @@
+#include "sim/process.hpp"
+
+#include "sim/simulator.hpp"
+#include "support/status.hpp"
+
+namespace xcp::sim {
+
+Simulator& Process::sim() const {
+  XCP_REQUIRE(sim_ != nullptr, "process not registered with a simulator");
+  return *sim_;
+}
+
+TimePoint Process::local_now() const { return clock_.to_local(sim().now()); }
+
+TimePoint Process::global_now() const { return sim().now(); }
+
+TimerId Process::set_timer_local_at(TimePoint local_deadline, std::uint64_t token) {
+  const TimePoint global_at = clock_.to_global(local_deadline);
+  // Timers never fire in the past: clamp to now.
+  const TimePoint at = std::max(global_at, sim().now());
+  return sim().schedule_at(at, [this, token] { on_timer(token); });
+}
+
+TimerId Process::set_timer_local_after(Duration local_delay, std::uint64_t token) {
+  return set_timer_local_at(local_now() + local_delay, token);
+}
+
+void Process::cancel_timer(TimerId id) { sim().cancel(id); }
+
+}  // namespace xcp::sim

@@ -1,0 +1,88 @@
+#pragma once
+// Simulated processes. A Process is a deterministic reactive object driven by
+// the Simulator: it is started once, then receives timer callbacks; derived
+// layers (xcp::net::Actor) add message delivery. Each process owns a drifting
+// local clock and a forked RNG stream.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/clock.hpp"
+#include "sim/event_queue.hpp"
+#include "support/rng.hpp"
+#include "support/time.hpp"
+
+namespace xcp::sim {
+
+class Simulator;
+
+/// Identifies a process within one Simulator. Index into the process table.
+class ProcessId {
+ public:
+  constexpr ProcessId() = default;
+  constexpr explicit ProcessId(std::uint32_t v) : value_(v) {}
+  constexpr std::uint32_t value() const { return value_; }
+  constexpr bool valid() const { return value_ != kInvalid; }
+  constexpr auto operator<=>(const ProcessId&) const = default;
+
+ private:
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+  std::uint32_t value_ = kInvalid;
+};
+
+using TimerId = EventId;
+
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  ProcessId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  /// Invoked once at simulation start (global time of registration run).
+  virtual void on_start() {}
+
+  /// Invoked when a timer set by this process fires. `token` is the value
+  /// passed to set_timer_*; it lets one process multiplex several timers.
+  virtual void on_timer(std::uint64_t token) { (void)token; }
+
+  /// The process's view of the current time (its drifting local clock).
+  TimePoint local_now() const;
+
+  /// True global simulation time; protocol logic must not use this (it is
+  /// exposed for tracing and property checking only).
+  TimePoint global_now() const;
+
+  const DriftClock& clock() const { return clock_; }
+
+ protected:
+  Simulator& sim() const;
+  Rng& rng() { return rng_; }
+
+  /// Schedules on_timer(token) at the first instant the *local* clock reads
+  /// at least `local_deadline`. Returns a cancellable id.
+  TimerId set_timer_local_at(TimePoint local_deadline, std::uint64_t token);
+
+  /// Schedules on_timer(token) after `local_delay` on the local clock.
+  TimerId set_timer_local_after(Duration local_delay, std::uint64_t token);
+
+  void cancel_timer(TimerId id);
+
+ private:
+  friend class Simulator;
+  Simulator* sim_ = nullptr;
+  ProcessId id_;
+  std::string name_;
+  DriftClock clock_;
+  Rng rng_{0};
+};
+
+}  // namespace xcp::sim
+
+template <>
+struct std::hash<xcp::sim::ProcessId> {
+  std::size_t operator()(const xcp::sim::ProcessId& p) const noexcept {
+    return std::hash<std::uint32_t>()(p.value());
+  }
+};

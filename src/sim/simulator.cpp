@@ -1,0 +1,92 @@
+#include "sim/simulator.hpp"
+
+#include "support/status.hpp"
+
+namespace xcp::sim {
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+
+ProcessId Simulator::adopt(std::unique_ptr<Process> p, std::string name) {
+  XCP_REQUIRE(p != nullptr, "adopting null process");
+  const ProcessId pid(static_cast<std::uint32_t>(processes_.size()));
+  p->sim_ = this;
+  p->id_ = pid;
+  p->name_ = std::move(name);
+  p->rng_ = rng_.fork();
+  processes_.push_back(std::move(p));
+  unstarted_.push_back(pid);
+  return pid;
+}
+
+void Simulator::set_clock(ProcessId pid, DriftClock clock) {
+  process(pid).clock_ = clock;
+}
+
+Process& Simulator::process(ProcessId pid) {
+  XCP_REQUIRE(pid.valid() && pid.value() < processes_.size(), "bad process id");
+  return *processes_[pid.value()];
+}
+
+const Process& Simulator::process(ProcessId pid) const {
+  XCP_REQUIRE(pid.valid() && pid.value() < processes_.size(), "bad process id");
+  return *processes_[pid.value()];
+}
+
+EventId Simulator::schedule_at(TimePoint at, std::function<void()> fn) {
+  XCP_REQUIRE(at >= now_, "scheduling into the past");
+  return queue_.push(at, std::move(fn));
+}
+
+EventId Simulator::schedule_after(Duration delay, std::function<void()> fn) {
+  XCP_REQUIRE(delay >= Duration::zero(), "negative delay");
+  return queue_.push(now_ + delay, std::move(fn));
+}
+
+void Simulator::cancel(EventId id) { queue_.cancel(id); }
+
+void Simulator::start_all_pending() {
+  // on_start callbacks run as time-zero (well, current-time) events in
+  // registration order so that processes created later still start.
+  for (ProcessId pid : unstarted_) {
+    schedule_at(now_, [this, pid] { process(pid).on_start(); });
+  }
+  unstarted_.clear();
+}
+
+bool Simulator::step() {
+  start_all_pending();
+  if (queue_.empty()) return false;
+  auto [at, fn] = queue_.pop();
+  XCP_REQUIRE(at >= now_, "event queue time went backwards");
+  now_ = at;
+  ++events_executed_;
+  XCP_REQUIRE(events_executed_ <= event_limit_, "event limit exceeded (livelock?)");
+  fn();
+  return true;
+}
+
+void Simulator::run() {
+  running_ = true;
+  while (step()) {
+  }
+  running_ = false;
+}
+
+bool Simulator::run_until(TimePoint deadline) {
+  running_ = true;
+  for (;;) {
+    start_all_pending();
+    if (queue_.empty()) {
+      running_ = false;
+      return true;
+    }
+    if (queue_.next_time() > deadline) {
+      now_ = deadline;
+      running_ = false;
+      return false;
+    }
+    step();
+  }
+}
+
+}  // namespace xcp::sim

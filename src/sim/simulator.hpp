@@ -1,0 +1,84 @@
+#pragma once
+// The discrete-event simulator: single-threaded, deterministic virtual time.
+//
+// Synchrony assumptions (the heart of the paper's theorems) are *timing*
+// assumptions; running all participants over one virtual clock lets us
+// realise "every message arrives within Delta" exactly, hand pre-GST timing
+// control to an adversary, and measure termination bounds without wall-clock
+// noise. Determinism: every run is a pure function of (seed, configuration).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/process.hpp"
+#include "support/rng.hpp"
+#include "support/time.hpp"
+
+namespace xcp::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed);
+
+  TimePoint now() const { return now_; }
+
+  /// Registers a process, assigning it an id, a forked RNG stream and a
+  /// perfect clock (override with set_clock). The simulator owns the process.
+  template <typename P, typename... Args>
+  P& spawn(std::string name, Args&&... args) {
+    auto owned = std::make_unique<P>(std::forward<Args>(args)...);
+    P& ref = *owned;
+    adopt(std::move(owned), std::move(name));
+    return ref;
+  }
+
+  /// Registers an externally-constructed process.
+  ProcessId adopt(std::unique_ptr<Process> p, std::string name);
+
+  void set_clock(ProcessId pid, DriftClock clock);
+
+  Process& process(ProcessId pid);
+  const Process& process(ProcessId pid) const;
+  std::size_t process_count() const { return processes_.size(); }
+
+  EventId schedule_at(TimePoint at, std::function<void()> fn);
+  EventId schedule_after(Duration delay, std::function<void()> fn);
+  void cancel(EventId id);
+
+  /// Executes the next event; returns false when the queue is empty.
+  bool step();
+
+  /// Runs until the queue empties or `events_executed` reaches the limit.
+  void run();
+
+  /// Runs events with time <= deadline; the simulator clock ends at
+  /// min(deadline, time-of-last-event). Returns true if the queue drained.
+  bool run_until(TimePoint deadline);
+
+  std::uint64_t events_executed() const { return events_executed_; }
+
+  /// Hard cap to catch accidental livelock in experiments (default 50M).
+  void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
+
+  /// Simulator-level RNG (network delays etc. fork their own streams).
+  Rng& rng() { return rng_; }
+
+  /// Called by processes at start; ensures on_start runs inside the event
+  /// loop at registration time order.
+  void start_all_pending();
+
+ private:
+  TimePoint now_ = TimePoint::origin();
+  EventQueue queue_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<ProcessId> unstarted_;
+  Rng rng_;
+  std::uint64_t events_executed_ = 0;
+  std::uint64_t event_limit_ = 50'000'000;
+  bool running_ = false;
+};
+
+}  // namespace xcp::sim

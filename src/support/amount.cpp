@@ -1,0 +1,62 @@
+#include "support/amount.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace xcp {
+
+std::string Currency::code() const {
+  switch (id_) {
+    case 0: return "GEN";
+    case 1: return "USD";
+    case 2: return "EUR";
+    case 3: return "BTC";
+    case 4: return "ETH";
+    default: {
+      char buf[16];
+      std::snprintf(buf, sizeof buf, "CUR%u", static_cast<unsigned>(id_));
+      return buf;
+    }
+  }
+}
+
+namespace {
+void require_same_currency(Currency a, Currency b, const char* op) {
+  if (a != b) {
+    throw AmountError(std::string("cross-currency ") + op + ": " + a.code() +
+                      " vs " + b.code());
+  }
+}
+}  // namespace
+
+Amount Amount::operator+(Amount o) const {
+  require_same_currency(currency_, o.currency_, "add");
+  std::int64_t out = 0;
+  if (__builtin_add_overflow(units_, o.units_, &out)) {
+    throw AmountError("amount addition overflow");
+  }
+  return Amount(out, currency_);
+}
+
+Amount Amount::operator-(Amount o) const {
+  require_same_currency(currency_, o.currency_, "subtract");
+  std::int64_t out = 0;
+  if (__builtin_sub_overflow(units_, o.units_, &out)) {
+    throw AmountError("amount subtraction overflow");
+  }
+  return Amount(out, currency_);
+}
+
+bool Amount::less_than(const Amount& o) const {
+  require_same_currency(currency_, o.currency_, "compare");
+  return units_ < o.units_;
+}
+
+std::string Amount::str() const {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%lld %s", static_cast<long long>(units_),
+                currency_.code().c_str());
+  return buf;
+}
+
+}  // namespace xcp

@@ -1,0 +1,77 @@
+#pragma once
+// Money amounts with checked integer arithmetic and explicit currencies.
+//
+// The paper allows the values transferred on each hop to differ (commissions)
+// and even be expressed in different currencies; an Amount therefore pairs an
+// integer quantity of minor units with a currency tag, and cross-currency
+// arithmetic is a programming error caught at runtime.
+
+#include <cstdint>
+#include <compare>
+#include <stdexcept>
+#include <string>
+
+namespace xcp {
+
+/// A currency (or asset-type) tag. Small integer id plus human-readable code.
+class Currency {
+ public:
+  constexpr Currency() = default;
+  constexpr explicit Currency(std::uint16_t id) : id_(id) {}
+
+  constexpr std::uint16_t id() const { return id_; }
+  constexpr auto operator<=>(const Currency&) const = default;
+
+  std::string code() const;
+
+  // Pre-registered convenience currencies for examples and tests.
+  static constexpr Currency generic() { return Currency(0); }
+  static constexpr Currency usd() { return Currency(1); }
+  static constexpr Currency eur() { return Currency(2); }
+  static constexpr Currency btc() { return Currency(3); }
+  static constexpr Currency eth() { return Currency(4); }
+
+ private:
+  std::uint16_t id_ = 0;
+};
+
+/// Thrown on overflow or cross-currency arithmetic: both indicate a bug in
+/// protocol code, not a recoverable runtime condition.
+class AmountError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// An integer quantity of minor units of one currency. Checked add/sub.
+class Amount {
+ public:
+  constexpr Amount() = default;
+  constexpr Amount(std::int64_t units, Currency c) : units_(units), currency_(c) {}
+
+  static constexpr Amount zero(Currency c = Currency::generic()) { return Amount(0, c); }
+
+  constexpr std::int64_t units() const { return units_; }
+  constexpr Currency currency() const { return currency_; }
+  constexpr bool is_zero() const { return units_ == 0; }
+  constexpr bool is_negative() const { return units_ < 0; }
+
+  Amount operator+(Amount o) const;
+  Amount operator-(Amount o) const;
+  Amount operator-() const { return Amount(-units_, currency_); }
+  Amount& operator+=(Amount o) { return *this = *this + o; }
+  Amount& operator-=(Amount o) { return *this = *this - o; }
+
+  /// Ordering is only defined within one currency.
+  bool operator==(const Amount& o) const {
+    return units_ == o.units_ && currency_ == o.currency_;
+  }
+  bool less_than(const Amount& o) const;
+
+  std::string str() const;
+
+ private:
+  std::int64_t units_ = 0;
+  Currency currency_ = Currency::generic();
+};
+
+}  // namespace xcp

@@ -1,0 +1,38 @@
+#include "support/hash.hpp"
+
+namespace xcp {
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value) {
+  // 64-bit analogue of boost::hash_combine.
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+void HashWriter::write_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void HashWriter::write_i64(std::int64_t v) {
+  write_u64(static_cast<std::uint64_t>(v));
+}
+
+void HashWriter::write_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void HashWriter::write_str(std::string_view s) {
+  write_u64(s.size());
+  buf_.append(s);
+}
+
+std::uint64_t HashWriter::digest() const { return fnv1a64(buf_); }
+
+}  // namespace xcp

@@ -1,0 +1,37 @@
+#pragma once
+// Non-cryptographic hashing used by the *simulated* signature scheme and for
+// content addressing of blocks/transactions. See crypto/signature.hpp for why
+// a simulated scheme is sound in this model.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace xcp {
+
+/// FNV-1a 64-bit over a byte string.
+std::uint64_t fnv1a64(std::string_view bytes);
+
+/// Order-dependent combinator (boost-style golden-ratio mix).
+std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value);
+
+/// A tiny growable byte-buffer for hashing structured data in a canonical,
+/// platform-independent order. All protocol objects that get signed or
+/// content-addressed serialize through this.
+class HashWriter {
+ public:
+  void write_u64(std::uint64_t v);
+  void write_i64(std::int64_t v);
+  void write_u32(std::uint32_t v);
+  void write_str(std::string_view s);
+
+  /// Digest of everything written so far.
+  std::uint64_t digest() const;
+
+  const std::string& bytes() const { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+}  // namespace xcp

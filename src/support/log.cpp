@@ -1,0 +1,29 @@
+#include "support/log.hpp"
+
+#include <cstdio>
+
+namespace xcp {
+
+namespace {
+LogLevel g_level = LogLevel::kOff;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log_line(LogLevel level, const std::string& text) {
+  std::fprintf(stderr, "[%s] %s\n", level_tag(level), text.c_str());
+}
+
+}  // namespace xcp

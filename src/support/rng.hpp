@@ -1,0 +1,55 @@
+#pragma once
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic choice in the simulator (message delays, clock-drift
+// rates, adversary decisions) is drawn from an Rng that is seeded explicitly,
+// so that every experiment is reproducible from its (seed, config) pair and
+// failures found by randomized property tests can be replayed.
+//
+// Implementation: xoshiro256** (Blackman & Vigna), seeded via splitmix64 —
+// the standard recommendation for seeding xoshiro-family generators.
+
+#include <cstdint>
+
+#include "support/time.hpp"
+
+namespace xcp {
+
+/// splitmix64 step; used for seeding and as a cheap stateless mixer.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound), bias-free via rejection. bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi);
+
+  /// Bernoulli trial.
+  bool next_bool(double p_true);
+
+  /// Uniform duration in [lo, hi] inclusive (microsecond resolution).
+  Duration next_duration(Duration lo, Duration hi);
+
+  /// Derives an independent child generator; used to give each process /
+  /// network link its own stream so adding a draw in one component does not
+  /// perturb the others.
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace xcp

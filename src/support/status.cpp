@@ -1,0 +1,11 @@
+#include "support/status.hpp"
+
+namespace xcp {
+
+void Status::expect(const char* context) const {
+  if (!ok_) {
+    throw std::runtime_error(std::string(context) + ": " + msg_);
+  }
+}
+
+}  // namespace xcp

@@ -1,0 +1,41 @@
+#pragma once
+// Lightweight error propagation for operations that may legitimately fail at
+// runtime (e.g. a ledger rejecting an overdraft from a Byzantine process).
+// Programming errors use assertions / exceptions instead.
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace xcp {
+
+class Status {
+ public:
+  static Status ok() { return Status(); }
+  static Status error(std::string msg) { return Status(std::move(msg)); }
+
+  bool is_ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+  const std::string& message() const { return msg_; }
+
+  /// Throws if not ok. For call-sites where failure is a bug.
+  void expect(const char* context) const;
+
+ private:
+  Status() : ok_(true) {}
+  explicit Status(std::string msg) : ok_(false), msg_(std::move(msg)) {}
+  bool ok_;
+  std::string msg_;
+};
+
+/// Assertion macro for simulator invariants: always on (benchmarks included)
+/// because a silently-corrupt simulation is worthless.
+#define XCP_REQUIRE(cond, msg)                                    \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      throw std::logic_error(std::string("XCP_REQUIRE failed: ") + \
+                             (msg) + " [" #cond "]");             \
+    }                                                             \
+  } while (0)
+
+}  // namespace xcp

@@ -1,0 +1,42 @@
+#pragma once
+// Aligned-column table printing + CSV emission. Every bench binary uses this
+// to print the rows/series corresponding to the paper's figures and tables,
+// so the output format is uniform across experiments.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace xcp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds one row; must have the same arity as the headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with aligned columns and a rule under the header.
+  std::string render() const;
+
+  /// Renders as CSV (RFC-4180-ish quoting).
+  std::string to_csv() const;
+
+  /// Convenience: render() to the stream, with an optional title line.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  // Cell formatting helpers.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt(std::int64_t v);
+  static std::string fmt(std::uint64_t v);
+  static std::string fmt(bool v);
+  static std::string pct(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace xcp

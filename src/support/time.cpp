@@ -1,0 +1,36 @@
+#include "support/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace xcp {
+
+Duration Duration::scaled_up(double factor) const {
+  const double scaled = static_cast<double>(us_) * factor;
+  return Duration(static_cast<std::int64_t>(std::ceil(scaled)));
+}
+
+Duration Duration::scaled_down(double factor) const {
+  const double scaled = static_cast<double>(us_) * factor;
+  return Duration(static_cast<std::int64_t>(std::floor(scaled)));
+}
+
+std::string Duration::str() const {
+  char buf[64];
+  if (us_ % 1'000'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%llds", static_cast<long long>(us_ / 1'000'000));
+  } else if (us_ % 1'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%lldms", static_cast<long long>(us_ / 1'000));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldus", static_cast<long long>(us_));
+  }
+  return buf;
+}
+
+std::string TimePoint::str() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "t=%.6fs", to_seconds());
+  return buf;
+}
+
+}  // namespace xcp

@@ -1,0 +1,87 @@
+#pragma once
+// Strong virtual-time types used throughout the simulator and protocols.
+//
+// All simulated time is kept in integer microseconds (a fixed-point
+// representation): the event queue, clock-drift conversions and timelock
+// arithmetic stay exact and deterministic, with no floating-point
+// accumulation error across long runs.
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace xcp {
+
+/// A span of virtual time, in microseconds. May be negative in intermediate
+/// arithmetic (e.g. clock-offset computations) but protocol deadlines are
+/// always non-negative.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr static Duration micros(std::int64_t us) { return Duration(us); }
+  constexpr static Duration millis(std::int64_t ms) { return Duration(ms * 1000); }
+  constexpr static Duration seconds(std::int64_t s) { return Duration(s * 1'000'000); }
+  constexpr static Duration zero() { return Duration(0); }
+  constexpr static Duration max() {
+    return Duration(std::numeric_limits<std::int64_t>::max());
+  }
+
+  constexpr std::int64_t count() const { return us_; }
+  constexpr double to_seconds() const { return static_cast<double>(us_) / 1e6; }
+  constexpr double to_millis() const { return static_cast<double>(us_) / 1e3; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const { return Duration(us_ + o.us_); }
+  constexpr Duration operator-(Duration o) const { return Duration(us_ - o.us_); }
+  constexpr Duration operator-() const { return Duration(-us_); }
+  constexpr Duration operator*(std::int64_t k) const { return Duration(us_ * k); }
+  constexpr Duration operator/(std::int64_t k) const { return Duration(us_ / k); }
+  constexpr Duration& operator+=(Duration o) { us_ += o.us_; return *this; }
+  constexpr Duration& operator-=(Duration o) { us_ -= o.us_; return *this; }
+
+  /// Scales by a real factor, rounding *up*: deadline inflation (e.g. drift
+  /// compensation a_i = A_i * (1+rho)) must never under-approximate.
+  Duration scaled_up(double factor) const;
+  /// Scales by a real factor, rounding down (for lower bounds).
+  Duration scaled_down(double factor) const;
+
+  std::string str() const;
+
+ private:
+  constexpr explicit Duration(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+/// An absolute instant of virtual time. The simulator starts at
+/// TimePoint::origin() (t = 0). Local clocks map global instants to local
+/// instants; both are represented with this type.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr static TimePoint origin() { return TimePoint(0); }
+  constexpr static TimePoint micros(std::int64_t us) { return TimePoint(us); }
+  constexpr static TimePoint max() {
+    return TimePoint(std::numeric_limits<std::int64_t>::max());
+  }
+
+  constexpr std::int64_t count() const { return us_; }
+  constexpr double to_seconds() const { return static_cast<double>(us_) / 1e6; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint(us_ + d.count()); }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint(us_ - d.count()); }
+  constexpr Duration operator-(TimePoint o) const { return Duration::micros(us_ - o.us_); }
+
+  std::string str() const;
+
+ private:
+  constexpr explicit TimePoint(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+constexpr Duration operator*(std::int64_t k, Duration d) { return d * k; }
+
+}  // namespace xcp

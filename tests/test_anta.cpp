@@ -1,0 +1,290 @@
+// Unit tests for the ANTA formalism: automaton structure, validation,
+// interpreter semantics (buffering, timeouts, clock variables), rendering.
+
+#include <gtest/gtest.h>
+
+#include "anta/automaton.hpp"
+#include "anta/interpreter.hpp"
+#include "anta/render.hpp"
+#include "net/delay_model.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace xcp::anta {
+namespace {
+
+using net::Message;
+
+/// Driver actor that fires scripted messages at given times.
+class Script final : public net::Actor {
+ public:
+  struct Step {
+    Duration at;
+    sim::ProcessId to;
+    std::string kind;
+  };
+  explicit Script(std::vector<Step> steps) : steps_(std::move(steps)) {}
+  void on_start() override {
+    for (const auto& s : steps_) {
+      sim().schedule_at(TimePoint::origin() + s.at,
+                        [this, s] { send(s.to, s.kind, nullptr); });
+    }
+  }
+  void on_message(const Message&) override {}
+
+ private:
+  std::vector<Step> steps_;
+};
+
+struct Rig {
+  sim::Simulator sim{123};
+  props::TraceRecorder trace;
+  net::Network net{sim,
+                   std::make_unique<net::SynchronousModel>(Duration::millis(1),
+                                                           Duration::millis(2)),
+                   &trace};
+};
+
+// ------------------------------------------------------------ structure
+
+TEST(Automaton, ValidationCatchesMalformedShapes) {
+  {
+    Automaton a("no-initial");
+    a.add_state("s", StateKind::kInput);
+    EXPECT_THROW(a.validate(), std::logic_error);
+  }
+  {
+    Automaton a("output-without-send");
+    const auto s = a.add_state("out", StateKind::kOutput);
+    a.set_initial(s);
+    EXPECT_THROW(a.validate(), std::logic_error);
+  }
+  {
+    Automaton a("receive-from-output");
+    const auto s = a.add_state("out", StateKind::kOutput);
+    const auto t = a.add_state("in", StateKind::kInput);
+    a.set_initial(s);
+    a.add_receive(s, t, sim::ProcessId(0), "m");
+    EXPECT_THROW(a.validate(), std::logic_error);
+  }
+  {
+    Automaton a("final-with-exit");
+    const auto f = a.add_state("done", StateKind::kFinal);
+    const auto i = a.add_state("in", StateKind::kInput);
+    a.set_initial(i);
+    a.add_receive(f, i, sim::ProcessId(0), "m");
+    EXPECT_THROW(a.validate(), std::logic_error);
+  }
+}
+
+std::shared_ptr<Automaton> two_receive_machine(sim::ProcessId from) {
+  // init --r(from,A)--> mid --r(from,B)--> done
+  auto a = std::make_shared<Automaton>("two-receive");
+  const auto s0 = a->add_state("init", StateKind::kInput);
+  const auto s1 = a->add_state("mid", StateKind::kInput);
+  const auto s2 = a->add_state("done", StateKind::kFinal);
+  a->set_initial(s0);
+  a->add_receive(s0, s1, from, "A");
+  a->add_receive(s1, s2, from, "B");
+  return a;
+}
+
+TEST(Interpreter, InOrderMessagesRunToFinal) {
+  Rig rig;
+  auto& script = rig.sim.spawn<Script>(
+      "script", std::vector<Script::Step>{{Duration::millis(10),
+                                           sim::ProcessId(1), "A"},
+                                          {Duration::millis(20),
+                                           sim::ProcessId(1), "B"}});
+  auto& interp = rig.sim.spawn<Interpreter>(
+      "m", two_receive_machine(script.id()), Duration::millis(1));
+  rig.net.attach(script);
+  rig.net.attach(interp);
+  rig.sim.run();
+  EXPECT_TRUE(interp.finished());
+  EXPECT_EQ(interp.automaton().state_name(interp.state()), "done");
+}
+
+TEST(Interpreter, OutOfOrderMessagesAreBuffered) {
+  // B arrives before A; the machine must buffer B, take A, then replay B.
+  Rig rig;
+  auto& script = rig.sim.spawn<Script>(
+      "script", std::vector<Script::Step>{{Duration::millis(10),
+                                           sim::ProcessId(1), "B"},
+                                          {Duration::millis(30),
+                                           sim::ProcessId(1), "A"}});
+  auto& interp = rig.sim.spawn<Interpreter>(
+      "m", two_receive_machine(script.id()), Duration::millis(1));
+  rig.net.attach(script);
+  rig.net.attach(interp);
+  rig.sim.run();
+  EXPECT_TRUE(interp.finished());
+}
+
+TEST(Interpreter, WrongSenderIgnored) {
+  Rig rig;
+  auto& stranger = rig.sim.spawn<Script>(
+      "stranger", std::vector<Script::Step>{{Duration::millis(5),
+                                             sim::ProcessId(2), "A"}});
+  auto& script = rig.sim.spawn<Script>("script", std::vector<Script::Step>{});
+  auto& interp = rig.sim.spawn<Interpreter>(
+      "m", two_receive_machine(script.id()), Duration::millis(1));
+  rig.net.attach(stranger);
+  rig.net.attach(script);
+  rig.net.attach(interp);
+  rig.sim.run();
+  // "A" from the stranger must not advance a machine expecting it from
+  // `script` (r(id, m) names the sender).
+  EXPECT_FALSE(interp.finished());
+  EXPECT_EQ(interp.automaton().state_name(interp.state()), "init");
+}
+
+TEST(Interpreter, TimeoutFiresOnLocalClock) {
+  // init(out) sends ping to itself? Simpler: wait state with guard on var
+  // assigned at start via an output state's effect.
+  auto a = std::make_shared<Automaton>("timeout");
+  const auto s0 = a->add_state("announce", StateKind::kOutput);
+  const auto s1 = a->add_state("wait", StateKind::kInput);
+  const auto s2 = a->add_state("expired", StateKind::kFinal);
+  const auto u = a->add_var("u");
+  a->set_initial(s0);
+  auto& send_t = a->set_send(s0, s1, sim::ProcessId(0), "noop");
+  send_t.effect = [u](Interpreter& in) { in.assign_now(u); };
+  a->add_timeout(s1, s2, TimeGuard{u, Duration::millis(50)});
+
+  Rig rig;
+  auto& sink = rig.sim.spawn<Script>("sink", std::vector<Script::Step>{});
+  auto& interp = rig.sim.spawn<Interpreter>("m", a, Duration::millis(1));
+  rig.net.attach(sink);
+  rig.net.attach(interp);
+  // Give the interpreter a fast clock (rate 1.25): the local 50ms deadline
+  // should arrive after only ~40ms of true time.
+  rig.sim.set_clock(interp.id(),
+                    sim::DriftClock(TimePoint::origin(), TimePoint::origin(),
+                                    1.25));
+  rig.sim.run();
+  EXPECT_TRUE(interp.finished());
+  EXPECT_GE(interp.terminated_local() - TimePoint::origin(),
+            Duration::millis(50));
+  EXPECT_LE(interp.terminated_global() - TimePoint::origin(),
+            Duration::millis(45));  // 40ms + processing bound
+}
+
+TEST(Interpreter, ReceiveBeatsTimeoutWhenEarlier) {
+  auto make = [] {
+    auto a = std::make_shared<Automaton>("race");
+    const auto s0 = a->add_state("announce", StateKind::kOutput);
+    const auto s1 = a->add_state("wait", StateKind::kInput);
+    const auto got = a->add_state("got", StateKind::kFinal);
+    const auto expired = a->add_state("expired", StateKind::kFinal);
+    const auto u = a->add_var("u");
+    a->set_initial(s0);
+    a->set_send(s0, s1, sim::ProcessId(0), "noop").effect =
+        [u](Interpreter& in) { in.assign_now(u); };
+    a->add_receive(s1, got, sim::ProcessId(0), "M");
+    a->add_timeout(s1, expired, TimeGuard{u, Duration::millis(100)});
+    return a;
+  };
+  {
+    Rig rig;
+    auto& script = rig.sim.spawn<Script>(
+        "sink", std::vector<Script::Step>{{Duration::millis(20),
+                                           sim::ProcessId(1), "M"}});
+    auto& interp = rig.sim.spawn<Interpreter>("m", make(), Duration::millis(1));
+    rig.net.attach(script);
+    rig.net.attach(interp);
+    rig.sim.run();
+    EXPECT_EQ(interp.automaton().state_name(interp.state()), "got");
+  }
+  {
+    Rig rig;
+    auto& script = rig.sim.spawn<Script>(
+        "sink", std::vector<Script::Step>{{Duration::millis(500),
+                                           sim::ProcessId(1), "M"}});
+    auto& interp = rig.sim.spawn<Interpreter>("m", make(), Duration::millis(1));
+    rig.net.attach(script);
+    rig.net.attach(interp);
+    rig.sim.run();
+    EXPECT_EQ(interp.automaton().state_name(interp.state()), "expired");
+  }
+}
+
+TEST(Interpreter, AcceptCallbackDiscardsInvalidContent) {
+  auto a = std::make_shared<Automaton>("picky");
+  const auto s0 = a->add_state("wait", StateKind::kInput);
+  const auto s1 = a->add_state("done", StateKind::kFinal);
+  a->set_initial(s0);
+  int offered = 0;
+  auto& t = a->add_receive(s0, s1, sim::ProcessId(0), "M");
+  t.accept = [&offered](const Message&, Interpreter&) {
+    return ++offered >= 3;  // reject the first two matching messages
+  };
+  Rig rig;
+  auto& script = rig.sim.spawn<Script>(
+      "s", std::vector<Script::Step>{{Duration::millis(10), sim::ProcessId(1), "M"},
+                                     {Duration::millis(20), sim::ProcessId(1), "M"},
+                                     {Duration::millis(30), sim::ProcessId(1), "M"}});
+  auto& interp = rig.sim.spawn<Interpreter>("m", a, Duration::millis(1));
+  rig.net.attach(script);
+  rig.net.attach(interp);
+  rig.sim.run();
+  EXPECT_TRUE(interp.finished());
+  EXPECT_EQ(offered, 3);
+}
+
+TEST(Interpreter, SendInterceptorDropAndHalt) {
+  auto machine = [](sim::ProcessId dest) {
+    auto a = std::make_shared<Automaton>("sender");
+    const auto s0 = a->add_state("send1", StateKind::kOutput);
+    const auto s1 = a->add_state("send2", StateKind::kOutput);
+    const auto s2 = a->add_state("done", StateKind::kFinal);
+    a->set_initial(s0);
+    a->set_send(s0, s1, dest, "one");
+    a->set_send(s1, s2, dest, "two");
+    return a;
+  };
+  {
+    // Drop "one": the automaton continues and still sends "two".
+    Rig rig;
+    auto& sink = rig.sim.spawn<Script>("sink", std::vector<Script::Step>{});
+    auto& interp =
+        rig.sim.spawn<Interpreter>("m", machine(sink.id()), Duration::millis(1));
+    rig.net.attach(sink);
+    rig.net.attach(interp);
+    interp.set_send_interceptor([](const Transition& t, Interpreter&) {
+      return t.send_kind == "one" ? SendAction::drop() : SendAction::allow();
+    });
+    rig.sim.run();
+    EXPECT_TRUE(interp.finished());
+    EXPECT_EQ(rig.net.stats().messages_sent, 1u);
+  }
+  {
+    // Halt on "one": nothing is ever sent and the machine never finishes.
+    Rig rig;
+    auto& sink = rig.sim.spawn<Script>("sink", std::vector<Script::Step>{});
+    auto& interp =
+        rig.sim.spawn<Interpreter>("m", machine(sink.id()), Duration::millis(1));
+    rig.net.attach(sink);
+    rig.net.attach(interp);
+    interp.set_send_interceptor(
+        [](const Transition&, Interpreter&) { return SendAction::halt(); });
+    rig.sim.run();
+    EXPECT_FALSE(interp.finished());
+    EXPECT_TRUE(interp.halted());
+    EXPECT_EQ(rig.net.stats().messages_sent, 0u);
+  }
+}
+
+TEST(Render, DotAndAsciiContainStatesAndLabels) {
+  auto a = two_receive_machine(sim::ProcessId(7));
+  const std::string dot = to_dot(*a);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("init"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+  const std::string ascii = to_ascii(*a);
+  EXPECT_NE(ascii.find("two-receive"), std::string::npos);
+  EXPECT_NE(ascii.find("r(p7,A)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xcp::anta

@@ -1,0 +1,106 @@
+// Baseline protocols [4]: the naive universal protocol's drift fragility and
+// the atomic protocol's missing success guarantee.
+
+#include <gtest/gtest.h>
+
+#include "baselines/interledger.hpp"
+#include "exp/scenario.hpp"
+#include "props/checkers.hpp"
+
+namespace xcp::baselines {
+namespace {
+
+TEST(Universal, MatchesTimeBoundedAtZeroDrift) {
+  // With perfect clocks the naive schedule is exactly the Thm 1 protocol.
+  auto cfg = exp::thm1_config(3, 5);
+  cfg.assumed.rho = 0.0;
+  cfg.env.actual_rho = 0.0;
+  cfg.env.clock_offset_max = Duration::zero();
+  const auto record = run_universal(cfg);
+  EXPECT_EQ(record.protocol, "interledger-universal");
+  EXPECT_TRUE(record.bob_paid());
+  props::CheckOptions opts;
+  const auto report = props::check_definition1(record, opts);
+  EXPECT_TRUE(report.all_hold()) << report.str();
+}
+
+proto::TimeBoundedConfig harsh_drift_config(std::uint64_t seed) {
+  // Adversarial-but-legal corner of the environment: every delay close to
+  // Delta (delta_min ~ delta_max) and drift at the full bound. The naive
+  // schedule's windows under-cover exactly here; the compensated one is
+  // sized for it.
+  auto cfg = exp::thm1_config(4, seed);
+  cfg.assumed.rho = 0.15;
+  cfg.env.actual_rho = 0.15;
+  cfg.env.delta_min = Duration::millis(95);
+  cfg.env.clock_offset_max = Duration::millis(50);
+  return cfg;
+}
+
+TEST(Universal, DriftBreaksLivenessEventually) {
+  int failures = 0;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const auto record = run_universal(harsh_drift_config(seed));
+    if (!record.bob_paid()) ++failures;
+  }
+  EXPECT_GT(failures, 0) << "naive schedule survived 15% drift 30/30 times";
+}
+
+TEST(Universal, CompensatedScheduleSurvivesSameDrift) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    auto cfg = harsh_drift_config(seed);
+    cfg.compensated = true;
+    const auto record = proto::run_time_bounded(cfg);
+    EXPECT_TRUE(record.bob_paid()) << "seed=" << seed;
+  }
+}
+
+TEST(Atomic, CommitsWhenNetworkFast) {
+  AtomicConfig cfg;
+  cfg.weak = exp::thm3_config(proto::weak::TmKind::kTrustedParty, 2, 3);
+  cfg.weak.env = exp::conforming_env(exp::default_timing());
+  cfg.notary_deadline = Duration::seconds(5);
+  const auto record = run_atomic(cfg);
+  EXPECT_EQ(record.protocol, "interledger-atomic");
+  EXPECT_TRUE(record.bob_paid()) << record.summary();
+}
+
+TEST(Atomic, DeadlineAbortsDespiteHonestWillingParticipants) {
+  // Pre-GST chaos beyond the notary's deadline: everyone is honest and
+  // willing, yet the run aborts — the all-abort outcome the paper's problem
+  // statement explicitly forbids ("a protocol where all participants always
+  // abort is not permitted").
+  int aborts = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    AtomicConfig cfg;
+    cfg.weak = exp::thm3_config(proto::weak::TmKind::kTrustedParty, 2, seed);
+    cfg.weak.env = exp::partial_env(exp::default_timing(), /*gst_seconds=*/30,
+                                    Duration::seconds(10));
+    cfg.notary_deadline = Duration::seconds(2);
+    const auto record = run_atomic(cfg);
+    // Safety always holds.
+    const auto es = props::check_escrow_security(record);
+    EXPECT_TRUE(es.holds) << es.str();
+    const auto cs3 = props::check_cs3(record);
+    EXPECT_TRUE(!cs3.applicable || cs3.holds) << cs3.str();
+    if (!record.bob_paid()) ++aborts;
+  }
+  EXPECT_GT(aborts, 0);
+}
+
+TEST(Atomic, WeakProtocolCommitsWhereAtomicAborts) {
+  // Same chaotic environment; the Thm 3 protocol with patient customers
+  // commits because only *customers* decide when to give up.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto cfg = exp::thm3_config(proto::weak::TmKind::kTrustedParty, 2, seed);
+    cfg.env = exp::partial_env(exp::default_timing(), /*gst_seconds=*/30,
+                               Duration::seconds(10));
+    cfg.patience = Duration::seconds(120);
+    cfg.horizon = Duration::seconds(400);
+    const auto record = proto::weak::run_weak(cfg);
+    EXPECT_TRUE(record.bob_paid()) << "seed=" << seed << record.summary();
+  }
+}
+
+}  // namespace
+}  // namespace xcp::baselines

@@ -1,0 +1,171 @@
+// Cross-chain deals [3]: matrix/digraph structure and the two commit
+// protocols, including the Sec. 5 payment-vs-deal relations.
+
+#include <gtest/gtest.h>
+
+#include "deals/certified_commit.hpp"
+#include "deals/deal_matrix.hpp"
+#include "deals/digraph.hpp"
+#include "deals/timelock_commit.hpp"
+
+namespace xcp::deals {
+namespace {
+
+TEST(Digraph, TarjanSccOnCycleAndPath) {
+  Digraph cycle(4);
+  for (int i = 0; i < 4; ++i) cycle.add_edge(i, (i + 1) % 4);
+  EXPECT_TRUE(cycle.strongly_connected());
+  EXPECT_EQ(cycle.scc_count(), 1);
+
+  Digraph path(4);
+  for (int i = 0; i < 3; ++i) path.add_edge(i, i + 1);
+  EXPECT_FALSE(path.strongly_connected());
+  EXPECT_EQ(path.scc_count(), 4);
+}
+
+TEST(Digraph, BfsDepthsAndDiameter) {
+  Digraph g(5);
+  for (int i = 0; i < 4; ++i) g.add_edge(i, i + 1);
+  const auto d = g.bfs_depths(0);
+  EXPECT_EQ(d[0], 0);
+  EXPECT_EQ(d[4], 4);
+  EXPECT_EQ(g.bfs_depths(4)[0], -1);  // unreachable backwards
+  EXPECT_EQ(g.eccentricity(0), 4);
+}
+
+TEST(DealMatrix, PaymentPathIsNeverWellFormed) {
+  // Sec. 5: the Fig. 1 payment graph is a path — not strongly connected —
+  // so [3]'s correctness theorems never apply to it.
+  for (int n = 1; n <= 8; ++n) {
+    std::vector<Amount> hops(static_cast<std::size_t>(n),
+                             Amount(100, Currency::generic()));
+    const DealMatrix m = DealMatrix::from_payment_path(hops);
+    EXPECT_FALSE(m.well_formed()) << "n=" << n;
+  }
+}
+
+TEST(DealMatrix, SwapCycleIsWellFormed) {
+  for (int p = 2; p <= 6; ++p) {
+    EXPECT_TRUE(DealMatrix::swap_cycle(p, Amount(5, Currency::btc())).well_formed())
+        << p;
+  }
+}
+
+TEST(DealMatrix, PayoffAcceptability) {
+  DealMatrix m = DealMatrix::swap_cycle(2, Amount(100, Currency::generic()));
+  // all-in: party 0 pays 100 and receives 100 -> net 0.
+  EXPECT_TRUE(m.payoff_acceptable(0, {{Currency::generic(), 0}}));
+  // nothing lost: net 0 without receiving is also net >= 0.
+  EXPECT_TRUE(m.payoff_acceptable(0, {{Currency::generic(), 0}}));
+  // lost 100 without the counter-transfer: unacceptable.
+  EXPECT_FALSE(m.payoff_acceptable(0, {{Currency::generic(), -100}}));
+}
+
+TEST(TimelockDeal, WellFormedCycleAllCompliantCommits) {
+  TimelockDealConfig cfg;
+  cfg.deal = DealMatrix::swap_cycle(4, Amount(100, Currency::generic()));
+  cfg.seed = 5;
+  const auto result = run_timelock_deal(cfg);
+  EXPECT_TRUE(result.well_formed);
+  EXPECT_EQ(result.transfers_completed, 4) << result.summary();
+  EXPECT_EQ(result.transfers_refunded, 0);
+  EXPECT_TRUE(result.all_or_nothing);
+  for (const auto& p : result.parties) {
+    EXPECT_TRUE(p.payoff_acceptable) << result.summary();
+  }
+}
+
+TEST(TimelockDeal, NonEscrowingPartyLeadsToFullRefund) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    TimelockDealConfig cfg;
+    cfg.deal = DealMatrix::swap_cycle(4, Amount(100, Currency::generic()));
+    cfg.seed = seed;
+    cfg.behaviours = {PartyBehaviour::kCompliant, PartyBehaviour::kNoEscrow};
+    const auto result = run_timelock_deal(cfg);
+    EXPECT_EQ(result.transfers_completed, 0) << result.summary();
+    EXPECT_EQ(result.transfers_refunded, 3) << result.summary();
+    EXPECT_TRUE(result.all_or_nothing) << result.summary();
+  }
+}
+
+TEST(TimelockDeal, PaymentPathRunsButGivesAliceNoCertificate) {
+  // The deal protocols move the money of a payment, but there is no chi:
+  // the source party ends committed with no proof-of-payment object, which
+  // is why a payment is not a special case of a deal (Sec. 5).
+  TimelockDealConfig cfg;
+  cfg.deal = DealMatrix::from_payment_path(
+      {Amount(110, Currency::generic()), Amount(100, Currency::generic())});
+  cfg.seed = 3;
+  const auto result = run_timelock_deal(cfg);
+  EXPECT_FALSE(result.well_formed);
+  EXPECT_EQ(result.transfers_completed, 2) << result.summary();
+  // Party 0 (Alice) paid and the protocol handed her nothing back — in deal
+  // semantics that is her acceptable "all in" payoff; payment-CS1 would
+  // require a certificate, which the deal protocol has no notion of.
+  EXPECT_LT(result.parties[0].net_by_currency[0].second, 0);
+  EXPECT_TRUE(result.parties[0].payoff_acceptable);
+}
+
+TEST(TimelockDeal, RogueLeaderCannotHurtCompliantParties) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    TimelockDealConfig cfg;
+    cfg.deal = DealMatrix::swap_cycle(3, Amount(100, Currency::generic()));
+    cfg.seed = seed;
+    cfg.behaviours = {PartyBehaviour::kRogueLeader};
+    const auto result = run_timelock_deal(cfg);
+    for (const auto& p : result.parties) {
+      if (p.compliant) {
+        EXPECT_TRUE(p.payoff_acceptable)
+            << "seed=" << seed << "\n" << result.summary();
+      }
+    }
+  }
+}
+
+TEST(CertifiedDeal, CommitsWhenAllCompliantAndPatient) {
+  CertifiedDealConfig cfg;
+  cfg.deal = DealMatrix::swap_cycle(3, Amount(100, Currency::generic()));
+  cfg.seed = 7;
+  cfg.env.gst = TimePoint::origin() + Duration::seconds(1);
+  cfg.patience = Duration::seconds(30);
+  const auto result = run_certified_deal(cfg);
+  EXPECT_TRUE(result.committed) << result.summary();
+  EXPECT_TRUE(result.safety_holds);
+  EXPECT_TRUE(result.no_asset_stuck);
+  EXPECT_EQ(result.transfers_completed, 3);
+}
+
+TEST(CertifiedDeal, CrashedPartyYieldsAbortWithSafety) {
+  CertifiedDealConfig cfg;
+  cfg.deal = DealMatrix::swap_cycle(3, Amount(100, Currency::generic()));
+  cfg.seed = 8;
+  cfg.crashed_parties = {1};
+  cfg.patience = Duration::seconds(10);
+  const auto result = run_certified_deal(cfg);
+  EXPECT_TRUE(result.aborted) << result.summary();
+  EXPECT_TRUE(result.safety_holds) << result.summary();
+  EXPECT_TRUE(result.no_asset_stuck) << result.summary();
+}
+
+TEST(CertifiedDeal, ImpatienceCostsStrongLiveness) {
+  // Everyone compliant, but patience shorter than pre-GST chaos: the deal
+  // may abort — the all-abort outcome [3] accepts but strong liveness
+  // forbids. This is the structural gap the paper's Thm 3 closes with
+  // customer-controlled patience.
+  int aborts = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    CertifiedDealConfig cfg;
+    cfg.deal = DealMatrix::swap_cycle(3, Amount(100, Currency::generic()));
+    cfg.seed = seed;
+    cfg.env.gst = TimePoint::origin() + Duration::seconds(30);
+    cfg.env.pre_gst_typical = Duration::seconds(10);
+    cfg.patience = Duration::seconds(2);
+    const auto result = run_certified_deal(cfg);
+    EXPECT_TRUE(result.safety_holds) << result.summary();
+    if (result.aborted) ++aborts;
+  }
+  EXPECT_GT(aborts, 0) << "expected some all-abort runs under pre-GST chaos";
+}
+
+}  // namespace
+}  // namespace xcp::deals

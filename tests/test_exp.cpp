@@ -1,0 +1,126 @@
+// Experiment harness tests: scenario presets, parallel sweeps and the
+// property-matrix runner cells used by the benches.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
+
+namespace xcp::exp {
+namespace {
+
+TEST(Scenario, ConformingEnvMatchesAssumptions) {
+  const auto timing = default_timing();
+  const auto env = conforming_env(timing);
+  EXPECT_EQ(env.synchrony, proto::SynchronyKind::kSynchronous);
+  EXPECT_EQ(env.delta_max.count(), timing.delta_max.count());
+  EXPECT_DOUBLE_EQ(env.actual_rho, timing.rho);
+}
+
+TEST(Scenario, PartialEnvHasGst) {
+  const auto env = partial_env(default_timing(), 7, Duration::millis(300));
+  EXPECT_EQ(env.synchrony, proto::SynchronyKind::kPartiallySynchronous);
+  EXPECT_EQ((env.gst - TimePoint::origin()).count(),
+            Duration::seconds(7).count());
+}
+
+TEST(Sweep, ReturnsResultsInSeedOrder) {
+  std::function<std::uint64_t(std::uint64_t)> fn = [](std::uint64_t seed) {
+    return seed * 10;
+  };
+  const auto results = parallel_sweep<std::uint64_t>(5, 8, fn, 4);
+  ASSERT_EQ(results.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(results[i], (5 + i) * 10);
+}
+
+TEST(Sweep, ActuallyRunsEverySeedOnce) {
+  std::atomic<int> calls{0};
+  std::function<int(std::uint64_t)> fn = [&calls](std::uint64_t) {
+    return ++calls;
+  };
+  const auto results = parallel_sweep<int>(1, 17, fn, 3);
+  EXPECT_EQ(calls.load(), 17);
+  EXPECT_EQ(results.size(), 17u);
+}
+
+TEST(Sweep, CountWhere) {
+  std::vector<int> v{1, 2, 3, 4, 5};
+  std::function<bool(const int&)> even = [](const int& x) { return x % 2 == 0; };
+  EXPECT_EQ(count_where<int>(v, even), 2u);
+}
+
+TEST(MatrixRunner, TimeBoundedUnderSynchronyIsClean) {
+  const auto cell = run_matrix_cell(ProtocolKind::kTimeBounded,
+                                    Regime::kSynchronyConforming, 2, 6);
+  EXPECT_EQ(cell.safety_violations, 0u);
+  EXPECT_EQ(cell.termination_failures, 0u);
+  EXPECT_EQ(cell.liveness_failures, 0u);
+}
+
+TEST(MatrixRunner, TimeBoundedUnderGriefingAdversaryLosesProgress) {
+  const auto cell = run_matrix_cell(
+      ProtocolKind::kTimeBounded, Regime::kPartialSynchronyAdversarial, 2, 4);
+  // Thm 2's shape: safety survives, but termination/liveness cannot.
+  EXPECT_EQ(cell.safety_violations, 0u)
+      << (cell.example_violations.empty() ? ""
+                                          : cell.example_violations.front());
+  EXPECT_EQ(cell.liveness_failures, cell.runs);
+  EXPECT_GT(cell.termination_failures, 0u);
+}
+
+TEST(MatrixRunner, WeakTrustedSurvivesAdversarialPartialSynchrony) {
+  const auto cell = run_matrix_cell(
+      ProtocolKind::kWeakTrusted, Regime::kPartialSynchronyAdversarial, 2, 4);
+  EXPECT_EQ(cell.safety_violations, 0u);
+  EXPECT_EQ(cell.termination_failures, 0u);
+  EXPECT_EQ(cell.liveness_failures, 0u);
+}
+
+TEST(MatrixRunner, AtomicLosesLivenessUnderPartialSynchrony) {
+  const auto cell = run_matrix_cell(ProtocolKind::kInterledgerAtomic,
+                                    Regime::kPartialSynchrony, 2, 6);
+  EXPECT_EQ(cell.safety_violations, 0u);
+  EXPECT_GT(cell.liveness_failures, 0u);
+}
+
+}  // namespace
+}  // namespace xcp::exp
+
+#include "exp/stats.hpp"
+
+namespace xcp::exp {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.stddev(), 1.1180, 1e-3);
+  EXPECT_EQ(s.count(), 4u);
+}
+
+TEST(Summary, Percentiles) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(95), 95.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(s.median(), 50.0);
+}
+
+TEST(Summary, EmptyAndRangeErrors) {
+  Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW(s.mean(), std::logic_error);
+  s.add(1.0);
+  EXPECT_THROW(s.percentile(101), std::logic_error);
+}
+
+}  // namespace
+}  // namespace xcp::exp

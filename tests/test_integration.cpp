@@ -1,0 +1,129 @@
+// Cross-module integration tests: large chains, cross-currency deals,
+// randomized environment sweeps with full Definition-1/2 property checks,
+// and determinism across the whole stack.
+
+#include <gtest/gtest.h>
+
+#include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
+#include "props/checkers.hpp"
+#include "proto/timebounded.hpp"
+#include "proto/weak/protocol.hpp"
+
+namespace xcp {
+namespace {
+
+TEST(Integration, LongChainTimeBounded) {
+  auto cfg = exp::thm1_config(16, 3);
+  const auto record = proto::run_time_bounded(cfg);
+  EXPECT_TRUE(record.bob_paid());
+  const auto report = props::check_definition1(record, props::CheckOptions{});
+  EXPECT_TRUE(report.all_hold()) << report.str();
+  // 16 escrows => money flows through 17 customers; check commissions.
+  for (int i = 1; i <= 15; ++i) {
+    EXPECT_EQ(record.customer(i).net_units(Currency::generic()), 10) << i;
+  }
+}
+
+TEST(Integration, CrossCurrencyPayment) {
+  proto::TimeBoundedConfig cfg = exp::thm1_config(3, 9);
+  cfg.spec = proto::DealSpec::explicit_hops(
+      2, {Amount(120, Currency::usd()), Amount(100, Currency::eur()),
+          Amount(2, Currency::btc())});
+  const auto record = proto::run_time_bounded(cfg);
+  EXPECT_TRUE(record.stats.drained);
+  const auto report = props::check_definition1(record, props::CheckOptions{});
+  EXPECT_TRUE(report.all_hold()) << report.str() << record.summary();
+  EXPECT_EQ(record.bob().net_units(Currency::btc()), 2);
+  EXPECT_EQ(record.alice().net_units(Currency::usd()), -120);
+  // chloe_1: -100 EUR +120 USD; chloe_2: -2 BTC +100 EUR.
+  EXPECT_EQ(record.customer(1).net_units(Currency::usd()), 120);
+  EXPECT_EQ(record.customer(1).net_units(Currency::eur()), -100);
+  EXPECT_EQ(record.customer(2).net_units(Currency::eur()), 100);
+  EXPECT_EQ(record.customer(2).net_units(Currency::btc()), -2);
+}
+
+TEST(Integration, RandomizedEnvironmentSweepThm1) {
+  // 40 random environments within the assumed bounds; Definition 1 must
+  // hold in every one (this is the falsification harness for Thm 1).
+  std::function<bool(std::uint64_t)> one = [](std::uint64_t seed) {
+    Rng rng(seed);
+    proto::TimeBoundedConfig cfg = exp::thm1_config(
+        static_cast<int>(rng.next_int(1, 8)), seed);
+    cfg.env.delta_min = Duration::millis(rng.next_int(1, 50));
+    cfg.env.actual_rho = rng.next_double(0.0, cfg.assumed.rho);
+    cfg.env.clock_offset_max = Duration::millis(rng.next_int(0, 100));
+    const auto record = proto::run_time_bounded(cfg);
+    const auto report =
+        props::check_definition1(record, props::CheckOptions{});
+    return report.all_hold() && record.bob_paid();
+  };
+  const auto results = exp::parallel_sweep<bool>(1, 40, one);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i]) << "seed " << (i + 1);
+  }
+}
+
+TEST(Integration, RandomizedSweepThm3AllTmKinds) {
+  using proto::weak::TmKind;
+  for (TmKind tm : {TmKind::kTrustedParty, TmKind::kSmartContract,
+                    TmKind::kNotaryCommittee}) {
+    std::function<bool(std::uint64_t)> one = [tm](std::uint64_t seed) {
+      Rng rng(seed * 977);
+      auto cfg = exp::thm3_config(tm, static_cast<int>(rng.next_int(1, 5)),
+                                  seed);
+      cfg.env.gst = TimePoint::origin() +
+                    Duration::millis(rng.next_int(100, 5000));
+      const auto record = proto::weak::run_weak(cfg);
+      const auto report =
+          props::check_definition2(record, props::CheckOptions{});
+      return report.all_hold() && record.bob_paid();
+    };
+    const auto results = exp::parallel_sweep<bool>(1, 15, one);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_TRUE(results[i]) << "tm=" << static_cast<int>(tm) << " seed "
+                              << (i + 1);
+    }
+  }
+}
+
+TEST(Integration, WeakProtocolDeterministic) {
+  auto cfg = exp::thm3_config(proto::weak::TmKind::kNotaryCommittee, 3, 321);
+  const auto a = proto::weak::run_weak(cfg);
+  const auto b = proto::weak::run_weak(cfg);
+  ASSERT_EQ(a.trace.events().size(), b.trace.events().size());
+  for (std::size_t i = 0; i < a.trace.events().size(); ++i) {
+    EXPECT_EQ(a.trace.events()[i].str(), b.trace.events()[i].str()) << i;
+  }
+}
+
+TEST(Integration, MessageComplexityLinearInChainLength) {
+  // Fig. 1 structure: the happy path costs Theta(n) messages.
+  std::vector<std::uint64_t> counts;
+  for (int n : {2, 4, 8}) {
+    const auto record = proto::run_time_bounded(exp::thm1_config(n, 4));
+    EXPECT_TRUE(record.bob_paid());
+    counts.push_back(record.stats.messages_sent);
+  }
+  // Doubling n should roughly double messages (within +-50%).
+  EXPECT_GT(counts[1], counts[0]);
+  EXPECT_GT(counts[2], counts[1]);
+  const double ratio = static_cast<double>(counts[2]) / counts[1];
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 2.5);
+}
+
+TEST(Integration, ImpatientAliceWeakAbortRefundsEveryone) {
+  auto cfg = exp::thm3_config(proto::weak::TmKind::kTrustedParty, 4, 11);
+  cfg.patience_overrides.push_back({0, Duration::millis(1)});
+  const auto record = proto::weak::run_weak(cfg);
+  EXPECT_FALSE(record.bob_paid());
+  for (int i = 0; i <= 4; ++i) {
+    EXPECT_EQ(record.customer(i).net_units(Currency::generic()), 0) << i;
+  }
+  const auto report = props::check_definition2(record, props::CheckOptions{});
+  EXPECT_TRUE(report.all_hold()) << report.str();
+}
+
+}  // namespace
+}  // namespace xcp

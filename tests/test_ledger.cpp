@@ -1,0 +1,179 @@
+// Unit tests for the ledger and escrow substrate: transfers, receipts,
+// conservation, escrow lifecycle.
+
+#include <gtest/gtest.h>
+
+#include "ledger/escrow.hpp"
+#include "ledger/ledger.hpp"
+
+namespace xcp::ledger {
+namespace {
+
+sim::ProcessId pid(std::uint32_t v) { return sim::ProcessId(v); }
+Amount gen(std::int64_t u) { return Amount(u, Currency::generic()); }
+
+TEST(Ledger, MintAndBalance) {
+  Ledger l;
+  l.mint(pid(1), gen(100));
+  l.mint(pid(1), gen(50));
+  EXPECT_EQ(l.balance(pid(1), Currency::generic()).units(), 150);
+  EXPECT_EQ(l.total_supply(Currency::generic()), 150);
+  EXPECT_EQ(l.balance(pid(2), Currency::generic()).units(), 0);
+}
+
+TEST(Ledger, TransferMovesValueAndIssuesReceipt) {
+  Ledger l;
+  l.mint(pid(1), gen(100));
+  TransferId tid = kInvalidTransfer;
+  ASSERT_TRUE(l.transfer(pid(1), pid(2), gen(30), TimePoint::micros(5), &tid));
+  EXPECT_EQ(l.balance(pid(1), Currency::generic()).units(), 70);
+  EXPECT_EQ(l.balance(pid(2), Currency::generic()).units(), 30);
+  const auto r = l.receipt(tid);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->from, pid(1));
+  EXPECT_EQ(r->to, pid(2));
+  EXPECT_EQ(r->amount.units(), 30);
+  EXPECT_EQ(r->at.count(), 5);
+}
+
+TEST(Ledger, OverdraftRejectedWithoutSideEffects) {
+  Ledger l;
+  l.mint(pid(1), gen(10));
+  EXPECT_FALSE(l.transfer(pid(1), pid(2), gen(11), TimePoint::origin()));
+  EXPECT_EQ(l.balance(pid(1), Currency::generic()).units(), 10);
+  EXPECT_EQ(l.balance(pid(2), Currency::generic()).units(), 0);
+  EXPECT_TRUE(l.receipts().empty());
+}
+
+TEST(Ledger, RejectsNonPositiveAndSelfTransfers) {
+  Ledger l;
+  l.mint(pid(1), gen(10));
+  EXPECT_FALSE(l.transfer(pid(1), pid(2), gen(0), TimePoint::origin()));
+  EXPECT_FALSE(l.transfer(pid(1), pid(2), gen(-5), TimePoint::origin()));
+  EXPECT_FALSE(l.transfer(pid(1), pid(1), gen(5), TimePoint::origin()));
+}
+
+TEST(Ledger, ConservationAcrossManyTransfers) {
+  Ledger l;
+  l.mint(pid(0), gen(1000));
+  Rng rng(31);
+  for (int i = 0; i < 500; ++i) {
+    const auto from = pid(static_cast<std::uint32_t>(rng.next_int(0, 4)));
+    const auto to = pid(static_cast<std::uint32_t>(rng.next_int(0, 4)));
+    const Amount a = gen(rng.next_int(1, 50));
+    (void)l.transfer(from, to, a, TimePoint::micros(i));  // may fail; fine
+  }
+  EXPECT_EQ(l.sum_of_balances(Currency::generic()),
+            l.total_supply(Currency::generic()));
+}
+
+TEST(Ledger, ReceiptVerification) {
+  Ledger l;
+  l.mint(pid(1), gen(100));
+  TransferId tid = kInvalidTransfer;
+  ASSERT_TRUE(l.transfer(pid(1), pid(2), gen(30), TimePoint::origin(), &tid));
+  EXPECT_TRUE(l.verify_incoming(tid, pid(2), gen(30)));
+  EXPECT_TRUE(l.verify_incoming(tid, pid(2), gen(20)));  // >= expected
+  EXPECT_FALSE(l.verify_incoming(tid, pid(2), gen(31)));
+  EXPECT_FALSE(l.verify_incoming(tid, pid(3), gen(30)));
+  EXPECT_FALSE(l.verify_incoming(tid, pid(2), Amount(30, Currency::usd())));
+  EXPECT_FALSE(l.verify_incoming(999, pid(2), gen(30)));
+  EXPECT_TRUE(l.verify_exact(tid, pid(1), pid(2), gen(30)));
+  EXPECT_FALSE(l.verify_exact(tid, pid(3), pid(2), gen(30)));
+}
+
+TEST(Ledger, MultiCurrencyHoldings) {
+  Ledger l;
+  l.mint(pid(1), Amount(10, Currency::usd()));
+  l.mint(pid(1), Amount(5, Currency::btc()));
+  const auto h = l.holdings(pid(1));
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0].currency(), Currency::usd());  // sorted by currency id
+  EXPECT_EQ(h[1].currency(), Currency::btc());
+}
+
+// ------------------------------------------------------------------ Escrow
+
+class EscrowFixture : public ::testing::Test {
+ protected:
+  EscrowFixture() : escrows(ledger) {
+    ledger.mint(pid(1), gen(100));
+    // Customer 1 deposits 100 at escrow 5, to be paid to customer 2.
+    EXPECT_TRUE(
+        ledger.transfer(pid(1), pid(5), gen(100), TimePoint::micros(1), &tid));
+  }
+  Ledger ledger;
+  EscrowRegistry escrows{ledger};
+  TransferId tid = kInvalidTransfer;
+};
+
+TEST_F(EscrowFixture, LockCompleteLifecycle) {
+  std::uint64_t deal = 0;
+  ASSERT_TRUE(escrows.lock(pid(5), pid(1), pid(2), gen(100), tid,
+                           TimePoint::micros(2), &deal));
+  EXPECT_EQ(escrows.deal(deal)->state, EscrowState::kLocked);
+  ASSERT_TRUE(escrows.complete(deal, TimePoint::micros(3)));
+  EXPECT_EQ(escrows.deal(deal)->state, EscrowState::kCompleted);
+  EXPECT_EQ(ledger.balance(pid(2), Currency::generic()).units(), 100);
+  EXPECT_EQ(ledger.balance(pid(5), Currency::generic()).units(), 0);
+}
+
+TEST_F(EscrowFixture, LockRefundLifecycle) {
+  std::uint64_t deal = 0;
+  ASSERT_TRUE(escrows.lock(pid(5), pid(1), pid(2), gen(100), tid,
+                           TimePoint::micros(2), &deal));
+  ASSERT_TRUE(escrows.refund(deal, TimePoint::micros(3)));
+  EXPECT_EQ(escrows.deal(deal)->state, EscrowState::kRefunded);
+  EXPECT_EQ(ledger.balance(pid(1), Currency::generic()).units(), 100);
+}
+
+TEST_F(EscrowFixture, DoubleResolutionRejected) {
+  std::uint64_t deal = 0;
+  ASSERT_TRUE(escrows.lock(pid(5), pid(1), pid(2), gen(100), tid,
+                           TimePoint::micros(2), &deal));
+  ASSERT_TRUE(escrows.complete(deal, TimePoint::micros(3)));
+  EXPECT_FALSE(escrows.complete(deal, TimePoint::micros(4)));
+  EXPECT_FALSE(escrows.refund(deal, TimePoint::micros(4)));
+  // Money moved exactly once.
+  EXPECT_EQ(ledger.balance(pid(2), Currency::generic()).units(), 100);
+}
+
+TEST_F(EscrowFixture, LockRequiresRealFunding) {
+  // Receipt that doesn't credit the escrow.
+  EXPECT_FALSE(escrows.lock(pid(6), pid(1), pid(2), gen(100), tid,
+                            TimePoint::micros(2)));
+  // Receipt from the wrong depositor.
+  EXPECT_FALSE(escrows.lock(pid(5), pid(3), pid(2), gen(100), tid,
+                            TimePoint::micros(2)));
+  // Unknown receipt id.
+  EXPECT_FALSE(escrows.lock(pid(5), pid(1), pid(2), gen(100), 999,
+                            TimePoint::micros(2)));
+}
+
+TEST_F(EscrowFixture, UnresolvedTracking) {
+  std::uint64_t deal = 0;
+  ASSERT_TRUE(escrows.lock(pid(5), pid(1), pid(2), gen(100), tid,
+                           TimePoint::micros(2), &deal));
+  EXPECT_EQ(escrows.unresolved().size(), 1u);
+  ASSERT_TRUE(escrows.refund(deal, TimePoint::micros(3)));
+  EXPECT_TRUE(escrows.unresolved().empty());
+}
+
+TEST(EscrowTrace, EventsRecorded) {
+  props::TraceRecorder trace;
+  Ledger ledger(&trace);
+  EscrowRegistry escrows(ledger, &trace);
+  ledger.mint(pid(1), gen(50));
+  TransferId tid = kInvalidTransfer;
+  ASSERT_TRUE(ledger.transfer(pid(1), pid(5), gen(50), TimePoint::micros(1), &tid));
+  std::uint64_t deal = 0;
+  ASSERT_TRUE(escrows.lock(pid(5), pid(1), pid(2), gen(50), tid,
+                           TimePoint::micros(2), &deal));
+  ASSERT_TRUE(escrows.complete(deal, TimePoint::micros(3)));
+  EXPECT_EQ(trace.count(props::EventKind::kTransfer), 2u);  // deposit + payout
+  EXPECT_EQ(trace.count(props::EventKind::kEscrowLock), 1u);
+  EXPECT_EQ(trace.count(props::EventKind::kEscrowComplete), 1u);
+}
+
+}  // namespace
+}  // namespace xcp::ledger

@@ -1,0 +1,258 @@
+// Unit tests of the property checkers themselves: each checker must fire on
+// hand-built violating records and stay quiet on clean ones. A checker that
+// cannot detect a planted violation would silently bless broken protocols.
+
+#include <gtest/gtest.h>
+
+#include "props/checkers.hpp"
+
+namespace xcp::props {
+namespace {
+
+using proto::ParticipantOutcome;
+using proto::RunRecord;
+
+Amount gen(std::int64_t u) { return Amount(u, Currency::generic()); }
+
+/// Builds a minimal clean record: n = 2 (alice, chloe_1, bob + two escrows),
+/// successful payment with commission 5 (alice -105, chloe +5, bob +100).
+RunRecord clean_record() {
+  RunRecord r;
+  r.protocol = "synthetic";
+  r.spec = proto::DealSpec::uniform(1, 2, 100, 5);
+  for (std::uint32_t i = 0; i <= 2; ++i) {
+    r.parts.customers.push_back(sim::ProcessId(i));
+  }
+  for (std::uint32_t i = 3; i <= 4; ++i) {
+    r.parts.escrows.push_back(sim::ProcessId(i));
+  }
+  auto add = [&](std::uint32_t pid, std::string role, bool is_escrow,
+                 int index, std::int64_t initial, std::int64_t final_units) {
+    ParticipantOutcome p;
+    p.pid = sim::ProcessId(pid);
+    p.role = std::move(role);
+    p.is_escrow = is_escrow;
+    p.index = index;
+    p.terminated = true;
+    p.terminated_global = TimePoint::origin() + Duration::seconds(1);
+    p.terminated_local = p.terminated_global;
+    p.final_state = "done";
+    if (initial != 0) p.initial_holdings = {gen(initial)};
+    if (final_units != 0) p.final_holdings = {gen(final_units)};
+    r.participants.push_back(std::move(p));
+  };
+  add(0, "alice", false, 0, 105, 0);
+  add(1, "chloe_1", false, 1, 100, 105);
+  add(2, "bob", false, 2, 0, 100);
+  add(3, "escrow_0", true, 0, 0, 0);
+  add(4, "escrow_1", true, 1, 0, 0);
+  // Alice holds chi; bob issued it.
+  r.participants[0].received_payment_cert = true;
+  r.participants[2].issued_payment_cert = true;
+  r.stats.drained = true;
+  r.stats.end_time = TimePoint::origin() + Duration::seconds(2);
+  return r;
+}
+
+TEST(Checkers, CleanRecordPassesEverything) {
+  const RunRecord r = clean_record();
+  EXPECT_TRUE(check_conservation(r).holds);
+  EXPECT_TRUE(check_escrow_security(r).holds);
+  EXPECT_TRUE(check_cs1(r, false).holds);
+  EXPECT_TRUE(check_cs2(r, false).holds);
+  EXPECT_TRUE(check_cs3(r).holds);
+  CheckOptions opts;
+  opts.time_bounded = false;  // synthetic record has no schedule
+  EXPECT_TRUE(check_strong_liveness(r, opts).holds);
+  EXPECT_TRUE(check_certificate_consistency(r).holds);
+}
+
+TEST(Checkers, ConservationDetectsMintedValue) {
+  RunRecord r = clean_record();
+  r.participants[2].final_holdings = {gen(150)};  // bob magically richer
+  const auto res = check_conservation(r);
+  EXPECT_FALSE(res.holds);
+  EXPECT_FALSE(res.violations.empty());
+}
+
+TEST(Checkers, EscrowSecurityDetectsEscrowLoss) {
+  RunRecord r = clean_record();
+  r.participants[3].initial_holdings = {gen(50)};
+  r.participants[3].final_holdings = {gen(20)};  // escrow_0 lost 30
+  EXPECT_FALSE(check_escrow_security(r).holds);
+}
+
+TEST(Checkers, EscrowSecuritySkipsByzantineEscrows) {
+  RunRecord r = clean_record();
+  r.participants[3].initial_holdings = {gen(50)};
+  r.participants[3].final_holdings = {gen(20)};
+  r.participants[3].abiding = false;  // its own fault
+  EXPECT_TRUE(check_escrow_security(r).holds);
+}
+
+TEST(Checkers, Cs1FiresOnMoneyGoneWithoutCert) {
+  RunRecord r = clean_record();
+  r.participants[0].received_payment_cert = false;  // alice paid, no chi
+  EXPECT_FALSE(check_cs1(r, false).holds);
+  // But not applicable when her escrow deviates.
+  r.participants[3].abiding = false;
+  EXPECT_FALSE(check_cs1(r, false).applicable);
+}
+
+TEST(Checkers, Cs1NotEvaluatedBeforeTermination) {
+  RunRecord r = clean_record();
+  r.participants[0].received_payment_cert = false;
+  r.participants[0].terminated = false;  // "upon termination" only
+  EXPECT_TRUE(check_cs1(r, false).holds);
+}
+
+TEST(Checkers, Cs2FiresWhenBobIssuedButUnpaid) {
+  RunRecord r = clean_record();
+  r.participants[2].final_holdings.clear();  // unpaid
+  EXPECT_FALSE(check_cs2(r, false).holds);
+  // If he never issued chi, being unpaid is fine.
+  r.participants[2].issued_payment_cert = false;
+  EXPECT_TRUE(check_cs2(r, false).holds);
+}
+
+TEST(Checkers, Cs2WeakFormAcceptsAbortCert) {
+  RunRecord r = clean_record();
+  r.participants[2].final_holdings.clear();
+  r.participants[2].received_abort_cert = true;
+  EXPECT_TRUE(check_cs2(r, true).holds);
+  r.participants[2].received_abort_cert = false;
+  EXPECT_FALSE(check_cs2(r, true).holds);
+}
+
+TEST(Checkers, Cs3FiresOnConnectorLoss) {
+  RunRecord r = clean_record();
+  r.participants[1].final_holdings = {gen(40)};  // chloe down 60
+  EXPECT_FALSE(check_cs3(r).holds);
+}
+
+TEST(Checkers, Cs3AcceptsRefundOutcome) {
+  RunRecord r = clean_record();
+  r.participants[1].final_holdings = {gen(100)};  // net 0: refunded
+  EXPECT_TRUE(check_cs3(r).holds);
+}
+
+TEST(Checkers, Cs3CrossCurrencyPaidThrough) {
+  RunRecord r = clean_record();
+  r.spec = proto::DealSpec::explicit_hops(
+      1, {Amount(105, Currency::usd()), Amount(100, Currency::eur())});
+  // chloe paid 100 EUR out, received 105 USD.
+  r.participants[1].initial_holdings = {Amount(100, Currency::eur())};
+  r.participants[1].final_holdings = {Amount(105, Currency::usd())};
+  EXPECT_TRUE(check_cs3(r).holds);
+  // chloe paid out but upstream never delivered: violation.
+  r.participants[1].final_holdings = {};
+  EXPECT_FALSE(check_cs3(r).holds);
+}
+
+TEST(Checkers, StrongLivenessOnlyAppliesWhenAllAbide) {
+  RunRecord r = clean_record();
+  r.participants[2].final_holdings.clear();  // bob unpaid
+  CheckOptions opts;
+  EXPECT_FALSE(check_strong_liveness(r, opts).holds);
+  r.participants[1].abiding = false;
+  EXPECT_FALSE(check_strong_liveness(r, opts).applicable);
+  r.participants[1].abiding = true;
+  opts.environment_conforms = false;
+  EXPECT_FALSE(check_strong_liveness(r, opts).applicable);
+}
+
+TEST(Checkers, CertificateConsistencyDetectsBoth) {
+  RunRecord r = clean_record();
+  TraceEvent commit;
+  commit.kind = EventKind::kDecide;
+  commit.label = "commit";
+  TraceEvent abort;
+  abort.kind = EventKind::kDecide;
+  abort.label = "abort";
+  r.trace.record(commit);
+  EXPECT_TRUE(check_certificate_consistency(r).holds);
+  r.trace.record(abort);
+  EXPECT_FALSE(check_certificate_consistency(r).holds);
+}
+
+TEST(Checkers, CertificateConsistencyDetectsConflictingHoldings) {
+  RunRecord r = clean_record();
+  r.participants[0].received_commit_cert = true;
+  r.participants[2].received_abort_cert = true;
+  EXPECT_FALSE(check_certificate_consistency(r).holds);
+}
+
+TEST(Checkers, TerminationRequiresPayersToTerminate) {
+  RunRecord r = clean_record();
+  // alice made a payment (trace transfer) but never terminated.
+  TraceEvent t;
+  t.kind = EventKind::kTransfer;
+  t.actor = r.parts.customers[0];
+  r.trace.record(t);
+  r.participants[0].terminated = false;
+  CheckOptions opts;
+  opts.time_bounded = false;
+  EXPECT_FALSE(check_termination(r, opts).holds);
+  r.participants[0].terminated = true;
+  EXPECT_TRUE(check_termination(r, opts).holds);
+}
+
+TEST(Checkers, TerminationNotApplicableWhenNobodyActed) {
+  RunRecord r = clean_record();
+  CheckOptions opts;
+  opts.time_bounded = false;
+  // No transfers or cert issuance in the trace at all.
+  r.participants[2].issued_payment_cert = false;
+  EXPECT_FALSE(check_termination(r, opts).applicable);
+}
+
+TEST(Checkers, WeakLivenessSkippedAfterAbortRequest) {
+  RunRecord r = clean_record();
+  r.participants[2].final_holdings.clear();  // bob unpaid
+  CheckOptions opts;
+  EXPECT_FALSE(check_weak_liveness(r, opts).holds);
+  TraceEvent e;
+  e.kind = EventKind::kAbortRequested;
+  r.trace.record(e);
+  EXPECT_FALSE(check_weak_liveness(r, opts).applicable);
+}
+
+TEST(Checkers, ReportAggregation) {
+  RunRecord r = clean_record();
+  CheckOptions opts;
+  opts.time_bounded = false;
+  auto report = check_definition1(r, opts);
+  EXPECT_TRUE(report.all_hold()) << report.str();
+  EXPECT_TRUE(report.failed().empty());
+
+  r.participants[1].final_holdings = {gen(40)};
+  r.participants[2].final_holdings = {gen(165)};  // keep conservation intact
+  report = check_definition1(r, opts);
+  EXPECT_FALSE(report.all_hold());
+  const auto failed = report.failed();
+  EXPECT_NE(std::find(failed.begin(), failed.end(), "CS3"), failed.end());
+}
+
+TEST(Trace, QueryHelpers) {
+  TraceRecorder t;
+  TraceEvent a;
+  a.kind = EventKind::kSend;
+  a.actor = sim::ProcessId(1);
+  a.label = "chi";
+  t.record(a);
+  TraceEvent b;
+  b.kind = EventKind::kSend;
+  b.actor = sim::ProcessId(2);
+  b.label = "G";
+  t.record(b);
+  EXPECT_EQ(t.count(EventKind::kSend), 2u);
+  EXPECT_EQ(t.count(EventKind::kSend, sim::ProcessId(1)), 1u);
+  EXPECT_EQ(t.count_label(EventKind::kSend, "chi"), 1u);
+  ASSERT_NE(t.first(EventKind::kSend, sim::ProcessId(2)), nullptr);
+  EXPECT_EQ(t.first(EventKind::kSend, sim::ProcessId(2))->label, "G");
+  EXPECT_EQ(t.all(EventKind::kSend).size(), 2u);
+  EXPECT_EQ(t.first_label(EventKind::kSend, "nope"), nullptr);
+}
+
+}  // namespace
+}  // namespace xcp::props

@@ -1,0 +1,199 @@
+// Unit tests for the discrete-event simulator, event queue and drift clocks.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clock.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace xcp::sim {
+namespace {
+
+// --------------------------------------------------------------- EventQueue
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(TimePoint::micros(30), [&] { order.push_back(3); });
+  q.push(TimePoint::micros(10), [&] { order.push_back(1); });
+  q.push(TimePoint::micros(20), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SimultaneousEventsRunInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.push(TimePoint::micros(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().second();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelledEventsAreSkipped) {
+  EventQueue q;
+  int fired = 0;
+  const EventId a = q.push(TimePoint::micros(1), [&] { ++fired; });
+  q.push(TimePoint::micros(2), [&] { ++fired; });
+  q.cancel(a);
+  EXPECT_EQ(q.live_size(), 1u);
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelUnknownIdIsNoop) {
+  EventQueue q;
+  q.cancel(12345);
+  q.cancel(kInvalidEvent);
+  EXPECT_TRUE(q.empty());
+}
+
+// ---------------------------------------------------------------- Simulator
+
+TEST(Simulator, TimeAdvancesMonotonically) {
+  Simulator sim(1);
+  std::vector<std::int64_t> times;
+  sim.schedule_at(TimePoint::micros(100), [&] { times.push_back(sim.now().count()); });
+  sim.schedule_at(TimePoint::micros(50), [&] { times.push_back(sim.now().count()); });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<std::int64_t>{50, 100}));
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator sim(1);
+  std::int64_t fired_at = -1;
+  sim.schedule_at(TimePoint::micros(10), [&] {
+    sim.schedule_after(Duration::micros(5), [&] { fired_at = sim.now().count(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 15);
+}
+
+TEST(Simulator, SchedulingIntoThePastRejected) {
+  Simulator sim(1);
+  sim.schedule_at(TimePoint::micros(100), [&] {
+    EXPECT_THROW(sim.schedule_at(TimePoint::micros(50), [] {}), std::logic_error);
+  });
+  sim.run();
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim(1);
+  int fired = 0;
+  sim.schedule_at(TimePoint::micros(10), [&] { ++fired; });
+  sim.schedule_at(TimePoint::micros(1000), [&] { ++fired; });
+  const bool drained = sim.run_until(TimePoint::micros(100));
+  EXPECT_FALSE(drained);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now().count(), 100);
+  // Continuing past the deadline executes the rest.
+  EXPECT_TRUE(sim.run_until(TimePoint::micros(2000)));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventLimitCatchesLivelock) {
+  Simulator sim(1);
+  sim.set_event_limit(100);
+  std::function<void()> loop = [&] { sim.schedule_after(Duration::micros(1), loop); };
+  sim.schedule_at(TimePoint::micros(1), loop);
+  EXPECT_THROW(sim.run(), std::logic_error);
+}
+
+class CountingProcess final : public Process {
+ public:
+  int started = 0;
+  int timers = 0;
+  void on_start() override { ++started; }
+  void on_timer(std::uint64_t) override { ++timers; }
+  using Process::set_timer_local_after;  // expose for the test
+};
+
+TEST(Simulator, ProcessesStartOnceInRegistrationOrder) {
+  Simulator sim(1);
+  auto& a = sim.spawn<CountingProcess>("a");
+  auto& b = sim.spawn<CountingProcess>("b");
+  sim.run();
+  EXPECT_EQ(a.started, 1);
+  EXPECT_EQ(b.started, 1);
+  EXPECT_EQ(a.id().value(), 0u);
+  EXPECT_EQ(b.id().value(), 1u);
+  EXPECT_EQ(sim.process(a.id()).name(), "a");
+}
+
+TEST(Simulator, TimerFiresAndCanBeCancelled) {
+  Simulator sim(1);
+  auto& p = sim.spawn<CountingProcess>("p");
+  sim.schedule_at(TimePoint::micros(1), [&] {
+    const TimerId keep = p.set_timer_local_after(Duration::micros(10), 1);
+    const TimerId kill = p.set_timer_local_after(Duration::micros(20), 2);
+    (void)keep;
+    sim.cancel(kill);
+  });
+  sim.run();
+  EXPECT_EQ(p.timers, 1);
+}
+
+// --------------------------------------------------------------- DriftClock
+
+TEST(DriftClock, PerfectClockIsIdentity) {
+  DriftClock c;
+  EXPECT_EQ(c.to_local(TimePoint::micros(123)).count(), 123);
+  EXPECT_EQ(c.to_global(TimePoint::micros(123)).count(), 123);
+}
+
+TEST(DriftClock, FastClockReadsAhead) {
+  DriftClock c(TimePoint::origin(), TimePoint::origin(), 1.1);
+  EXPECT_EQ(c.to_local(TimePoint::micros(1000)).count(), 1100);
+  // Local deadline 1100 is reached at global 1000.
+  EXPECT_LE(c.to_global(TimePoint::micros(1100)).count(), 1001);
+}
+
+TEST(DriftClock, SlowClockReadsBehind) {
+  DriftClock c(TimePoint::origin(), TimePoint::origin(), 0.9);
+  EXPECT_EQ(c.to_local(TimePoint::micros(1000)).count(), 900);
+}
+
+TEST(DriftClock, ToGlobalIsFirstInstantGuardHolds) {
+  Rng rng(21);
+  for (int trial = 0; trial < 200; ++trial) {
+    const DriftClock c = DriftClock::sample(rng, 0.01, Duration::millis(10));
+    const TimePoint local_deadline =
+        TimePoint::micros(rng.next_int(0, 10'000'000));
+    const TimePoint g = c.to_global(local_deadline);
+    EXPECT_GE(c.to_local(g), local_deadline);
+    if (g.count() > 0) {
+      EXPECT_LT(c.to_local(g - Duration::micros(1)), local_deadline);
+    }
+  }
+}
+
+TEST(DriftClock, SampledRatesWithinRho) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    const DriftClock c = DriftClock::sample(rng, 0.05, Duration::zero());
+    EXPECT_GE(c.rate(), 0.95);
+    EXPECT_LE(c.rate(), 1.05);
+  }
+}
+
+TEST(DriftClock, MeasureScalesTrueDurations) {
+  DriftClock fast(TimePoint::origin(), TimePoint::origin(), 1.5);
+  EXPECT_EQ(fast.measure(Duration::micros(100)).count(), 150);
+}
+
+TEST(DriftClock, MonotoneLocalTime) {
+  Rng rng(29);
+  const DriftClock c = DriftClock::sample(rng, 0.02, Duration::millis(5));
+  TimePoint prev = c.to_local(TimePoint::origin());
+  for (int k = 1; k <= 1000; ++k) {
+    const TimePoint cur = c.to_local(TimePoint::micros(k * 997));
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace xcp::sim

@@ -1,0 +1,254 @@
+// Unit tests for the support layer: time, amounts, RNG, hashing, tables.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/amount.hpp"
+#include "support/hash.hpp"
+#include "support/rng.hpp"
+#include "support/status.hpp"
+#include "support/table.hpp"
+#include "support/time.hpp"
+
+namespace xcp {
+namespace {
+
+// ----------------------------------------------------------------- Duration
+
+TEST(Duration, ConstructionAndConversion) {
+  EXPECT_EQ(Duration::seconds(2).count(), 2'000'000);
+  EXPECT_EQ(Duration::millis(3).count(), 3'000);
+  EXPECT_EQ(Duration::micros(7).count(), 7);
+  EXPECT_DOUBLE_EQ(Duration::millis(1500).to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(Duration::micros(2500).to_millis(), 2.5);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = Duration::millis(100);
+  const Duration b = Duration::millis(40);
+  EXPECT_EQ((a + b).count(), 140'000);
+  EXPECT_EQ((a - b).count(), 60'000);
+  EXPECT_EQ((a * 3).count(), 300'000);
+  EXPECT_EQ((3 * a).count(), 300'000);
+  EXPECT_EQ((a / 2).count(), 50'000);
+  EXPECT_EQ((-b).count(), -40'000);
+  EXPECT_LT(b, a);
+}
+
+TEST(Duration, ScaledUpRoundsUp) {
+  // Deadline inflation must never round a bound downwards.
+  const Duration d = Duration::micros(1000);
+  EXPECT_EQ(d.scaled_up(1.0).count(), 1000);
+  EXPECT_EQ(d.scaled_up(1.001).count(), 1001);
+  EXPECT_EQ(d.scaled_up(1.0001).count(), 1001);  // ceil(1000.1)
+  EXPECT_EQ(d.scaled_down(1.0001).count(), 1000);
+}
+
+TEST(Duration, StrPicksNaturalUnit) {
+  EXPECT_EQ(Duration::seconds(3).str(), "3s");
+  EXPECT_EQ(Duration::millis(30).str(), "30ms");
+  EXPECT_EQ(Duration::micros(5).str(), "5us");
+}
+
+TEST(TimePoint, ArithmeticWithDurations) {
+  const TimePoint t = TimePoint::origin() + Duration::seconds(5);
+  EXPECT_EQ(t.count(), 5'000'000);
+  EXPECT_EQ((t - Duration::seconds(2)).count(), 3'000'000);
+  EXPECT_EQ((t - TimePoint::origin()).count(), 5'000'000);
+  EXPECT_LT(TimePoint::origin(), t);
+}
+
+// ------------------------------------------------------------------- Amount
+
+TEST(Amount, SameCurrencyArithmetic) {
+  const Amount a(100, Currency::usd());
+  const Amount b(40, Currency::usd());
+  EXPECT_EQ((a + b).units(), 140);
+  EXPECT_EQ((a - b).units(), 60);
+  EXPECT_TRUE(b.less_than(a));
+  EXPECT_EQ((-a).units(), -100);
+}
+
+TEST(Amount, CrossCurrencyArithmeticThrows) {
+  const Amount usd(100, Currency::usd());
+  const Amount eur(100, Currency::eur());
+  EXPECT_THROW(usd + eur, AmountError);
+  EXPECT_THROW(usd - eur, AmountError);
+  EXPECT_THROW(usd.less_than(eur), AmountError);
+  EXPECT_FALSE(usd == eur);  // equality is defined and false
+}
+
+TEST(Amount, OverflowDetected) {
+  const Amount big(std::numeric_limits<std::int64_t>::max(), Currency::usd());
+  const Amount one(1, Currency::usd());
+  EXPECT_THROW(big + one, AmountError);
+  const Amount small(std::numeric_limits<std::int64_t>::min(), Currency::usd());
+  EXPECT_THROW(small - one, AmountError);
+}
+
+TEST(Amount, Formatting) {
+  EXPECT_EQ(Amount(5, Currency::btc()).str(), "5 BTC");
+  EXPECT_EQ(Currency::usd().code(), "USD");
+  EXPECT_EQ(Currency(77).code(), "CUR77");
+}
+
+// ---------------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextBelowInRangeAndCoversValues) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.next_below(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all residues hit over 1000 draws
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+  Rng rng(9);
+  bool lo_hit = false;
+  bool hi_hit = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.next_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    lo_hit = lo_hit || v == -3;
+    hi_hit = hi_hit || v == 3;
+  }
+  EXPECT_TRUE(lo_hit);
+  EXPECT_TRUE(hi_hit);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+  Rng rng(13);
+  int heads = 0;
+  const int trials = 10000;
+  for (int i = 0; i < trials; ++i) heads += rng.next_bool(0.3);
+  EXPECT_NEAR(static_cast<double>(heads) / trials, 0.3, 0.03);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(5);
+  Rng child = parent.fork();
+  // The child stream should not replay the parent stream.
+  Rng parent2(5);
+  (void)parent2.fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (child.next_u64() == parent.next_u64());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextDurationWithinBounds) {
+  Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    const Duration d = rng.next_duration(Duration::millis(1), Duration::millis(5));
+    EXPECT_GE(d, Duration::millis(1));
+    EXPECT_LE(d, Duration::millis(5));
+  }
+}
+
+// --------------------------------------------------------------------- Hash
+
+TEST(Hash, Fnv1aKnownProperties) {
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_NE(fnv1a64("a"), fnv1a64("b"));
+  EXPECT_EQ(fnv1a64("xcp"), fnv1a64("xcp"));
+}
+
+TEST(Hash, HashWriterOrderSensitive) {
+  HashWriter a;
+  a.write_u64(1);
+  a.write_u64(2);
+  HashWriter b;
+  b.write_u64(2);
+  b.write_u64(1);
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Hash, HashWriterStringFraming) {
+  // "ab" + "c" must differ from "a" + "bc" (length prefixes prevent
+  // concatenation ambiguity).
+  HashWriter a;
+  a.write_str("ab");
+  a.write_str("c");
+  HashWriter b;
+  b.write_str("a");
+  b.write_str("bc");
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+// ------------------------------------------------------------------- Status
+
+TEST(Status, OkAndError) {
+  EXPECT_TRUE(Status::ok().is_ok());
+  const Status e = Status::error("boom");
+  EXPECT_FALSE(e.is_ok());
+  EXPECT_EQ(e.message(), "boom");
+  EXPECT_THROW(e.expect("ctx"), std::runtime_error);
+  EXPECT_NO_THROW(Status::ok().expect("ctx"));
+}
+
+TEST(Status, RequireMacroThrowsWithMessage) {
+  EXPECT_THROW(
+      [] { XCP_REQUIRE(1 == 2, "math broke"); }(), std::logic_error);
+}
+
+// -------------------------------------------------------------------- Table
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(Table, CsvQuotesSpecials) {
+  Table t({"x"});
+  t.add_row({"a,b"});
+  t.add_row({"q\"uote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"q\"\"uote\""), std::string::npos);
+}
+
+TEST(Table, ArityMismatchRejected) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::fmt(static_cast<std::int64_t>(-5)), "-5");
+  EXPECT_EQ(Table::fmt(true), "yes");
+  EXPECT_EQ(Table::pct(0.1234, 1), "12.3%");
+}
+
+}  // namespace
+}  // namespace xcp

@@ -1,0 +1,157 @@
+// End-to-end tests of the time-bounded protocol (Fig. 2 / Thm 1).
+
+#include <gtest/gtest.h>
+
+#include "props/checkers.hpp"
+#include "proto/timebounded.hpp"
+
+namespace xcp::proto {
+namespace {
+
+TimeBoundedConfig base_config(int n, std::uint64_t seed) {
+  TimeBoundedConfig cfg;
+  cfg.seed = seed;
+  cfg.spec = DealSpec::uniform(/*deal_id=*/7, n, /*base=*/1000, /*commission=*/5);
+  cfg.assumed.delta_max = Duration::millis(100);
+  cfg.assumed.processing = Duration::millis(5);
+  cfg.assumed.rho = 1e-3;
+  cfg.assumed.slack = Duration::millis(10);
+  cfg.env.synchrony = SynchronyKind::kSynchronous;
+  cfg.env.delta_min = Duration::millis(1);
+  cfg.env.delta_max = cfg.assumed.delta_max;
+  cfg.env.processing = cfg.assumed.processing;
+  cfg.env.actual_rho = cfg.assumed.rho;
+  cfg.env.clock_offset_max = Duration::millis(50);
+  return cfg;
+}
+
+TEST(TimeBounded, HappyPathSingleEscrow) {
+  const auto record = run_time_bounded(base_config(1, 42));
+  EXPECT_TRUE(record.stats.drained);
+  EXPECT_TRUE(record.bob_paid());
+  // Alice spent v_0, holds chi.
+  EXPECT_TRUE(record.alice().received_payment_cert);
+  EXPECT_EQ(record.alice().net_units(Currency::generic()), -1000);
+  EXPECT_EQ(record.bob().net_units(Currency::generic()), 1000);
+  const auto report =
+      props::check_definition1(record, props::CheckOptions{});
+  EXPECT_TRUE(report.all_hold()) << report.str();
+}
+
+TEST(TimeBounded, HappyPathWithConnectors) {
+  const auto record = run_time_bounded(base_config(3, 7));
+  EXPECT_TRUE(record.stats.drained);
+  EXPECT_TRUE(record.bob_paid());
+  // Each connector pockets the commission.
+  for (int i = 1; i <= 2; ++i) {
+    EXPECT_EQ(record.customer(i).net_units(Currency::generic()), 5)
+        << "chloe_" << i;
+  }
+  // Alice pays base + 2 * commission.
+  EXPECT_EQ(record.alice().net_units(Currency::generic()), -1010);
+  EXPECT_EQ(record.bob().net_units(Currency::generic()), 1000);
+  const auto report =
+      props::check_definition1(record, props::CheckOptions{});
+  EXPECT_TRUE(report.all_hold()) << report.str();
+}
+
+TEST(TimeBounded, AllPropertiesAcrossSeedsAndSizes) {
+  for (int n : {1, 2, 4, 8}) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      const auto record = run_time_bounded(base_config(n, seed));
+      const auto report =
+          props::check_definition1(record, props::CheckOptions{});
+      EXPECT_TRUE(report.all_hold())
+          << "n=" << n << " seed=" << seed << "\n"
+          << report.str() << record.summary();
+    }
+  }
+}
+
+TEST(TimeBounded, TerminationWithinAPrioriBound) {
+  const auto record = run_time_bounded(base_config(4, 11));
+  ASSERT_TRUE(record.schedule.has_value());
+  for (int i = 0; i <= 4; ++i) {
+    const auto& c = record.customer(i);
+    ASSERT_TRUE(c.terminated) << c.role;
+    EXPECT_LE((c.terminated_global - TimePoint::origin()).count(),
+              record.schedule->customer_termination_bound(i).count())
+        << c.role;
+  }
+}
+
+TEST(TimeBounded, DeterministicGivenSeed) {
+  const auto a = run_time_bounded(base_config(3, 99));
+  const auto b = run_time_bounded(base_config(3, 99));
+  ASSERT_EQ(a.trace.events().size(), b.trace.events().size());
+  EXPECT_EQ(a.stats.messages_sent, b.stats.messages_sent);
+  EXPECT_EQ(a.stats.end_time.count(), b.stats.end_time.count());
+  for (std::size_t i = 0; i < a.trace.events().size(); ++i) {
+    EXPECT_EQ(a.trace.events()[i].str(), b.trace.events()[i].str()) << i;
+  }
+}
+
+}  // namespace
+}  // namespace xcp::proto
+
+namespace xcp::proto {
+namespace {
+
+// --- the impatient protocol variant (Thm 2, option B) ---
+
+TEST(ImpatientVariant, HarmlessUnderConformingSynchrony) {
+  // With a give-up window beyond the schedule horizon, the variant behaves
+  // exactly like the paper's protocol in conforming environments.
+  auto cfg = base_config(3, 17);
+  cfg.customer_giveup = TimelockSchedule::drift_compensated(3, cfg.assumed)
+                            .horizon() * 2;
+  const auto record = run_time_bounded(cfg);
+  EXPECT_TRUE(record.bob_paid());
+  const auto report = props::check_definition1(record, props::CheckOptions{});
+  EXPECT_TRUE(report.all_hold()) << report.str();
+  for (const auto& p : record.participants) {
+    EXPECT_NE(p.final_state, std::string(kGaveUp)) << p.role;
+  }
+}
+
+TEST(ImpatientVariant, GivingUpTradesTerminationForCs3) {
+  // The Thm 2 adversary strands chloe_1 (chi held to e_0 only: e_1 pays Bob,
+  // e_0 refunds Alice). The paper's protocol leaves her waiting forever; the
+  // impatient variant terminates her — and the CS3 checker fires.
+  auto cfg = base_config(2, 3);
+  const auto horizon =
+      TimelockSchedule::drift_compensated(2, cfg.assumed).horizon();
+  const TimePoint release = TimePoint::origin() + horizon * 3;
+  cfg.env.synchrony = SynchronyKind::kPartiallySynchronous;
+  cfg.env.gst = release;
+  cfg.env.pre_gst_typical = Duration::millis(150);
+  cfg.adversary = [release](const Participants& parts,
+                            const TimelockSchedule&)
+      -> std::unique_ptr<net::Adversary> {
+    auto adv = std::make_unique<net::RuleBasedAdversary>();
+    adv->hold_until(net::RuleBasedAdversary::all_of(
+                        {net::RuleBasedAdversary::kind_is("chi"),
+                         net::RuleBasedAdversary::to_process(parts.escrow(0))}),
+                    release);
+    return adv;
+  };
+  cfg.customer_giveup = horizon;  // finite patience
+  cfg.extra_horizon = horizon * 6;
+  const auto record = run_time_bounded(cfg);
+
+  // She terminated (T rescued)...
+  const auto& chloe = record.customer(1);
+  EXPECT_TRUE(chloe.terminated);
+  EXPECT_EQ(chloe.final_state, std::string(kGaveUp));
+  // ...but at a loss: the CS3 checker detects the violation.
+  const auto cs3 = props::check_cs3(record);
+  ASSERT_TRUE(cs3.applicable);
+  EXPECT_FALSE(cs3.holds);
+  EXPECT_LT(chloe.net_units(Currency::generic()), 0);
+  // Safety of everyone else is intact and money is conserved.
+  EXPECT_TRUE(props::check_conservation(record).holds);
+  EXPECT_TRUE(props::check_escrow_security(record).holds);
+}
+
+}  // namespace
+}  // namespace xcp::proto

@@ -1,0 +1,114 @@
+// Tests of the timelock-schedule derivation (Sec. 4 parameters a_i, d_i),
+// including randomized property checks of the window recurrence under drift.
+
+#include <gtest/gtest.h>
+
+#include "proto/timelock_schedule.hpp"
+#include "support/rng.hpp"
+
+namespace xcp::proto {
+namespace {
+
+TimingParams params(std::int64_t delta_ms, std::int64_t eps_ms, double rho,
+                    std::int64_t slack_ms) {
+  TimingParams p;
+  p.delta_max = Duration::millis(delta_ms);
+  p.processing = Duration::millis(eps_ms);
+  p.rho = rho;
+  p.slack = Duration::millis(slack_ms);
+  return p;
+}
+
+TEST(TimelockSchedule, RecurrenceMatchesDerivation) {
+  const auto p = params(100, 5, 0.0, 10);
+  const auto s = TimelockSchedule::drift_compensated(4, p);
+  const Duration step = p.step();
+  EXPECT_EQ(s.true_window(3).count(), (2 * step + p.slack).count());
+  for (int i = 2; i >= 0; --i) {
+    EXPECT_EQ(s.true_window(i).count(),
+              (s.true_window(i + 1) + 4 * step).count())
+        << i;
+  }
+}
+
+TEST(TimelockSchedule, WindowsDecreaseDownstream) {
+  const auto s = TimelockSchedule::drift_compensated(6, params(50, 2, 1e-3, 5));
+  for (int i = 0; i + 1 < 6; ++i) {
+    EXPECT_GT(s.a(i), s.a(i + 1)) << i;
+    EXPECT_GT(s.d(i), s.a(i)) << i;  // refund promise covers the window
+  }
+}
+
+TEST(TimelockSchedule, CompensationInflatesByRho) {
+  const auto p = params(100, 5, 0.01, 10);
+  const auto naive = TimelockSchedule::naive(3, p);
+  const auto comp = TimelockSchedule::drift_compensated(3, p);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(naive.a(i).count(), naive.true_window(i).count());
+    EXPECT_EQ(comp.a(i).count(), naive.a(i).scaled_up(1.01).count());
+    EXPECT_GT(comp.a(i), naive.a(i));
+  }
+}
+
+TEST(TimelockSchedule, ZeroSlackRejected) {
+  EXPECT_THROW(TimelockSchedule::drift_compensated(2, params(100, 5, 0, 0)),
+               std::logic_error);
+}
+
+TEST(TimelockSchedule, TerminationBoundsMonotoneEnough) {
+  const auto s = TimelockSchedule::drift_compensated(5, params(100, 5, 1e-3, 10));
+  // Every per-customer bound is below the overall horizon.
+  for (int i = 0; i <= 5; ++i) {
+    EXPECT_LE(s.customer_termination_bound(i).count(), s.horizon().count()) << i;
+    EXPECT_GT(s.customer_termination_bound(i), Duration::zero());
+  }
+}
+
+// The central schedule property (the essence of Thm 1's timing argument):
+// for any drift rates within rho, the *local* window a_i, measured on the
+// escrow's clock, always spans at least the true-time window A_i; and the
+// worst-case chi round-trip fits inside A_i by construction of the
+// recurrence.
+class SchedulePropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(SchedulePropertyTest, LocalWindowCoversTrueWindowUnderAnyDrift) {
+  const auto [n, rho] = GetParam();
+  const auto p = params(100, 5, rho, 10);
+  const auto s = TimelockSchedule::drift_compensated(n, p);
+  Rng rng(static_cast<std::uint64_t>(n * 1000) ^
+          static_cast<std::uint64_t>(rho * 1e9));
+  for (int trial = 0; trial < 200; ++trial) {
+    const double rate = rng.next_double(1.0 - rho, 1.0 + rho);
+    for (int i = 0; i < n; ++i) {
+      // A local duration a_i on a clock of this rate spans a true duration
+      // a_i / rate; it must cover A_i.
+      const double true_span =
+          static_cast<double>(s.a(i).count()) / rate;
+      EXPECT_GE(true_span + 1.0, static_cast<double>(s.true_window(i).count()))
+          << "n=" << n << " rho=" << rho << " i=" << i << " rate=" << rate;
+    }
+  }
+}
+
+TEST_P(SchedulePropertyTest, NaiveScheduleFailsExactlyWhenClockFast) {
+  const auto [n, rho] = GetParam();
+  if (rho == 0.0) return;  // naive == compensated at zero drift
+  const auto p = params(100, 5, rho, 10);
+  const auto s = TimelockSchedule::naive(n, p);
+  // With the fastest legal clock, the naive local window under-covers the
+  // true window — the root cause of the drift ablation's failures.
+  const double fast = 1.0 + rho;
+  for (int i = 0; i < n; ++i) {
+    const double true_span = static_cast<double>(s.a(i).count()) / fast;
+    EXPECT_LT(true_span, static_cast<double>(s.true_window(i).count()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SchedulePropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8, 16),
+                       ::testing::Values(0.0, 1e-4, 1e-3, 1e-2)));
+
+}  // namespace
+}  // namespace xcp::proto
