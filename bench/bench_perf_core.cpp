@@ -9,6 +9,7 @@
 #include "exp/scenario.hpp"
 #include "net/delay_model.hpp"
 #include "net/network.hpp"
+#include "proto/bodies.hpp"
 #include "proto/timebounded.hpp"
 #include "proto/weak/protocol.hpp"
 #include "sim/event_queue.hpp"
@@ -18,11 +19,53 @@ namespace {
 
 using namespace xcp;
 
+const net::MsgKind kPing = net::kind("ping");
+
 void BM_EventQueuePushPop(benchmark::State& state) {
+  // Steady-state cost of scheduling: the queue persists across iterations
+  // (as it does for a simulator's whole run), so storage is at its
+  // high-water mark and the measurement is pure push/sift/pop work.
+  //
+  // The scheduled closure captures a delivery-sized payload (48 bytes —
+  // what Network::send's closure carries: a Message plus the network
+  // pointer), because that is what every hot call site in the simulator
+  // actually pushes. The trivial empty-capture case is benched separately.
+  struct DeliveryPayload {
+    std::uint64_t msg_id;
+    std::uint64_t from_to;
+    std::uint64_t kind;
+    void* body_a;
+    void* body_b;
+    std::uint64_t* sink;
+  };
   const std::int64_t n = state.range(0);
+  sim::EventQueue q;
+  Rng rng(1);
+  std::uint64_t sink = 0;
   for (auto _ : state) {
-    sim::EventQueue q;
-    Rng rng(1);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const DeliveryPayload payload{static_cast<std::uint64_t>(i), 7, 42,
+                                    nullptr, nullptr, &sink};
+      q.push(TimePoint::micros(rng.next_int(0, 1'000'000)),
+             [payload] { *payload.sink += payload.msg_id; });
+    }
+    while (!q.empty()) {
+      auto ev = q.pop();
+      ev.fn();
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(16384)->Arg(102400);
+
+void BM_EventQueuePushPopTrivial(benchmark::State& state) {
+  // Same shape with an empty-capture callable — the old queue's best case
+  // (small-object-optimised std::function, no allocation either way).
+  const std::int64_t n = state.range(0);
+  sim::EventQueue q;
+  Rng rng(1);
+  for (auto _ : state) {
     for (std::int64_t i = 0; i < n; ++i) {
       q.push(TimePoint::micros(rng.next_int(0, 1'000'000)), [] {});
     }
@@ -30,7 +73,50 @@ void BM_EventQueuePushPop(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_EventQueuePushPopTrivial)->Arg(1024)->Arg(16384)->Arg(102400);
+
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  // Timer-dominated workloads (retransmission deadlines, protocol timeouts)
+  // cancel most of what they schedule. 7 of 8 pushed events are cancelled
+  // before the drain; a lazy-tombstone queue pays for every stale entry at
+  // pop time, an indexed heap removes them in place.
+  const std::int64_t n = state.range(0);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    Rng rng(7);
+    std::vector<sim::EventId> ids;
+    ids.reserve(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      ids.push_back(
+          q.push(TimePoint::micros(rng.next_int(0, 1'000'000)), [] {}));
+    }
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (i % 8 != 0) q.cancel(ids[static_cast<std::size_t>(i)]);
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueCancelHeavy)->Arg(1024)->Arg(16384)->Arg(102400);
+
+void BM_EventQueueTimerReset(benchmark::State& state) {
+  // The classic watchdog pattern: each activity re-arms its timeout, i.e.
+  // push the new deadline and cancel the old one. Live size stays at 1 the
+  // whole run; storage and time should not grow with the number of resets.
+  const std::int64_t n = state.range(0);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    sim::EventId last = q.push(TimePoint::micros(0), [] {});
+    for (std::int64_t i = 1; i <= n; ++i) {
+      const sim::EventId next = q.push(TimePoint::micros(i), [] {});
+      q.cancel(last);
+      last = next;
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueTimerReset)->Arg(16384)->Arg(102400);
 
 void BM_DriftClockConversion(benchmark::State& state) {
   Rng rng(2);
@@ -116,6 +202,45 @@ void BM_WeakProtocolCommittee(benchmark::State& state) {
 }
 BENCHMARK(BM_WeakProtocolCommittee)->Arg(4)->Arg(7)->Arg(13);
 
+void BM_SendChurnBody(benchmark::State& state) {
+  // Message churn with a payload allocated per send — the steady-state load
+  // of every protocol run (promises, receipts, certificates all ride in
+  // heap-allocated bodies). Exercises the body allocation path.
+  class Churn final : public net::Actor {
+   public:
+    int remaining = 0;
+    sim::ProcessId peer;
+    void on_message(const net::Message& m) override {
+      benchmark::DoNotOptimize(m.body.get());
+      if (remaining-- > 0) send_one();
+    }
+    void send_one() {
+      auto body = net::make_body<proto::MoneyMsg>();
+      body->deal_id = static_cast<std::uint64_t>(remaining);
+      send(peer, net::kinds::money, std::move(body));
+    }
+  };
+  const int kMessages = 10'000;
+  for (auto _ : state) {
+    sim::Simulator sim(1);
+    net::Network net(sim, std::make_unique<net::SynchronousModel>(
+                              Duration::micros(1), Duration::micros(10)));
+    auto& a = sim.spawn<Churn>("a");
+    auto& b = sim.spawn<Churn>("b");
+    net.attach(a);
+    net.attach(b);
+    a.remaining = kMessages / 2;
+    b.remaining = kMessages / 2;
+    a.peer = b.id();
+    b.peer = a.id();
+    sim.schedule_at(TimePoint::origin(), [&] { a.send_one(); });
+    sim.run();
+    benchmark::DoNotOptimize(net.stats().messages_delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * kMessages);
+}
+BENCHMARK(BM_SendChurnBody);
+
 void BM_NetworkDelivery(benchmark::State& state) {
   // Raw message throughput through the simulator+network stack.
   class Echo final : public net::Actor {
@@ -123,7 +248,7 @@ void BM_NetworkDelivery(benchmark::State& state) {
     int remaining = 0;
     sim::ProcessId peer;
     void on_message(const net::Message&) override {
-      if (remaining-- > 0) send(peer, "ping", nullptr);
+      if (remaining-- > 0) send(peer, kPing, nullptr);
     }
     using net::Actor::send;
   };
@@ -140,7 +265,7 @@ void BM_NetworkDelivery(benchmark::State& state) {
     b.remaining = kMessages / 2;
     a.peer = b.id();
     b.peer = a.id();
-    sim.schedule_at(TimePoint::origin(), [&] { a.send(b.id(), "ping", nullptr); });
+    sim.schedule_at(TimePoint::origin(), [&] { a.send(b.id(), kPing, nullptr); });
     sim.run();
     benchmark::DoNotOptimize(net.stats().messages_delivered);
   }

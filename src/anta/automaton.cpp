@@ -21,16 +21,16 @@ void Automaton::set_initial(StateId s) {
 }
 
 Transition& Automaton::add_receive(StateId from, StateId to,
-                                   sim::ProcessId sender, std::string kind,
+                                   sim::ProcessId sender, net::MsgKind kind,
                                    std::string label) {
   Transition t;
   t.kind = Transition::Kind::kReceive;
   t.from = from;
   t.to = to;
   t.expect_from = sender;
-  t.expect_kind = std::move(kind);
+  t.expect_kind = kind;
   t.label = label.empty() ? "r(p" + std::to_string(sender.value()) + "," +
-                                t.expect_kind + ")"
+                                kind.str() + ")"
                           : std::move(label);
   transitions_.push_back(std::move(t));
   return transitions_.back();
@@ -51,7 +51,7 @@ Transition& Automaton::add_timeout(StateId from, StateId to, TimeGuard guard,
 }
 
 Transition& Automaton::set_send(StateId from, StateId to, sim::ProcessId dest,
-                                std::string kind, std::string label) {
+                                net::MsgKind kind, std::string label) {
   Transition t;
   t.kind = Transition::Kind::kSend;
   t.from = from;
@@ -59,7 +59,7 @@ Transition& Automaton::set_send(StateId from, StateId to, sim::ProcessId dest,
   t.send_to = dest;
   t.send_kind = kind;
   t.label = label.empty()
-                ? "s(p" + std::to_string(dest.value()) + "," + kind + ")"
+                ? "s(p" + std::to_string(dest.value()) + "," + kind.str() + ")"
                 : std::move(label);
   transitions_.push_back(std::move(t));
   return transitions_.back();

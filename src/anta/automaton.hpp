@@ -56,7 +56,7 @@ struct Transition {
 
   // --- kReceive ---
   sim::ProcessId expect_from;  // r(id, m): the awaited sender
-  std::string expect_kind;     // the awaited message tag
+  net::MsgKind expect_kind;    // the awaited message tag (interned)
   /// Optional extra validation (verify a receipt, a certificate, a promise).
   /// A message matching (from, kind) but failing `accept` is *consumed and
   /// ignored* — the paper's automata simply never react to ill-formed input.
@@ -67,7 +67,7 @@ struct Transition {
 
   // --- kSend (the unique exit of an output state) ---
   sim::ProcessId send_to;
-  std::string send_kind;
+  net::MsgKind send_kind;
   /// Builds the payload at send time (may consult interpreter slots).
   std::function<net::BodyPtr(Interpreter&)> make_body;
 
@@ -88,7 +88,7 @@ class Automaton {
 
   /// Adds r(sender, kind) transition from an input state.
   Transition& add_receive(StateId from, StateId to, sim::ProcessId sender,
-                          std::string kind, std::string label = "");
+                          net::MsgKind kind, std::string label = "");
 
   /// Adds a time-out transition (now >= var + offset) from an input state.
   Transition& add_timeout(StateId from, StateId to, TimeGuard guard,
@@ -96,7 +96,7 @@ class Automaton {
 
   /// Sets the send action leaving an output state: s(dest, kind).
   Transition& set_send(StateId from, StateId to, sim::ProcessId dest,
-                       std::string kind, std::string label = "");
+                       net::MsgKind kind, std::string label = "");
 
   const std::string& name() const { return name_; }
   StateId initial() const { return initial_; }

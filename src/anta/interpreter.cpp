@@ -39,12 +39,12 @@ void Interpreter::set_slot(const std::string& key, std::uint64_t value) {
   slots_[key] = value;
 }
 
-net::BodyPtr Interpreter::stashed(const std::string& key) const {
+net::BodyPtr Interpreter::stashed(net::MsgKind key) const {
   auto it = stash_.find(key);
   return it == stash_.end() ? nullptr : it->second;
 }
 
-void Interpreter::stash(const std::string& key, net::BodyPtr body) {
+void Interpreter::stash(net::MsgKind key, net::BodyPtr body) {
   stash_[key] = std::move(body);
 }
 

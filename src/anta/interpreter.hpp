@@ -80,10 +80,10 @@ class Interpreter : public net::Actor {
   bool has_slot(const std::string& key) const;
   void set_slot(const std::string& key, std::uint64_t value);
 
-  /// Retained message bodies, keyed by name (e.g. the received certificate,
-  /// to be forwarded later).
-  net::BodyPtr stashed(const std::string& key) const;
-  void stash(const std::string& key, net::BodyPtr body);
+  /// Retained message bodies, keyed by message kind (e.g. the received
+  /// certificate, to be forwarded later).
+  net::BodyPtr stashed(net::MsgKind key) const;
+  void stash(net::MsgKind key, net::BodyPtr body);
 
   StateId state() const { return state_; }
   bool finished() const { return finished_; }
@@ -125,7 +125,7 @@ class Interpreter : public net::Actor {
   StateId state_ = kNoState;
   std::vector<TimePoint> vars_;
   std::unordered_map<std::string, std::uint64_t> slots_;
-  std::unordered_map<std::string, net::BodyPtr> stash_;
+  std::unordered_map<net::MsgKind, net::BodyPtr> stash_;
   std::deque<net::Message> pending_;
   std::vector<sim::TimerId> armed_timers_;
   SendInterceptor interceptor_;

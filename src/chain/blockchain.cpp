@@ -83,7 +83,7 @@ void Blockchain::on_start() {
 }
 
 void Blockchain::on_message(const net::Message& m) {
-  if (m.kind != "tx") return;
+  if (m.kind != net::kinds::tx) return;
   const auto* body = m.body_as<TxMsg>();
   if (body == nullptr) return;
   // The submitting message's network sender must be the transaction sender;
@@ -138,9 +138,9 @@ void Blockchain::seal_block() {
   ++stats_.blocks_sealed;
   const bool had_events = !ctx.pending_events_.empty();
   for (ChainEventMsg& e : ctx.pending_events_) {
-    auto body = std::make_shared<ChainEventMsg>(std::move(e));
+    auto body = net::make_body<ChainEventMsg>(std::move(e));
     for (sim::ProcessId sub : subscribers_) {
-      send(sub, "chain_event", body);
+      send(sub, net::kinds::chain_event, body);
     }
     ++stats_.events_emitted;
   }

@@ -12,7 +12,7 @@ crypto::CertKind cert_kind_of(Value v) {
 }
 
 net::BodyPtr make_report_body(SignedStatement s) {
-  auto body = std::make_shared<ReportMsg>();
+  auto body = net::make_body<ReportMsg>();
   body->statement = std::move(s);
   return body;
 }

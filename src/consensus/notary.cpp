@@ -43,12 +43,12 @@ void Notary::enter_round(int round) {
       set_timer_local_after(config_->round_duration(round), kRoundTimerToken);
   // Tell the round's leader (and everyone, for simplicity) what we have
   // locked, so the leader re-proposes a locked value.
-  auto nr = std::make_shared<NewRoundMsg>();
+  auto nr = net::make_body<NewRoundMsg>();
   nr->instance = config_->instance;
   nr->round = round;
   nr->locked = locked_;
   nr->lock_round = lock_round_;
-  broadcast_to_committee("bft_newround", nr);
+  broadcast_to_committee(net::kinds::bft_newround, nr);
   maybe_propose();
 }
 
@@ -75,26 +75,26 @@ void Notary::maybe_propose() {
   }
 
   proposed_this_round_ = true;
-  auto p = std::make_shared<ProposalMsg>();
+  auto p = net::make_body<ProposalMsg>();
   p->instance = config_->instance;
   p->round = round_;
   p->value = *value;
   p->just = std::move(just);
   p->sig = signer_.sign(proposal_digest(p->instance, p->round, p->value));
-  broadcast_to_committee("bft_proposal", p);
+  broadcast_to_committee(net::kinds::bft_proposal, p);
 
   if (behaviour_ == NotaryBehaviour::kEquivocator) {
     // Also propose the opposite value if it can be justified.
     const Value other = *value == Value::kCommit ? Value::kAbort : Value::kCommit;
     Justification oj = justification_for(other);
     if (config_->validity.valid(other, oj)) {
-      auto p2 = std::make_shared<ProposalMsg>();
+      auto p2 = net::make_body<ProposalMsg>();
       p2->instance = config_->instance;
       p2->round = round_;
       p2->value = other;
       p2->just = std::move(oj);
       p2->sig = signer_.sign(proposal_digest(p2->instance, p2->round, other));
-      broadcast_to_committee("bft_proposal", p2);
+      broadcast_to_committee(net::kinds::bft_proposal, p2);
     }
   }
 }
@@ -124,7 +124,7 @@ Justification Notary::justification_for(Value v) const {
 }
 
 void Notary::ingest_report(const net::Message& m) {
-  if (m.kind == "tm_chi") {
+  if (m.kind == net::kinds::tm_chi) {
     const auto* body = m.body_as<proto::CertMsg>();
     if (body == nullptr) return;
     const crypto::Certificate& cert = body->cert;
@@ -189,34 +189,34 @@ void Notary::handle_proposal(const ProposalMsg& p, sim::ProcessId from) {
 }
 
 void Notary::send_prevote(Value v) {
-  auto vote = std::make_shared<VoteMsg>();
+  auto vote = net::make_body<VoteMsg>();
   vote->instance = config_->instance;
   vote->round = round_;
   vote->value = v;
   vote->phase = VoteMsg::Phase::kPrevote;
   vote->sig = signer_.sign(prevote_digest(config_->instance, round_, v));
-  broadcast_to_committee("bft_vote", vote);
+  broadcast_to_committee(net::kinds::bft_vote, vote);
   if (behaviour_ == NotaryBehaviour::kEquivocator) {
     const Value other = v == Value::kCommit ? Value::kAbort : Value::kCommit;
-    auto vote2 = std::make_shared<VoteMsg>();
+    auto vote2 = net::make_body<VoteMsg>();
     vote2->instance = config_->instance;
     vote2->round = round_;
     vote2->value = other;
     vote2->phase = VoteMsg::Phase::kPrevote;
     vote2->sig = signer_.sign(prevote_digest(config_->instance, round_, other));
-    broadcast_to_committee("bft_vote", vote2);
+    broadcast_to_committee(net::kinds::bft_vote, vote2);
   }
 }
 
 void Notary::send_precommit(Value v) {
-  auto vote = std::make_shared<VoteMsg>();
+  auto vote = net::make_body<VoteMsg>();
   vote->instance = config_->instance;
   vote->round = round_;
   vote->value = v;
   vote->phase = VoteMsg::Phase::kPrecommit;
   vote->sig = signer_.sign(
       decision_digest(config_->instance, config_->committee_identity, v));
-  broadcast_to_committee("bft_vote", vote);
+  broadcast_to_committee(net::kinds::bft_vote, vote);
 }
 
 void Notary::handle_vote(const VoteMsg& v, sim::ProcessId from) {
@@ -293,10 +293,10 @@ void Notary::decide(Value v) {
 
   record_decide_event(v);
 
-  auto body = std::make_shared<DecisionMsg>();
+  auto body = net::make_body<DecisionMsg>();
   body->cert = cert;
-  for (sim::ProcessId pid : config_->notify) send(pid, "tm_cert", body);
-  broadcast_to_committee("bft_decision", body);
+  for (sim::ProcessId pid : config_->notify) send(pid, net::kinds::tm_cert, body);
+  broadcast_to_committee(net::kinds::bft_decision, body);
 }
 
 void Notary::record_decide_event(Value v) {
@@ -329,32 +329,32 @@ void Notary::handle_decision(const DecisionMsg& d) {
   if (round_timer_ != 0) cancel_timer(round_timer_);
   // Relay to participants (helps when the original decider's sends were
   // slow); decision relays are idempotent for receivers.
-  auto body = std::make_shared<DecisionMsg>(d);
-  for (sim::ProcessId pid : config_->notify) send(pid, "tm_cert", body);
+  auto body = net::make_body<DecisionMsg>(d);
+  for (sim::ProcessId pid : config_->notify) send(pid, net::kinds::tm_cert, body);
 }
 
 void Notary::on_message(const net::Message& m) {
   if (behaviour_ == NotaryBehaviour::kSilent) return;
-  if (decided_ && m.kind != "bft_decision") return;
+  if (decided_ && m.kind != net::kinds::bft_decision) return;
 
-  if (m.kind == "tm_report" || m.kind == "tm_chi") {
+  if (m.kind == net::kinds::tm_report || m.kind == net::kinds::tm_chi) {
     ingest_report(m);
     maybe_propose();
     return;
   }
-  if (m.kind == "bft_proposal") {
+  if (m.kind == net::kinds::bft_proposal) {
     if (const auto* p = m.body_as<ProposalMsg>()) handle_proposal(*p, m.from);
     return;
   }
-  if (m.kind == "bft_vote") {
+  if (m.kind == net::kinds::bft_vote) {
     if (const auto* v = m.body_as<VoteMsg>()) handle_vote(*v, m.from);
     return;
   }
-  if (m.kind == "bft_newround") {
+  if (m.kind == net::kinds::bft_newround) {
     if (const auto* nr = m.body_as<NewRoundMsg>()) handle_new_round(*nr, m.from);
     return;
   }
-  if (m.kind == "bft_decision") {
+  if (m.kind == net::kinds::bft_decision) {
     if (const auto* d = m.body_as<DecisionMsg>()) handle_decision(*d);
     return;
   }
@@ -365,7 +365,7 @@ void Notary::on_timer(std::uint64_t token) {
   if (token == kRoundTimerToken) enter_round(round_ + 1);
 }
 
-void Notary::broadcast_to_committee(const std::string& kind, net::BodyPtr body) {
+void Notary::broadcast_to_committee(net::MsgKind kind, net::BodyPtr body) {
   for (sim::ProcessId pid : config_->members) {
     if (pid == id()) continue;
     send(pid, kind, body);

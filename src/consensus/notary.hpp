@@ -57,7 +57,7 @@ class Notary : public net::Actor {
   void handle_vote(const VoteMsg& v, sim::ProcessId from);
   void handle_new_round(const NewRoundMsg& nr, sim::ProcessId from);
   void handle_decision(const DecisionMsg& d);
-  void broadcast_to_committee(const std::string& kind, net::BodyPtr body);
+  void broadcast_to_committee(net::MsgKind kind, net::BodyPtr body);
   void send_prevote(Value v);
   void send_precommit(Value v);
   void decide(Value v);

@@ -120,16 +120,16 @@ class CertifiedParty final : public net::Actor {
       ledger::TransferId tid = ledger::kInvalidTransfer;
       ledger_.transfer(id(), chain_, arcs_[a].amount, global_now(), &tid)
           .expect("certified deposit");
-      auto tx = std::make_shared<chain::TxMsg>();
+      auto tx = net::make_body<chain::TxMsg>();
       tx->tx = chain::make_signed_tx(signer_, "deal", "deposit",
                                      static_cast<std::uint64_t>(a), tid);
-      send(chain_, "tx", tx);
+      send(chain_, net::kinds::tx, tx);
     }
     set_timer_local_after(patience_, /*token=*/1);
   }
 
   void on_message(const net::Message& m) override {
-    if (crashed_ || m.kind != "chain_event") return;
+    if (crashed_ || m.kind != net::kinds::chain_event) return;
     const auto* body = m.body_as<chain::ChainEventMsg>();
     if (body == nullptr) return;
     if (body->topic == "committed" || body->topic == "aborted") done_ = true;
@@ -137,9 +137,9 @@ class CertifiedParty final : public net::Actor {
 
   void on_timer(std::uint64_t) override {
     if (crashed_ || done_) return;
-    auto tx = std::make_shared<chain::TxMsg>();
+    auto tx = net::make_body<chain::TxMsg>();
     tx->tx = chain::make_signed_tx(signer_, "deal", "abort");
-    send(chain_, "tx", tx);
+    send(chain_, net::kinds::tx, tx);
   }
 
  private:

@@ -108,7 +108,7 @@ class ArcEscrow final : public net::Actor {
 
   void on_message(const net::Message& m) override {
     const auto& t = s_->arcs[static_cast<std::size_t>(arc_)];
-    if (m.kind == "deposit" && state_ == State::kEmpty) {
+    if (m.kind == net::kinds::deposit && state_ == State::kEmpty) {
       const auto* body = m.body_as<DepositMsg>();
       if (body == nullptr || body->arc != arc_) return;
       const auto from_id = s_->party_ids[static_cast<std::size_t>(t.from)];
@@ -118,12 +118,12 @@ class ArcEscrow final : public net::Actor {
       }
       state_ = State::kFunded;
       ever_funded_ = true;
-      auto funded = std::make_shared<FundedMsg>();
+      auto funded = net::make_body<FundedMsg>();
       funded->arc = arc_;
-      for (sim::ProcessId pid : s_->party_ids) send(pid, "funded", funded);
+      for (sim::ProcessId pid : s_->party_ids) send(pid, net::kinds::funded, funded);
       return;
     }
-    if (m.kind == "claim" && state_ == State::kFunded) {
+    if (m.kind == net::kinds::claim && state_ == State::kFunded) {
       const auto* body = m.body_as<ProofMsg>();
       if (body == nullptr || !s_->proof_valid(*body)) return;
       // The proof must end at the beneficiary and arrive within its hop
@@ -180,10 +180,10 @@ class DealParty final : public net::Actor {
         s_->ledger
             ->transfer(id(), s_->escrow_ids[a], t.amount, global_now(), &tid)
             .expect("deal escrow deposit");
-        auto body = std::make_shared<DepositMsg>();
+        auto body = net::make_body<DepositMsg>();
         body->arc = static_cast<int>(a);
         body->receipt = tid;
-        send(s_->escrow_ids[a], "deposit", body);
+        send(s_->escrow_ids[a], net::kinds::deposit, body);
       }
     }
     if (behaviour_ == PartyBehaviour::kRogueLeader && index_ == 0) {
@@ -193,7 +193,7 @@ class DealParty final : public net::Actor {
 
   void on_message(const net::Message& m) override {
     if (behaviour_ == PartyBehaviour::kCrash) return;
-    if (m.kind == "funded") {
+    if (m.kind == net::kinds::funded) {
       const auto* body = m.body_as<FundedMsg>();
       if (body == nullptr) return;
       funded_.insert(body->arc);
@@ -208,7 +208,7 @@ class DealParty final : public net::Actor {
       }
       return;
     }
-    if (m.kind == "proof") {
+    if (m.kind == net::kinds::proof) {
       const auto* body = m.body_as<ProofMsg>();
       if (body == nullptr || acted_on_proof_) return;
       if (!s_->proof_valid(*body)) return;
@@ -249,10 +249,10 @@ class DealParty final : public net::Actor {
   }
 
   void claim_and_forward(const ProofMsg& proof) {
-    auto body = std::make_shared<ProofMsg>(proof);
+    auto body = net::make_body<ProofMsg>(proof);
     // Claim all inbound escrows with the proof ending at this party.
     for (std::size_t a = 0; a < s_->arcs.size(); ++a) {
-      if (s_->arcs[a].to == index_) send(s_->escrow_ids[a], "claim", body);
+      if (s_->arcs[a].to == index_) send(s_->escrow_ids[a], net::kinds::claim, body);
     }
     if (behaviour_ == PartyBehaviour::kNoForward) return;
     // Forward along outbound arcs.
@@ -261,7 +261,7 @@ class DealParty final : public net::Actor {
       if (t.from == index_) neighbours.insert(t.to);
     }
     for (int nb : neighbours) {
-      send(s_->party_ids[static_cast<std::size_t>(nb)], "proof", body);
+      send(s_->party_ids[static_cast<std::size_t>(nb)], net::kinds::proof, body);
     }
   }
 

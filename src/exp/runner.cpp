@@ -48,7 +48,7 @@ proto::AdversaryFactory chi_griefing_adversary(TimePoint release) {
     auto adv = std::make_unique<net::RuleBasedAdversary>();
     for (auto escrow : parts.escrows) {
       adv->hold_until(net::RuleBasedAdversary::all_of(
-                          {net::RuleBasedAdversary::kind_is("chi"),
+                          {net::RuleBasedAdversary::kind_is(net::kinds::chi),
                            net::RuleBasedAdversary::to_process(escrow)}),
                       release);
     }
@@ -120,11 +120,11 @@ proto::RunRecord run_weak_family(ProtocolKind protocol, Regime regime, int n,
       cfg.adversary = [](const proto::Participants&)
           -> std::unique_ptr<net::Adversary> {
         auto adv = std::make_unique<net::RuleBasedAdversary>();
-        adv->hold_until(net::RuleBasedAdversary::kind_is("tm_chi"),
+        adv->hold_until(net::RuleBasedAdversary::kind_is(net::kinds::tm_chi),
                         TimePoint::origin() + Duration::seconds(20));
-        adv->hold_until(net::RuleBasedAdversary::kind_is("tm_report"),
+        adv->hold_until(net::RuleBasedAdversary::kind_is(net::kinds::tm_report),
                         TimePoint::origin() + Duration::seconds(20));
-        adv->hold_until(net::RuleBasedAdversary::kind_is("tx"),
+        adv->hold_until(net::RuleBasedAdversary::kind_is(net::kinds::tx),
                         TimePoint::origin() + Duration::seconds(20));
         return adv;
       };

@@ -25,8 +25,8 @@ std::optional<TimePoint> RuleBasedAdversary::propose_delivery(const Message& m,
   return proposal;
 }
 
-RuleBasedAdversary::Predicate RuleBasedAdversary::kind_is(std::string kind) {
-  return [kind = std::move(kind)](const Message& m) { return m.kind == kind; };
+RuleBasedAdversary::Predicate RuleBasedAdversary::kind_is(MsgKind kind) {
+  return [kind](const Message& m) { return m.kind == kind; };
 }
 
 RuleBasedAdversary::Predicate RuleBasedAdversary::to_process(sim::ProcessId pid) {

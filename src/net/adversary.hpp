@@ -44,7 +44,7 @@ class RuleBasedAdversary final : public Adversary {
                                             TimePoint now) override;
 
   // Common predicates.
-  static Predicate kind_is(std::string kind);
+  static Predicate kind_is(MsgKind kind);
   static Predicate to_process(sim::ProcessId pid);
   static Predicate from_process(sim::ProcessId pid);
   static Predicate all_of(std::vector<Predicate> preds);

@@ -7,7 +7,7 @@ namespace xcp::net {
 std::string Message::describe() const {
   std::ostringstream os;
   os << "msg#" << id << " p" << from.value() << "->p" << to.value() << " ["
-     << kind << "]";
+     << kind.name() << "]";
   if (body) os << " " << body->describe();
   return os.str();
 }

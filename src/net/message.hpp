@@ -9,7 +9,9 @@
 #include <memory>
 #include <string>
 
+#include "net/msg_kind.hpp"
 #include "sim/process.hpp"
+#include "support/pool.hpp"
 
 namespace xcp::net {
 
@@ -22,11 +24,20 @@ struct MessageBody {
 
 using BodyPtr = std::shared_ptr<const MessageBody>;
 
+/// Allocates a message body from the freelist pool: object and shared_ptr
+/// control block share one pooled block, so steady-state delivery churn
+/// reuses storage released by earlier messages instead of hitting the heap.
+template <typename T, typename... Args>
+std::shared_ptr<T> make_body(Args&&... args) {
+  return std::allocate_shared<T>(PoolAllocator<T>(),
+                                 std::forward<Args>(args)...);
+}
+
 struct Message {
   std::uint64_t id = 0;  // unique per network, assigned at send
   sim::ProcessId from;
   sim::ProcessId to;
-  std::string kind;      // small routing/trace tag, e.g. "G", "P", "$", "chi"
+  MsgKind kind;          // interned routing/trace tag, e.g. "G", "P", "$"
   BodyPtr body;          // may be null for pure-signal messages
 
   /// Convenience downcast; returns nullptr if the body is absent or of a

@@ -1,0 +1,53 @@
+#include "net/msg_kind.hpp"
+
+#include <deque>
+#include <unordered_map>
+
+#include "support/status.hpp"
+
+namespace xcp::net {
+namespace {
+
+struct Interner {
+  // Names live in a deque so their storage never moves: the map's
+  // string_view keys point into it.
+  std::deque<std::string> names{""};  // id 0 = the invalid/empty kind
+  std::unordered_map<std::string_view, std::uint32_t> ids{{"", 0}};
+};
+
+Interner& interner() {
+  static Interner in;
+  return in;
+}
+
+}  // namespace
+
+MsgKind::MsgKind(std::string_view name) : MsgKind(kind(name)) {}
+
+MsgKind kind(std::string_view name) {
+  Interner& in = interner();
+  if (const auto it = in.ids.find(name); it != in.ids.end()) {
+    return MsgKind(it->second);
+  }
+  XCP_REQUIRE(in.names.size() <= 0xffffffffu, "message-kind space exhausted");
+  in.names.emplace_back(name);
+  const auto id = static_cast<std::uint32_t>(in.names.size() - 1);
+  in.ids.emplace(in.names.back(), id);
+  return MsgKind(id);
+}
+
+std::string_view MsgKind::name() const {
+  const Interner& in = interner();
+  XCP_REQUIRE(id_ < in.names.size(), "unknown message-kind wire value");
+  return in.names[id_];
+}
+
+MsgKind MsgKind::from_wire(std::uint32_t value) {
+  XCP_REQUIRE(value < interner().names.size(),
+              "unknown message-kind wire value");
+  MsgKind k;
+  k.id_ = value;
+  return k;
+}
+
+}  // namespace xcp::net

@@ -1,0 +1,90 @@
+#pragma once
+// Interned message kinds. The routing/trace tag on every Message used to be
+// a std::string constructed per send; production consensus codebases use
+// fixed-width message-type enums for exactly this reason. MsgKind is the
+// open-ended equivalent: a uint32 wire value backed by a process-wide
+// interner, so sends and dispatch compare integers and the name is only
+// materialised for traces and logs.
+//
+// Construction from a string (implicitly, mirroring the old API) interns
+// the name: a hash lookup, allocating only the first time a name is seen.
+// Hot paths should use the named constants in xcp::net::kinds or cache
+// their own `kind("...")` result.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace xcp::net {
+
+class MsgKind {
+ public:
+  /// The invalid/empty kind (wire value 0).
+  constexpr MsgKind() = default;
+
+  // Implicit by design: every legacy `send(to, "tag", ...)` call site keeps
+  // working, paying one interner lookup.
+  MsgKind(std::string_view name);  // NOLINT
+  MsgKind(const char* name) : MsgKind(std::string_view(name)) {}  // NOLINT
+  MsgKind(const std::string& name)  // NOLINT
+      : MsgKind(std::string_view(name)) {}
+
+  /// Stable wire value; 0 is the invalid/empty kind.
+  constexpr std::uint32_t value() const { return id_; }
+  constexpr bool valid() const { return id_ != 0; }
+
+  /// The interned name; valid for the process lifetime.
+  std::string_view name() const;
+  std::string str() const { return std::string(name()); }
+
+  /// Rebuilds a MsgKind from a wire value produced by this process.
+  static MsgKind from_wire(std::uint32_t value);
+
+  friend constexpr bool operator==(MsgKind a, MsgKind b) {
+    return a.id_ == b.id_;
+  }
+  friend constexpr bool operator!=(MsgKind a, MsgKind b) {
+    return a.id_ != b.id_;
+  }
+
+ private:
+  constexpr explicit MsgKind(std::uint32_t id) : id_(id) {}
+  friend MsgKind kind(std::string_view name);
+
+  std::uint32_t id_ = 0;
+};
+
+/// Interns `name` and returns its kind. O(1) amortised; allocates only on
+/// first sight of a name. Single-threaded, like the simulator.
+MsgKind kind(std::string_view name);
+
+/// The well-known kinds of the protocol stack, interned once per process.
+namespace kinds {
+inline const MsgKind g = kind("G");        // promise G(d)
+inline const MsgKind p = kind("P");        // promise P(a)
+inline const MsgKind money = kind("$");    // value transfer notification
+inline const MsgKind chi = kind("chi");    // payment certificate
+inline const MsgKind tx = kind("tx");             // blockchain transaction
+inline const MsgKind chain_event = kind("chain_event");
+inline const MsgKind tm_chi = kind("tm_chi");     // chi relayed to the TM
+inline const MsgKind tm_report = kind("tm_report");
+inline const MsgKind tm_cert = kind("tm_cert");
+inline const MsgKind deposit = kind("deposit");   // timelock-commit deals
+inline const MsgKind funded = kind("funded");
+inline const MsgKind claim = kind("claim");
+inline const MsgKind proof = kind("proof");
+inline const MsgKind bft_proposal = kind("bft_proposal");
+inline const MsgKind bft_vote = kind("bft_vote");
+inline const MsgKind bft_newround = kind("bft_newround");
+inline const MsgKind bft_decision = kind("bft_decision");
+}  // namespace kinds
+
+}  // namespace xcp::net
+
+template <>
+struct std::hash<xcp::net::MsgKind> {
+  std::size_t operator()(const xcp::net::MsgKind& k) const noexcept {
+    return std::hash<std::uint32_t>()(k.value());
+  }
+};

@@ -11,8 +11,8 @@ Network& Actor::net() const {
   return *net_;
 }
 
-void Actor::send(sim::ProcessId to, std::string kind, BodyPtr body) {
-  net().send(id(), to, std::move(kind), std::move(body));
+void Actor::send(sim::ProcessId to, MsgKind kind, BodyPtr body) {
+  net().send(id(), to, kind, std::move(body));
 }
 
 Network::Network(sim::Simulator& sim, std::unique_ptr<DelayModel> model,
@@ -27,13 +27,13 @@ void Network::attach(Actor& actor) {
   actors_[actor.id()] = &actor;
 }
 
-void Network::send(sim::ProcessId from, sim::ProcessId to, std::string kind,
+void Network::send(sim::ProcessId from, sim::ProcessId to, MsgKind kind,
                    BodyPtr body) {
   Message m;
   m.id = next_message_id_++;
   m.from = from;
   m.to = to;
-  m.kind = std::move(kind);
+  m.kind = kind;
   m.body = std::move(body);
 
   const TimePoint now = sim_.now();
@@ -46,7 +46,7 @@ void Network::send(sim::ProcessId from, sim::ProcessId to, std::string kind,
     e.local_at = sim_.process(from).local_now();
     e.actor = from;
     e.peer = to;
-    e.label = m.kind;
+    e.label = m.kind.str();
     trace_->record(e);
   }
 
@@ -59,7 +59,7 @@ void Network::send(sim::ProcessId from, sim::ProcessId to, std::string kind,
       e.local_at = now;
       e.actor = from;
       e.peer = to;
-      e.label = m.kind;
+      e.label = m.kind.str();
       trace_->record(e);
     }
     return;
@@ -93,7 +93,7 @@ void Network::deliver(Message m) {
     e.local_at = it->second->local_now();
     e.actor = m.to;
     e.peer = m.from;
-    e.label = m.kind;
+    e.label = m.kind.str();
     trace_->record(e);
   }
   it->second->on_message(m);

@@ -25,7 +25,7 @@ class Actor : public sim::Process {
  protected:
   Network& net() const;
   /// Sends `body` to `to`; delivery time is governed by the network.
-  void send(sim::ProcessId to, std::string kind, BodyPtr body = nullptr);
+  void send(sim::ProcessId to, MsgKind kind, BodyPtr body = nullptr);
 
  private:
   friend class Network;
@@ -52,7 +52,7 @@ class Network {
   /// Sends a message; computes the delivery time as
   ///   clamp(adversary proposal or model sample)  within the legal envelope
   /// and schedules delivery. Messages to unattached ids are dropped.
-  void send(sim::ProcessId from, sim::ProcessId to, std::string kind,
+  void send(sim::ProcessId from, sim::ProcessId to, MsgKind kind,
             BodyPtr body);
 
   /// Message loss injection: each message is dropped with probability p.

@@ -46,30 +46,31 @@ void apply_byzantine(anta::Interpreter& interp, const ByzantineAssignment& b,
             // Halting (not merely skipping) on "$": an abiding-looking state
             // change without the ledger movement would make the automaton
             // proceed as if it had paid; a Byzantine non-payer just stops.
-            return t.send_kind == "$" ? SendAction::halt() : SendAction::allow();
+            return t.send_kind == net::kinds::money ? SendAction::halt()
+                                                     : SendAction::allow();
           });
       return;
     case ByzStrategy::kWithholdCert:
       interp.set_send_interceptor(
           [](const anta::Transition& t, anta::Interpreter&) {
-            return t.send_kind == "chi" ? SendAction::halt()
-                                        : SendAction::allow();
+            return t.send_kind == net::kinds::chi ? SendAction::halt()
+                                                  : SendAction::allow();
           });
       return;
     case ByzStrategy::kDelayCert:
       interp.set_send_interceptor(
           [delay = b.delay](const anta::Transition& t, anta::Interpreter&) {
-            return t.send_kind == "chi" ? SendAction::delayed(delay)
-                                        : SendAction::allow();
+            return t.send_kind == net::kinds::chi ? SendAction::delayed(delay)
+                                                  : SendAction::allow();
           });
       return;
     case ByzStrategy::kFakeCert:
       interp.set_send_interceptor(
           [ctx](const anta::Transition& t, anta::Interpreter& in) {
-            if (t.send_kind != "chi") return SendAction::allow();
+            if (t.send_kind != net::kinds::chi) return SendAction::allow();
             // A chi-shaped certificate with a junk signature. Receivers must
             // reject it: the sender does not hold Bob's key.
-            auto body = std::make_shared<CertMsg>();
+            auto body = net::make_body<CertMsg>();
             body->cert.kind = crypto::CertKind::kPayment;
             body->cert.deal_id = ctx->spec.deal_id;
             body->cert.issuer = ctx->parts.bob();

@@ -63,7 +63,7 @@ auto pay_body(const Fig2ContextPtr& ctx, sim::ProcessId to, Amount amount) {
     ledger::TransferId tid = ledger::kInvalidTransfer;
     ctx->ledger->transfer(in.id(), to, amount, in.global_now(), &tid)
         .expect("customer payment");
-    auto body = std::make_shared<MoneyMsg>();
+    auto body = net::make_body<MoneyMsg>();
     body->deal_id = ctx->spec.deal_id;
     body->receipt = tid;
     body->amount = amount;
@@ -99,9 +99,9 @@ std::shared_ptr<const anta::Automaton> build_escrow_automaton(
 
   // s(c_i, G(d_i))
   {
-    auto& t = a->set_send(s_send_g, s_await_money, up, "G");
+    auto& t = a->set_send(s_send_g, s_await_money, up, net::kinds::g);
     t.make_body = [ctx, v, d_i](anta::Interpreter&) -> net::BodyPtr {
-      auto body = std::make_shared<PromiseG>();
+      auto body = net::make_body<PromiseG>();
       body->deal_id = ctx->spec.deal_id;
       body->d = d_i;
       body->amount = v;
@@ -111,12 +111,11 @@ std::shared_ptr<const anta::Automaton> build_escrow_automaton(
 
   // r(c_i, $): verify the deposit, then lock it in escrow for c_{i+1}.
   {
-    auto& t = a->add_receive(s_await_money, s_send_p, up, "$");
+    auto& t = a->add_receive(s_await_money, s_send_p, up, net::kinds::money);
     t.accept = accept_money(ctx, up, self, v);
     t.effect = [ctx, self, up, down, v](anta::Interpreter& in) {
-      const auto* body = in.stashed("$") ? dynamic_cast<const MoneyMsg*>(
-                                               in.stashed("$").get())
-                                         : nullptr;
+      const net::BodyPtr stashed = in.stashed(net::kinds::money);
+      const auto* body = dynamic_cast<const MoneyMsg*>(stashed.get());
       XCP_REQUIRE(body != nullptr, "escrow effect without $ body");
       std::uint64_t deal = 0;
       ctx->escrows
@@ -128,9 +127,9 @@ std::shared_ptr<const anta::Automaton> build_escrow_automaton(
 
   // s(c_{i+1}, P(a_i)) with u := now on the transition.
   {
-    auto& t = a->set_send(s_send_p, s_await_chi, down, "P");
+    auto& t = a->set_send(s_send_p, s_await_chi, down, net::kinds::p);
     t.make_body = [ctx, v, a_i](anta::Interpreter&) -> net::BodyPtr {
-      auto body = std::make_shared<PromiseP>();
+      auto body = net::make_body<PromiseP>();
       body->deal_id = ctx->spec.deal_id;
       body->a = a_i;
       body->amount = v;
@@ -142,7 +141,7 @@ std::shared_ptr<const anta::Automaton> build_escrow_automaton(
 
   // r(c_{i+1}, chi) while now < u + a_i ...
   {
-    auto& t = a->add_receive(s_await_chi, s_fwd_chi, down, "chi");
+    auto& t = a->add_receive(s_await_chi, s_fwd_chi, down, net::kinds::chi);
     t.accept = accept_chi(ctx, [var_u, a_i](anta::Interpreter& in) {
       return in.var(var_u) + a_i;
     });
@@ -152,18 +151,18 @@ std::shared_ptr<const anta::Automaton> build_escrow_automaton(
 
   // s(c_i, chi): forward the certificate upstream.
   {
-    auto& t = a->set_send(s_fwd_chi, s_pay_down, up, "chi");
-    t.make_body = [](anta::Interpreter& in) { return in.stashed("chi"); };
+    auto& t = a->set_send(s_fwd_chi, s_pay_down, up, net::kinds::chi);
+    t.make_body = [](anta::Interpreter& in) { return in.stashed(net::kinds::chi); };
   }
 
   // s(c_{i+1}, $): complete the escrow to the downstream customer.
   {
-    auto& t = a->set_send(s_pay_down, s_done_paid, down, "$");
+    auto& t = a->set_send(s_pay_down, s_done_paid, down, net::kinds::money);
     t.make_body = [ctx, v](anta::Interpreter& in) -> net::BodyPtr {
       ledger::TransferId tid = ledger::kInvalidTransfer;
       ctx->escrows->complete(in.slot(kSlotEscrowDeal), in.global_now(), &tid)
           .expect("escrow complete");
-      auto body = std::make_shared<MoneyMsg>();
+      auto body = net::make_body<MoneyMsg>();
       body->deal_id = ctx->spec.deal_id;
       body->receipt = tid;
       body->amount = v;
@@ -173,12 +172,12 @@ std::shared_ptr<const anta::Automaton> build_escrow_automaton(
 
   // s(c_i, $): refund the deposit after the time-out.
   {
-    auto& t = a->set_send(s_refund, s_done_refunded, up, "$");
+    auto& t = a->set_send(s_refund, s_done_refunded, up, net::kinds::money);
     t.make_body = [ctx, v](anta::Interpreter& in) -> net::BodyPtr {
       ledger::TransferId tid = ledger::kInvalidTransfer;
       ctx->escrows->refund(in.slot(kSlotEscrowDeal), in.global_now(), &tid)
           .expect("escrow refund");
-      auto body = std::make_shared<MoneyMsg>();
+      auto body = net::make_body<MoneyMsg>();
       body->deal_id = ctx->spec.deal_id;
       body->receipt = tid;
       body->amount = v;
@@ -206,19 +205,19 @@ std::shared_ptr<const anta::Automaton> build_alice_automaton(
   a->set_initial(s_await_g);
 
   {
-    auto& t = a->add_receive(s_await_g, s_pay, e0, "G");
+    auto& t = a->add_receive(s_await_g, s_pay, e0, net::kinds::g);
     t.accept = [ctx, v](const net::Message& m, anta::Interpreter&) {
       const auto* body = m.body_as<PromiseG>();
       return body != nullptr && body->deal_id == ctx->spec.deal_id &&
              body->amount == v;
     };
   }
-  a->set_send(s_pay, s_await_outcome, e0, "$").make_body = pay_body(ctx, e0, v);
+  a->set_send(s_pay, s_await_outcome, e0, net::kinds::money).make_body = pay_body(ctx, e0, v);
   {
-    auto& t = a->add_receive(s_await_outcome, s_refunded, e0, "$");
+    auto& t = a->add_receive(s_await_outcome, s_refunded, e0, net::kinds::money);
     t.accept = accept_money(ctx, e0, self, v);
   }
-  a->add_receive(s_await_outcome, s_got_chi, e0, "chi").accept = accept_chi(ctx);
+  a->add_receive(s_await_outcome, s_got_chi, e0, net::kinds::chi).accept = accept_chi(ctx);
 
   a->validate();
   return a;
@@ -259,7 +258,7 @@ std::shared_ptr<const anta::Automaton> build_connector_automaton(
   // escrow. The interpreter buffers out-of-order arrivals, so awaiting them
   // in sequence accepts both orders.
   {
-    auto& t = a->add_receive(s_await_g, s_await_p, e_down, "G");
+    auto& t = a->add_receive(s_await_g, s_await_p, e_down, net::kinds::g);
     t.accept = [ctx, v_pay](const net::Message& m, anta::Interpreter&) {
       const auto* body = m.body_as<PromiseG>();
       return body != nullptr && body->deal_id == ctx->spec.deal_id &&
@@ -267,7 +266,7 @@ std::shared_ptr<const anta::Automaton> build_connector_automaton(
     };
   }
   {
-    auto& t = a->add_receive(s_await_p, s_pay, e_up, "P");
+    auto& t = a->add_receive(s_await_p, s_pay, e_up, net::kinds::p);
     t.accept = [ctx, v_recv](const net::Message& m, anta::Interpreter&) {
       const auto* body = m.body_as<PromiseP>();
       return body != nullptr && body->deal_id == ctx->spec.deal_id &&
@@ -276,7 +275,7 @@ std::shared_ptr<const anta::Automaton> build_connector_automaton(
   }
 
   {
-    auto& t = a->set_send(s_pay, s_await_outcome, e_down, "$");
+    auto& t = a->set_send(s_pay, s_await_outcome, e_down, net::kinds::money);
     t.make_body = pay_body(ctx, e_down, v_pay);
     if (ctx->customer_giveup) {
       t.effect = [var_w](anta::Interpreter& in) { in.assign_now(var_w); };
@@ -286,10 +285,10 @@ std::shared_ptr<const anta::Automaton> build_connector_automaton(
   // Either the money comes back (downstream escrow timed out) — done — or
   // chi arrives and must be redeemed upstream.
   {
-    auto& t = a->add_receive(s_await_outcome, s_refunded, e_down, "$");
+    auto& t = a->add_receive(s_await_outcome, s_refunded, e_down, net::kinds::money);
     t.accept = accept_money(ctx, e_down, self, v_pay);
   }
-  a->add_receive(s_await_outcome, s_fwd_chi, e_down, "chi").accept =
+  a->add_receive(s_await_outcome, s_fwd_chi, e_down, net::kinds::chi).accept =
       accept_chi(ctx);
   if (ctx->customer_giveup) {
     a->add_timeout(s_await_outcome, *s_gave_up,
@@ -297,15 +296,15 @@ std::shared_ptr<const anta::Automaton> build_connector_automaton(
   }
 
   {
-    auto& t = a->set_send(s_fwd_chi, s_await_money, e_up, "chi");
-    t.make_body = [](anta::Interpreter& in) { return in.stashed("chi"); };
+    auto& t = a->set_send(s_fwd_chi, s_await_money, e_up, net::kinds::chi);
+    t.make_body = [](anta::Interpreter& in) { return in.stashed(net::kinds::chi); };
     if (ctx->customer_giveup) {
       t.effect = [var_w](anta::Interpreter& in) { in.assign_now(var_w); };
     }
   }
 
   {
-    auto& t = a->add_receive(s_await_money, s_paid, e_up, "$");
+    auto& t = a->add_receive(s_await_money, s_paid, e_up, net::kinds::money);
     t.accept = accept_money(ctx, e_up, self, v_recv);
   }
   if (ctx->customer_giveup) {
@@ -333,7 +332,7 @@ std::shared_ptr<const anta::Automaton> build_bob_automaton(
   a->set_initial(s_await_p);
 
   {
-    auto& t = a->add_receive(s_await_p, s_send_chi, e_up, "P");
+    auto& t = a->add_receive(s_await_p, s_send_chi, e_up, net::kinds::p);
     t.accept = [ctx, v](const net::Message& m, anta::Interpreter&) {
       const auto* body = m.body_as<PromiseP>();
       return body != nullptr && body->deal_id == ctx->spec.deal_id &&
@@ -341,16 +340,16 @@ std::shared_ptr<const anta::Automaton> build_bob_automaton(
     };
   }
   {
-    auto& t = a->set_send(s_send_chi, s_await_money, e_up, "chi");
+    auto& t = a->set_send(s_send_chi, s_await_money, e_up, net::kinds::chi);
     t.make_body = [ctx](anta::Interpreter& in) -> net::BodyPtr {
-      auto body = std::make_shared<CertMsg>();
+      auto body = net::make_body<CertMsg>();
       body->cert = crypto::make_payment_cert(ctx->bob_signer, ctx->spec.deal_id);
       record_cert_event(*ctx, props::EventKind::kCertIssued, in, body->cert);
       return body;
     };
   }
   {
-    auto& t = a->add_receive(s_await_money, s_paid, e_up, "$");
+    auto& t = a->add_receive(s_await_money, s_paid, e_up, net::kinds::money);
     t.accept = accept_money(ctx, e_up, self, v);
   }
 

@@ -80,15 +80,15 @@ void WeakCustomer::deposit() {
   ctx_->ledger->transfer(id(), escrow, v, global_now(), &tid)
       .expect("weak deposit");
   deposited_ = true;
-  auto body = std::make_shared<MoneyMsg>();
+  auto body = net::make_body<MoneyMsg>();
   body->deal_id = ctx_->spec.deal_id;
   body->receipt = tid;
   body->amount = v;
-  send(escrow, "$", body);
+  send(escrow, net::kinds::money, body);
 }
 
 void WeakCustomer::submit_chi() {
-  auto body = std::make_shared<CertMsg>();
+  auto body = net::make_body<CertMsg>();
   body->cert = crypto::make_payment_cert(signer_, ctx_->spec.deal_id);
   issued_chi_ = true;
   if (ctx_->trace != nullptr) {
@@ -101,11 +101,11 @@ void WeakCustomer::submit_chi() {
     ctx_->trace->record(e);
   }
   if (ctx_->tm_kind == TmKind::kSmartContract) {
-    auto tx = std::make_shared<chain::TxMsg>();
+    auto tx = net::make_body<chain::TxMsg>();
     tx->tx = chain::make_signed_tx(signer_, ctx_->tm_contract_name, "chi", 0, 0, body->cert);
-    for (sim::ProcessId a : ctx_->tm_addresses) send(a, "tx", tx);
+    for (sim::ProcessId a : ctx_->tm_addresses) send(a, net::kinds::tx, tx);
   } else {
-    for (sim::ProcessId a : ctx_->tm_addresses) send(a, "tm_chi", body);
+    for (sim::ProcessId a : ctx_->tm_addresses) send(a, net::kinds::tm_chi, body);
   }
 }
 
@@ -121,13 +121,13 @@ void WeakCustomer::petition_abort() {
     ctx_->trace->record(e);
   }
   if (ctx_->tm_kind == TmKind::kSmartContract) {
-    auto tx = std::make_shared<chain::TxMsg>();
+    auto tx = net::make_body<chain::TxMsg>();
     tx->tx = chain::make_signed_tx(signer_, ctx_->tm_contract_name, "abort");
-    for (sim::ProcessId a : ctx_->tm_addresses) send(a, "tx", tx);
+    for (sim::ProcessId a : ctx_->tm_addresses) send(a, net::kinds::tx, tx);
   } else {
     auto body = consensus::make_report_body(consensus::make_statement(
         signer_, "abort-petition", ctx_->spec.deal_id));
-    for (sim::ProcessId a : ctx_->tm_addresses) send(a, "tm_report", body);
+    for (sim::ProcessId a : ctx_->tm_addresses) send(a, net::kinds::tm_report, body);
   }
 }
 
@@ -170,11 +170,11 @@ void WeakCustomer::maybe_terminate() {
 
 void WeakCustomer::on_message(const net::Message& m) {
   if (behaviour_ == WeakByz::kCrash || terminated()) return;
-  if (m.kind == "tm_cert" || m.kind == "chain_event") {
+  if (m.kind == net::kinds::tm_cert || m.kind == net::kinds::chain_event) {
     if (const auto cert = extract_tm_cert(m)) handle_cert(*cert);
     return;
   }
-  if (m.kind == "$") {
+  if (m.kind == net::kinds::money) {
     const auto* body = m.body_as<MoneyMsg>();
     if (body == nullptr || body->deal_id != ctx_->spec.deal_id) return;
     // Refund (from my escrow e_i) or payout (from upstream e_{i-1}).
@@ -215,15 +215,15 @@ void WeakEscrow::on_start() {
 void WeakEscrow::report_escrowed() {
   if (behaviour_ == WeakByz::kNoReport) return;
   if (ctx_->tm_kind == TmKind::kSmartContract) {
-    auto tx = std::make_shared<chain::TxMsg>();
+    auto tx = net::make_body<chain::TxMsg>();
     tx->tx = chain::make_signed_tx(signer_, ctx_->tm_contract_name, "escrowed",
                                    static_cast<std::uint64_t>(index_));
-    for (sim::ProcessId a : ctx_->tm_addresses) send(a, "tx", tx);
+    for (sim::ProcessId a : ctx_->tm_addresses) send(a, net::kinds::tx, tx);
   } else {
     auto body = consensus::make_report_body(consensus::make_statement(
         signer_, "escrowed", ctx_->spec.deal_id,
         static_cast<std::uint64_t>(index_)));
-    for (sim::ProcessId a : ctx_->tm_addresses) send(a, "tm_report", body);
+    for (sim::ProcessId a : ctx_->tm_addresses) send(a, net::kinds::tm_report, body);
   }
 }
 
@@ -238,10 +238,10 @@ void WeakEscrow::handle_cert(const crypto::Certificate& cert) {
   // outcome even if the TM's direct sends raced ahead of their attachment.
   if (!cert_forwarded_ && (commit_cert_ || abort_cert_)) {
     cert_forwarded_ = true;
-    auto body = std::make_shared<CertMsg>();
+    auto body = net::make_body<CertMsg>();
     body->cert = commit_cert_ ? *commit_cert_ : *abort_cert_;
-    send(ctx_->parts.customer(index_), "tm_cert", body);
-    send(ctx_->parts.customer(index_ + 1), "tm_cert", body);
+    send(ctx_->parts.customer(index_), net::kinds::tm_cert, body);
+    send(ctx_->parts.customer(index_ + 1), net::kinds::tm_cert, body);
   }
   resolve_if_ready();
 }
@@ -258,11 +258,11 @@ void WeakEscrow::resolve_if_ready() {
     ledger::TransferId tid = ledger::kInvalidTransfer;
     ctx_->escrows->complete(escrow_deal_, global_now(), &tid)
         .expect("weak escrow complete");
-    auto body = std::make_shared<MoneyMsg>();
+    auto body = net::make_body<MoneyMsg>();
     body->deal_id = ctx_->spec.deal_id;
     body->receipt = tid;
     body->amount = ctx_->spec.hop_amount(index_);
-    send(ctx_->parts.customer(index_ + 1), "$", body);
+    send(ctx_->parts.customer(index_ + 1), net::kinds::money, body);
     resolved_ = true;
     terminate(kDoneCompleted, ctx_->trace);
     return;
@@ -271,11 +271,11 @@ void WeakEscrow::resolve_if_ready() {
     ledger::TransferId tid = ledger::kInvalidTransfer;
     ctx_->escrows->refund(escrow_deal_, global_now(), &tid)
         .expect("weak escrow refund");
-    auto body = std::make_shared<MoneyMsg>();
+    auto body = net::make_body<MoneyMsg>();
     body->deal_id = ctx_->spec.deal_id;
     body->receipt = tid;
     body->amount = ctx_->spec.hop_amount(index_);
-    send(ctx_->parts.customer(index_), "$", body);
+    send(ctx_->parts.customer(index_), net::kinds::money, body);
     resolved_ = true;
     terminate(kDoneRefunded, ctx_->trace);
     return;
@@ -293,8 +293,8 @@ void WeakEscrow::on_message(const net::Message& m) {
   if (behaviour_ == WeakByz::kCrash) return;
   // Late deposits are still accepted after termination (see
   // resolve_if_ready); everything else is ignored once terminated.
-  if (terminated() && m.kind != "$") return;
-  if (m.kind == "$") {
+  if (terminated() && m.kind != net::kinds::money) return;
+  if (m.kind == net::kinds::money) {
     const auto* body = m.body_as<MoneyMsg>();
     if (body == nullptr || body->deal_id != ctx_->spec.deal_id) return;
     if (escrow_deal_ != 0) return;  // already funded
@@ -312,7 +312,7 @@ void WeakEscrow::on_message(const net::Message& m) {
     resolve_if_ready();  // a certificate may already be in hand
     return;
   }
-  if (m.kind == "tm_cert" || m.kind == "chain_event") {
+  if (m.kind == net::kinds::tm_cert || m.kind == net::kinds::chain_event) {
     if (const auto cert = extract_tm_cert(m)) handle_cert(*cert);
   }
 }

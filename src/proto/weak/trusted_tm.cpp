@@ -24,7 +24,7 @@ void TrustedPartyTm::on_timer(std::uint64_t) {
 void TrustedPartyTm::on_message(const net::Message& m) {
   if (decision_) return;  // the decision is final; late traffic is ignored
 
-  if (m.kind == "tm_chi") {
+  if (m.kind == net::kinds::tm_chi) {
     const auto* body = m.body_as<CertMsg>();
     if (body == nullptr) return;
     const crypto::Certificate& cert = body->cert;
@@ -36,7 +36,7 @@ void TrustedPartyTm::on_message(const net::Message& m) {
     }
     return;
   }
-  if (m.kind != "tm_report") return;
+  if (m.kind != net::kinds::tm_report) return;
   const auto* body = m.body_as<consensus::ReportMsg>();
   if (body == nullptr) return;
   const consensus::SignedStatement& s = body->statement;
@@ -73,7 +73,7 @@ void TrustedPartyTm::decide(consensus::Value v) {
   XCP_REQUIRE(!decision_.has_value(), "trusted TM deciding twice");
   decision_ = v;
 
-  auto body = std::make_shared<CertMsg>();
+  auto body = net::make_body<CertMsg>();
   if (v == consensus::Value::kCommit) {
     body->cert = crypto::make_commit_cert(signer_, validity_.deal_id, *chi_);
   } else {
@@ -90,7 +90,7 @@ void TrustedPartyTm::decide(consensus::Value v) {
     e.deal_id = validity_.deal_id;
     net().trace()->record(e);
   }
-  for (sim::ProcessId pid : notify_) send(pid, "tm_cert", body);
+  for (sim::ProcessId pid : notify_) send(pid, net::kinds::tm_cert, body);
 }
 
 }  // namespace xcp::proto::weak

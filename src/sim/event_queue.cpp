@@ -6,46 +6,152 @@
 
 namespace xcp::sim {
 
-EventId EventQueue::push(TimePoint at, std::function<void()> fn) {
-  const EventId id = next_id_++;
-  heap_.push_back(Entry{at, id, std::move(fn)});
-  std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
-  return id;
+namespace {
+
+constexpr std::uint32_t slot_of(EventId id) {
+  return static_cast<std::uint32_t>(id);
+}
+constexpr std::uint32_t gen_of(EventId id) {
+  return static_cast<std::uint32_t>(id >> 32);
+}
+constexpr EventId make_id(std::uint32_t gen, std::uint32_t slot) {
+  return (static_cast<EventId>(gen) << 32) | slot;
 }
 
-void EventQueue::cancel(EventId id) {
-  if (id == kInvalidEvent) return;
-  cancelled_.insert(id);
+}  // namespace
+
+void EventQueue::place(std::size_t pos, const HeapEntry& e) {
+  heap_[pos] = e;
+  pos_[e.slot] = static_cast<std::uint32_t>(pos);
 }
 
-void EventQueue::drop_cancelled_top() const {
-  while (!heap_.empty()) {
-    const auto it = cancelled_.find(heap_.front().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
-    heap_.pop_back();
+void EventQueue::sift_up(std::size_t pos) {
+  const HeapEntry e = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = parent_of(pos);
+    if (!before(e, heap_[parent])) break;
+    place(pos, heap_[parent]);
+    pos = parent;
   }
+  place(pos, e);
 }
 
-bool EventQueue::empty() const {
-  drop_cancelled_top();
-  return heap_.empty();
+void EventQueue::sift_down(std::size_t pos) {
+  const HeapEntry e = heap_[pos];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = children_of(pos);
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t end = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], e)) break;
+    place(pos, heap_[best]);
+    pos = best;
+  }
+  place(pos, e);
+}
+
+EventQueue::~EventQueue() {
+  for (std::uint32_t idx = 0; idx < slot_count_; ++idx) slot(idx).~Slot();
+}
+
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ != kNil) {
+    const std::uint32_t idx = free_head_;
+    free_head_ = pos_[idx];  // freelist threaded through pos_
+    return idx;
+  }
+  XCP_REQUIRE(slot_count_ < kNil, "event slab full");
+  const std::uint32_t capacity =
+      ((1u << chunks_.size()) - 1u) << kFirstChunkShift;
+  if (slot_count_ == capacity) {
+    static_assert(alignof(Slot) <= alignof(std::max_align_t));
+    const std::size_t chunk_slots = std::size_t{1}
+                                    << (kFirstChunkShift + chunks_.size());
+    chunks_.push_back(Chunk(static_cast<std::byte*>(
+        ::operator new[](chunk_slots * sizeof(Slot)))));
+  }
+  pos_.push_back(kNil);
+  const std::uint32_t idx = slot_count_++;
+  ::new (static_cast<void*>(&slot(idx))) Slot();
+  return idx;
+}
+
+void EventQueue::release_slot(std::uint32_t idx) {
+  Slot& s = slot(idx);
+  s.fn.reset();  // release captures promptly (no-op after a pop's move-out)
+  ++s.gen;       // invalidates every outstanding id for this slot
+  pos_[idx] = free_head_;
+  free_head_ = idx;
+}
+
+EventId EventQueue::push(TimePoint at, EventFn fn) {
+  // HeapEntry's tie-break field is 32 bits; 2^32 pushes per queue is far
+  // beyond the simulator's event limit, but fail loudly rather than let
+  // same-instant ordering silently wrap.
+  XCP_REQUIRE(next_seq_ <= 0xffffffffu, "event sequence space exhausted");
+  const std::uint32_t idx = acquire_slot();
+  Slot& s = slot(idx);
+  s.fn = std::move(fn);
+  heap_.push_back(
+      HeapEntry{at, static_cast<std::uint32_t>(next_seq_++), idx});
+  pos_[idx] = static_cast<std::uint32_t>(heap_.size() - 1);
+  sift_up(heap_.size() - 1);
+  return make_id(s.gen, idx);
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id == kInvalidEvent) return false;
+  const std::uint32_t idx = slot_of(id);
+  if (idx >= slot_count_) return false;
+  // A slot's generation matches an id only while that id's event is live:
+  // release bumps it, so fired/cancelled/reused handles all mismatch.
+  if (slot(idx).gen != gen_of(id)) return false;
+  remove_at(pos_[idx]);
+  return true;
+}
+
+void EventQueue::remove_at(std::size_t pos) {
+  XCP_REQUIRE(pos < heap_.size(), "corrupt heap position");
+  const std::uint32_t idx = heap_[pos].slot;
+  const HeapEntry moved = heap_.back();
+  heap_.pop_back();
+  if (idx != moved.slot) {
+    place(pos, moved);
+    if (pos > 0 && before(moved, heap_[(pos - 1) / 4])) {
+      sift_up(pos);
+    } else {
+      sift_down(pos);
+    }
+  }
+  release_slot(idx);
 }
 
 TimePoint EventQueue::next_time() const {
-  drop_cancelled_top();
   XCP_REQUIRE(!heap_.empty(), "next_time on empty queue");
-  return heap_.front().at;
+  return heap_[0].at;
 }
 
-std::pair<TimePoint, std::function<void()>> EventQueue::pop() {
-  drop_cancelled_top();
+EventQueue::Popped EventQueue::pop() {
   XCP_REQUIRE(!heap_.empty(), "pop on empty queue");
-  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
-  Entry e = std::move(heap_.back());
+  const std::uint32_t idx = heap_[0].slot;
+  Popped out{heap_[0].at, std::move(slot(idx).fn)};
+  const HeapEntry moved = heap_.back();
   heap_.pop_back();
-  return {e.at, std::move(e.fn)};
+  if (!heap_.empty() && idx != moved.slot) {
+    place(0, moved);
+    sift_down(0);
+  }
+  release_slot(idx);
+  if (!heap_.empty()) {
+    // Start fetching the next event's callable now; in drain loops this
+    // hides the slab access behind the caller's work.
+    __builtin_prefetch(&slot(heap_[0].slot));
+  }
+  return out;
 }
 
 }  // namespace xcp::sim

@@ -32,12 +32,12 @@ const Process& Simulator::process(ProcessId pid) const {
   return *processes_[pid.value()];
 }
 
-EventId Simulator::schedule_at(TimePoint at, std::function<void()> fn) {
+EventId Simulator::schedule_at(TimePoint at, EventFn fn) {
   XCP_REQUIRE(at >= now_, "scheduling into the past");
   return queue_.push(at, std::move(fn));
 }
 
-EventId Simulator::schedule_after(Duration delay, std::function<void()> fn) {
+EventId Simulator::schedule_after(Duration delay, EventFn fn) {
   XCP_REQUIRE(delay >= Duration::zero(), "negative delay");
   return queue_.push(now_ + delay, std::move(fn));
 }
@@ -56,12 +56,12 @@ void Simulator::start_all_pending() {
 bool Simulator::step() {
   start_all_pending();
   if (queue_.empty()) return false;
-  auto [at, fn] = queue_.pop();
-  XCP_REQUIRE(at >= now_, "event queue time went backwards");
-  now_ = at;
+  EventQueue::Popped ev = queue_.pop();
+  XCP_REQUIRE(ev.at >= now_, "event queue time went backwards");
+  now_ = ev.at;
   ++events_executed_;
   XCP_REQUIRE(events_executed_ <= event_limit_, "event limit exceeded (livelock?)");
-  fn();
+  ev.fn();
   return true;
 }
 

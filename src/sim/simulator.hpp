@@ -44,8 +44,8 @@ class Simulator {
   const Process& process(ProcessId pid) const;
   std::size_t process_count() const { return processes_.size(); }
 
-  EventId schedule_at(TimePoint at, std::function<void()> fn);
-  EventId schedule_after(Duration delay, std::function<void()> fn);
+  EventId schedule_at(TimePoint at, EventFn fn);
+  EventId schedule_after(Duration delay, EventFn fn);
   void cancel(EventId id);
 
   /// Executes the next event; returns false when the queue is empty.

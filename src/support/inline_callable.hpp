@@ -1,0 +1,112 @@
+#pragma once
+// A move-only, type-erased `void()` callable with small-buffer optimisation.
+// Callables whose captures fit in `Capacity` bytes (and are nothrow-movable)
+// live entirely inside the object; larger ones fall back to the heap. The
+// event queue stores these so that scheduling a typical
+// capture-a-few-pointers lambda performs no allocation at all.
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace xcp {
+
+template <std::size_t Capacity>
+class InlineCallable {
+  static_assert(Capacity >= sizeof(void*), "capacity below pointer size");
+
+ public:
+  InlineCallable() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallable> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineCallable(F&& f) {  // NOLINT: implicit by design, mirrors std::function
+    emplace(std::forward<F>(f));
+  }
+
+  InlineCallable(InlineCallable&& o) noexcept : ops_(o.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, o.buf_);
+      o.ops_ = nullptr;
+    }
+  }
+
+  InlineCallable& operator=(InlineCallable&& o) noexcept {
+    if (this != &o) {
+      reset();
+      ops_ = o.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(buf_, o.buf_);
+        o.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineCallable(const InlineCallable&) = delete;
+  InlineCallable& operator=(const InlineCallable&) = delete;
+
+  ~InlineCallable() { reset(); }
+
+  /// Destroys the held callable (releasing its captures), leaving empty.
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  /// True when the callable lives in the inline buffer (no heap storage).
+  bool is_inline() const { return ops_ != nullptr && ops_->inline_storage; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src);  // move-construct dst, end src
+    void (*destroy)(void*);
+    bool inline_storage;
+  };
+
+  template <typename F>
+  void emplace(F&& f) {
+    using D = std::decay_t<F>;
+    constexpr bool kFitsInline = sizeof(D) <= Capacity &&
+                                 alignof(D) <= alignof(std::max_align_t) &&
+                                 std::is_nothrow_move_constructible_v<D>;
+    if constexpr (kFitsInline) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      static constexpr Ops ops = {
+          [](void* p) { (*std::launder(reinterpret_cast<D*>(p)))(); },
+          [](void* dst, void* src) {
+            D* s = std::launder(reinterpret_cast<D*>(src));
+            ::new (dst) D(std::move(*s));
+            s->~D();
+          },
+          [](void* p) { std::launder(reinterpret_cast<D*>(p))->~D(); },
+          true};
+      ops_ = &ops;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      static constexpr Ops ops = {
+          [](void* p) { (**std::launder(reinterpret_cast<D**>(p)))(); },
+          [](void* dst, void* src) {
+            ::new (dst) D*(*std::launder(reinterpret_cast<D**>(src)));
+          },
+          [](void* p) { delete *std::launder(reinterpret_cast<D**>(p)); },
+          false};
+      ops_ = &ops;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte buf_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace xcp

@@ -1,0 +1,59 @@
+#include "support/pool.hpp"
+
+#include <array>
+
+#include "support/status.hpp"
+
+namespace xcp::detail {
+
+BlockPool::BlockPool(std::size_t block_size) : block_size_(block_size) {
+  XCP_REQUIRE(block_size_ >= sizeof(Node), "pool block below node size");
+}
+
+void* BlockPool::allocate() {
+  ++total_allocs_;
+  if (free_ != nullptr) {
+    ++freelist_hits_;
+    Node* n = free_;
+    free_ = n->next;
+    return n;
+  }
+  if (bump_ == bump_end_) {
+    const std::size_t blocks = next_slab_blocks_;
+    next_slab_blocks_ *= 2;
+    auto slab = std::make_unique<std::byte[]>(blocks * block_size_);
+    bump_ = slab.get();
+    bump_end_ = bump_ + blocks * block_size_;
+    slabs_.push_back(std::move(slab));
+  }
+  std::byte* p = bump_;
+  bump_ += block_size_;
+  return p;
+}
+
+void BlockPool::deallocate(void* p) {
+  Node* n = static_cast<Node*>(p);
+  n->next = free_;
+  free_ = n;
+}
+
+BlockPool* pool_for(std::size_t size) {
+  if (size > kMaxPooledBlock) return nullptr;
+  constexpr std::size_t kClassBytes = 32;
+  constexpr std::size_t kClasses = kMaxPooledBlock / kClassBytes;
+  // max_align_t is 16 on x86-64, so 32-byte classes keep every block
+  // suitably aligned as long as slabs start aligned (make_unique of byte[]
+  // yields operator new[] alignment, i.e. max_align_t).
+  static_assert(kClassBytes % alignof(std::max_align_t) == 0);
+  const std::size_t cls = (size + kClassBytes - 1) / kClassBytes;
+  static std::array<BlockPool*, kClasses + 1> pools = {};
+  BlockPool*& pool = pools[cls];
+  if (pool == nullptr) {
+    // Leaked intentionally: pools live for the process, and bodies may be
+    // released during static destruction after a pool's own teardown.
+    pool = new BlockPool(cls * kClassBytes);
+  }
+  return pool;
+}
+
+}  // namespace xcp::detail

@@ -1,0 +1,91 @@
+#pragma once
+// Freelist pools for fixed-size allocations. Message bodies (and their
+// shared_ptr control blocks, via allocate_shared) churn at every delivery;
+// routing them through a per-size-class freelist makes steady-state sends
+// reuse storage released by earlier deliveries instead of hitting the
+// global heap.
+//
+// Single-threaded by design, like the simulator itself: pools are not
+// synchronised.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace xcp {
+
+namespace detail {
+
+/// A freelist of fixed-size blocks carved from geometrically-growing slabs.
+/// Blocks are aligned to max_align_t and never returned to the OS until
+/// process exit: the pool's footprint is the workload's high-water mark.
+class BlockPool {
+ public:
+  explicit BlockPool(std::size_t block_size);
+
+  void* allocate();
+  void deallocate(void* p);
+
+  std::uint64_t total_allocs() const { return total_allocs_; }
+  std::uint64_t freelist_hits() const { return freelist_hits_; }
+
+ private:
+  struct Node {
+    Node* next;
+  };
+
+  std::size_t block_size_;
+  Node* free_ = nullptr;
+  std::vector<std::unique_ptr<std::byte[]>> slabs_;
+  std::byte* bump_ = nullptr;
+  std::byte* bump_end_ = nullptr;
+  std::size_t next_slab_blocks_ = 16;
+  std::uint64_t total_allocs_ = 0;
+  std::uint64_t freelist_hits_ = 0;
+};
+
+/// Largest block served from a pool; bigger requests use operator new.
+inline constexpr std::size_t kMaxPooledBlock = 512;
+
+/// The process-wide pool for blocks of `size` bytes (rounded up to a
+/// 32-byte size class), or nullptr when `size` exceeds kMaxPooledBlock.
+BlockPool* pool_for(std::size_t size);
+
+}  // namespace detail
+
+/// Minimal allocator over the size-class freelists; usable with
+/// std::allocate_shared so one pooled block holds control block + object.
+template <typename T>
+struct PoolAllocator {
+  using value_type = T;
+
+  PoolAllocator() noexcept = default;
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>&) noexcept {}  // NOLINT: rebinding
+
+  T* allocate(std::size_t n) {
+    if (n == 1 && alignof(T) <= alignof(std::max_align_t)) {
+      if (detail::BlockPool* pool = detail::pool_for(sizeof(T))) {
+        return static_cast<T*>(pool->allocate());
+      }
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    if (n == 1 && alignof(T) <= alignof(std::max_align_t)) {
+      if (detail::BlockPool* pool = detail::pool_for(sizeof(T))) {
+        pool->deallocate(p);
+        return;
+      }
+    }
+    ::operator delete(p);
+  }
+
+  friend bool operator==(const PoolAllocator&, const PoolAllocator&) {
+    return true;
+  }
+};
+
+}  // namespace xcp

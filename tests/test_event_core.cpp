@@ -1,0 +1,291 @@
+// Tests for the zero-allocation event core: the indexed-heap EventQueue
+// (randomized stress against a naive reference model), the SBO callable,
+// interned message kinds, and a whole-protocol determinism regression.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "exp/scenario.hpp"
+#include "net/msg_kind.hpp"
+#include "proto/weak/protocol.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "support/hash.hpp"
+#include "support/inline_callable.hpp"
+#include "support/rng.hpp"
+
+namespace xcp {
+namespace {
+
+// ----------------------------------------------------------- InlineCallable
+
+TEST(InlineCallable, SmallCapturesStayInline) {
+  int hits = 0;
+  int* p = &hits;
+  InlineCallable<64> f([p] { ++*p; });
+  EXPECT_TRUE(f.is_inline());
+  f();
+  f();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineCallable, LargeCapturesSpillToHeap) {
+  std::array<std::uint64_t, 16> big{};  // 128 bytes > 64-byte buffer
+  big[7] = 42;
+  std::uint64_t seen = 0;
+  InlineCallable<64> f([big, &seen] { seen = big[7]; });
+  EXPECT_FALSE(f.is_inline());
+  f();
+  EXPECT_EQ(seen, 42u);
+}
+
+TEST(InlineCallable, MoveTransfersOwnership) {
+  auto counter = std::make_shared<int>(0);
+  InlineCallable<64> a([counter] { ++*counter; });
+  EXPECT_EQ(counter.use_count(), 2);
+  InlineCallable<64> b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT: testing moved-from state
+  EXPECT_EQ(counter.use_count(), 2);   // capture moved, not copied
+  b();
+  EXPECT_EQ(*counter, 1);
+  b.reset();
+  EXPECT_EQ(counter.use_count(), 1);  // captures released on reset
+}
+
+TEST(InlineCallable, DestructorReleasesCaptures) {
+  auto counter = std::make_shared<int>(0);
+  {
+    InlineCallable<64> f([counter] { ++*counter; });
+    EXPECT_EQ(counter.use_count(), 2);
+  }
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+// ------------------------------------------------------------------ MsgKind
+
+TEST(MsgKind, InterningIsStable) {
+  const net::MsgKind a = net::kind("stress-kind-a");
+  const net::MsgKind b = net::kind("stress-kind-b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, net::kind("stress-kind-a"));
+  EXPECT_EQ(a.value(), net::kind("stress-kind-a").value());
+  EXPECT_EQ(a.name(), "stress-kind-a");
+  EXPECT_EQ(net::MsgKind::from_wire(b.value()), b);
+}
+
+TEST(MsgKind, ImplicitConstructionMatchesInterner) {
+  const net::MsgKind k = "stress-kind-c";
+  EXPECT_EQ(k, net::kind("stress-kind-c"));
+  EXPECT_FALSE(net::MsgKind().valid());
+  EXPECT_TRUE(k.valid());
+}
+
+TEST(MsgKind, WellKnownKindsAreDistinct) {
+  const std::vector<net::MsgKind> all = {
+      net::kinds::g,         net::kinds::p,         net::kinds::money,
+      net::kinds::chi,       net::kinds::tx,        net::kinds::chain_event,
+      net::kinds::tm_chi,    net::kinds::tm_report, net::kinds::tm_cert,
+      net::kinds::deposit,   net::kinds::funded,    net::kinds::claim,
+      net::kinds::proof,     net::kinds::bft_proposal,
+      net::kinds::bft_vote,  net::kinds::bft_newround,
+      net::kinds::bft_decision};
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (std::size_t j = i + 1; j < all.size(); ++j) {
+      EXPECT_NE(all[i], all[j]);
+    }
+  }
+}
+
+// -------------------------------------------------- EventQueue vs reference
+
+/// Naive reference model: a vector of live entries, popped by (at, seq).
+struct RefModel {
+  struct Entry {
+    TimePoint at;
+    std::uint64_t seq;
+    int payload;
+  };
+  std::vector<Entry> live;
+  std::uint64_t next_seq = 1;
+
+  std::uint64_t push(TimePoint at, int payload) {
+    live.push_back(Entry{at, next_seq, payload});
+    return next_seq++;
+  }
+  bool cancel(std::uint64_t seq) {
+    const auto it = std::find_if(live.begin(), live.end(),
+                                 [&](const Entry& e) { return e.seq == seq; });
+    if (it == live.end()) return false;
+    live.erase(it);
+    return true;
+  }
+  Entry pop() {
+    auto best = live.begin();
+    for (auto it = live.begin(); it != live.end(); ++it) {
+      if (it->at < best->at || (it->at == best->at && it->seq < best->seq)) {
+        best = it;
+      }
+    }
+    const Entry e = *best;
+    live.erase(best);
+    return e;
+  }
+};
+
+TEST(EventQueueStress, MatchesReferenceModel) {
+  sim::EventQueue q;
+  RefModel ref;
+  Rng rng(0xfeedbeef);
+
+  // Maps the reference's seq to the queue's EventId, including stale pairs
+  // (fired or cancelled) so cancel is also exercised on dead handles.
+  std::vector<std::pair<std::uint64_t, sim::EventId>> handles;
+  std::vector<int> popped_payloads;
+  int live_payload_next = 0;
+
+  for (int step = 0; step < 20'000; ++step) {
+    const int op = rng.next_int(0, 99);
+    if (op < 50) {  // push
+      const TimePoint at = TimePoint::micros(rng.next_int(0, 5'000));
+      const int payload = live_payload_next++;
+      int observed = -1;
+      const sim::EventId id =
+          q.push(at, [payload, &popped_payloads] {
+            popped_payloads.push_back(payload);
+          });
+      (void)observed;
+      const std::uint64_t seq = ref.push(at, payload);
+      handles.emplace_back(seq, id);
+    } else if (op < 75) {  // cancel a random handle, live or stale
+      if (handles.empty()) continue;
+      const auto& [seq, id] =
+          handles[static_cast<std::size_t>(
+              rng.next_int(0, static_cast<int>(handles.size()) - 1))];
+      EXPECT_EQ(q.cancel(id), ref.cancel(seq));
+    } else {  // pop
+      ASSERT_EQ(q.empty(), ref.live.empty());
+      if (ref.live.empty()) continue;
+      auto ev = q.pop();
+      const RefModel::Entry expect = ref.pop();
+      EXPECT_EQ(ev.at, expect.at);
+      popped_payloads.clear();
+      ev.fn();
+      ASSERT_EQ(popped_payloads.size(), 1u);
+      EXPECT_EQ(popped_payloads[0], expect.payload);
+    }
+    ASSERT_EQ(q.live_size(), ref.live.size());
+  }
+
+  // Drain; order must match exactly.
+  while (!ref.live.empty()) {
+    ASSERT_FALSE(q.empty());
+    auto ev = q.pop();
+    const RefModel::Entry expect = ref.pop();
+    EXPECT_EQ(ev.at, expect.at);
+    popped_payloads.clear();
+    ev.fn();
+    ASSERT_EQ(popped_payloads.size(), 1u);
+    EXPECT_EQ(popped_payloads[0], expect.payload);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelAfterFireIsANoopAndNeverWrapsLiveSize) {
+  // Regression: the lazy-cancel design let cancel() of an already-fired id
+  // grow the tombstone set, making live_size() = heap - cancelled wrap.
+  sim::EventQueue q;
+  const sim::EventId a = q.push(TimePoint::micros(1), [] {});
+  q.pop().fn();
+  EXPECT_FALSE(q.cancel(a));          // already fired: no-op
+  EXPECT_FALSE(q.cancel(a));          // idempotent
+  EXPECT_FALSE(q.cancel(0xdeadbeef)); // unknown id: no-op
+  EXPECT_EQ(q.live_size(), 0u);
+  q.push(TimePoint::micros(2), [] {});
+  EXPECT_EQ(q.live_size(), 1u);       // no underflow from earlier cancels
+}
+
+TEST(EventQueue, CancelledEventSlotIsNotResurrectable) {
+  sim::EventQueue q;
+  const sim::EventId a = q.push(TimePoint::micros(1), [] {});
+  EXPECT_TRUE(q.cancel(a));
+  // The slot is recycled by the next push; the stale handle must not
+  // cancel the new event.
+  const sim::EventId b = q.push(TimePoint::micros(2), [] {});
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(q.cancel(a));
+  EXPECT_EQ(q.live_size(), 1u);
+}
+
+TEST(EventQueue, TimerResetChurnDoesNotGrowStorage) {
+  // The watchdog pattern: push the new deadline, cancel the old. Live size
+  // stays at 1; the slab must stay at its high-water mark (2 slots) instead
+  // of accumulating tombstones.
+  sim::EventQueue q;
+  sim::EventId last = q.push(TimePoint::micros(0), [] {});
+  for (int i = 1; i <= 100'000; ++i) {
+    const sim::EventId next = q.push(TimePoint::micros(i), [] {});
+    EXPECT_TRUE(q.cancel(last));
+    last = next;
+  }
+  EXPECT_EQ(q.live_size(), 1u);
+  EXPECT_LE(q.slab_size(), 2u);
+}
+
+// ------------------------------------------------------------- determinism
+
+std::uint64_t trace_hash(const props::TraceRecorder& trace) {
+  HashWriter w;
+  for (const auto& e : trace.events()) {
+    w.write_u32(static_cast<std::uint32_t>(e.kind));
+    w.write_i64(e.at.count());
+    w.write_i64(e.local_at.count());
+    w.write_u32(e.actor.value());
+    w.write_u32(e.peer.value());
+    w.write_str(e.label);
+    w.write_u64(e.deal_id);
+  }
+  return w.digest();
+}
+
+TEST(Determinism, SameSeedSameTraceAcrossRuns) {
+  // Same seed => identical event count and trace hash, end to end through
+  // simulator, network, protocol and transaction manager.
+  const auto run = [] {
+    auto cfg = exp::thm3_config(proto::weak::TmKind::kTrustedParty, 3, 1234);
+    cfg.env.gst = TimePoint::origin() + Duration::millis(100);
+    return proto::weak::run_weak(cfg);
+  };
+  const auto r1 = run();
+  const auto r2 = run();
+  EXPECT_EQ(r1.trace.events().size(), r2.trace.events().size());
+  EXPECT_EQ(trace_hash(r1.trace), trace_hash(r2.trace));
+  EXPECT_EQ(r1.stats.messages_sent, r2.stats.messages_sent);
+  EXPECT_EQ(r1.stats.messages_delivered, r2.stats.messages_delivered);
+}
+
+TEST(Determinism, SimulatorEventCountsReproducible) {
+  const auto run = [](std::uint64_t seed) {
+    sim::Simulator sim(seed);
+    Rng workload(seed + 1);
+    std::uint64_t fired_hash = 0;
+    for (int i = 0; i < 500; ++i) {
+      const auto at = TimePoint::micros(workload.next_int(0, 10'000));
+      const sim::EventId id = sim.schedule_at(at, [&fired_hash, i, &sim] {
+        fired_hash = fired_hash * 1099511628211ull ^
+                     static_cast<std::uint64_t>(i) ^
+                     static_cast<std::uint64_t>(sim.now().count());
+      });
+      if (workload.next_int(0, 3) == 0) sim.cancel(id);
+    }
+    sim.run();
+    return std::pair(sim.events_executed(), fired_hash);
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7).second, run(8).second);
+}
+
+}  // namespace
+}  // namespace xcp

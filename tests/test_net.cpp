@@ -20,7 +20,7 @@ class Recorder final : public Actor {
  public:
   std::vector<std::pair<std::int64_t, std::string>> received;
   void on_message(const Message& m) override {
-    received.emplace_back(global_now().count(), m.kind);
+    received.emplace_back(global_now().count(), m.kind.str());
   }
   using Actor::send;  // expose for tests
 };

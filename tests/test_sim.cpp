@@ -19,7 +19,7 @@ TEST(EventQueue, OrdersByTime) {
   q.push(TimePoint::micros(30), [&] { order.push_back(3); });
   q.push(TimePoint::micros(10), [&] { order.push_back(1); });
   q.push(TimePoint::micros(20), [&] { order.push_back(2); });
-  while (!q.empty()) q.pop().second();
+  while (!q.empty()) q.pop().fn();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
@@ -29,7 +29,7 @@ TEST(EventQueue, SimultaneousEventsRunInScheduleOrder) {
   for (int i = 0; i < 10; ++i) {
     q.push(TimePoint::micros(5), [&order, i] { order.push_back(i); });
   }
-  while (!q.empty()) q.pop().second();
+  while (!q.empty()) q.pop().fn();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
 }
 
@@ -40,7 +40,7 @@ TEST(EventQueue, CancelledEventsAreSkipped) {
   q.push(TimePoint::micros(2), [&] { ++fired; });
   q.cancel(a);
   EXPECT_EQ(q.live_size(), 1u);
-  while (!q.empty()) q.pop().second();
+  while (!q.empty()) q.pop().fn();
   EXPECT_EQ(fired, 1);
 }
 
