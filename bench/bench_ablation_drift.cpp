@@ -57,10 +57,8 @@ int main() {
     std::size_t naive_holds = 0;
     std::size_t comp_paid = 0;
     std::size_t comp_holds = 0;
-    std::function<Outcome(std::uint64_t)> naive_fn =
-        [rho](std::uint64_t seed) { return run_one(false, rho, kN, seed); };
-    std::function<Outcome(std::uint64_t)> comp_fn =
-        [rho](std::uint64_t seed) { return run_one(true, rho, kN, seed); };
+    const auto naive_fn = [rho](std::uint64_t seed) { return run_one(false, rho, kN, seed); };
+    const auto comp_fn = [rho](std::uint64_t seed) { return run_one(true, rho, kN, seed); };
     for (const auto& o : exp::parallel_sweep<Outcome>(1, kSeeds, naive_fn)) {
       naive_paid += o.bob_paid;
       naive_holds += o.def1_holds;

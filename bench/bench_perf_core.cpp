@@ -99,16 +99,21 @@ void BM_EventQueueCancelHeavy(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueCancelHeavy)->Arg(1024)->Arg(16384)->Arg(102400);
 
-void BM_EventQueueTimerReset(benchmark::State& state) {
-  // The classic watchdog pattern: each activity re-arms its timeout, i.e.
-  // push the new deadline and cancel the old one. Live size stays at 1 the
-  // whole run; storage and time should not grow with the number of resets.
+void timer_reset_loop(benchmark::State& state, bool use_wheel) {
+  // The classic watchdog pattern at protocol timeout scale: each activity
+  // re-arms its ~1 s deadline (push the new one, cancel the old one) as
+  // work trickles in. Live size stays at 1 the whole run; storage and time
+  // should not grow with the number of resets.
   const std::int64_t n = state.range(0);
   for (auto _ : state) {
-    sim::EventQueue q;
-    sim::EventId last = q.push(TimePoint::micros(0), [] {});
+    sim::EventQueue q(use_wheel);
+    // Anchor near t=0 (a pending event, as any live simulation has), so
+    // the re-armed deadline is genuinely ~10 s in the future.
+    q.push(TimePoint::micros(1), [] {});
+    sim::EventId last = q.push(TimePoint::micros(10'000'000), [] {});
     for (std::int64_t i = 1; i <= n; ++i) {
-      const sim::EventId next = q.push(TimePoint::micros(i), [] {});
+      const sim::EventId next =
+          q.push(TimePoint::micros(10'000'000 + i), [] {});
       q.cancel(last);
       last = next;
     }
@@ -116,7 +121,59 @@ void BM_EventQueueTimerReset(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
+void BM_EventQueueTimerReset(benchmark::State& state) {
+  timer_reset_loop(state, /*use_wheel=*/true);
+}
 BENCHMARK(BM_EventQueueTimerReset)->Arg(16384)->Arg(102400);
+void BM_EventQueueTimerResetHeapOnly(benchmark::State& state) {
+  timer_reset_loop(state, /*use_wheel=*/false);
+}
+BENCHMARK(BM_EventQueueTimerResetHeapOnly)->Arg(16384)->Arg(102400);
+
+void timer_reset_crowd_loop(benchmark::State& state, bool use_wheel) {
+  // The timer-reset pattern at protocol scale: k concurrently-armed
+  // timeouts (one per in-flight deal/round), each re-armed round-robin
+  // with deltas clustered at protocol-like magnitudes. This is where the
+  // wheel's O(1) schedule/cancel beats the heap's O(log k) sift per
+  // re-arm — the live population is large, unlike the 1-live watchdog
+  // case above.
+  const std::int64_t k = state.range(0);
+  constexpr std::int64_t kResets = 262'144;
+  // Timelock / notary-round / impatience magnitudes: 1 s .. 2 min.
+  const std::int64_t deltas[] = {1'000'000, 5'000'000, 30'000'000,
+                                 120'000'000};
+  for (auto _ : state) {
+    sim::EventQueue q(use_wheel);
+    q.push(TimePoint::micros(1), [] {});  // anchor: pins the epoch near t=0
+    std::vector<sim::EventId> ids;
+    ids.reserve(static_cast<std::size_t>(k));
+    std::int64_t now = 0;
+    for (std::int64_t i = 0; i < k; ++i) {
+      ids.push_back(q.push(
+          TimePoint::micros(1 + deltas[i % 4] + i), [] {}));
+    }
+    for (std::int64_t r = 0; r < kResets; ++r) {
+      const auto slot = static_cast<std::size_t>(r % k);
+      now += 3;
+      q.cancel(ids[slot]);
+      ids[slot] = q.push(TimePoint::micros(now + deltas[r % 4]), [] {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * kResets);
+  state.SetLabel("k=" + std::to_string(k) + " live timers");
+}
+void BM_EventQueueTimerResetCrowd(benchmark::State& state) {
+  timer_reset_crowd_loop(state, /*use_wheel=*/true);
+}
+BENCHMARK(BM_EventQueueTimerResetCrowd)->Arg(1024)->Arg(16384)->Arg(65536);
+void BM_EventQueueTimerResetCrowdHeapOnly(benchmark::State& state) {
+  timer_reset_crowd_loop(state, /*use_wheel=*/false);
+}
+BENCHMARK(BM_EventQueueTimerResetCrowdHeapOnly)
+    ->Arg(1024)
+    ->Arg(16384)
+    ->Arg(65536);
 
 void BM_DriftClockConversion(benchmark::State& state) {
   Rng rng(2);
@@ -240,6 +297,66 @@ void BM_SendChurnBody(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kMessages);
 }
 BENCHMARK(BM_SendChurnBody);
+
+void committee_broadcast_loop(benchmark::State& state, bool batching) {
+  // Committee fan-in under a fixed-delay (deterministic-synchrony) model:
+  // a coordinator broadcasts to m notaries, every notary's reply arrives
+  // at the coordinator at the same instant. With batched delivery the m
+  // same-instant replies ride one simulator event; without it each is its
+  // own event. This is the shape of every notary round and of adversarial
+  // hold-until release storms.
+  class Coordinator final : public net::Actor {
+   public:
+    int rounds_left = 0;
+    int replies_pending = 0;
+    std::vector<sim::ProcessId> notaries;
+    void broadcast() {
+      replies_pending = static_cast<int>(notaries.size());
+      for (const auto id : notaries) send(id, net::kinds::bft_proposal);
+    }
+    void on_message(const net::Message&) override {
+      if (--replies_pending == 0 && rounds_left-- > 0) broadcast();
+    }
+  };
+  class Notary final : public net::Actor {
+   public:
+    sim::ProcessId coordinator;
+    void on_message(const net::Message&) override {
+      send(coordinator, net::kinds::bft_vote);
+    }
+  };
+
+  const int m = static_cast<int>(state.range(0));
+  constexpr int kRounds = 512;
+  for (auto _ : state) {
+    sim::Simulator sim(1);
+    net::Network net(sim, std::make_unique<net::SynchronousModel>(
+                              Duration::micros(10), Duration::micros(10)));
+    net.set_delivery_batching(batching);
+    auto& coord = sim.spawn<Coordinator>("coord");
+    net.attach(coord);
+    for (int i = 0; i < m; ++i) {
+      auto& notary = sim.spawn<Notary>("n" + std::to_string(i));
+      net.attach(notary);
+      notary.coordinator = coord.id();
+      coord.notaries.push_back(notary.id());
+    }
+    coord.rounds_left = kRounds;
+    sim.schedule_at(TimePoint::origin(), [&] { coord.broadcast(); });
+    sim.run();
+    benchmark::DoNotOptimize(net.stats().messages_delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * kRounds * m * 2);
+  state.SetLabel("m=" + std::to_string(m) + " notaries");
+}
+void BM_CommitteeBroadcast(benchmark::State& state) {
+  committee_broadcast_loop(state, /*batching=*/true);
+}
+BENCHMARK(BM_CommitteeBroadcast)->Arg(7)->Arg(13)->Arg(64);
+void BM_CommitteeBroadcastUnbatched(benchmark::State& state) {
+  committee_broadcast_loop(state, /*batching=*/false);
+}
+BENCHMARK(BM_CommitteeBroadcastUnbatched)->Arg(7)->Arg(13)->Arg(64);
 
 void BM_NetworkDelivery(benchmark::State& state) {
   // Raw message throughput through the simulator+network stack.

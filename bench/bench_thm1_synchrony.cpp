@@ -62,8 +62,7 @@ int main() {
                "violations"});
   for (int n : {1, 2, 4, 8, 16, 32}) {
     for (double rho : {0.0, 1e-4, 1e-3, 1e-2}) {
-      std::function<CellResult(std::uint64_t)> fn =
-          [n, rho](std::uint64_t seed) { return run_one(n, rho, seed); };
+      const auto fn = [n, rho](std::uint64_t seed) { return run_one(n, rho, seed); };
       const auto results = exp::parallel_sweep<CellResult>(1, kSeeds, fn);
       std::size_t holds = 0;
       std::size_t paid = 0;

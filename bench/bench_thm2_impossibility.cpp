@@ -109,7 +109,7 @@ int main() {
                "bob paid", "requirement lost", "witness"});
 
   for (double scale : {1.0, 10.0, 100.0}) {
-    std::function<Verdict(std::uint64_t)> fn = [scale](std::uint64_t seed) {
+    const auto fn = [scale](std::uint64_t seed) {
       return run_case(scale, seed);
     };
     const auto results = exp::parallel_sweep<Verdict>(1, kSeeds, fn);

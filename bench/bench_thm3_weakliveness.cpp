@@ -72,7 +72,7 @@ int main() {
   Table happy({"TM back-end", "n", "Def.2 holds", "bob paid"});
   for (TmKind tm : kTms) {
     for (int n : {1, 2, 4, 8}) {
-      std::function<Cell(std::uint64_t)> fn = [&](std::uint64_t seed) {
+      const auto fn = [&](std::uint64_t seed) {
         return run_one(tm, n, Duration::seconds(120), {}, seed, 5);
       };
       const auto cells = exp::parallel_sweep<Cell>(1, kSeeds, fn);
@@ -92,7 +92,7 @@ int main() {
   // Part 2: patience sweep — success is conditional on waiting long enough.
   Table patience({"patience", "commit rate", "abort rate", "Def.2 holds"});
   for (std::int64_t patience_ms : {200, 1000, 3000, 8000, 20000, 60000}) {
-    std::function<Cell(std::uint64_t)> fn = [&](std::uint64_t seed) {
+    const auto fn = [&](std::uint64_t seed) {
       return run_one(TmKind::kTrustedParty, 3,
                      Duration::millis(patience_ms), {}, seed, 5);
     };
@@ -135,7 +135,7 @@ int main() {
   Table byz({"deviation", "TM", "Def.2 holds", "outcome"});
   for (const auto& c : cases) {
     for (TmKind tm : kTms) {
-      std::function<Cell(std::uint64_t)> fn = [&](std::uint64_t seed) {
+      const auto fn = [&](std::uint64_t seed) {
         return run_one(tm, 2, Duration::seconds(20), c.assignments, seed, 2);
       };
       const auto cells = exp::parallel_sweep<Cell>(1, kSeeds / 2, fn);

@@ -63,7 +63,7 @@ int main() {
                 "paid", "Def.2"});
   for (TmKind tm : {TmKind::kTrustedParty, TmKind::kSmartContract,
                     TmKind::kNotaryCommittee}) {
-    std::function<Sample(std::uint64_t)> fn = [tm](std::uint64_t seed) {
+    const auto fn = [tm](std::uint64_t seed) {
       auto cfg = exp::thm3_config(tm, 3, seed);
       cfg.env = exp::partial_env(exp::default_timing(), 1,
                                  Duration::millis(300));
@@ -93,7 +93,7 @@ int main() {
   Table abort_t({"TM back-end", "abort latency (mean s)", "Def.2"});
   for (TmKind tm : {TmKind::kTrustedParty, TmKind::kSmartContract,
                     TmKind::kNotaryCommittee}) {
-    std::function<Sample(std::uint64_t)> fn = [tm](std::uint64_t seed) {
+    const auto fn = [tm](std::uint64_t seed) {
       auto cfg = exp::thm3_config(tm, 3, seed);
       cfg.env = exp::partial_env(exp::default_timing(), 1,
                                  Duration::millis(300));
@@ -127,7 +127,7 @@ int main() {
         ByzRow{7, 2, consensus::NotaryBehaviour::kSilent, "silent"},
         ByzRow{7, 2, consensus::NotaryBehaviour::kEquivocator, "equivocator"},
         ByzRow{10, 3, consensus::NotaryBehaviour::kSilent, "silent"}}) {
-    std::function<Sample(std::uint64_t)> fn = [row](std::uint64_t seed) {
+    const auto fn = [row](std::uint64_t seed) {
       auto cfg = exp::thm3_config(TmKind::kNotaryCommittee, 2, seed);
       cfg.env = exp::partial_env(exp::default_timing(), 1,
                                  Duration::millis(300));
@@ -153,8 +153,7 @@ int main() {
   // Part 4: contract-chain block interval sweep (latency follows blocks).
   Table blocks({"block interval", "decide latency (mean s)", "paid"});
   for (std::int64_t interval_ms : {100, 250, 500, 1000, 2000}) {
-    std::function<Sample(std::uint64_t)> fn =
-        [interval_ms](std::uint64_t seed) {
+    const auto fn = [interval_ms](std::uint64_t seed) {
           auto cfg = exp::thm3_config(TmKind::kSmartContract, 2, seed);
           cfg.env = exp::partial_env(exp::default_timing(), 1,
                                      Duration::millis(300));

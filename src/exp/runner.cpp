@@ -153,7 +153,7 @@ MatrixCell run_matrix_cell(ProtocolKind protocol, Regime regime, int n,
 
   const bool weak_family = is_weak_family(protocol);
 
-  std::function<proto::RunRecord(std::uint64_t)> one = [&](std::uint64_t seed) {
+  const auto one = [&](std::uint64_t seed) {
     return weak_family ? run_weak_family(protocol, regime, n, seed)
                        : run_time_bounded_family(protocol, regime, n, seed);
   };

@@ -10,6 +10,14 @@
 // the name: a hash lookup, allocating only the first time a name is seen.
 // Hot paths should use the named constants in xcp::net::kinds or cache
 // their own `kind("...")` result.
+//
+// Threading: the interner is a pre-seeded read-mostly table. All well-known
+// kinds below are interned at static initialisation (their inline
+// definitions run before main, and before any sweep worker thread exists),
+// so protocol runs on worker threads only ever take the shared (reader)
+// lock; first-sight inserts of ad-hoc names take the exclusive lock on the
+// seldom path. Comparing, hashing and copying MsgKind values never touches
+// the interner at all.
 
 #include <cstdint>
 #include <functional>
@@ -56,10 +64,12 @@ class MsgKind {
 };
 
 /// Interns `name` and returns its kind. O(1) amortised; allocates only on
-/// first sight of a name. Single-threaded, like the simulator.
+/// first sight of a name. Thread-safe: lookups of known names take a shared
+/// lock, first-sight inserts an exclusive one.
 MsgKind kind(std::string_view name);
 
-/// The well-known kinds of the protocol stack, interned once per process.
+/// The well-known kinds of the protocol stack, interned once per process at
+/// static initialisation (pre-seeding the table before threads exist).
 namespace kinds {
 inline const MsgKind g = kind("G");        // promise G(d)
 inline const MsgKind p = kind("P");        // promise P(a)

@@ -24,7 +24,9 @@ Network::Network(sim::Simulator& sim, std::unique_ptr<DelayModel> model,
 void Network::attach(Actor& actor) {
   XCP_REQUIRE(actor.id().valid(), "attach before spawning");
   actor.net_ = this;
-  actors_[actor.id()] = &actor;
+  const std::uint32_t v = actor.id().value();
+  if (v >= actors_.size()) actors_.resize(v + 1);
+  actors_[v].actor = &actor;
 }
 
 void Network::send(sim::ProcessId from, sim::ProcessId to, MsgKind kind,
@@ -76,27 +78,94 @@ void Network::send(sim::ProcessId from, sim::ProcessId to, MsgKind kind,
   const TimePoint latest = model_->latest_delivery(m, now);
   deliver_at = std::clamp(deliver_at, now, latest);
 
-  sim_.schedule_at(deliver_at, [this, m = std::move(m)] { deliver(m); });
-}
-
-void Network::deliver(Message m) {
-  auto it = actors_.find(m.to);
-  if (it == actors_.end()) {
-    ++stats_.messages_dropped;
+  // Batched delivery: coalesce same-(destination, instant) messages into
+  // one event. The first message opens a batch and schedules its event;
+  // later sends resolving to the same instant append for free. Committee
+  // broadcasts under a fixed-delay model and adversarial hold-until
+  // releases collapse from m events to one.
+  ActorEntry* found = batching_ ? entry_for(to) : nullptr;
+  if (found == nullptr || found->actor == nullptr) {
+    // Unattached destination (dropped at delivery, as before) or batching
+    // off: the PR-1 one-event-per-message path.
+    sim_.schedule_at(deliver_at, [this, m = std::move(m)] { deliver(m); });
     return;
   }
+  ActorEntry& entry = *found;
+  if (entry.open_batch == kNoBatch || entry.open_at != deliver_at) {
+    const std::uint32_t bi = acquire_batch();
+    batches_[bi].to = to;
+    batches_[bi].at = deliver_at;
+    entry.open_batch = bi;
+    entry.open_at = deliver_at;
+    sim_.schedule_at(deliver_at, [this, bi] { deliver_batch(bi); });
+  }
+  batches_[entry.open_batch].msgs.push_back(std::move(m));
+}
+
+std::uint32_t Network::acquire_batch() {
+  if (free_batch_ != kNoBatch) {
+    const std::uint32_t bi = free_batch_;
+    free_batch_ = batches_[bi].next_free;
+    return bi;
+  }
+  batches_.emplace_back();
+  return static_cast<std::uint32_t>(batches_.size() - 1);
+}
+
+void Network::record_deliver(const Message& m, TimePoint local_at) {
   ++stats_.messages_delivered;
   if (trace_) {
     props::TraceEvent e;
     e.kind = props::EventKind::kDeliver;
     e.at = sim_.now();
-    e.local_at = it->second->local_now();
+    e.local_at = local_at;
     e.actor = m.to;
     e.peer = m.from;
     e.label = m.kind.str();
     trace_->record(e);
   }
-  it->second->on_message(m);
+}
+
+void Network::deliver(Message m) {
+  ActorEntry* entry = entry_for(m.to);
+  if (entry == nullptr || entry->actor == nullptr) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  Actor& actor = *entry->actor;
+  record_deliver(m, actor.local_now());
+  actor.on_message(m);
+}
+
+void Network::deliver_batch(std::uint32_t batch_idx) {
+  // Close the batch *before* delivering: a handler may send to this same
+  // destination at this same instant, which must open a fresh batch (and a
+  // fresh event) rather than append to the one being drained. The messages
+  // are moved out because handlers can grow batches_ (invalidating
+  // references) while we iterate.
+  const sim::ProcessId to = batches_[batch_idx].to;
+  if (ActorEntry* entry = entry_for(to);
+      entry != nullptr && entry->open_batch == batch_idx) {
+    entry->open_batch = kNoBatch;
+  }
+  std::vector<Message> msgs = std::move(batches_[batch_idx].msgs);
+  for (Message& m : msgs) {
+    // Re-resolve per message: a handler's attach() may grow actors_,
+    // invalidating entry pointers mid-loop.
+    ActorEntry* entry = entry_for(to);
+    Actor* actor = entry == nullptr ? nullptr : entry->actor;
+    if (actor == nullptr) {
+      ++stats_.messages_dropped;
+      continue;
+    }
+    record_deliver(m, actor->local_now());
+    actor->on_message(m);
+  }
+  // Return the (cleared, capacity-preserving) vector and batch to the slab.
+  msgs.clear();
+  batches_[batch_idx].msgs = std::move(msgs);
+  batches_[batch_idx].next_free = free_batch_;
+  free_batch_ = batch_idx;
 }
 
 }  // namespace xcp::net

@@ -1,6 +1,7 @@
 #include "sim/event_queue.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "support/status.hpp"
 
@@ -56,6 +57,9 @@ void EventQueue::sift_down(std::size_t pos) {
 
 EventQueue::~EventQueue() {
   for (std::uint32_t idx = 0; idx < slot_count_; ++idx) slot(idx).~Slot();
+  for (std::uint32_t c = 0; c < chunk_count_; ++c) {
+    ::operator delete[](static_cast<void*>(chunks_[c]));
+  }
 }
 
 std::uint32_t EventQueue::acquire_slot() {
@@ -66,13 +70,14 @@ std::uint32_t EventQueue::acquire_slot() {
   }
   XCP_REQUIRE(slot_count_ < kNil, "event slab full");
   const std::uint32_t capacity =
-      ((1u << chunks_.size()) - 1u) << kFirstChunkShift;
+      ((1u << chunk_count_) - 1u) << kFirstChunkShift;
   if (slot_count_ == capacity) {
     static_assert(alignof(Slot) <= alignof(std::max_align_t));
+    XCP_REQUIRE(chunk_count_ < kMaxChunks, "event slab chunk table full");
     const std::size_t chunk_slots = std::size_t{1}
-                                    << (kFirstChunkShift + chunks_.size());
-    chunks_.push_back(Chunk(static_cast<std::byte*>(
-        ::operator new[](chunk_slots * sizeof(Slot)))));
+                                    << (kFirstChunkShift + chunk_count_);
+    chunks_[chunk_count_++] = static_cast<Slot*>(
+        ::operator new[](chunk_slots * sizeof(Slot)));
   }
   pos_.push_back(kNil);
   const std::uint32_t idx = slot_count_++;
@@ -80,27 +85,72 @@ std::uint32_t EventQueue::acquire_slot() {
   return idx;
 }
 
-void EventQueue::release_slot(std::uint32_t idx) {
-  Slot& s = slot(idx);
+void EventQueue::release_slot(Slot& s, std::uint32_t idx) {
   s.fn.reset();  // release captures promptly (no-op after a pop's move-out)
   ++s.gen;       // invalidates every outstanding id for this slot
   pos_[idx] = free_head_;
   free_head_ = idx;
 }
 
-EventId EventQueue::push(TimePoint at, EventFn fn) {
+void EventQueue::push_heap_entry(const HeapEntry& e) {
+  // Heap positions share pos_ with kWheelBit-tagged wheel node indices;
+  // fail loudly (like the seq-wrap guard) rather than let a position's top
+  // bit silently alias the tag. 2^31 live events is ~200 GB of slots, but
+  // loud beats corrupt.
+  XCP_REQUIRE(heap_.size() < kWheelBit, "event heap position space exhausted");
+  heap_.push_back(e);
+  pos_[e.slot] = static_cast<std::uint32_t>(heap_.size() - 1);
+  sift_up(heap_.size() - 1);
+}
+
+void EventQueue::sync_wheel() {
+  // Drain every wheel slot due at or before the heap head; afterwards the
+  // heap head is the global (at, seq) minimum. Each flush advances the
+  // wheel cursor, so the loop terminates (no pushes happen mid-drain).
+  // The common not-due-yet case costs one compare against the wheel's
+  // cached lower bound; the slot-bitmap scan only runs when a slot might
+  // actually be due.
+  while (!wheel_.empty()) {
+    const std::int64_t heap_top = heap_.empty()
+                                      ? std::numeric_limits<std::int64_t>::max()
+                                      : heap_[0].at.count();
+    if (wheel_.next_due_lower_bound() > heap_top) break;
+    std::uint32_t n = wheel_.detach_earliest_if_due(heap_top);
+    if (n == TimerWheel::kNone) break;  // exact bound refreshed: not due
+    while (n != TimerWheel::kNone) {
+      const TimerWheel::Node& node = wheel_.node(n);
+      const std::uint32_t next = node.next;
+      push_heap_entry(HeapEntry{node.at, node.seq, node.payload});
+      wheel_.release(n);
+      n = next;
+    }
+  }
+}
+
+EventQueue::PushTicket EventQueue::begin_push(TimePoint at) {
   // HeapEntry's tie-break field is 32 bits; 2^32 pushes per queue is far
   // beyond the simulator's event limit, but fail loudly rather than let
   // same-instant ordering silently wrap.
   XCP_REQUIRE(next_seq_ <= 0xffffffffu, "event sequence space exhausted");
   const std::uint32_t idx = acquire_slot();
   Slot& s = slot(idx);
-  s.fn = std::move(fn);
-  heap_.push_back(
-      HeapEntry{at, static_cast<std::uint32_t>(next_seq_++), idx});
-  pos_[idx] = static_cast<std::uint32_t>(heap_.size() - 1);
-  sift_up(heap_.size() - 1);
-  return make_id(s.gen, idx);
+  const auto seq = static_cast<std::uint32_t>(next_seq_++);
+  if (wheel_enabled_) {
+    // A fully-drained queue being refilled (a fresh run, or a benchmark
+    // reusing one instance) gets its wheel rewound so the new epoch's
+    // timeouts take the O(1) path again.
+    if (heap_.empty() && wheel_.empty() &&
+        at.count() != std::numeric_limits<std::int64_t>::min()) {
+      wheel_.reset_cursor(at.count() - 1);
+    }
+    const std::uint32_t node = wheel_.try_insert(at, seq, idx);
+    if (node != TimerWheel::kNone) {
+      pos_[idx] = kWheelBit | node;
+      return PushTicket{&s.fn, make_id(s.gen, idx)};
+    }
+  }
+  push_heap_entry(HeapEntry{at, seq, idx});
+  return PushTicket{&s.fn, make_id(s.gen, idx)};
 }
 
 bool EventQueue::cancel(EventId id) {
@@ -109,8 +159,15 @@ bool EventQueue::cancel(EventId id) {
   if (idx >= slot_count_) return false;
   // A slot's generation matches an id only while that id's event is live:
   // release bumps it, so fired/cancelled/reused handles all mismatch.
-  if (slot(idx).gen != gen_of(id)) return false;
-  remove_at(pos_[idx]);
+  Slot& s = slot(idx);
+  if (s.gen != gen_of(id)) return false;
+  const std::uint32_t p = pos_[idx];
+  if (p & kWheelBit) {
+    wheel_.erase(p & ~kWheelBit);
+    release_slot(s, idx);
+  } else {
+    remove_at(p);
+  }
   return true;
 }
 
@@ -127,25 +184,28 @@ void EventQueue::remove_at(std::size_t pos) {
       sift_down(pos);
     }
   }
-  release_slot(idx);
+  release_slot(slot(idx), idx);
 }
 
-TimePoint EventQueue::next_time() const {
-  XCP_REQUIRE(!heap_.empty(), "next_time on empty queue");
+TimePoint EventQueue::next_time() {
+  XCP_REQUIRE(!empty(), "next_time on empty queue");
+  sync_wheel();
   return heap_[0].at;
 }
 
 EventQueue::Popped EventQueue::pop() {
-  XCP_REQUIRE(!heap_.empty(), "pop on empty queue");
+  XCP_REQUIRE(!empty(), "pop on empty queue");
+  sync_wheel();
   const std::uint32_t idx = heap_[0].slot;
-  Popped out{heap_[0].at, std::move(slot(idx).fn)};
+  Slot& s = slot(idx);
+  Popped out{heap_[0].at, std::move(s.fn)};
   const HeapEntry moved = heap_.back();
   heap_.pop_back();
   if (!heap_.empty() && idx != moved.slot) {
     place(0, moved);
     sift_down(0);
   }
-  release_slot(idx);
+  release_slot(s, idx);
   if (!heap_.empty()) {
     // Start fetching the next event's callable now; in drain loops this
     // hides the slab access behind the caller's work.

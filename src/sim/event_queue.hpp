@@ -1,10 +1,22 @@
 #pragma once
-// The simulator's event queue: a slab-backed indexed 4-ary min-heap ordered
-// by (time, push sequence). The sequence number makes simultaneous events
-// execute in schedule order, which keeps whole experiments bit-for-bit
-// deterministic.
+// The simulator's event queue: a hierarchical timer wheel in front of a
+// slab-backed indexed 4-ary min-heap, ordered by (time, push sequence).
+// The sequence number makes simultaneous events execute in schedule order,
+// which keeps whole experiments bit-for-bit deterministic.
 //
-// Layout is split for cache behaviour on the hot path:
+// Two-layer routing, invisible to callers:
+//  - events whose expiry lands in an undrained wheel slot within the
+//    wheel's ~19h horizon get O(1) schedule and O(1) cancel via the wheel's
+//    bucket lists (sim/timer_wheel.hpp) — the common path for protocol
+//    timeouts, which are re-armed or cancelled far more often than they
+//    fire;
+//  - everything else (past/imminent times, beyond-horizon times) goes to
+//    the heap directly. Just before virtual time reaches a wheel slot, the
+//    slot's survivors are drained into the heap, which restores the exact
+//    (at, seq) total order — so the pop sequence is identical to a pure
+//    heap's, and determinism is unaffected by the routing.
+//
+// Heap layout is split for cache behaviour on the hot path:
 //  - heap_  : 4-ary min-heap of 16-byte trivially-copyable entries that
 //             carry their own sort key (at, seq), so sifting never touches
 //             the slot slab;
@@ -22,9 +34,11 @@
 
 #include <bit>
 #include <cstdint>
-#include <memory>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "sim/timer_wheel.hpp"
 #include "support/inline_callable.hpp"
 #include "support/time.hpp"
 
@@ -43,7 +57,11 @@ using EventFn = InlineCallable<64>;
 
 class EventQueue {
  public:
-  EventQueue() = default;
+  /// `use_timer_wheel = false` forces every event through the heap — the
+  /// PR-1 behaviour, kept for A/B benchmarking and differential tests. The
+  /// pop sequence is identical either way.
+  explicit EventQueue(bool use_timer_wheel = true)
+      : wheel_enabled_(use_timer_wheel) {}
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
   ~EventQueue();
@@ -54,8 +72,28 @@ class EventQueue {
     EventFn fn;
   };
 
-  /// Enqueues `fn` to run at virtual time `at`. Returns a cancellable id.
-  EventId push(TimePoint at, EventFn fn);
+  /// Enqueues a callable to run at virtual time `at`, constructing it
+  /// directly in its slot (no stack temporary, no move chain). Returns a
+  /// cancellable id. An EventFn argument is moved in instead.
+  template <typename F>
+  EventId push(TimePoint at, F&& fn) {
+    const PushTicket t = begin_push(at);
+    if constexpr (std::is_same_v<std::decay_t<F>, EventFn>) {
+      *t.fn = std::forward<F>(fn);  // noexcept move
+    } else {
+      // The event is already routed under t.id; if constructing the
+      // closure throws (throwing capture copy, bad_alloc on the oversize
+      // heap fallback), unwind it so the queue never holds an event with
+      // an empty callable.
+      try {
+        t.fn->emplace(std::forward<F>(fn));
+      } catch (...) {
+        cancel(t.id);
+        throw;
+      }
+    }
+    return t.id;
+  }
 
   /// Removes a live event in place (O(log n)), releasing its slot and
   /// captures immediately. Returns false — a no-op — for already-fired,
@@ -63,23 +101,44 @@ class EventQueue {
   bool cancel(EventId id);
 
   /// True when no live events remain.
-  bool empty() const { return heap_.empty(); }
+  bool empty() const { return heap_.empty() && wheel_.empty(); }
 
-  /// Time of the next live event. Requires !empty().
-  TimePoint next_time() const;
+  /// Time of the next live event. Requires !empty(). (Non-const: may drain
+  /// due wheel slots into the heap to find the global minimum.)
+  TimePoint next_time();
 
   /// Pops the next live event. Requires !empty().
   Popped pop();
 
   /// Number of live events; exact (cancellation frees immediately).
-  std::size_t live_size() const { return heap_.size(); }
+  std::size_t live_size() const { return heap_.size() + wheel_.size(); }
+
+  /// Live events currently parked in the timer wheel (not yet drained to
+  /// the heap). Observability for tests and benchmarks.
+  std::size_t wheel_size() const { return wheel_.size(); }
 
   /// Slots ever allocated — the high-water mark of concurrently-live
   /// events. Exposed so tests can assert churn does not grow storage.
   std::size_t slab_size() const { return slot_count_; }
 
  private:
+  /// A reserved slot mid-push: the event is already routed (wheel or heap)
+  /// under its id; the caller stores the callable through `fn`.
+  struct PushTicket {
+    EventFn* fn;
+    EventId id;
+  };
+
+  /// Everything push() does except storing the callable: slot acquisition,
+  /// sequence assignment, wheel/heap routing.
+  PushTicket begin_push(TimePoint at);
+
   static constexpr std::uint32_t kNil = 0xffffffffu;
+  // pos_ tag for "this slot's event lives in the wheel": the low 31 bits
+  // are the wheel node index. Heap positions never reach 2^31, so the top
+  // bit discriminates. (kNil itself only appears for free slots, whose pos_
+  // threads the slot freelist and is never interpreted as a location.)
+  static constexpr std::uint32_t kWheelBit = 0x80000000u;
 
   // 16 bytes: sifting a 100k-event heap moves a third of the bytes the
   // old (time, id, std::function) entries did. `seq` is the low 32 bits of
@@ -108,8 +167,12 @@ class EventQueue {
   void sift_up(std::size_t pos);
   void sift_down(std::size_t pos);
   std::uint32_t acquire_slot();
-  void release_slot(std::uint32_t idx);
+  void release_slot(Slot& s, std::uint32_t idx);
   void remove_at(std::size_t pos);
+  void push_heap_entry(const HeapEntry& e);
+  /// Drains every wheel slot due at or before the heap's head time, so the
+  /// heap head is the global minimum.
+  void sync_wheel();
 
   // The slab is chunked so growth never moves a live Slot (vector
   // reallocation would relocate every callable through an indirect call).
@@ -119,32 +182,33 @@ class EventQueue {
   // Chunks are raw storage; a Slot is placement-constructed the first time
   // its index is handed out (indices are dense: 0..slot_count_-1) and
   // destroyed by ~EventQueue. Addresses stay stable for the queue's
-  // lifetime.
+  // lifetime. Chunk pointers live in a flat in-object array (not a vector
+  // of unique_ptr): slot() runs several times per schedule/cancel pair and
+  // a single data-dependent load off `this` keeps it to ~1 ns.
   static constexpr std::uint32_t kFirstChunkShift = 6;  // 64 slots
-
-  struct ChunkDeleter {
-    void operator()(std::byte* p) const { ::operator delete[](p); }
-  };
-  using Chunk = std::unique_ptr<std::byte[], ChunkDeleter>;
+  // 26 chunks of 64 << c slots exhaust the 32-bit slot index space.
+  static constexpr std::size_t kMaxChunks = 26;
 
   Slot& slot(std::uint32_t idx) {
     const std::uint32_t t = (idx >> kFirstChunkShift) + 1;
     const int c = std::bit_width(t) - 1;
     const std::uint32_t base =
         ((1u << c) - 1u) << kFirstChunkShift;  // slots before chunk c
-    return reinterpret_cast<Slot*>(chunks_[static_cast<std::size_t>(c)]
-                                       .get())[idx - base];
+    return chunks_[static_cast<std::size_t>(c)][idx - base];
   }
   const Slot& slot(std::uint32_t idx) const {
     return const_cast<EventQueue*>(this)->slot(idx);
   }
 
   std::vector<HeapEntry> heap_;     // 4-ary min-heap, keys inline
-  std::vector<std::uint32_t> pos_;  // slot -> heap position; freelist link
-  std::vector<Chunk> chunks_;       // recycled slab of callables
+  std::vector<std::uint32_t> pos_;  // slot -> heap pos | wheel node; freelist
+  TimerWheel wheel_;                // O(1) front end for future timeouts
+  Slot* chunks_[kMaxChunks] = {};   // recycled slab of callables (owned)
+  std::uint32_t chunk_count_ = 0;
   std::uint32_t slot_count_ = 0;
   std::uint32_t free_head_ = kNil;
   std::uint64_t next_seq_ = 1;
+  bool wheel_enabled_ = true;
 };
 
 }  // namespace xcp::sim

@@ -32,16 +32,6 @@ const Process& Simulator::process(ProcessId pid) const {
   return *processes_[pid.value()];
 }
 
-EventId Simulator::schedule_at(TimePoint at, EventFn fn) {
-  XCP_REQUIRE(at >= now_, "scheduling into the past");
-  return queue_.push(at, std::move(fn));
-}
-
-EventId Simulator::schedule_after(Duration delay, EventFn fn) {
-  XCP_REQUIRE(delay >= Duration::zero(), "negative delay");
-  return queue_.push(now_ + delay, std::move(fn));
-}
-
 void Simulator::cancel(EventId id) { queue_.cancel(id); }
 
 void Simulator::start_all_pending() {

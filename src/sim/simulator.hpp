@@ -15,6 +15,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/process.hpp"
 #include "support/rng.hpp"
+#include "support/status.hpp"
 #include "support/time.hpp"
 
 namespace xcp::sim {
@@ -44,8 +45,19 @@ class Simulator {
   const Process& process(ProcessId pid) const;
   std::size_t process_count() const { return processes_.size(); }
 
-  EventId schedule_at(TimePoint at, EventFn fn);
-  EventId schedule_after(Duration delay, EventFn fn);
+  /// Schedules a callable at an absolute / relative virtual time. Templates
+  /// so the closure is constructed directly in its event slot — scheduling
+  /// a lambda never copies it through an EventFn temporary.
+  template <typename F>
+  EventId schedule_at(TimePoint at, F&& fn) {
+    XCP_REQUIRE(at >= now_, "scheduling into the past");
+    return queue_.push(at, std::forward<F>(fn));
+  }
+  template <typename F>
+  EventId schedule_after(Duration delay, F&& fn) {
+    XCP_REQUIRE(delay >= Duration::zero(), "negative delay");
+    return queue_.push(now_ + delay, std::forward<F>(fn));
+  }
   void cancel(EventId id);
 
   /// Executes the next event; returns false when the queue is empty.

@@ -1,0 +1,79 @@
+#include "sim/timer_wheel.hpp"
+
+#include <bit>
+
+#include "support/status.hpp"
+
+namespace xcp::sim {
+
+namespace {
+
+// Floor division by 64^level via arithmetic shift (exact for negatives too,
+// which matters only for the fresh-wheel cursor of -1).
+constexpr std::int64_t quot(std::int64_t t, int level) {
+  return t >> (TimerWheel::kSlotBits * level);
+}
+
+}  // namespace
+
+std::uint32_t TimerWheel::grow_nodes() {
+  // Node indices are stored tagged in the owner's 31-bit position space;
+  // cap them below 2^31 so the tag bit can never be aliased.
+  XCP_REQUIRE(nodes_.size() < 0x80000000u, "timer-wheel node slab full");
+  nodes_.push_back(Node{});
+  return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+void TimerWheel::find_earliest(int& level, std::int64_t& quotient) const {
+  // Per level: occupied slots hold quotients in (qc, qc + 64]; rotating the
+  // bitmap so bit 0 is quotient qc+1 makes the earliest a countr_zero.
+  std::int64_t best_start = 0;
+  int best_level = -1;
+  std::int64_t best_quot = 0;
+  for (int k = 0; k < kLevels; ++k) {
+    const std::uint64_t bits = occupied_[static_cast<std::size_t>(k)];
+    if (bits == 0) continue;
+    const std::int64_t qc = quot(cursor_, k);
+    const unsigned rot =
+        static_cast<unsigned>(static_cast<std::uint64_t>(qc + 1) &
+                              (kSlotsPerLevel - 1));
+    const int j = std::countr_zero(std::rotr(bits, static_cast<int>(rot)));
+    const std::int64_t q = qc + 1 + j;
+    const std::int64_t start = static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(q) << (kSlotBits * k));
+    if (best_level < 0 || start < best_start) {
+      best_start = start;
+      best_level = k;
+      best_quot = q;
+    }
+  }
+  XCP_REQUIRE(best_level >= 0, "find_earliest on empty wheel");
+  level = best_level;
+  quotient = best_quot;
+}
+
+std::uint32_t TimerWheel::detach_earliest_if_due(std::int64_t limit) {
+  int level = 0;
+  std::int64_t q = 0;
+  find_earliest(level, q);
+  const std::int64_t start = static_cast<std::int64_t>(
+      static_cast<std::uint64_t>(q) << (kSlotBits * level));
+  if (start > limit) {
+    next_due_lb_ = start;  // exact: nothing is due before this
+    return kNone;
+  }
+  const std::uint32_t slot =
+      static_cast<std::uint32_t>(q) & (kSlotsPerLevel - 1);
+  const std::uint16_t bucket =
+      static_cast<std::uint16_t>(level * kSlotsPerLevel + slot);
+  const std::uint32_t head = heads_[bucket];
+  heads_[bucket] = kNone;
+  occupied_[static_cast<std::size_t>(level)] &= ~(std::uint64_t{1} << slot);
+  // Every slot before this one is empty (this was the earliest); advance to
+  // just before its start so same-start slots at other levels — and entries
+  // re-inserted at exactly this start — are still found and drained.
+  if (start - 1 > cursor_) cursor_ = start - 1;
+  return head;
+}
+
+}  // namespace xcp::sim

@@ -1,0 +1,223 @@
+#pragma once
+// Hierarchical timer wheel: the O(1) front end of the event queue.
+//
+// Protocol timeouts (timelock deadlines, notary rounds, impatience timers)
+// cluster around a handful of deltas and are usually cancelled or re-armed
+// before they fire. A comparison-based heap charges O(log n) for every such
+// schedule/cancel pair; the wheel charges O(1) for both by hashing the
+// expiry time into a slot of a power-of-64 hierarchy:
+//
+//   level k covers slots of width 64^k microseconds, 64 slots per level,
+//   so 6 levels reach a horizon of 64^6 us (~19 hours of virtual time).
+//
+// An entry is placed at the *lowest* level whose current wheel revolution
+// contains its expiry (the classic hashed hierarchical wheel rule), which
+// guarantees each (level, slot) bucket only ever holds entries from a
+// single revolution. Buckets are doubly-linked lists threaded through a
+// recycled node slab, so insert and erase are a few pointer writes; a
+// per-level occupancy bitmap (one word per level, 64 slots) makes "when is
+// the next non-empty slot due?" a rotate + count-trailing-zeros.
+//
+// The wheel does NOT order entries within a slot. Instead of cascading
+// expired slots down the hierarchy, the owner (sim::EventQueue) drains the
+// earliest slot into its indexed min-heap just before virtual time reaches
+// the slot's start; the heap restores the exact (time, seq) total order.
+// Entries cancelled before their slot comes due — the common case for
+// timeouts — never touch the heap at all.
+//
+// Single-threaded, like the EventQueue that owns it.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "support/time.hpp"
+
+namespace xcp::sim {
+
+class TimerWheel {
+ public:
+  /// Sentinel node index: "not in the wheel" / end of a chain.
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  static constexpr int kLevels = 6;
+  static constexpr int kSlotBits = 6;  // 64 slots per level, 1 bitmap word
+  static constexpr std::uint32_t kSlotsPerLevel = 1u << kSlotBits;
+
+  // Routing policy: only entries that land at this level or above are
+  // accepted (level 3 slots are 64^3 us ~ 0.26 s wide). Near-future events
+  // — message deliveries, imminent work — would be drained to the heap
+  // almost immediately, paying the wheel hop for nothing; they are exactly
+  // the events that *fire*. Protocol timeouts (timelock deadlines, notary
+  // rounds, impatience timers — all >= seconds) land at level >= 3 and are
+  // exactly the events that get cancelled or re-armed, where the wheel's
+  // O(1) erase wins. try_insert rejects below-threshold entries and the
+  // owner routes them straight to its heap.
+  static constexpr int kMinLevel = 3;
+
+  // 32 bytes, 32-byte aligned: two nodes per cache line, never straddling
+  // one — a re-arm touches exactly one node line.
+  struct alignas(32) Node {
+    TimePoint at;
+    std::uint32_t seq;      // the owner's push sequence, for final ordering
+    std::uint32_t payload;  // opaque owner data (EventQueue slot index)
+    std::uint32_t prev;     // bucket list links (node indices)
+    std::uint32_t next;
+    std::uint16_t bucket;   // level * kSlotsPerLevel + slot, for O(1) erase
+  };
+  static_assert(sizeof(Node) == 32);
+
+  TimerWheel() { heads_.fill(kNone); }
+
+  /// Places an entry, returning its node index — or kNone when the entry
+  /// does not fit the wheel (expiry at or before the cursor, i.e. in a slot
+  /// already drained, or beyond the horizon) and must go to the fallback
+  /// ordering structure instead. O(1). Defined inline below: this is the
+  /// schedule hot path and must inline into the caller.
+  std::uint32_t try_insert(TimePoint at, std::uint32_t seq,
+                           std::uint32_t payload);
+
+  /// Unlinks a live node and recycles it, returning its payload. O(1).
+  /// Inline: the cancel/re-arm hot path.
+  std::uint32_t erase(std::uint32_t node_idx);
+
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+
+  /// A lower bound on the earliest non-empty slot's start time,
+  /// maintained in O(1): the owner's pop path compares the heap head
+  /// against this single value and only scans the wheel
+  /// (detach_earliest_if_due) when a slot might actually be due.
+  /// INT64_MAX when empty.
+  std::int64_t next_due_lower_bound() const { return next_due_lb_; }
+
+  /// If the earliest non-empty slot starts at or before `limit`, detaches
+  /// its chain (linked via Node::next, unordered) and advances the cursor
+  /// past every slot before it; the caller consumes each node with node()
+  /// and returns it with release(). Otherwise refreshes the cached lower
+  /// bound and returns kNone. One bitmap scan either way. Requires
+  /// !empty().
+  std::uint32_t detach_earliest_if_due(std::int64_t limit);
+
+  const Node& node(std::uint32_t idx) const { return nodes_[idx]; }
+
+  /// Recycles a node obtained from detach_earliest(). Inline.
+  void release(std::uint32_t idx);
+
+  /// Moves the cursor (e.g. back in time when the owning queue has fully
+  /// drained and is being reused). Requires empty().
+  void reset_cursor(std::int64_t t) { cursor_ = t; }
+  std::int64_t cursor() const { return cursor_; }
+
+  /// Nodes ever allocated — high-water mark of concurrently-live entries.
+  std::size_t node_slab_size() const { return nodes_.size(); }
+
+ private:
+  std::uint32_t acquire_node();
+  std::uint32_t grow_nodes();  // slab growth: the out-of-line cold path
+  // Earliest non-empty slot: level and its absolute slot quotient.
+  void find_earliest(int& level, std::int64_t& quotient) const;
+
+  // All slots whose start time is <= cursor_ are empty; entries at or
+  // before the cursor are rejected by try_insert (they belong to the
+  // fallback heap). Starts at -1 so a fresh wheel accepts times >= 0.
+  std::int64_t cursor_ = -1;
+  // Invariant: next_due_lb_ <= start of every occupied slot (exact after
+  // next_slot_start(), possibly stale-low after erases). INT64_MAX when
+  // the wheel is empty.
+  std::int64_t next_due_lb_ = std::numeric_limits<std::int64_t>::max();
+  std::size_t count_ = 0;
+  std::uint32_t free_head_ = kNone;
+  std::array<std::uint64_t, kLevels> occupied_{};  // per-level slot bitmap
+  std::array<std::uint32_t, static_cast<std::size_t>(kLevels) * kSlotsPerLevel>
+      heads_;
+  std::vector<Node> nodes_;  // recycled slab; indices stable, storage POD
+};
+
+// ------------------------------------------------------- inline hot paths
+
+inline std::uint32_t TimerWheel::try_insert(TimePoint at, std::uint32_t seq,
+                                            std::uint32_t payload) {
+  const std::int64_t t = at.count();
+  if (t <= cursor_) return kNone;  // slot already drained: fallback orders it
+  // Lowest level >= kMinLevel whose current revolution contains t. The
+  // quotient difference is computed in uint64: t > cursor_, so the wrapped
+  // difference equals the true (non-negative) difference even when the
+  // int64 subtraction would overflow.
+  int level = kMinLevel;
+  std::int64_t qt = t >> (kSlotBits * kMinLevel);
+  std::int64_t qc = cursor_ >> (kSlotBits * kMinLevel);
+  for (;; ++level) {
+    if (level == kLevels) return kNone;  // beyond the horizon
+    const std::uint64_t diff =
+        static_cast<std::uint64_t>(qt) - static_cast<std::uint64_t>(qc);
+    if (diff < kSlotsPerLevel) {
+      // diff == 0 means t shares the cursor's (possibly part-drained)
+      // kMinLevel slot — a near-future event that will fire almost
+      // immediately. It belongs on the heap (see kMinLevel).
+      if (diff == 0) return kNone;
+      break;
+    }
+    qt >>= kSlotBits;
+    qc >>= kSlotBits;
+  }
+  const std::uint32_t slot =
+      static_cast<std::uint32_t>(qt) & (kSlotsPerLevel - 1);
+  const std::uint16_t bucket =
+      static_cast<std::uint16_t>(level * kSlotsPerLevel + slot);
+  const std::int64_t slot_start = static_cast<std::int64_t>(
+      static_cast<std::uint64_t>(qt) << (kSlotBits * level));
+  if (slot_start < next_due_lb_) next_due_lb_ = slot_start;
+
+  const std::uint32_t idx = acquire_node();
+  Node& n = nodes_[idx];
+  n.at = at;
+  n.seq = seq;
+  n.payload = payload;
+  n.bucket = bucket;
+  n.prev = kNone;
+  n.next = heads_[bucket];
+  if (n.next != kNone) nodes_[n.next].prev = idx;
+  heads_[bucket] = idx;
+  occupied_[static_cast<std::size_t>(level)] |= std::uint64_t{1} << slot;
+  ++count_;
+  return idx;
+}
+
+inline std::uint32_t TimerWheel::erase(std::uint32_t node_idx) {
+  Node& n = nodes_[node_idx];
+  const std::uint16_t bucket = n.bucket;
+  if (n.prev != kNone) {
+    nodes_[n.prev].next = n.next;
+  } else {
+    heads_[bucket] = n.next;
+  }
+  if (n.next != kNone) nodes_[n.next].prev = n.prev;
+  if (heads_[bucket] == kNone) {
+    occupied_[bucket >> kSlotBits] &=
+        ~(std::uint64_t{1} << (bucket & (kSlotsPerLevel - 1)));
+  }
+  const std::uint32_t payload = n.payload;
+  release(node_idx);
+  return payload;
+}
+
+inline void TimerWheel::release(std::uint32_t idx) {
+  nodes_[idx].next = free_head_;
+  free_head_ = idx;
+  if (--count_ == 0) {
+    next_due_lb_ = std::numeric_limits<std::int64_t>::max();
+  }
+}
+
+inline std::uint32_t TimerWheel::acquire_node() {
+  if (free_head_ != kNone) {
+    const std::uint32_t idx = free_head_;
+    free_head_ = nodes_[idx].next;  // freelist threaded through next
+    return idx;
+  }
+  return grow_nodes();
+}
+
+}  // namespace xcp::sim

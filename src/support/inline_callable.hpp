@@ -4,6 +4,13 @@
 // live entirely inside the object; larger ones fall back to the heap. The
 // event queue stores these so that scheduling a typical
 // capture-a-few-pointers lambda performs no allocation at all.
+//
+// Trivial fast path: captures that are trivially copyable and trivially
+// destructible (pointers, ids, PODs — almost every timer closure) relocate
+// with an inline fixed-size copy and destroy as a no-op, so the hot
+// schedule/cancel cycle pays zero indirect calls; only invocation and
+// non-trivial captures (e.g. a shared_ptr-carrying delivery Message) go
+// through the erased ops table.
 
 #include <cstddef>
 #include <new>
@@ -24,12 +31,12 @@ class InlineCallable {
                 !std::is_same_v<std::decay_t<F>, InlineCallable> &&
                 std::is_invocable_r_v<void, std::decay_t<F>&>>>
   InlineCallable(F&& f) {  // NOLINT: implicit by design, mirrors std::function
-    emplace(std::forward<F>(f));
+    init(std::forward<F>(f));
   }
 
   InlineCallable(InlineCallable&& o) noexcept : ops_(o.ops_) {
     if (ops_ != nullptr) {
-      ops_->relocate(buf_, o.buf_);
+      relocate_from(o);
       o.ops_ = nullptr;
     }
   }
@@ -39,7 +46,7 @@ class InlineCallable {
       reset();
       ops_ = o.ops_;
       if (ops_ != nullptr) {
-        ops_->relocate(buf_, o.buf_);
+        relocate_from(o);
         o.ops_ = nullptr;
       }
     }
@@ -52,11 +59,24 @@ class InlineCallable {
   ~InlineCallable() { reset(); }
 
   /// Destroys the held callable (releasing its captures), leaving empty.
+  /// A no-op beyond clearing the ops pointer for trivial captures.
   void reset() {
     if (ops_ != nullptr) {
-      ops_->destroy(buf_);
+      if (!ops_->trivial) ops_->destroy(buf_);
       ops_ = nullptr;
     }
+  }
+
+  /// Replaces the held callable, constructing the new one directly in
+  /// place — the zero-copy path the event queue uses to build a scheduled
+  /// closure straight into its slot (no stack temporary, no move chain).
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallable> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  void emplace(F&& f) {
+    reset();
+    init(std::forward<F>(f));
   }
 
   explicit operator bool() const { return ops_ != nullptr; }
@@ -72,10 +92,23 @@ class InlineCallable {
     void (*relocate)(void* dst, void* src);  // move-construct dst, end src
     void (*destroy)(void*);
     bool inline_storage;
+    // Trivially copyable + trivially destructible inline capture: relocate
+    // is a plain byte copy done inline at the call site (no indirect call)
+    // and destroy is skipped entirely.
+    bool trivial;
   };
 
+  void relocate_from(InlineCallable& o) {
+    if (ops_->trivial) {
+      // Fixed-size copy: compiles to a handful of wide stores, no call.
+      __builtin_memcpy(buf_, o.buf_, Capacity);
+    } else {
+      ops_->relocate(buf_, o.buf_);
+    }
+  }
+
   template <typename F>
-  void emplace(F&& f) {
+  void init(F&& f) {
     using D = std::decay_t<F>;
     constexpr bool kFitsInline = sizeof(D) <= Capacity &&
                                  alignof(D) <= alignof(std::max_align_t) &&
@@ -90,7 +123,9 @@ class InlineCallable {
             s->~D();
           },
           [](void* p) { std::launder(reinterpret_cast<D*>(p))->~D(); },
-          true};
+          true,
+          std::is_trivially_copyable_v<D> &&
+              std::is_trivially_destructible_v<D>};
       ops_ = &ops;
     } else {
       ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
@@ -100,7 +135,7 @@ class InlineCallable {
             ::new (dst) D*(*std::launder(reinterpret_cast<D**>(src)));
           },
           [](void* p) { delete *std::launder(reinterpret_cast<D**>(p)); },
-          false};
+          false, false};
       ops_ = &ops;
     }
   }

@@ -10,7 +10,19 @@ BlockPool::BlockPool(std::size_t block_size) : block_size_(block_size) {
   XCP_REQUIRE(block_size_ >= sizeof(Node), "pool block below node size");
 }
 
+void BlockPool::check_owner() const {
+#ifndef NDEBUG
+  // A BlockPool is single-threaded state. pool_for() hands each thread its
+  // own set, so this only fires when a pool pointer is smuggled across
+  // threads — exactly the misuse that silently corrupts a freelist in
+  // release builds.
+  XCP_REQUIRE(owner_ == std::this_thread::get_id(),
+              "BlockPool used from a thread other than its owner");
+#endif
+}
+
 void* BlockPool::allocate() {
+  check_owner();
   ++total_allocs_;
   if (free_ != nullptr) {
     ++freelist_hits_;
@@ -32,6 +44,7 @@ void* BlockPool::allocate() {
 }
 
 void BlockPool::deallocate(void* p) {
+  check_owner();
   Node* n = static_cast<Node*>(p);
   n->next = free_;
   free_ = n;
@@ -46,11 +59,15 @@ BlockPool* pool_for(std::size_t size) {
   // yields operator new[] alignment, i.e. max_align_t).
   static_assert(kClassBytes % alignof(std::max_align_t) == 0);
   const std::size_t cls = (size + kClassBytes - 1) / kClassBytes;
-  static std::array<BlockPool*, kClasses + 1> pools = {};
+  // One pool set per thread: sweep workers allocate and free without any
+  // synchronisation, and cross-thread frees just migrate blocks between
+  // threads' freelists (slabs are immortal, so that is safe).
+  static thread_local std::array<BlockPool*, kClasses + 1> pools = {};
   BlockPool*& pool = pools[cls];
   if (pool == nullptr) {
     // Leaked intentionally: pools live for the process, and bodies may be
-    // released during static destruction after a pool's own teardown.
+    // released during static destruction (or on another thread long after
+    // the allocating thread exited) after a pool's own teardown.
     pool = new BlockPool(cls * kClassBytes);
   }
   return pool;

@@ -5,12 +5,20 @@
 // reuse storage released by earlier deliveries instead of hitting the
 // global heap.
 //
-// Single-threaded by design, like the simulator itself: pools are not
-// synchronised.
+// Sharding model: pools are *thread-local*. Each thread that allocates
+// bodies gets its own per-size-class BlockPool set, so parallel experiment
+// sweeps (exp::parallel_sweep) never contend — or race — on a shared
+// freelist. A block freed on a different thread than it was allocated on
+// simply migrates to the freeing thread's freelist; slabs live until
+// process exit, so the block stays valid wherever it ends up. Each
+// individual BlockPool therefore remains strictly single-threaded, and
+// debug builds enforce that with a thread-ownership check so misuse fails
+// loudly instead of corrupting a freelist.
 
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <thread>
 #include <vector>
 
 namespace xcp {
@@ -20,6 +28,9 @@ namespace detail {
 /// A freelist of fixed-size blocks carved from geometrically-growing slabs.
 /// Blocks are aligned to max_align_t and never returned to the OS until
 /// process exit: the pool's footprint is the workload's high-water mark.
+/// Owned by exactly one thread (pool_for hands each thread its own);
+/// allocate/deallocate from any other thread is a bug, asserted in debug
+/// builds.
 class BlockPool {
  public:
   explicit BlockPool(std::size_t block_size);
@@ -35,6 +46,8 @@ class BlockPool {
     Node* next;
   };
 
+  void check_owner() const;
+
   std::size_t block_size_;
   Node* free_ = nullptr;
   std::vector<std::unique_ptr<std::byte[]>> slabs_;
@@ -43,12 +56,16 @@ class BlockPool {
   std::size_t next_slab_blocks_ = 16;
   std::uint64_t total_allocs_ = 0;
   std::uint64_t freelist_hits_ = 0;
+  // Always present so the class layout is identical across NDEBUG settings
+  // (mixed-mode linking would otherwise be an ODR hazard); only the check
+  // itself is compiled away in release builds.
+  std::thread::id owner_ = std::this_thread::get_id();
 };
 
 /// Largest block served from a pool; bigger requests use operator new.
 inline constexpr std::size_t kMaxPooledBlock = 512;
 
-/// The process-wide pool for blocks of `size` bytes (rounded up to a
+/// The *calling thread's* pool for blocks of `size` bytes (rounded up to a
 /// 32-byte size class), or nullptr when `size` exceeds kMaxPooledBlock.
 BlockPool* pool_for(std::size_t size);
 

@@ -219,6 +219,123 @@ TEST(EventQueue, CancelledEventSlotIsNotResurrectable) {
   EXPECT_EQ(q.live_size(), 1u);
 }
 
+TEST(EventQueueStress, WheelMatchesReferenceUnderSimulatorWorkload) {
+  // The timer-wheel stress mirror of MatchesReferenceModel, shaped like a
+  // real simulator run: virtual time only moves forward, and push deltas
+  // cluster around a handful of protocol-like values (microseconds up to
+  // tens of virtual minutes), spanning every wheel level plus the
+  // beyond-horizon heap fallback. Both the wheel-fronted queue and a
+  // heap-only queue run the same op sequence; each must match the naive
+  // reference model exactly, which also proves the two policies produce
+  // identical pop sequences.
+  for (const bool use_wheel : {true, false}) {
+    sim::EventQueue q(use_wheel);
+    RefModel ref;
+    Rng rng(0xabad1dea);
+
+    const std::int64_t deltas[] = {
+        1,          17,          1'000,        10'000,      100'000,
+        1'000'000,  10'000'000,  600'000'000,  3'600'000'000};
+    std::int64_t now = 0;
+    std::vector<std::pair<std::uint64_t, sim::EventId>> handles;
+    std::vector<int> popped;
+    int payload_next = 0;
+
+    for (int step = 0; step < 30'000; ++step) {
+      const int op = rng.next_int(0, 99);
+      if (op < 45) {  // push at now + clustered delta (+ jitter)
+        const std::int64_t base =
+            deltas[static_cast<std::size_t>(rng.next_int(0, 8))];
+        const TimePoint at =
+            TimePoint::micros(now + base + rng.next_int(0, 64));
+        const int payload = payload_next++;
+        const sim::EventId id = q.push(
+            at, [payload, &popped] { popped.push_back(payload); });
+        handles.emplace_back(ref.push(at, payload), id);
+      } else if (op < 75) {  // cancel a random handle, live or stale
+        if (handles.empty()) continue;
+        const auto& [seq, id] = handles[static_cast<std::size_t>(
+            rng.next_int(0, static_cast<int>(handles.size()) - 1))];
+        ASSERT_EQ(q.cancel(id), ref.cancel(seq));
+      } else {  // pop; virtual time advances monotonically
+        ASSERT_EQ(q.empty(), ref.live.empty());
+        if (ref.live.empty()) continue;
+        auto ev = q.pop();
+        const RefModel::Entry expect = ref.pop();
+        ASSERT_EQ(ev.at, expect.at);
+        ASSERT_GE(ev.at.count(), now);
+        now = ev.at.count();
+        popped.clear();
+        ev.fn();
+        ASSERT_EQ(popped.size(), 1u);
+        ASSERT_EQ(popped[0], expect.payload);
+      }
+      ASSERT_EQ(q.live_size(), ref.live.size());
+    }
+
+    if (use_wheel) {
+      // The workload must actually exercise the wheel, not just the heap
+      // fallback; otherwise this test proves nothing about the wheel.
+      EXPECT_GT(q.wheel_size(), 0u);
+    } else {
+      EXPECT_EQ(q.wheel_size(), 0u);
+    }
+
+    while (!ref.live.empty()) {
+      ASSERT_FALSE(q.empty());
+      auto ev = q.pop();
+      const RefModel::Entry expect = ref.pop();
+      ASSERT_EQ(ev.at, expect.at);
+      popped.clear();
+      ev.fn();
+      ASSERT_EQ(popped.size(), 1u);
+      ASSERT_EQ(popped[0], expect.payload);
+    }
+    EXPECT_TRUE(q.empty());
+  }
+}
+
+TEST(EventQueue, WheelParksFutureTimeoutsUntilDue) {
+  // A protocol-like timeout (far future) sits in the wheel — O(1) to
+  // cancel — and only migrates to the heap when virtual time approaches
+  // its slot.
+  sim::EventQueue q;
+  q.push(TimePoint::micros(10), [] {});  // near anchor: heap, below kMinLevel
+  const sim::EventId timeout =
+      q.push(TimePoint::micros(5'000'000), [] {});
+  EXPECT_EQ(q.wheel_size(), 1u);  // only the far timeout is parked
+  EXPECT_TRUE(q.cancel(timeout));
+  EXPECT_EQ(q.wheel_size(), 0u);
+  EXPECT_EQ(q.live_size(), 1u);
+
+  // Re-armed and left to fire: it drains to the heap and pops in order.
+  q.push(TimePoint::micros(5'000'000), [] {});
+  EXPECT_EQ(q.pop().at, TimePoint::micros(10));
+  EXPECT_EQ(q.pop().at, TimePoint::micros(5'000'000));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, WheelReArmChurnKeepsStorageBounded) {
+  // The protocol re-arm pattern at wheel scale: a timeout pushed at
+  // now + Delta, cancelled, pushed again with a fresh delta — 100k times
+  // across several delta magnitudes. Slot storage must stay at the
+  // high-water mark of live events, exactly like the heap-only churn test.
+  sim::EventQueue q;
+  std::int64_t now = 0;
+  sim::EventId last = q.push(TimePoint::micros(1'000), [] {});
+  for (int i = 1; i <= 100'000; ++i) {
+    const std::int64_t delta = (i % 3 == 0)   ? 1'000'000
+                               : (i % 3 == 1) ? 5'000'000
+                                              : 120'000'000;
+    now += 7;
+    const sim::EventId next = q.push(TimePoint::micros(now + delta), [] {});
+    EXPECT_TRUE(q.cancel(last));
+    last = next;
+  }
+  EXPECT_EQ(q.live_size(), 1u);
+  EXPECT_LE(q.slab_size(), 2u);
+}
+
 TEST(EventQueue, TimerResetChurnDoesNotGrowStorage) {
   // The watchdog pattern: push the new deadline, cancel the old. Live size
   // stays at 1; the slab must stay at its high-water mark (2 slots) instead

@@ -28,9 +28,7 @@ TEST(Scenario, PartialEnvHasGst) {
 }
 
 TEST(Sweep, ReturnsResultsInSeedOrder) {
-  std::function<std::uint64_t(std::uint64_t)> fn = [](std::uint64_t seed) {
-    return seed * 10;
-  };
+  const auto fn = [](std::uint64_t seed) { return seed * 10; };
   const auto results = parallel_sweep<std::uint64_t>(5, 8, fn, 4);
   ASSERT_EQ(results.size(), 8u);
   for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(results[i], (5 + i) * 10);
@@ -38,17 +36,34 @@ TEST(Sweep, ReturnsResultsInSeedOrder) {
 
 TEST(Sweep, ActuallyRunsEverySeedOnce) {
   std::atomic<int> calls{0};
-  std::function<int(std::uint64_t)> fn = [&calls](std::uint64_t) {
-    return ++calls;
-  };
+  const auto fn = [&calls](std::uint64_t) { return ++calls; };
   const auto results = parallel_sweep<int>(1, 17, fn, 3);
   EXPECT_EQ(calls.load(), 17);
   EXPECT_EQ(results.size(), 17u);
 }
 
+TEST(Sweep, BoolResultsAreRaceFree) {
+  // vector<bool> results used to be assembled on the calling thread; the
+  // sharded sweep writes into one plain slot per seed instead, so bool
+  // sweeps stay legal under any worker count.
+  const auto fn = [](std::uint64_t seed) { return seed % 3 == 0; };
+  const auto results = parallel_sweep<bool>(0, 64, fn, 4);
+  ASSERT_EQ(results.size(), 64u);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(results[i], i % 3 == 0);
+}
+
+TEST(Sweep, PropagatesExceptions) {
+  const auto fn = [](std::uint64_t seed) -> int {
+    if (seed == 9) throw std::runtime_error("seed 9 exploded");
+    return static_cast<int>(seed);
+  };
+  EXPECT_THROW(parallel_sweep<int>(1, 16, fn, 4), std::runtime_error);
+  EXPECT_THROW(parallel_sweep<int>(1, 16, fn, 1), std::runtime_error);
+}
+
 TEST(Sweep, CountWhere) {
   std::vector<int> v{1, 2, 3, 4, 5};
-  std::function<bool(const int&)> even = [](const int& x) { return x % 2 == 0; };
+  const auto even = [](const int& x) { return x % 2 == 0; };
   EXPECT_EQ(count_where<int>(v, even), 2u);
 }
 

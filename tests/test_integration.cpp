@@ -46,7 +46,7 @@ TEST(Integration, CrossCurrencyPayment) {
 TEST(Integration, RandomizedEnvironmentSweepThm1) {
   // 40 random environments within the assumed bounds; Definition 1 must
   // hold in every one (this is the falsification harness for Thm 1).
-  std::function<bool(std::uint64_t)> one = [](std::uint64_t seed) {
+  const auto one = [](std::uint64_t seed) {
     Rng rng(seed);
     proto::TimeBoundedConfig cfg = exp::thm1_config(
         static_cast<int>(rng.next_int(1, 8)), seed);
@@ -68,7 +68,7 @@ TEST(Integration, RandomizedSweepThm3AllTmKinds) {
   using proto::weak::TmKind;
   for (TmKind tm : {TmKind::kTrustedParty, TmKind::kSmartContract,
                     TmKind::kNotaryCommittee}) {
-    std::function<bool(std::uint64_t)> one = [tm](std::uint64_t seed) {
+    const auto one = [tm](std::uint64_t seed) {
       Rng rng(seed * 977);
       auto cfg = exp::thm3_config(tm, static_cast<int>(rng.next_int(1, 5)),
                                   seed);
