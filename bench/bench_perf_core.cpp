@@ -5,6 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <optional>
+#include <string>
+#include <vector>
+
 #include "crypto/certificate.hpp"
 #include "exp/scenario.hpp"
 #include "net/delay_model.hpp"
@@ -12,6 +16,8 @@
 #include "proto/bodies.hpp"
 #include "proto/timebounded.hpp"
 #include "proto/weak/protocol.hpp"
+#include "props/label.hpp"
+#include "props/trace.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/simulator.hpp"
 
@@ -357,6 +363,207 @@ void BM_CommitteeBroadcastUnbatched(benchmark::State& state) {
   committee_broadcast_loop(state, /*batching=*/false);
 }
 BENCHMARK(BM_CommitteeBroadcastUnbatched)->Arg(7)->Arg(13)->Arg(64);
+
+// ------------------------------------------------------- trace pipeline
+
+// The committee-run-shaped event stream both trace benches record: sends /
+// delivers dominating (with interned message kinds as labels), escrow
+// movements with amounts, cert issuance, TM decisions, terminations.
+struct TraceShape {
+  props::EventKind kind;
+  props::Label label;
+  bool has_amount;
+};
+
+const std::vector<TraceShape>& trace_shapes() {
+  using props::EventKind;
+  static const std::vector<TraceShape> shapes = [] {
+    const props::Label kinds[] = {
+        props::Label::from_wire(net::kinds::g.value()),
+        props::Label::from_wire(net::kinds::p.value()),
+        props::Label::from_wire(net::kinds::money.value()),
+        props::Label::from_wire(net::kinds::chi.value()),
+        props::Label::from_wire(net::kinds::tm_chi.value()),
+        props::Label::from_wire(net::kinds::bft_vote.value()),
+    };
+    std::vector<TraceShape> s;
+    for (int i = 0; i < 16; ++i) {
+      switch (i % 16) {
+        case 5:
+          s.push_back({EventKind::kTransfer, props::Label(), true});
+          break;
+        case 9:
+          s.push_back({EventKind::kEscrowLock, props::Label(), true});
+          break;
+        case 11:
+          s.push_back({EventKind::kCertIssued, props::labels::chi, false});
+          break;
+        case 13:
+          s.push_back({EventKind::kDecide, props::labels::commit, false});
+          break;
+        case 15:
+          s.push_back({EventKind::kTerminate, props::Label(), false});
+          break;
+        default:
+          s.push_back({i % 2 == 0 ? EventKind::kSend : EventKind::kDeliver,
+                       kinds[i % 6], false});
+          break;
+      }
+    }
+    return s;
+  }();
+  return shapes;
+}
+
+constexpr std::uint32_t kTraceActors = 13;  // a committee-run's cast
+
+/// The checker-style query matrix: per-kind counts, per-actor transfer
+/// counts and first-termination lookups, a label-filtered count, and a
+/// walk of the decide events — the queries T, CC, Lw and the matrix
+/// runner actually issue.
+template <typename Recorder, typename LabelT>
+std::size_t trace_query_matrix(const Recorder& t, const LabelT& chi,
+                               const LabelT& commit) {
+  using props::EventKind;
+  std::size_t sink = 0;
+  for (std::size_t k = 0; k < props::kEventKindCount; ++k) {
+    sink += t.count(static_cast<EventKind>(k));
+  }
+  for (std::uint32_t a = 0; a < kTraceActors; ++a) {
+    sink += t.count(EventKind::kTransfer, sim::ProcessId(a));
+    sink += (t.first(EventKind::kTerminate, sim::ProcessId(a)) != nullptr);
+  }
+  sink += t.count_label(EventKind::kCertIssued, chi);
+  for (const auto* e : t.all(EventKind::kDecide)) {
+    sink += (e->label == commit);
+  }
+  return sink;
+}
+
+void BM_TraceRecordCheck(benchmark::State& state) {
+  // Record an n-event committee-shaped run, then evaluate the full checker
+  // query matrix; the recorder persists across iterations (arena chunks at
+  // their high-water mark), as it does across a sweep's seeds.
+  const std::int64_t n = state.range(0);
+  const auto& shapes = trace_shapes();
+  props::TraceRecorder t;
+  std::size_t sink = 0;
+  for (auto _ : state) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      const TraceShape& s = shapes[static_cast<std::size_t>(i % 16)];
+      props::TraceEvent e;
+      e.kind = s.kind;
+      e.at = TimePoint::micros(i);
+      e.local_at = e.at;
+      e.actor = sim::ProcessId(static_cast<std::uint32_t>(i) % kTraceActors);
+      e.peer = sim::ProcessId(static_cast<std::uint32_t>(i + 1) % kTraceActors);
+      e.label = s.label;
+      if (s.has_amount) e.amount = Amount(i, Currency::generic());
+      t.record(e);
+    }
+    sink += trace_query_matrix(t, props::labels::chi, props::labels::commit);
+    t.clear();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TraceRecordCheck)->Arg(4096)->Arg(65536);
+
+namespace legacy_trace {
+
+// The seed trace pipeline, verbatim: std::string labels, one monolithic
+// vector, every query an O(n) scan. The in-binary baseline for
+// BM_TraceRecordCheck's A/B (the differential test in test_properties.cpp
+// proves the two produce identical answers).
+struct Event {
+  props::EventKind kind = props::EventKind::kCustom;
+  TimePoint at;
+  TimePoint local_at;
+  sim::ProcessId actor;
+  sim::ProcessId peer;
+  std::string label;
+  std::optional<Amount> amount;
+  std::uint64_t deal_id = 0;
+};
+
+class Recorder {
+ public:
+  void record(Event e) { events_.push_back(std::move(e)); }
+  void clear() { events_.clear(); }
+  std::size_t count(props::EventKind kind) const {
+    std::size_t n = 0;
+    for (const auto& e : events_) n += (e.kind == kind);
+    return n;
+  }
+  std::size_t count(props::EventKind kind, sim::ProcessId actor) const {
+    std::size_t n = 0;
+    for (const auto& e : events_) n += (e.kind == kind && e.actor == actor);
+    return n;
+  }
+  std::size_t count_label(props::EventKind kind,
+                          const std::string& label) const {
+    std::size_t n = 0;
+    for (const auto& e : events_) n += (e.kind == kind && e.label == label);
+    return n;
+  }
+  const Event* first(props::EventKind kind, sim::ProcessId actor) const {
+    for (const auto& e : events_) {
+      if (e.kind == kind && e.actor == actor) return &e;
+    }
+    return nullptr;
+  }
+  std::vector<const Event*> all(props::EventKind kind) const {
+    std::vector<const Event*> out;
+    for (const auto& e : events_) {
+      if (e.kind == kind) out.push_back(&e);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace legacy_trace
+
+void BM_TraceRecordCheckLegacy(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const auto& shapes = trace_shapes();
+  const std::string chi = "chi";
+  const std::string commit = "commit";
+  legacy_trace::Recorder t;
+  std::size_t sink = 0;
+  for (auto _ : state) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      const TraceShape& s = shapes[static_cast<std::size_t>(i % 16)];
+      legacy_trace::Event e;
+      e.kind = s.kind;
+      e.at = TimePoint::micros(i);
+      e.local_at = e.at;
+      e.actor = sim::ProcessId(static_cast<std::uint32_t>(i) % kTraceActors);
+      e.peer = sim::ProcessId(static_cast<std::uint32_t>(i + 1) % kTraceActors);
+      // Label costs mirror the seed exactly: send/deliver paid
+      // `m.kind.str()` (an interner name() resolution + string copy) per
+      // event, while cert/decide emitters assigned from const char*
+      // literals.
+      if (s.kind == props::EventKind::kSend ||
+          s.kind == props::EventKind::kDeliver) {
+        e.label = std::string(s.label.name());
+      } else if (s.kind == props::EventKind::kCertIssued) {
+        e.label = "chi";
+      } else if (s.kind == props::EventKind::kDecide) {
+        e.label = "commit";
+      }
+      if (s.has_amount) e.amount = Amount(i, Currency::generic());
+      t.record(std::move(e));
+    }
+    sink += trace_query_matrix(t, chi, commit);
+    t.clear();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TraceRecordCheckLegacy)->Arg(4096)->Arg(65536);
 
 void BM_NetworkDelivery(benchmark::State& state) {
   // Raw message throughput through the simulator+network stack.

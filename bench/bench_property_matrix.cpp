@@ -11,7 +11,10 @@
 // (S = safety: ES/CS/CC/conservation; T = termination; L = Bob paid in
 // all-honest runs; for weak protocols L is weak liveness.)
 
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "exp/runner.hpp"
 #include "support/table.hpp"
@@ -30,11 +33,38 @@ std::string cell_str(const exp::MatrixCell& c) {
   return s;
 }
 
+/// Peak resident set (VmHWM) of this process, for the streaming-vs-buffered
+/// sweep A/B. Peak RSS is monotonic per process, so compare two separate
+/// invocations (one per mode), not two phases of one run.
+std::string peak_rss() {
+  std::ifstream f("/proc/self/status");
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) return line.substr(6);
+  }
+  return " (unavailable)";
+}
+
 }  // namespace
 
-int main() {
-  constexpr std::size_t kSeeds = 8;
+int main(int argc, char** argv) {
+  // --buffered: run every cell through the pre-streaming reference path
+  // (whole RunRecords buffered per sweep); --seeds N scales the sweep so
+  // the buffering cost is visible. Verdicts are identical either way (the
+  // streaming differential test proves it); only the footprint differs.
+  bool buffered = false;
+  std::size_t kSeeds = 8;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--buffered") == 0) buffered = true;
+    if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+      kSeeds = static_cast<std::size_t>(std::stoul(argv[++i]));
+    }
+  }
   constexpr int kN = 2;
+  const auto run_cell = [&](ProtocolKind p, Regime r) {
+    return buffered ? exp::run_matrix_cell_buffered(p, r, kN, kSeeds)
+                    : exp::run_matrix_cell(p, r, kN, kSeeds);
+  };
 
   const std::vector<ProtocolKind> protocols{
       ProtocolKind::kUniversalNaive, ProtocolKind::kTimeBounded,
@@ -61,7 +91,7 @@ int main() {
   for (ProtocolKind p : protocols) {
     std::vector<std::string> row{exp::protocol_kind_name(p)};
     for (Regime r : regimes) {
-      const auto cell = exp::run_matrix_cell(p, r, kN, kSeeds);
+      const auto cell = run_cell(p, r);
       row.push_back(cell_str(cell));
       if (!cell.example_violations.empty() && notes.size() < 8) {
         notes.push_back(std::string(exp::protocol_kind_name(p)) + " @ " +
@@ -77,5 +107,8 @@ int main() {
     std::cout << "\nexample violations observed:\n";
     for (const auto& n : notes) std::cout << "  - " << n << "\n";
   }
+
+  std::cout << "\nsweep mode: " << (buffered ? "buffered" : "streaming")
+            << ", peak RSS (VmHWM):" << peak_rss() << "\n";
   return 0;
 }

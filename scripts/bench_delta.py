@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and emit a markdown delta table.
+
+Usage: bench_delta.py PREV.json CURR.json [--threshold PCT]
+
+Report-only by design: always exits 0 (fail-soft — CI annotates the job
+summary with the deltas but never fails the build on a perf swing, because
+shared runners are far too noisy for a hard gate). Benchmarks present on
+only one side are listed as added/removed. Aggregate entries (mean/median/
+stddev rows from --benchmark_repetitions) are skipped; the smoke run uses
+one repetition.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_delta: cannot read {path}: {e}", file=sys.stderr)
+        return None
+    out = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b.get("name")
+        t = b.get("real_time")
+        if name is None or t is None:
+            continue
+        out[name] = (float(t), b.get("time_unit", "ns"))
+    return out
+
+
+def fmt_time(value, unit):
+    return f"{value:,.0f} {unit}"
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("prev")
+    ap.add_argument("curr")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="flag deltas beyond this percentage")
+    args = ap.parse_args()
+
+    prev = load(args.prev)
+    curr = load(args.curr)
+    if prev is None or curr is None or not curr:
+        print("_bench delta: previous or current results unavailable; "
+              "skipping comparison._")
+        return 0
+
+    print("### Benchmark delta vs previous artifact\n")
+    print(f"_report-only; |Δ| > {args.threshold:.0f}% flagged; "
+          "shared-runner numbers are noisy_\n")
+    print("| benchmark | previous | current | Δ |")
+    print("|---|---:|---:|---:|")
+    for name in sorted(curr):
+        t_curr, unit = curr[name]
+        if name not in prev:
+            print(f"| `{name}` | _new_ | {fmt_time(t_curr, unit)} | — |")
+            continue
+        t_prev, _ = prev[name]
+        if t_prev <= 0:
+            continue
+        delta = 100.0 * (t_curr - t_prev) / t_prev
+        flag = ""
+        if delta >= args.threshold:
+            flag = " ⚠️ slower"
+        elif delta <= -args.threshold:
+            flag = " 🟢 faster"
+        print(f"| `{name}` | {fmt_time(t_prev, unit)} | "
+              f"{fmt_time(t_curr, unit)} | {delta:+.1f}%{flag} |")
+    removed = sorted(set(prev) - set(curr))
+    for name in removed:
+        t_prev, unit = prev[name]
+        print(f"| `{name}` | {fmt_time(t_prev, unit)} | _removed_ | — |")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

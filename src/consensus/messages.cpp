@@ -6,6 +6,10 @@ const char* value_name(Value v) {
   return v == Value::kCommit ? "commit" : "abort";
 }
 
+props::Label value_label(Value v) {
+  return v == Value::kCommit ? props::labels::commit : props::labels::abort_;
+}
+
 crypto::CertKind cert_kind_of(Value v) {
   return v == Value::kCommit ? crypto::CertKind::kCommit
                              : crypto::CertKind::kAbort;

@@ -28,6 +28,10 @@ enum class Value : std::uint8_t { kCommit = 0, kAbort = 1 };
 
 const char* value_name(Value v);
 
+/// The pre-interned trace label for a decision value ("commit"/"abort") —
+/// lock-free on the decide-event emit path.
+props::Label value_label(Value v);
+
 /// Converts between decision values and certificate kinds.
 crypto::CertKind cert_kind_of(Value v);
 

@@ -306,7 +306,7 @@ void Notary::record_decide_event(Value v) {
   e.at = global_now();
   e.local_at = local_now();
   e.actor = id();
-  e.label = value_name(v);
+  e.label = value_label(v);
   e.deal_id = config_->instance;
   net().trace()->record(e);
 }

@@ -17,6 +17,18 @@ const char* cert_kind_name(CertKind k) {
   return "?";
 }
 
+props::Label cert_kind_label(CertKind k) {
+  static const props::Label payment{"chi"};
+  static const props::Label commit{"chi_c"};
+  static const props::Label abort_{"chi_a"};
+  switch (k) {
+    case CertKind::kPayment: return payment;
+    case CertKind::kCommit: return commit;
+    case CertKind::kAbort: return abort_;
+  }
+  return props::Label{};
+}
+
 std::uint64_t Certificate::digest() const {
   // The digest binds kind + deal so a chi for one deal can't commit another,
   // and an abort signature can't be replayed as a commit.

@@ -19,6 +19,7 @@
 
 #include "crypto/identity.hpp"
 #include "crypto/signature.hpp"
+#include "props/label.hpp"
 
 namespace xcp::crypto {
 
@@ -29,6 +30,10 @@ enum class CertKind : std::uint8_t {
 };
 
 const char* cert_kind_name(CertKind k);
+
+/// The pre-interned trace label for a certificate kind — lock-free on the
+/// emit path (the names are interned once at static initialisation).
+props::Label cert_kind_label(CertKind k);
 
 struct Certificate {
   CertKind kind = CertKind::kPayment;

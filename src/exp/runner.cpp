@@ -1,5 +1,8 @@
 #include "exp/runner.hpp"
 
+#include <algorithm>
+#include <utility>
+
 #include "baselines/interledger.hpp"
 #include "exp/scenario.hpp"
 #include "exp/sweep.hpp"
@@ -142,10 +145,123 @@ proto::RunRecord run_weak_family(ProtocolKind protocol, Regime regime, int n,
   return proto::weak::run_weak(cfg);
 }
 
+/// Worker-local fold state for the streaming cell sweep. Merge is a plain
+/// sum except for the example list, which keeps the (seed, ordinal)-lowest
+/// few — every operation is insensitive to how seeds were partitioned
+/// across workers, so the merged cell is bit-identical for any worker
+/// count (and to the buffered reference implementation).
+struct CellAccum {
+  static constexpr std::size_t kMaxExamples = 4;
+
+  struct Example {
+    std::uint64_t seed = 0;
+    std::uint32_t ordinal = 0;  // order within the seed's checker pass
+    std::string text;
+  };
+
+  std::size_t safety_violations = 0;
+  std::size_t termination_failures = 0;
+  std::size_t liveness_failures = 0;
+  std::vector<Example> examples;  // sorted by (seed, ordinal), capped
+
+  void merge(CellAccum&& o) {
+    safety_violations += o.safety_violations;
+    termination_failures += o.termination_failures;
+    liveness_failures += o.liveness_failures;
+    std::vector<Example> merged;
+    merged.reserve(std::min(examples.size() + o.examples.size(), kMaxExamples));
+    std::size_t a = 0;
+    std::size_t b = 0;
+    while (merged.size() < kMaxExamples &&
+           (a < examples.size() || b < o.examples.size())) {
+      const bool take_a =
+          b >= o.examples.size() ||
+          (a < examples.size() &&
+           std::pair(examples[a].seed, examples[a].ordinal) <
+               std::pair(o.examples[b].seed, o.examples[b].ordinal));
+      merged.push_back(std::move(take_a ? examples[a++] : o.examples[b++]));
+    }
+    examples = std::move(merged);
+  }
+};
+
+/// Evaluates one record's property verdicts into the accumulator. Shared by
+/// nothing else on purpose: run_matrix_cell_buffered keeps the original
+/// record-by-record loop as an independent reference implementation.
+void fold_record(const proto::RunRecord& record, bool weak_family,
+                 std::uint64_t seed, CellAccum& acc) {
+  // Safety: must hold in every regime.
+  std::vector<props::PropertyResult> safety;
+  safety.push_back(props::check_conservation(record));
+  safety.push_back(props::check_escrow_security(record));
+  safety.push_back(props::check_cs1(record, weak_family));
+  safety.push_back(props::check_cs2(record, weak_family));
+  safety.push_back(props::check_cs3(record));
+  if (weak_family) {
+    safety.push_back(props::check_certificate_consistency(record));
+  }
+  bool violated = false;
+  std::uint32_t ordinal = 0;
+  for (const auto& res : safety) {
+    if (res.applicable && !res.holds) {
+      violated = true;
+      // Each worker sees its seeds in increasing order, so appending while
+      // below the cap keeps exactly the worker's (seed, ordinal)-lowest
+      // examples; merge() keeps the global lowest.
+      if (acc.examples.size() < CellAccum::kMaxExamples) {
+        acc.examples.push_back({seed, ordinal, res.str()});
+      }
+      ++ordinal;
+    }
+  }
+  if (violated) ++acc.safety_violations;
+
+  // Termination: in all-honest runs every customer must terminate within
+  // the observation window.
+  bool term_failed = false;
+  for (int i = 0; i <= record.spec.n; ++i) {
+    if (!record.customer(i).terminated) term_failed = true;
+  }
+  if (term_failed) ++acc.termination_failures;
+
+  // Strong liveness: all honest => Bob paid.
+  if (!record.bob_paid()) ++acc.liveness_failures;
+}
+
 }  // namespace
 
 MatrixCell run_matrix_cell(ProtocolKind protocol, Regime regime, int n,
                            std::size_t seeds, std::uint64_t first_seed) {
+  MatrixCell cell;
+  cell.protocol = protocol;
+  cell.regime = regime;
+  cell.runs = seeds;
+
+  const bool weak_family = is_weak_family(protocol);
+
+  // Streaming: run, check, fold, drop — the RunRecord (and its trace
+  // arena) dies on the worker that produced it, so its chunks recycle
+  // seed-over-seed instead of accumulating for the whole sweep.
+  CellAccum acc = sweep_accumulate<CellAccum>(
+      first_seed, seeds, [&](std::uint64_t seed, CellAccum& a) {
+        const proto::RunRecord record =
+            weak_family ? run_weak_family(protocol, regime, n, seed)
+                        : run_time_bounded_family(protocol, regime, n, seed);
+        fold_record(record, weak_family, seed, a);
+      });
+
+  cell.safety_violations = acc.safety_violations;
+  cell.termination_failures = acc.termination_failures;
+  cell.liveness_failures = acc.liveness_failures;
+  for (auto& ex : acc.examples) {
+    cell.example_violations.push_back(std::move(ex.text));
+  }
+  return cell;
+}
+
+MatrixCell run_matrix_cell_buffered(ProtocolKind protocol, Regime regime,
+                                    int n, std::size_t seeds,
+                                    std::uint64_t first_seed) {
   MatrixCell cell;
   cell.protocol = protocol;
   cell.regime = regime;

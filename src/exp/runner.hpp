@@ -46,8 +46,20 @@ struct MatrixCell {
 };
 
 /// Runs `seeds` all-honest executions of `protocol` under `regime` (chain
-/// length n) and aggregates property outcomes.
+/// length n) and aggregates property outcomes. Streaming: each seed's
+/// RunRecord is checked and folded into a worker-local accumulator the
+/// moment it completes (exp::sweep_accumulate), so the sweep's live state
+/// is O(workers) — whole-run traces are never buffered. Results are
+/// bit-identical for any worker count (and to the buffered variant below).
 MatrixCell run_matrix_cell(ProtocolKind protocol, Regime regime, int n,
                            std::size_t seeds, std::uint64_t first_seed = 1);
+
+/// The pre-streaming implementation: buffers every seed's whole RunRecord
+/// (trace included) before checking. Kept as the A/B twin for peak-RSS
+/// measurements and as the reference side of the streaming differential
+/// test; produces byte-identical MatrixCells.
+MatrixCell run_matrix_cell_buffered(ProtocolKind protocol, Regime regime,
+                                    int n, std::size_t seeds,
+                                    std::uint64_t first_seed = 1);
 
 }  // namespace xcp::exp

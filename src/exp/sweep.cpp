@@ -28,12 +28,20 @@ SweepPool::~SweepPool() {
   for (std::thread& t : threads_) t.join();
 }
 
+unsigned SweepPool::resolved_workers(std::size_t count, unsigned workers) {
+  if (count == 0) return 1;
+  unsigned w = workers != 0
+                   ? workers
+                   : std::max(1u, std::thread::hardware_concurrency());
+  return static_cast<unsigned>(std::min<std::size_t>(w, count));
+}
+
 void SweepPool::drain(Task task, void* ctx, std::uint64_t first_seed,
-                      std::size_t count) {
+                      std::size_t count, unsigned worker) {
   for (;;) {
     const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
     if (i >= count) break;
-    task(ctx, first_seed + i, i);
+    task(ctx, first_seed + i, i, worker);
     // acq_rel: publishes this seed's result to whoever observes pending_
     // hit zero (the acquire load / wait in run()).
     if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -58,7 +66,8 @@ void SweepPool::worker_main(unsigned id) {
     const std::size_t count = count_;
     ++busy_;
     lock.unlock();
-    drain(task, ctx, first_seed, count);
+    // Worker ordinal id+1: the sweep's calling thread is ordinal 0.
+    drain(task, ctx, first_seed, count, id + 1);
     lock.lock();
     if (--busy_ == 0) idle_cv_.notify_all();
   }
@@ -67,15 +76,12 @@ void SweepPool::worker_main(unsigned id) {
 void SweepPool::run(std::uint64_t first_seed, std::size_t count,
                     unsigned workers, Task task, void* ctx) {
   if (count == 0) return;
-  unsigned w = workers != 0
-                   ? workers
-                   : std::max(1u, std::thread::hardware_concurrency());
-  w = static_cast<unsigned>(std::min<std::size_t>(w, count));
+  const unsigned w = resolved_workers(count, workers);
   if (w == 1 || g_in_sweep) {
     // Inline path: the workers=1 reference ordering, and nested sweeps on
     // any thread already inside a sweep (which must not re-enter the
-    // pool's mutexes).
-    for (std::size_t i = 0; i < count; ++i) task(ctx, first_seed + i, i);
+    // pool's mutexes). Everything drains as worker ordinal 0.
+    for (std::size_t i = 0; i < count; ++i) task(ctx, first_seed + i, i, 0);
     return;
   }
   // One sweep at a time: concurrent callers queue here rather than
@@ -105,7 +111,7 @@ void SweepPool::run(std::uint64_t first_seed, std::size_t count,
     ++epoch_;
   }
   cv_.notify_all();
-  drain(task, ctx, first_seed, count);
+  drain(task, ctx, first_seed, count, /*worker=*/0);
   // The cursor is exhausted but stragglers may still be mid-seed; wait for
   // the last completion (the fetch_sub's release pairs with this acquire).
   for (;;) {

@@ -40,16 +40,27 @@ namespace detail {
 class SweepPool {
  public:
   /// One unit of sweep work: ctx is the sweep's stack-owned state.
-  using Task = void (*)(void* ctx, std::uint64_t seed, std::size_t index);
+  /// `worker` is the ordinal of the draining thread within this sweep —
+  /// 0 for the calling thread, 1..workers-1 for pool threads — so a sweep
+  /// can keep race-free worker-local state (sweep_accumulate's
+  /// accumulators) without any thread-identity bookkeeping of its own.
+  using Task = void (*)(void* ctx, std::uint64_t seed, std::size_t index,
+                        unsigned worker);
 
   static SweepPool& instance();
 
-  /// Runs task(ctx, first_seed + i, i) for i in [0, count) across up to
-  /// `workers` threads (0 = hardware concurrency), including the caller.
-  /// Returns when every index has completed; completion of index i
+  /// Runs task(ctx, first_seed + i, i, worker) for i in [0, count) across
+  /// up to `workers` threads (0 = hardware concurrency), including the
+  /// caller. Returns when every index has completed; completion of index i
   /// happens-before the return (results are safe to read unlocked).
   void run(std::uint64_t first_seed, std::size_t count, unsigned workers,
            Task task, void* ctx);
+
+  /// The worker count run() will actually use for `count` units and a
+  /// `workers` request (0 = hardware concurrency): how many worker-local
+  /// accumulator slots a streaming sweep needs. Nested sweeps (from inside
+  /// a sweep task) run inline on one thread.
+  static unsigned resolved_workers(std::size_t count, unsigned workers);
 
   ~SweepPool();
 
@@ -57,7 +68,7 @@ class SweepPool {
   SweepPool() = default;
   void worker_main(unsigned id);
   void drain(Task task, void* ctx, std::uint64_t first_seed,
-             std::size_t count);
+             std::size_t count, unsigned worker);
 
   std::mutex run_mu_;  // serialises concurrent run() callers
   std::mutex mu_;
@@ -102,7 +113,7 @@ std::vector<R> parallel_sweep(std::uint64_t first_seed, std::size_t count,
   Ctx ctx{std::addressof(fn), slots.get(), nullptr, {}, {}};
   detail::SweepPool::instance().run(
       first_seed, count, workers,
-      [](void* c, std::uint64_t seed, std::size_t index) {
+      [](void* c, std::uint64_t seed, std::size_t index, unsigned) {
         auto* x = static_cast<Ctx*>(c);
         // Once any seed has thrown, the sweep's result is the exception:
         // skip the remaining (potentially expensive) runs instead of
@@ -130,6 +141,56 @@ std::size_t count_where(const std::vector<R>& results, Pred&& pred) {
   std::size_t n = 0;
   for (const auto& r : results) n += pred(r) ? 1 : 0;
   return n;
+}
+
+/// Streaming sweep: runs `fn(seed, acc)` for seeds [first, first+count),
+/// folding each seed's contribution into a worker-local accumulator the
+/// moment the seed completes — live state is O(workers), not O(seeds), so
+/// nothing (traces, RunRecords) is buffered across the sweep. Worker
+/// accumulators are merged with `acc.merge(std::move(other))` after
+/// quiescence and the combined Acc is returned.
+///
+/// Determinism contract: fn must be a pure function of the seed (as for
+/// parallel_sweep), each worker receives its seeds in increasing order, and
+/// merge must be insensitive to how seeds were partitioned across workers —
+/// sums, min/max and seed-keyed ordered merges all qualify. Merging a
+/// default-constructed Acc must be a no-op (idle worker slots merge too).
+/// Under that contract the result is bit-identical for any worker count.
+template <typename Acc, typename Fn>
+Acc sweep_accumulate(std::uint64_t first_seed, std::size_t count, Fn&& fn,
+                     unsigned workers = 0) {
+  static_assert(std::is_default_constructible_v<Acc>,
+                "sweep accumulator must be default-constructible");
+  if (count == 0) return Acc{};
+  const unsigned w = detail::SweepPool::resolved_workers(count, workers);
+  // One accumulator per worker ordinal; the pool hands every task its
+  // ordinal, so no two threads ever touch the same slot.
+  std::unique_ptr<Acc[]> accs(new Acc[w]);
+  struct Ctx {
+    std::remove_reference_t<Fn>* fn;
+    Acc* accs;
+    std::exception_ptr error;
+    std::mutex mu;
+    std::atomic<bool> failed{false};
+  };
+  Ctx ctx{std::addressof(fn), accs.get(), nullptr, {}, {}};
+  detail::SweepPool::instance().run(
+      first_seed, count, w,
+      [](void* c, std::uint64_t seed, std::size_t, unsigned worker) {
+        auto* x = static_cast<Ctx*>(c);
+        if (x->failed.load(std::memory_order_relaxed)) return;
+        try {
+          (*x->fn)(seed, x->accs[worker]);
+        } catch (...) {
+          x->failed.store(true, std::memory_order_relaxed);
+          const std::lock_guard<std::mutex> lock(x->mu);
+          if (!x->error) x->error = std::current_exception();
+        }
+      },
+      &ctx);
+  if (ctx.error) std::rethrow_exception(ctx.error);
+  for (unsigned i = 1; i < w; ++i) accs[0].merge(std::move(accs[i]));
+  return std::move(accs[0]);
 }
 
 }  // namespace xcp::exp

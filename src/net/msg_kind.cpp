@@ -1,72 +1,23 @@
 #include "net/msg_kind.hpp"
 
-#include <deque>
-#include <mutex>
-#include <shared_mutex>
-#include <unordered_map>
-
+#include "support/interner.hpp"
 #include "support/status.hpp"
 
 namespace xcp::net {
-namespace {
-
-struct Interner {
-  // Names live in a deque so their storage never moves: the map's
-  // string_view keys point into it, and name() may hand out views that
-  // outlive any lock.
-  std::deque<std::string> names{""};  // id 0 = the invalid/empty kind
-  std::unordered_map<std::string_view, std::uint32_t> ids{{"", 0}};
-  // Read-mostly sharding: every well-known kind (net::kinds::*) is interned
-  // during static initialisation — before any sweep worker exists — so the
-  // hot paths only ever take the shared (reader) side. The exclusive side
-  // is the seldom path: first sight of an ad-hoc name.
-  mutable std::shared_mutex mu;
-};
-
-Interner& interner() {
-  // Leaked: sweep-pool worker threads may intern or resolve names during
-  // static destruction; the table must outlive every thread.
-  static Interner* in = new Interner;
-  return *in;
-}
-
-}  // namespace
 
 MsgKind::MsgKind(std::string_view name) : MsgKind(kind(name)) {}
 
 MsgKind kind(std::string_view name) {
-  Interner& in = interner();
-  {
-    std::shared_lock lock(in.mu);
-    if (const auto it = in.ids.find(name); it != in.ids.end()) {
-      return MsgKind(it->second);
-    }
-  }
-  std::unique_lock lock(in.mu);
-  // Double-check: another thread may have interned it between the locks.
-  if (const auto it = in.ids.find(name); it != in.ids.end()) {
-    return MsgKind(it->second);
-  }
-  XCP_REQUIRE(in.names.size() <= 0xffffffffu, "message-kind space exhausted");
-  in.names.emplace_back(name);
-  const auto id = static_cast<std::uint32_t>(in.names.size() - 1);
-  in.ids.emplace(in.names.back(), id);
-  return MsgKind(id);
+  MsgKind k;
+  k.id_ = support::intern_name(name);
+  return k;
 }
 
-std::string_view MsgKind::name() const {
-  const Interner& in = interner();
-  std::shared_lock lock(in.mu);
-  XCP_REQUIRE(id_ < in.names.size(), "unknown message-kind wire value");
-  // Safe to return after unlock: deque elements never move, and names are
-  // never removed.
-  return in.names[id_];
-}
+std::string_view MsgKind::name() const { return support::interned_name(id_); }
 
 MsgKind MsgKind::from_wire(std::uint32_t value) {
-  const Interner& in = interner();
-  std::shared_lock lock(in.mu);
-  XCP_REQUIRE(value < in.names.size(), "unknown message-kind wire value");
+  XCP_REQUIRE(support::name_id_known(value),
+              "unknown message-kind wire value");
   MsgKind k;
   k.id_ = value;
   return k;

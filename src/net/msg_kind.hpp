@@ -11,13 +11,15 @@
 // Hot paths should use the named constants in xcp::net::kinds or cache
 // their own `kind("...")` result.
 //
-// Threading: the interner is a pre-seeded read-mostly table. All well-known
-// kinds below are interned at static initialisation (their inline
-// definitions run before main, and before any sweep worker thread exists),
-// so protocol runs on worker threads only ever take the shared (reader)
-// lock; first-sight inserts of ad-hoc names take the exclusive lock on the
-// seldom path. Comparing, hashing and copying MsgKind values never touches
-// the interner at all.
+// Threading: the interner is the process-wide pre-seeded read-mostly table
+// in support/interner.hpp, shared with props::Label — one id space, so a
+// kind's wire value doubles as its trace-label id. All well-known kinds
+// below are interned at static initialisation (their inline definitions run
+// before main, and before any sweep worker thread exists), so protocol runs
+// on worker threads only ever take the shared (reader) lock; first-sight
+// inserts of ad-hoc names take the exclusive lock on the seldom path.
+// Comparing, hashing and copying MsgKind values never touches the interner
+// at all.
 
 #include <cstdint>
 #include <functional>

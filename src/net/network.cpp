@@ -48,7 +48,7 @@ void Network::send(sim::ProcessId from, sim::ProcessId to, MsgKind kind,
     e.local_at = sim_.process(from).local_now();
     e.actor = from;
     e.peer = to;
-    e.label = m.kind.str();
+    e.label = props::Label::from_wire(m.kind.value());
     trace_->record(e);
   }
 
@@ -61,7 +61,7 @@ void Network::send(sim::ProcessId from, sim::ProcessId to, MsgKind kind,
       e.local_at = now;
       e.actor = from;
       e.peer = to;
-      e.label = m.kind.str();
+      e.label = props::Label::from_wire(m.kind.value());
       trace_->record(e);
     }
     return;
@@ -121,7 +121,7 @@ void Network::record_deliver(const Message& m, TimePoint local_at) {
     e.local_at = local_at;
     e.actor = m.to;
     e.peer = m.from;
-    e.label = m.kind.str();
+    e.label = props::Label::from_wire(m.kind.value());
     trace_->record(e);
   }
 }

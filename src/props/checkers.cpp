@@ -1,7 +1,10 @@
 #include "props/checkers.hpp"
 
-#include <map>
+#include <algorithm>
+#include <array>
 #include <sstream>
+
+#include "props/label.hpp"
 
 namespace xcp::props {
 
@@ -70,15 +73,55 @@ void violate(PropertyResult& res, std::string msg) {
 PropertyResult check_conservation(const proto::RunRecord& r) {
   PropertyResult res;
   res.name = "conservation";
-  std::map<std::uint16_t, std::int64_t> net;
+  // Runs touch a handful of currencies at most: a fixed-size linear-scan
+  // accumulator replaces the old std::map (no allocation, no tree walk),
+  // with a vector spill for the pathological >64-currency run so every
+  // representable record still gets a verdict.
+  constexpr std::size_t kInlineCurrencies = 64;
+  std::array<std::pair<std::uint16_t, std::int64_t>, kInlineCurrencies> net;
+  std::size_t ncur = 0;
+  std::vector<std::pair<std::uint16_t, std::int64_t>> overflow;
+  const auto slot_for = [&](Currency c) -> std::int64_t& {
+    for (std::size_t i = 0; i < ncur; ++i) {
+      if (net[i].first == c.id()) return net[i].second;
+    }
+    for (auto& [id, delta] : overflow) {
+      if (id == c.id()) return delta;
+    }
+    if (ncur < kInlineCurrencies) {
+      net[ncur] = {c.id(), 0};
+      return net[ncur++].second;
+    }
+    // The returned reference is consumed before the next slot_for call, so
+    // growth-invalidation is harmless.
+    return overflow.emplace_back(c.id(), 0).second;
+  };
   for (const auto& p : r.participants) {
-    for (const Amount& a : p.initial_holdings) net[a.currency().id()] -= a.units();
-    for (const Amount& a : p.final_holdings) net[a.currency().id()] += a.units();
+    for (const Amount& a : p.initial_holdings) slot_for(a.currency()) -= a.units();
+    for (const Amount& a : p.final_holdings) slot_for(a.currency()) += a.units();
   }
-  for (const auto& [cur, delta] : net) {
+  // Report in currency-id order, as the old map-based walk did.
+  const auto first = net.begin();
+  const auto last = net.begin() + static_cast<std::ptrdiff_t>(ncur);
+  std::sort(first, last);
+  std::sort(overflow.begin(), overflow.end());
+  const auto report = [&](std::uint16_t cur, std::int64_t delta) {
     if (delta != 0) {
       violate(res, "currency " + Currency(cur).code() + " net " +
                        std::to_string(delta) + " != 0");
+    }
+  };
+  // Two sorted runs; the inline prefix holds the 64 first-seen ids, so
+  // merge them to keep strict id order in the report.
+  auto a = first;
+  auto b = overflow.begin();
+  while (a != last || b != overflow.end()) {
+    if (b == overflow.end() || (a != last && a->first < b->first)) {
+      report(a->first, a->second);
+      ++a;
+    } else {
+      report(b->first, b->second);
+      ++b;
     }
   }
   return res;
@@ -286,17 +329,18 @@ PropertyResult check_certificate_consistency(const proto::RunRecord& r) {
   res.name = "CC";
   // Decide events carry a deal id when several deals share one substrate
   // (multi-deal runs); only this record's deal (or unscoped events) count.
-  auto issued = [&](const char* label) {
-    for (const auto& e : r.trace.events()) {
-      if (e.kind == EventKind::kDecide && e.label == label &&
-          (e.deal_id == 0 || e.deal_id == r.spec.deal_id)) {
+  // Indexed walk over just the kDecide events, comparing interned label ids.
+  auto issued = [&](Label label) {
+    for (const TraceEvent* e : r.trace.all(EventKind::kDecide)) {
+      if (e->label == label &&
+          (e->deal_id == 0 || e->deal_id == r.spec.deal_id)) {
         return true;
       }
     }
     return false;
   };
-  const bool commit_issued = issued("commit");
-  const bool abort_issued = issued("abort");
+  const bool commit_issued = issued(labels::commit);
+  const bool abort_issued = issued(labels::abort_);
   if (commit_issued && abort_issued) {
     violate(res, "both chi_c and chi_a were issued");
   }

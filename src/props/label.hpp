@@ -1,0 +1,88 @@
+#pragma once
+// Interned trace labels. TraceEvent::label used to be a std::string built
+// per event — one heap allocation and a content compare per checker query.
+// Label is the trace-side twin of net::MsgKind: a 32-bit id into the
+// process-wide name interner (support/interner.hpp), so recording copies
+// four bytes, checkers compare integers, and the text is only materialised
+// for rendering. MsgKind and Label share one id space, which lets the
+// network stamp a message kind's id straight into a trace event without
+// touching the interner.
+//
+// Construction from a string (implicitly, mirroring the old API) interns
+// the name: a shared-lock hash lookup, allocating only the first time a
+// name is seen. Hot emitters should use the pre-seeded constants in
+// props::labels (or helpers like crypto::cert_kind_label) and pay nothing.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "support/interner.hpp"
+
+namespace xcp::props {
+
+class Label {
+ public:
+  /// The empty label (id 0).
+  constexpr Label() = default;
+
+  // Implicit by design: every legacy `e.label = "chi"` call site keeps
+  // working, paying one interner lookup.
+  Label(std::string_view name) : id_(support::intern_name(name)) {}  // NOLINT
+  Label(const char* name) : Label(std::string_view(name)) {}         // NOLINT
+  Label(const std::string& name)                                     // NOLINT
+      : Label(std::string_view(name)) {}
+
+  constexpr std::uint32_t value() const { return id_; }
+  constexpr bool empty() const { return id_ == 0; }
+
+  /// The interned name; valid for the process lifetime.
+  std::string_view name() const { return support::interned_name(id_); }
+  std::string str() const { return std::string(name()); }
+
+  /// Rebuilds a Label from an id produced by this process's interner —
+  /// e.g. a net::MsgKind wire value (shared id space). Trusted: the id is
+  /// validated when the name is first resolved, not here (this is the
+  /// per-message trace-emit path).
+  static constexpr Label from_wire(std::uint32_t id) {
+    Label l;
+    l.id_ = id;
+    return l;
+  }
+
+  /// Non-inserting lookup for read-only query paths. Constructing a Label
+  /// from a string *interns* it — fine for emitters (the label is about to
+  /// exist in a trace) but wrong for probes: querying a recorder with a
+  /// dynamically built, possibly never-recorded string must not grow the
+  /// process-wide table. find() resolves the name if it was ever interned
+  /// and otherwise returns a sentinel Label that compares unequal to every
+  /// real label (so counts/lookups correctly find nothing). The sentinel's
+  /// name() must not be asked for.
+  static Label find(std::string_view name) {
+    return from_wire(support::find_name(name));
+  }
+
+  friend constexpr bool operator==(Label a, Label b) { return a.id_ == b.id_; }
+  friend constexpr bool operator!=(Label a, Label b) { return a.id_ != b.id_; }
+
+ private:
+  std::uint32_t id_ = 0;
+};
+
+/// Well-known trace labels, interned once per process at static
+/// initialisation (pre-seeding the table before sweep threads exist).
+namespace labels {
+inline const Label chi{"chi"};        // Bob's payment certificate
+inline const Label commit{"commit"};  // TM decision values
+inline const Label abort_{"abort"};
+}  // namespace labels
+
+}  // namespace xcp::props
+
+template <>
+struct std::hash<xcp::props::Label> {
+  std::size_t operator()(const xcp::props::Label& l) const noexcept {
+    return std::hash<std::uint32_t>()(l.value());
+  }
+};

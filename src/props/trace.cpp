@@ -1,8 +1,129 @@
 #include "props/trace.hpp"
 
+#include <mutex>
+#include <new>
 #include <sstream>
+#include <utility>
 
 namespace xcp::props {
+
+namespace {
+
+// Two-level pool of fixed-size raw chunks, shared by event storage and the
+// per-kind index lists (one block size, interchangeable).
+//
+// Level 1 is a thread-local freelist — the steady-state path: pop/push with
+// no lock and no allocation, like the message-body pools. Level 2 is a
+// shared mutex-protected overflow pool that rebalances chunks *across*
+// threads: sweep workers fill traces, but buffered sweeps destroy the
+// RunRecords on the calling thread, so without rebalancing every chunk
+// would migrate one-way into the caller's freelist and workers would
+// malloc fresh ones each sweep, growing the process by a sweep's footprint
+// per sweep. A thread's freelist therefore spills half its chunks to the
+// shared pool past a small cap, acquire refills a batch from it before
+// touching the heap, and thread exit donates the remainder. One lock per
+// ~hundreds of recorded events; the record() fast path never sees it.
+// (support/pool.hpp's BlockPool is deliberately not reused here: it has no
+// cross-thread rebalancing, which is the whole point of level 2.)
+//
+// Cross-thread handoff of chunk *contents* is synchronised by whoever
+// hands the recorder over (the sweep pool's quiescence, for sweeps).
+struct ChunkNode {
+  ChunkNode* next;
+};
+
+struct SharedChunkPool {
+  std::mutex mu;
+  ChunkNode* head = nullptr;
+};
+
+SharedChunkPool& shared_chunks() {
+  // Leaked: threads may donate chunks during static destruction (the sweep
+  // pool joins its workers then); the shared pool must outlive them all.
+  // Chunks parked here at process exit go back to the OS with the process.
+  static SharedChunkPool* pool = new SharedChunkPool;
+  return *pool;
+}
+
+struct ChunkFreelist {
+  // Cap ~1 MB of idle chunks per thread before spilling half to the
+  // shared pool; refill in batches so a draining/refilling cycle pays one
+  // lock per kRefillBatch chunks, not one per chunk.
+  static constexpr std::size_t kMaxLocal = 64;
+  static constexpr std::size_t kRefillBatch = 16;
+
+  ChunkNode* head = nullptr;
+  std::size_t count = 0;
+
+  ~ChunkFreelist() {
+    if (head == nullptr) return;
+    // Donate everything to the shared pool: chunks freed on a short-lived
+    // thread stay reusable by the rest of the process.
+    ChunkNode* tail = head;
+    while (tail->next != nullptr) tail = tail->next;
+    SharedChunkPool& shared = shared_chunks();
+    const std::lock_guard<std::mutex> lock(shared.mu);
+    tail->next = shared.head;
+    shared.head = head;
+  }
+};
+
+thread_local ChunkFreelist g_trace_chunks;
+
+void* acquire_chunk() {
+  ChunkFreelist& fl = g_trace_chunks;
+  if (fl.head != nullptr) {
+    ChunkNode* n = fl.head;
+    fl.head = n->next;
+    --fl.count;
+    return static_cast<void*>(n);
+  }
+  // Refill a batch from the shared pool before falling back to the heap.
+  SharedChunkPool& shared = shared_chunks();
+  {
+    const std::lock_guard<std::mutex> lock(shared.mu);
+    for (std::size_t i = 0; i < ChunkFreelist::kRefillBatch; ++i) {
+      ChunkNode* n = shared.head;
+      if (n == nullptr) break;
+      shared.head = n->next;
+      n->next = fl.head;
+      fl.head = n;
+      ++fl.count;
+    }
+  }
+  if (fl.head != nullptr) {
+    ChunkNode* n = fl.head;
+    fl.head = n->next;
+    --fl.count;
+    return static_cast<void*>(n);
+  }
+  return ::operator new(TraceRecorder::kChunkBytes);
+}
+
+void release_chunk(void* p) {
+  auto* n = static_cast<ChunkNode*>(p);
+  ChunkFreelist& fl = g_trace_chunks;
+  n->next = fl.head;
+  fl.head = n;
+  if (++fl.count <= ChunkFreelist::kMaxLocal) return;
+  // Spill half to the shared pool so other threads (sweep workers, after a
+  // buffered caller consumed their traces) can reuse them.
+  ChunkNode* keep_tail = fl.head;
+  for (std::size_t i = 1; i < ChunkFreelist::kMaxLocal / 2; ++i) {
+    keep_tail = keep_tail->next;
+  }
+  ChunkNode* spill = keep_tail->next;
+  keep_tail->next = nullptr;
+  ChunkNode* spill_tail = spill;
+  while (spill_tail->next != nullptr) spill_tail = spill_tail->next;
+  fl.count = ChunkFreelist::kMaxLocal / 2;
+  SharedChunkPool& shared = shared_chunks();
+  const std::lock_guard<std::mutex> lock(shared.mu);
+  spill_tail->next = shared.head;
+  shared.head = spill;
+}
+
+}  // namespace
 
 const char* event_kind_name(EventKind k) {
   switch (k) {
@@ -28,72 +149,126 @@ std::string TraceEvent::str() const {
   std::ostringstream os;
   os << at.str() << " " << event_kind_name(kind) << " actor=p" << actor.value();
   if (peer.valid()) os << " peer=p" << peer.value();
-  if (!label.empty()) os << " [" << label << "]";
+  if (!label.empty()) os << " [" << label.name() << "]";
   if (amount) os << " " << amount->str();
   return os.str();
 }
 
-std::size_t TraceRecorder::count(EventKind kind) const {
-  std::size_t n = 0;
-  for (const auto& e : events_) n += (e.kind == kind);
-  return n;
+void TraceRecorder::next_event_chunk() {
+  if (used_chunks_ == chunks_.size()) {
+    chunks_.push_back(static_cast<TraceEvent*>(acquire_chunk()));
+  }
+  bump_ = chunks_[used_chunks_++];
+  bump_end_ = bump_ + kEventsPerChunk;
+}
+
+void TraceRecorder::next_index_chunk(KindIndex& ix) {
+  if (ix.used_chunks == ix.chunks.size()) {
+    ix.chunks.push_back(static_cast<const TraceEvent**>(acquire_chunk()));
+  }
+  ix.bump = ix.chunks[ix.used_chunks++];
+  ix.bump_end = ix.bump + kPtrsPerChunk;
+}
+
+void TraceRecorder::clear() {
+  size_ = 0;
+  used_chunks_ = 0;
+  bump_ = nullptr;
+  bump_end_ = nullptr;
+  for (KindIndex& ix : index_) {
+    ix.size = 0;
+    ix.used_chunks = 0;
+    ix.bump = nullptr;
+    ix.bump_end = nullptr;
+  }
+}
+
+void TraceRecorder::release_all() {
+  for (TraceEvent* c : chunks_) release_chunk(static_cast<void*>(c));
+  chunks_.clear();
+  for (KindIndex& ix : index_) {
+    for (const TraceEvent** c : ix.chunks) {
+      release_chunk(static_cast<void*>(c));
+    }
+    ix.chunks.clear();
+  }
+  clear();
+}
+
+void TraceRecorder::steal(TraceRecorder&& o) {
+  chunks_ = std::move(o.chunks_);
+  used_chunks_ = o.used_chunks_;
+  bump_ = o.bump_;
+  bump_end_ = o.bump_end_;
+  size_ = o.size_;
+  index_ = std::move(o.index_);
+  o.chunks_.clear();
+  for (KindIndex& ix : o.index_) ix.chunks.clear();
+  o.clear();
 }
 
 std::size_t TraceRecorder::count(EventKind kind, sim::ProcessId actor) const {
   std::size_t n = 0;
-  for (const auto& e : events_) n += (e.kind == kind && e.actor == actor);
+  for (const TraceEvent* e : all(kind)) n += (e->actor == actor);
   return n;
 }
 
-std::size_t TraceRecorder::count_label(EventKind kind, const std::string& label) const {
+std::size_t TraceRecorder::count_label(EventKind kind, Label label) const {
   std::size_t n = 0;
-  for (const auto& e : events_) n += (e.kind == kind && e.label == label);
+  for (const TraceEvent* e : all(kind)) n += (e->label == label);
   return n;
 }
 
 std::size_t TraceRecorder::count(EventKind kind, sim::ProcessId actor,
-                                 const std::string& label) const {
+                                 Label label) const {
   std::size_t n = 0;
-  for (const auto& e : events_) {
-    n += (e.kind == kind && e.actor == actor && e.label == label);
+  for (const TraceEvent* e : all(kind)) {
+    n += (e->actor == actor && e->label == label);
   }
   return n;
 }
 
-const TraceEvent* TraceRecorder::first(EventKind kind, sim::ProcessId actor) const {
-  for (const auto& e : events_) {
-    if (e.kind == kind && e.actor == actor) return &e;
+const TraceEvent* TraceRecorder::first(EventKind kind,
+                                       sim::ProcessId actor) const {
+  for (const TraceEvent* e : all(kind)) {
+    if (e->actor == actor) return e;
   }
   return nullptr;
 }
 
 const TraceEvent* TraceRecorder::first_label(EventKind kind,
-                                             const std::string& label) const {
-  for (const auto& e : events_) {
-    if (e.kind == kind && e.label == label) return &e;
+                                             Label label) const {
+  for (const TraceEvent* e : all(kind)) {
+    if (e->label == label) return e;
   }
   return nullptr;
 }
 
-std::vector<const TraceEvent*> TraceRecorder::all(EventKind kind) const {
+std::vector<const TraceEvent*> TraceRecorder::all_vector(EventKind kind) const {
   std::vector<const TraceEvent*> out;
-  for (const auto& e : events_) {
-    if (e.kind == kind) out.push_back(&e);
-  }
+  const KindRange r = all(kind);
+  out.reserve(r.size());
+  for (const TraceEvent* e : r) out.push_back(e);
   return out;
 }
 
 std::string TraceRecorder::render(std::size_t max_lines) const {
   std::ostringstream os;
   std::size_t n = 0;
-  for (const auto& e : events_) {
+  for (const TraceEvent& e : events()) {
     if (n++ >= max_lines) {
-      os << "... (" << events_.size() - max_lines << " more)\n";
+      os << "... (" << size_ - max_lines << " more)\n";
       break;
     }
     os << e.str() << "\n";
   }
   return os.str();
+}
+
+TraceRecorder TraceRecorder::clone() const {
+  TraceRecorder out;
+  for (const TraceEvent& e : events()) out.record(e);
+  return out;
 }
 
 }  // namespace xcp::props

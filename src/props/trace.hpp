@@ -5,12 +5,33 @@
 // checkers (props/checkers.hpp) evaluate the paper's requirements C, T, ES,
 // CS1-3, L and CC over these traces, never over protocol internals, so a
 // protocol cannot "self-certify".
+//
+// The recorder is allocation-free in steady state, mirroring the event core:
+//
+//  - TraceEvent is a trivially-copyable POD. The label is an interned 32-bit
+//    id (props/label.hpp) instead of a std::string, so recording is a plain
+//    store with no per-event allocation or destructor work.
+//  - Events live in fixed-size chunks drawn from a two-level pool: a
+//    thread-local freelist (like the message-body pools) in front of a
+//    shared overflow pool that rebalances chunks across threads (sweep
+//    workers record, the sweep's caller frees). Recording bumps a pointer;
+//    chunk boundaries are the only cold path, and a cleared recorder
+//    reuses its chunks, so a warmed record→check cycle never touches the
+//    heap.
+//  - The recorder maintains a per-EventKind index (chunked the same way),
+//    so count()/first()/all() are indexed lookups over just the matching
+//    events instead of O(n) scans of the whole trace, and all() returns a
+//    lightweight range instead of a freshly allocated pointer vector.
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <type_traits>
 #include <vector>
 
+#include "props/label.hpp"
 #include "sim/process.hpp"
 #include "support/amount.hpp"
 #include "support/time.hpp"
@@ -34,6 +55,10 @@ enum class EventKind {
   kCustom,
 };
 
+/// Number of EventKind enumerators (kCustom is last).
+inline constexpr std::size_t kEventKindCount =
+    static_cast<std::size_t>(EventKind::kCustom) + 1;
+
 const char* event_kind_name(EventKind k);
 
 struct TraceEvent {
@@ -42,7 +67,7 @@ struct TraceEvent {
   TimePoint local_at;               // actor's local-clock reading
   sim::ProcessId actor;             // subject
   sim::ProcessId peer;              // counterparty (if any)
-  std::string label;                // message kind / cert kind / detail
+  Label label;                      // message kind / cert kind / detail
   std::optional<Amount> amount;
   std::uint64_t deal_id = 0;        // 0 = unscoped; set by deal-aware
                                     // emitters (TM decisions) so concurrent
@@ -52,32 +77,171 @@ struct TraceEvent {
   std::string str() const;
 };
 
+// Recording must be a trivial store and releasing a chunk must need no
+// per-event destructor walk; both hinge on the event staying a POD.
+static_assert(std::is_trivially_copyable_v<TraceEvent>);
+static_assert(std::is_trivially_destructible_v<TraceEvent>);
+
+/// A lightweight view over chunked storage: `chunks[i / PerChunk][i %
+/// PerChunk]` for i in [0, n). Indexable and iterable; never allocates.
+/// Valid until the owning recorder records further events, or is cleared,
+/// moved or destroyed. One template serves both the event list (T =
+/// TraceEvent) and the per-kind index ranges (T = const TraceEvent*).
+template <typename T, std::size_t PerChunk>
+class ChunkedView {
+ public:
+  class iterator {
+   public:
+    using value_type = std::remove_cv_t<T>;
+    using difference_type = std::ptrdiff_t;
+
+    const T& operator*() const {
+      return chunks_[i_ / PerChunk][i_ % PerChunk];
+    }
+    const T* operator->() const { return &**this; }
+    iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    friend bool operator==(const iterator& a, const iterator& b) {
+      return a.i_ == b.i_;
+    }
+    friend bool operator!=(const iterator& a, const iterator& b) {
+      return a.i_ != b.i_;
+    }
+
+   private:
+    friend class ChunkedView;
+    iterator(T* const* chunks, std::size_t i) : chunks_(chunks), i_(i) {}
+    T* const* chunks_;
+    std::size_t i_;
+  };
+
+  ChunkedView(T* const* chunks, std::size_t n) : chunks_(chunks), n_(n) {}
+
+  std::size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  const T& operator[](std::size_t i) const {
+    return chunks_[i / PerChunk][i % PerChunk];
+  }
+  iterator begin() const { return iterator(chunks_, 0); }
+  iterator end() const { return iterator(chunks_, n_); }
+
+ private:
+  T* const* chunks_;
+  std::size_t n_;
+};
+
 class TraceRecorder {
  public:
-  void record(TraceEvent e) { events_.push_back(std::move(e)); }
+  /// Chunk geometry. One fixed block size serves both event storage and the
+  /// per-kind index lists, so every chunk is interchangeable in the
+  /// thread-local freelist.
+  static constexpr std::size_t kChunkBytes = std::size_t{1} << 14;
+  static constexpr std::size_t kEventsPerChunk = kChunkBytes / sizeof(TraceEvent);
+  static constexpr std::size_t kPtrsPerChunk =
+      kChunkBytes / sizeof(const TraceEvent*);
 
-  const std::vector<TraceEvent>& events() const { return events_; }
-  void clear() { events_.clear(); }
+  /// The recorded events, in record order.
+  using EventList = ChunkedView<TraceEvent, kEventsPerChunk>;
+  /// All events of one kind, in record order; elements are
+  /// `const TraceEvent*` (matching the old all() vector).
+  using KindRange = ChunkedView<const TraceEvent*, kPtrsPerChunk>;
+
+  TraceRecorder() = default;
+  TraceRecorder(TraceRecorder&& o) noexcept { steal(std::move(o)); }
+  TraceRecorder& operator=(TraceRecorder&& o) noexcept {
+    if (this != &o) {
+      release_all();
+      steal(std::move(o));
+    }
+    return *this;
+  }
+  // Move-only: chunk ownership must not be duplicated. Shared-substrate
+  // runs that need one trace in several records use clone().
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+  ~TraceRecorder() { release_all(); }
+
+  /// Appends an event: a bump-pointer store plus one index append. The only
+  /// cold path is a chunk boundary, and even that reuses pooled chunks in
+  /// steady state.
+  void record(const TraceEvent& e) {
+    if (bump_ == bump_end_) next_event_chunk();
+    TraceEvent* stored = bump_++;
+    *stored = e;
+    ++size_;
+    KindIndex& ix = index_[static_cast<std::size_t>(e.kind)];
+    if (ix.bump == ix.bump_end) next_index_chunk(ix);
+    *ix.bump++ = stored;
+    ++ix.size;
+  }
+
+  /// The recorded events as an indexable, iterable view (storage is
+  /// chunked; there is no contiguous vector to return).
+  EventList events() const { return EventList(chunks_.data(), size_); }
+  std::size_t size() const { return size_; }
+
+  /// Forgets all events but keeps the chunks: a cleared recorder refills
+  /// without touching the heap.
+  void clear();
 
   /// Number of events of a given kind (optionally for one actor / label).
-  std::size_t count(EventKind kind) const;
+  /// Indexed: O(1) for the kind-only form, O(#events of that kind) for the
+  /// filtered forms — never a scan of the whole trace.
+  /// NB: passing a string where a Label is expected interns it; probing
+  /// with dynamically built, possibly never-recorded strings should go
+  /// through Label::find() (non-inserting) instead.
+  std::size_t count(EventKind kind) const {
+    return index_[static_cast<std::size_t>(kind)].size;
+  }
   std::size_t count(EventKind kind, sim::ProcessId actor) const;
-  std::size_t count_label(EventKind kind, const std::string& label) const;
-  std::size_t count(EventKind kind, sim::ProcessId actor,
-                    const std::string& label) const;
+  std::size_t count_label(EventKind kind, Label label) const;
+  std::size_t count(EventKind kind, sim::ProcessId actor, Label label) const;
 
   /// First event of a kind for an actor, if any.
   const TraceEvent* first(EventKind kind, sim::ProcessId actor) const;
-  const TraceEvent* first_label(EventKind kind, const std::string& label) const;
+  const TraceEvent* first_label(EventKind kind, Label label) const;
 
-  /// All events of a kind.
-  std::vector<const TraceEvent*> all(EventKind kind) const;
+  /// All events of a kind, as an allocation-free range.
+  KindRange all(EventKind kind) const {
+    const KindIndex& ix = index_[static_cast<std::size_t>(kind)];
+    return KindRange(ix.chunks.data(), ix.size);
+  }
+
+  /// Pre-range shim: materialises all(kind) into a vector. Allocates on
+  /// every call — exactly the hot-loop pathology the range API removes.
+  [[deprecated("use all(), which returns an allocation-free range")]]
+  std::vector<const TraceEvent*> all_vector(EventKind kind) const;
 
   /// Renders the first `max_lines` events; for narrating example runs.
   std::string render(std::size_t max_lines = 200) const;
 
+  /// Deep copy: re-records every event into a fresh recorder (rebuilding
+  /// the kind indexes). For shared-substrate runs that hand the same trace
+  /// to several RunRecords.
+  TraceRecorder clone() const;
+
  private:
-  std::vector<TraceEvent> events_;
+  struct KindIndex {
+    std::vector<const TraceEvent**> chunks;
+    std::size_t used_chunks = 0;
+    const TraceEvent** bump = nullptr;
+    const TraceEvent** bump_end = nullptr;
+    std::size_t size = 0;
+  };
+
+  void next_event_chunk();
+  void next_index_chunk(KindIndex& ix);
+  void release_all();
+  void steal(TraceRecorder&& o);
+
+  std::vector<TraceEvent*> chunks_;
+  std::size_t used_chunks_ = 0;  // chunks_[0 .. used_chunks_) hold events
+  TraceEvent* bump_ = nullptr;
+  TraceEvent* bump_end_ = nullptr;
+  std::size_t size_ = 0;
+  std::array<KindIndex, kEventKindCount> index_;
 };
 
 }  // namespace xcp::props

@@ -19,7 +19,7 @@ void record_cert_event(const Fig2Context& ctx, props::EventKind kind,
   e.at = in.global_now();
   e.local_at = in.local_now();
   e.actor = in.id();
-  e.label = crypto::cert_kind_name(cert.kind);
+  e.label = crypto::cert_kind_label(cert.kind);
   ctx.trace->record(e);
 }
 

@@ -69,7 +69,7 @@ void TmContract::decide(consensus::Value v, chain::ChainContext& ctx) {
     e.at = ctx.block_time();
     e.local_at = ctx.block_time();
     e.actor = ctx.chain_id();
-    e.label = consensus::value_name(v);
+    e.label = consensus::value_label(v);
     e.deal_id = validity_.deal_id;
     ctx.trace()->record(e);
   }

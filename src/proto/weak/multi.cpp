@@ -238,7 +238,7 @@ std::vector<RunRecord> run_weak_multi(const MultiWeakConfig& config) {
         p.issued_payment_cert = c->issued_chi();
       }
       p.received_payment_cert =
-          trace.count(props::EventKind::kCertReceived, p.pid, "chi") > 0;
+          trace.count(props::EventKind::kCertReceived, p.pid, props::labels::chi) > 0;
       record.participants.push_back(std::move(p));
     }
     // Escrow deals involving this deal's escrows only.
@@ -251,7 +251,7 @@ std::vector<RunRecord> run_weak_multi(const MultiWeakConfig& config) {
     record.stats.events_executed = simulator.events_executed();
     record.stats.end_time = simulator.now();
     record.stats.drained = drained;
-    record.trace = trace;  // full shared trace (CC scopes by deal id)
+    record.trace = trace.clone();  // full shared trace (CC scopes by deal id)
   }
   return records;
 }

@@ -97,7 +97,7 @@ void WeakCustomer::submit_chi() {
     e.at = global_now();
     e.local_at = local_now();
     e.actor = id();
-    e.label = "chi";
+    e.label = props::labels::chi;
     ctx_->trace->record(e);
   }
   if (ctx_->tm_kind == TmKind::kSmartContract) {
@@ -139,7 +139,7 @@ void WeakCustomer::handle_cert(const crypto::Certificate& cert) {
     e.at = global_now();
     e.local_at = local_now();
     e.actor = id();
-    e.label = crypto::cert_kind_name(cert.kind);
+    e.label = crypto::cert_kind_label(cert.kind);
     ctx_->trace->record(e);
   }
   if (cert.kind == crypto::CertKind::kCommit && !commit_cert_) {

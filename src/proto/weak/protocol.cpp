@@ -264,7 +264,7 @@ RunRecord run_weak(const WeakConfig& config) {
       p.issued_payment_cert = c->issued_chi();
     }
     p.received_payment_cert =
-        record.trace.count(props::EventKind::kCertReceived, p.pid, "chi") > 0;
+        record.trace.count(props::EventKind::kCertReceived, p.pid, props::labels::chi) > 0;
     record.participants.push_back(std::move(p));
   }
 

@@ -86,7 +86,7 @@ void TrustedPartyTm::decide(consensus::Value v) {
     e.at = global_now();
     e.local_at = local_now();
     e.actor = id();
-    e.label = consensus::value_name(v);
+    e.label = consensus::value_label(v);
     e.deal_id = validity_.deal_id;
     net().trace()->record(e);
   }

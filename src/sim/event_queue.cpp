@@ -80,6 +80,7 @@ std::uint32_t EventQueue::acquire_slot() {
         ::operator new[](chunk_slots * sizeof(Slot)));
   }
   pos_.push_back(kNil);
+  wheel_nodes_.emplace_back();
   const std::uint32_t idx = slot_count_++;
   ::new (static_cast<void*>(&slot(idx))) Slot();
   return idx;
@@ -118,10 +119,12 @@ void EventQueue::sync_wheel() {
     std::uint32_t n = wheel_.detach_earliest_if_due(heap_top);
     if (n == TimerWheel::kNone) break;  // exact bound refreshed: not due
     while (n != TimerWheel::kNone) {
-      const TimerWheel::Node& node = wheel_.node(n);
+      // Intrusive storage: the chain's nodes are the slots' rows in the
+      // parallel array, and the entry index doubles as the heap-entry slot.
+      const TimerWheel::Node& node = wheel_nodes_[n];
       const std::uint32_t next = node.next;
-      push_heap_entry(HeapEntry{node.at, node.seq, node.payload});
-      wheel_.release(n);
+      push_heap_entry(HeapEntry{node.at, node.seq, n});
+      wheel_.consume_detached();
       n = next;
     }
   }
@@ -135,7 +138,9 @@ EventQueue::PushTicket EventQueue::begin_push(TimePoint at) {
   const std::uint32_t idx = acquire_slot();
   Slot& s = slot(idx);
   const auto seq = static_cast<std::uint32_t>(next_seq_++);
-  if (wheel_enabled_) {
+  // idx < kWheelBit: a slot index above 2^31 could alias the pos_ tag bit;
+  // such events (an absurd ~200 GB slab) take the heap instead.
+  if (wheel_enabled_ && idx < kWheelBit) {
     // A fully-drained queue being refilled (a fresh run, or a benchmark
     // reusing one instance) gets its wheel rewound so the new epoch's
     // timeouts take the O(1) path again.
@@ -143,9 +148,8 @@ EventQueue::PushTicket EventQueue::begin_push(TimePoint at) {
         at.count() != std::numeric_limits<std::int64_t>::min()) {
       wheel_.reset_cursor(at.count() - 1);
     }
-    const std::uint32_t node = wheel_.try_insert(at, seq, idx);
-    if (node != TimerWheel::kNone) {
-      pos_[idx] = kWheelBit | node;
+    if (wheel_.try_insert(wheel_nodes(), at, seq, idx)) {
+      pos_[idx] = kWheelBit | idx;
       return PushTicket{&s.fn, make_id(s.gen, idx)};
     }
   }
@@ -163,7 +167,7 @@ bool EventQueue::cancel(EventId id) {
   if (s.gen != gen_of(id)) return false;
   const std::uint32_t p = pos_[idx];
   if (p & kWheelBit) {
-    wheel_.erase(p & ~kWheelBit);
+    wheel_.erase(wheel_nodes(), idx);
     release_slot(s, idx);
   } else {
     remove_at(p);

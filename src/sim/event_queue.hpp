@@ -134,9 +134,13 @@ class EventQueue {
   PushTicket begin_push(TimePoint at);
 
   static constexpr std::uint32_t kNil = 0xffffffffu;
-  // pos_ tag for "this slot's event lives in the wheel": the low 31 bits
-  // are the wheel node index. Heap positions never reach 2^31, so the top
-  // bit discriminates. (kNil itself only appears for free slots, whose pos_
+  // pos_ tag for "this slot's event lives in the wheel". Wheel storage is
+  // intrusive (entry index == slot index; the links are the slot's own
+  // `wheel` member), so the tag carries the slot's own index in the low 31
+  // bits purely for symmetry with heap positions. Heap positions never
+  // reach 2^31, so the top bit discriminates; slots at index >= 2^31 (~200
+  // GB of slab) are routed to the heap instead of the wheel so the tag can
+  // never alias. (kNil itself only appears for free slots, whose pos_
   // threads the slot freelist and is never interpreted as a location.)
   static constexpr std::uint32_t kWheelBit = 0x80000000u;
 
@@ -173,6 +177,13 @@ class EventQueue {
   /// Drains every wheel slot due at or before the heap's head time, so the
   /// heap head is the global minimum.
   void sync_wheel();
+  /// The wheel's intrusive node accessor: entry index == slot index, the
+  /// node is the slot's row in the dense parallel array below.
+  auto wheel_nodes() {
+    return [this](std::uint32_t idx) -> TimerWheel::Node& {
+      return wheel_nodes_[idx];
+    };
+  }
 
   // The slab is chunked so growth never moves a live Slot (vector
   // reallocation would relocate every callable through an indirect call).
@@ -201,8 +212,17 @@ class EventQueue {
   }
 
   std::vector<HeapEntry> heap_;     // 4-ary min-heap, keys inline
-  std::vector<std::uint32_t> pos_;  // slot -> heap pos | wheel node; freelist
+  std::vector<std::uint32_t> pos_;  // slot -> heap pos | wheel tag; freelist
   TimerWheel wheel_;                // O(1) front end for future timeouts
+  // The wheel's intrusive node storage, folded into the event slot slab as
+  // a slot-indexed parallel array (row i belongs to slot i, like pos_).
+  // Replacing PR-2's freelist-recycled node slab removed the payload field,
+  // the node-index indirection through pos_, and the freelist maintenance,
+  // and packed the rows to 24 B — the bucket-neighbour unlink traffic of a
+  // big timer crowd now hits a denser array. (Embedding the links *inside*
+  // Slot was measured too and lost: it spread that same neighbour traffic
+  // over the 104-byte slot stride — see docs/PERF.md.)
+  std::vector<TimerWheel::Node> wheel_nodes_;  // slot-indexed, dense
   Slot* chunks_[kMaxChunks] = {};   // recycled slab of callables (owned)
   std::uint32_t chunk_count_ = 0;
   std::uint32_t slot_count_ = 0;

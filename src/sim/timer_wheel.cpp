@@ -16,14 +16,6 @@ constexpr std::int64_t quot(std::int64_t t, int level) {
 
 }  // namespace
 
-std::uint32_t TimerWheel::grow_nodes() {
-  // Node indices are stored tagged in the owner's 31-bit position space;
-  // cap them below 2^31 so the tag bit can never be aliased.
-  XCP_REQUIRE(nodes_.size() < 0x80000000u, "timer-wheel node slab full");
-  nodes_.push_back(Node{});
-  return static_cast<std::uint32_t>(nodes_.size() - 1);
-}
-
 void TimerWheel::find_earliest(int& level, std::int64_t& quotient) const {
   // Per level: occupied slots hold quotients in (qc, qc + 64]; rotating the
   // bitmap so bit 0 is quotient qc+1 makes the earliest a countr_zero.

@@ -13,10 +13,23 @@
 // An entry is placed at the *lowest* level whose current wheel revolution
 // contains its expiry (the classic hashed hierarchical wheel rule), which
 // guarantees each (level, slot) bucket only ever holds entries from a
-// single revolution. Buckets are doubly-linked lists threaded through a
-// recycled node slab, so insert and erase are a few pointer writes; a
-// per-level occupancy bitmap (one word per level, 64 slots) makes "when is
-// the next non-empty slot due?" a rotate + count-trailing-zeros.
+// single revolution. Buckets are doubly-linked lists; a per-level occupancy
+// bitmap (one word per level, 64 slots) makes "when is the next non-empty
+// slot due?" a rotate + count-trailing-zeros.
+//
+// Storage is *intrusive*: the wheel owns no node slab and runs no freelist.
+// Each entry's links (TimerWheel::Node) live in owner storage indexed by
+// the owner's own event-slot index — sim::EventQueue keeps them in a dense
+// slot-indexed parallel array alongside its pos_ table — and the wheel
+// addresses them through the owner-supplied `node_of(index)` accessor (a
+// template parameter, so it inlines to a direct array index). Entry index
+// == owner slot index, which removes the payload field, the node-index
+// indirection through the owner's position table, and all freelist
+// maintenance the PR-2 recycled slab needed, and packs nodes to 24 bytes —
+// so the bucket-neighbour unlink traffic of a big timer crowd hits a ~25%
+// denser array. (Embedding the links *inside* the event slot itself was
+// measured and rejected: it spread exactly that neighbour traffic over the
+// 104-byte slot stride and lost ~7% on the 65536-timer crowd bench.)
 //
 // The wheel does NOT order entries within a slot. Instead of cascading
 // expired slots down the hierarchy, the owner (sim::EventQueue) drains the
@@ -30,7 +43,6 @@
 #include <array>
 #include <cstdint>
 #include <limits>
-#include <vector>
 
 #include "support/time.hpp"
 
@@ -38,7 +50,7 @@ namespace xcp::sim {
 
 class TimerWheel {
  public:
-  /// Sentinel node index: "not in the wheel" / end of a chain.
+  /// Sentinel entry index: "not in the wheel" / end of a chain.
   static constexpr std::uint32_t kNone = 0xffffffffu;
 
   static constexpr int kLevels = 6;
@@ -56,31 +68,31 @@ class TimerWheel {
   // owner routes them straight to its heap.
   static constexpr int kMinLevel = 3;
 
-  // 32 bytes, 32-byte aligned: two nodes per cache line, never straddling
-  // one — a re-arm touches exactly one node line.
-  struct alignas(32) Node {
+  /// The intrusive per-entry state, kept in owner storage indexed by the
+  /// owner's slot index (EventQueue's dense parallel array). 24 bytes.
+  struct Node {
     TimePoint at;
     std::uint32_t seq;      // the owner's push sequence, for final ordering
-    std::uint32_t payload;  // opaque owner data (EventQueue slot index)
-    std::uint32_t prev;     // bucket list links (node indices)
+    std::uint32_t prev;     // bucket list links (owner slot indices)
     std::uint32_t next;
     std::uint16_t bucket;   // level * kSlotsPerLevel + slot, for O(1) erase
   };
-  static_assert(sizeof(Node) == 32);
 
   TimerWheel() { heads_.fill(kNone); }
 
-  /// Places an entry, returning its node index — or kNone when the entry
-  /// does not fit the wheel (expiry at or before the cursor, i.e. in a slot
-  /// already drained, or beyond the horizon) and must go to the fallback
-  /// ordering structure instead. O(1). Defined inline below: this is the
-  /// schedule hot path and must inline into the caller.
-  std::uint32_t try_insert(TimePoint at, std::uint32_t seq,
-                           std::uint32_t payload);
+  /// Places entry `idx` (whose Node lives at node_of(idx)), returning true
+  /// — or false when the entry does not fit the wheel (expiry at or before
+  /// the cursor, i.e. in a slot already drained, or beyond the horizon)
+  /// and must go to the fallback ordering structure instead. O(1). Defined
+  /// inline below: this is the schedule hot path and must inline into the
+  /// caller together with the node accessor.
+  template <typename NodeOf>
+  bool try_insert(NodeOf&& node_of, TimePoint at, std::uint32_t seq,
+                  std::uint32_t idx);
 
-  /// Unlinks a live node and recycles it, returning its payload. O(1).
-  /// Inline: the cancel/re-arm hot path.
-  std::uint32_t erase(std::uint32_t node_idx);
+  /// Unlinks live entry `idx`. O(1). Inline: the cancel/re-arm hot path.
+  template <typename NodeOf>
+  void erase(NodeOf&& node_of, std::uint32_t idx);
 
   bool empty() const { return count_ == 0; }
   std::size_t size() const { return count_; }
@@ -94,28 +106,26 @@ class TimerWheel {
 
   /// If the earliest non-empty slot starts at or before `limit`, detaches
   /// its chain (linked via Node::next, unordered) and advances the cursor
-  /// past every slot before it; the caller consumes each node with node()
-  /// and returns it with release(). Otherwise refreshes the cached lower
-  /// bound and returns kNone. One bitmap scan either way. Requires
-  /// !empty().
+  /// past every slot before it; the caller consumes each entry by reading
+  /// its own node storage and acknowledging with consume_detached().
+  /// Otherwise refreshes the cached lower bound and returns kNone. One
+  /// bitmap scan either way. Requires !empty().
   std::uint32_t detach_earliest_if_due(std::int64_t limit);
 
-  const Node& node(std::uint32_t idx) const { return nodes_[idx]; }
-
-  /// Recycles a node obtained from detach_earliest(). Inline.
-  void release(std::uint32_t idx);
+  /// Acknowledges one entry of a detached chain (bookkeeping only; the
+  /// entry's storage belongs to the owner). Inline.
+  void consume_detached() {
+    if (--count_ == 0) {
+      next_due_lb_ = std::numeric_limits<std::int64_t>::max();
+    }
+  }
 
   /// Moves the cursor (e.g. back in time when the owning queue has fully
   /// drained and is being reused). Requires empty().
   void reset_cursor(std::int64_t t) { cursor_ = t; }
   std::int64_t cursor() const { return cursor_; }
 
-  /// Nodes ever allocated — high-water mark of concurrently-live entries.
-  std::size_t node_slab_size() const { return nodes_.size(); }
-
  private:
-  std::uint32_t acquire_node();
-  std::uint32_t grow_nodes();  // slab growth: the out-of-line cold path
   // Earliest non-empty slot: level and its absolute slot quotient.
   void find_earliest(int& level, std::int64_t& quotient) const;
 
@@ -128,19 +138,18 @@ class TimerWheel {
   // the wheel is empty.
   std::int64_t next_due_lb_ = std::numeric_limits<std::int64_t>::max();
   std::size_t count_ = 0;
-  std::uint32_t free_head_ = kNone;
   std::array<std::uint64_t, kLevels> occupied_{};  // per-level slot bitmap
   std::array<std::uint32_t, static_cast<std::size_t>(kLevels) * kSlotsPerLevel>
       heads_;
-  std::vector<Node> nodes_;  // recycled slab; indices stable, storage POD
 };
 
 // ------------------------------------------------------- inline hot paths
 
-inline std::uint32_t TimerWheel::try_insert(TimePoint at, std::uint32_t seq,
-                                            std::uint32_t payload) {
+template <typename NodeOf>
+inline bool TimerWheel::try_insert(NodeOf&& node_of, TimePoint at,
+                                   std::uint32_t seq, std::uint32_t idx) {
   const std::int64_t t = at.count();
-  if (t <= cursor_) return kNone;  // slot already drained: fallback orders it
+  if (t <= cursor_) return false;  // slot already drained: fallback orders it
   // Lowest level >= kMinLevel whose current revolution contains t. The
   // quotient difference is computed in uint64: t > cursor_, so the wrapped
   // difference equals the true (non-negative) difference even when the
@@ -149,14 +158,14 @@ inline std::uint32_t TimerWheel::try_insert(TimePoint at, std::uint32_t seq,
   std::int64_t qt = t >> (kSlotBits * kMinLevel);
   std::int64_t qc = cursor_ >> (kSlotBits * kMinLevel);
   for (;; ++level) {
-    if (level == kLevels) return kNone;  // beyond the horizon
+    if (level == kLevels) return false;  // beyond the horizon
     const std::uint64_t diff =
         static_cast<std::uint64_t>(qt) - static_cast<std::uint64_t>(qc);
     if (diff < kSlotsPerLevel) {
       // diff == 0 means t shares the cursor's (possibly part-drained)
       // kMinLevel slot — a near-future event that will fire almost
       // immediately. It belongs on the heap (see kMinLevel).
-      if (diff == 0) return kNone;
+      if (diff == 0) return false;
       break;
     }
     qt >>= kSlotBits;
@@ -170,54 +179,36 @@ inline std::uint32_t TimerWheel::try_insert(TimePoint at, std::uint32_t seq,
       static_cast<std::uint64_t>(qt) << (kSlotBits * level));
   if (slot_start < next_due_lb_) next_due_lb_ = slot_start;
 
-  const std::uint32_t idx = acquire_node();
-  Node& n = nodes_[idx];
+  Node& n = node_of(idx);
   n.at = at;
   n.seq = seq;
-  n.payload = payload;
   n.bucket = bucket;
   n.prev = kNone;
   n.next = heads_[bucket];
-  if (n.next != kNone) nodes_[n.next].prev = idx;
+  if (n.next != kNone) node_of(n.next).prev = idx;
   heads_[bucket] = idx;
   occupied_[static_cast<std::size_t>(level)] |= std::uint64_t{1} << slot;
   ++count_;
-  return idx;
+  return true;
 }
 
-inline std::uint32_t TimerWheel::erase(std::uint32_t node_idx) {
-  Node& n = nodes_[node_idx];
+template <typename NodeOf>
+inline void TimerWheel::erase(NodeOf&& node_of, std::uint32_t idx) {
+  Node& n = node_of(idx);
   const std::uint16_t bucket = n.bucket;
   if (n.prev != kNone) {
-    nodes_[n.prev].next = n.next;
+    node_of(n.prev).next = n.next;
   } else {
     heads_[bucket] = n.next;
   }
-  if (n.next != kNone) nodes_[n.next].prev = n.prev;
+  if (n.next != kNone) node_of(n.next).prev = n.prev;
   if (heads_[bucket] == kNone) {
     occupied_[bucket >> kSlotBits] &=
         ~(std::uint64_t{1} << (bucket & (kSlotsPerLevel - 1)));
   }
-  const std::uint32_t payload = n.payload;
-  release(node_idx);
-  return payload;
-}
-
-inline void TimerWheel::release(std::uint32_t idx) {
-  nodes_[idx].next = free_head_;
-  free_head_ = idx;
   if (--count_ == 0) {
     next_due_lb_ = std::numeric_limits<std::int64_t>::max();
   }
-}
-
-inline std::uint32_t TimerWheel::acquire_node() {
-  if (free_head_ != kNone) {
-    const std::uint32_t idx = free_head_;
-    free_head_ = nodes_[idx].next;  // freelist threaded through next
-    return idx;
-  }
-  return grow_nodes();
 }
 
 }  // namespace xcp::sim

@@ -1,0 +1,78 @@
+#include "support/interner.hpp"
+
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+
+#include "support/status.hpp"
+
+namespace xcp::support {
+namespace {
+
+struct Table {
+  // Names live in a deque so their storage never moves: the map's
+  // string_view keys point into it, and interned_name() may hand out views
+  // that outlive any lock.
+  std::deque<std::string> names{""};  // id 0 = the empty name
+  std::unordered_map<std::string_view, std::uint32_t> ids{{"", 0}};
+  mutable std::shared_mutex mu;
+};
+
+Table& table() {
+  // Leaked: sweep-pool worker threads may intern or resolve names during
+  // static destruction; the table must outlive every thread.
+  static Table* t = new Table;
+  return *t;
+}
+
+}  // namespace
+
+std::uint32_t intern_name(std::string_view name) {
+  Table& t = table();
+  {
+    std::shared_lock lock(t.mu);
+    if (const auto it = t.ids.find(name); it != t.ids.end()) {
+      return it->second;
+    }
+  }
+  std::unique_lock lock(t.mu);
+  // Double-check: another thread may have interned it between the locks.
+  if (const auto it = t.ids.find(name); it != t.ids.end()) {
+    return it->second;
+  }
+  // Strictly below kNameNotFound: 0xffffffff is the find_name() sentinel
+  // and must never be a real id.
+  XCP_REQUIRE(t.names.size() < 0xffffffffu, "interned-name space exhausted");
+  t.names.emplace_back(name);
+  const auto id = static_cast<std::uint32_t>(t.names.size() - 1);
+  t.ids.emplace(t.names.back(), id);
+  return id;
+}
+
+std::string_view interned_name(std::uint32_t id) {
+  const Table& t = table();
+  std::shared_lock lock(t.mu);
+  XCP_REQUIRE(id < t.names.size(), "unknown interned-name id");
+  // Safe to return after unlock: deque elements never move, and names are
+  // never removed.
+  return t.names[id];
+}
+
+bool name_id_known(std::uint32_t id) {
+  const Table& t = table();
+  std::shared_lock lock(t.mu);
+  return id < t.names.size();
+}
+
+std::uint32_t find_name(std::string_view name) {
+  const Table& t = table();
+  std::shared_lock lock(t.mu);
+  if (const auto it = t.ids.find(name); it != t.ids.end()) {
+    return it->second;
+  }
+  return kNameNotFound;
+}
+
+}  // namespace xcp::support

@@ -1,0 +1,38 @@
+#pragma once
+// The process-wide name interner behind net::MsgKind and props::Label.
+//
+// One table, one id space: a name interned as a message kind and the same
+// name interned as a trace label resolve to the same 32-bit id, so a
+// Network can stamp a trace event with a message kind's id without touching
+// the table at all.
+//
+// Threading: read-mostly. Every well-known name (net::kinds::*,
+// props::labels::*) is interned during static initialisation — before any
+// sweep worker thread exists — so hot paths only ever take the shared
+// (reader) lock; first-sight inserts of ad-hoc names take the exclusive
+// lock on the seldom path. Resolving an id to its name never invalidates:
+// names live for the process lifetime and their storage never moves.
+
+#include <cstdint>
+#include <string_view>
+
+namespace xcp::support {
+
+/// Interns `name`, returning its stable id. Id 0 is the empty name. O(1)
+/// amortised; allocates only on first sight of a name. Thread-safe.
+std::uint32_t intern_name(std::string_view name);
+
+/// The interned name for `id`; aborts on ids this process never produced.
+/// The returned view is valid for the process lifetime.
+std::string_view interned_name(std::uint32_t id);
+
+/// True iff `id` was produced by intern_name in this process.
+bool name_id_known(std::uint32_t id);
+
+/// Non-inserting lookup: the id for `name` if it was ever interned,
+/// 0xffffffff otherwise. For read-only query paths that must not grow the
+/// table (a probe with an arbitrary string is a question, not a fact).
+inline constexpr std::uint32_t kNameNotFound = 0xffffffffu;
+std::uint32_t find_name(std::string_view name);
+
+}  // namespace xcp::support

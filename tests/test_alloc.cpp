@@ -13,6 +13,9 @@
 #include "net/message.hpp"
 #include "net/msg_kind.hpp"
 #include "proto/bodies.hpp"
+#include "props/checkers.hpp"
+#include "props/label.hpp"
+#include "props/trace.hpp"
 #include "sim/event_queue.hpp"
 #include "support/pool.hpp"
 
@@ -121,6 +124,141 @@ TEST(ZeroAlloc, InternedKindLookupIsAllocationFree) {
   const std::uint64_t after = g_allocations;
   EXPECT_EQ(after, before);
   EXPECT_EQ(k, first);
+}
+
+// ------------------------------------------------- trace pipeline proofs
+
+namespace {
+
+/// Records a committee-run-shaped stream: sends/delivers (interned message
+/// kinds), escrow movements with amounts, cert issuance, one decide, and
+/// terminations. Enough events to cross several chunk boundaries.
+void record_run_shape(props::TraceRecorder& t, int events) {
+  using props::EventKind;
+  // Shared id space with the MsgKind interner: a kind's wire value IS its
+  // label id — no interner lookup at all.
+  const props::Label kinds[] = {props::Label::from_wire(net::kinds::g.value()),
+                                props::Label::from_wire(net::kinds::p.value()),
+                                props::Label::from_wire(net::kinds::money.value()),
+                                props::Label::from_wire(net::kinds::chi.value())};
+  for (int i = 0; i < events; ++i) {
+    props::TraceEvent e;
+    e.at = TimePoint::micros(i);
+    e.local_at = e.at;
+    e.actor = sim::ProcessId(static_cast<std::uint32_t>(i % 7));
+    e.peer = sim::ProcessId(static_cast<std::uint32_t>((i + 1) % 7));
+    switch (i % 8) {
+      case 0: case 1: case 2:
+        e.kind = EventKind::kSend;
+        e.label = kinds[i % 4];
+        break;
+      case 3: case 4:
+        e.kind = EventKind::kDeliver;
+        e.label = kinds[i % 4];
+        break;
+      case 5:
+        e.kind = EventKind::kTransfer;
+        e.amount = Amount(100, Currency::generic());
+        break;
+      case 6:
+        e.kind = EventKind::kCertIssued;
+        e.label = props::labels::chi;
+        break;
+      default:
+        e.kind = EventKind::kTerminate;
+        break;
+    }
+    t.record(e);
+  }
+  props::TraceEvent d;
+  d.kind = EventKind::kDecide;
+  d.label = props::labels::commit;
+  t.record(d);
+}
+
+/// Runs the checker-style query matrix the property checkers issue.
+std::size_t query_matrix(const props::TraceRecorder& t) {
+  using props::EventKind;
+  std::size_t sink = 0;
+  for (std::size_t k = 0; k < props::kEventKindCount; ++k) {
+    sink += t.count(static_cast<EventKind>(k));
+  }
+  for (std::uint32_t a = 0; a < 7; ++a) {
+    sink += t.count(EventKind::kTransfer, sim::ProcessId(a));
+    sink += (t.first(EventKind::kTerminate, sim::ProcessId(a)) != nullptr);
+  }
+  sink += t.count_label(EventKind::kSend, props::labels::chi);
+  for (const props::TraceEvent* e : t.all(EventKind::kDecide)) {
+    sink += (e->label == props::labels::commit);
+  }
+  return sink;
+}
+
+}  // namespace
+
+TEST(ZeroAlloc, TraceRecordAndQuerySteadyState) {
+  props::TraceRecorder t;
+  // Warm-up: grow event and index chunks to their high-water mark.
+  record_run_shape(t, 600);
+  std::size_t expect = query_matrix(t);
+  t.clear();
+
+  const std::uint64_t before = g_allocations;
+  std::size_t sink = 0;
+  for (int round = 0; round < 10; ++round) {
+    record_run_shape(t, 600);  // recording: pure bump-pointer stores
+    sink += query_matrix(t);   // checking: indexed lookups, range walks
+    t.clear();                 // chunks retained for the next round
+  }
+  const std::uint64_t after = g_allocations;
+  EXPECT_EQ(after, before);
+  EXPECT_EQ(sink, 10 * expect);
+}
+
+TEST(ZeroAlloc, FullRecordCheckCycleSteadyState) {
+  // A full record→check cycle over a RunRecord: refill the trace, then
+  // evaluate real checkers (certificate consistency over the kDecide index,
+  // weak liveness over the kAbortRequested count). The record itself is
+  // built once; the measured loop must not touch the heap.
+  proto::RunRecord r;
+  r.protocol = "synthetic";
+  r.spec = proto::DealSpec::uniform(1, 2, 100, 5);
+  for (std::uint32_t i = 0; i <= 2; ++i) {
+    r.parts.customers.push_back(sim::ProcessId(i));
+  }
+  for (std::uint32_t i = 3; i <= 4; ++i) {
+    r.parts.escrows.push_back(sim::ProcessId(i));
+  }
+  for (std::uint32_t i = 0; i <= 4; ++i) {
+    proto::ParticipantOutcome p;
+    p.pid = sim::ProcessId(i);
+    p.role = i <= 2 ? "customer" : "escrow";
+    p.is_escrow = i >= 3;
+    p.index = i <= 2 ? static_cast<int>(i) : static_cast<int>(i - 3);
+    p.terminated = true;
+    r.participants.push_back(std::move(p));
+  }
+  r.participants[2].final_holdings = {Amount(100, Currency::generic())};
+  r.stats.drained = true;
+
+  const props::CheckOptions opts;
+  // Warm-up round (also warms the trace chunks).
+  record_run_shape(r.trace, 600);
+  ASSERT_TRUE(props::check_certificate_consistency(r).holds);
+  ASSERT_TRUE(props::check_weak_liveness(r, opts).holds);
+  r.trace.clear();
+
+  const std::uint64_t before = g_allocations;
+  bool ok = true;
+  for (int round = 0; round < 10; ++round) {
+    record_run_shape(r.trace, 600);
+    ok = ok && props::check_certificate_consistency(r).holds;
+    ok = ok && props::check_weak_liveness(r, opts).holds;
+    r.trace.clear();
+  }
+  const std::uint64_t after = g_allocations;
+  EXPECT_EQ(after, before);
+  EXPECT_TRUE(ok);
 }
 
 }  // namespace

@@ -20,6 +20,8 @@
 #include "net/msg_kind.hpp"
 #include "proto/bodies.hpp"
 #include "proto/weak/protocol.hpp"
+#include "props/label.hpp"
+#include "props/trace.hpp"
 #include "support/hash.hpp"
 
 namespace xcp {
@@ -39,7 +41,7 @@ std::uint64_t run_digest(const proto::RunRecord& record) {
     w.write_i64(e.local_at.count());
     w.write_u32(e.actor.value());
     w.write_u32(e.peer.value());
-    w.write_str(e.label);
+    w.write_str(e.label.name());
     w.write_u64(e.deal_id);
   }
   w.write_u64(record.stats.messages_sent);
@@ -155,6 +157,94 @@ TEST(ConcurrentIntern, SameNameSameIdAcrossThreads) {
           << "thread " << t << " name " << name;
     }
   }
+}
+
+TEST(ConcurrentIntern, NovelTraceLabelsAcrossThreads) {
+  // Trace labels ride the same read-mostly interner as message kinds. N
+  // threads intern a mix of pre-seeded labels, a shared set of novel label
+  // names, and thread-unique names — concurrently with each other. Every
+  // thread must observe one id per name, names must round-trip, and the
+  // MsgKind/Label id space must stay unified (same name => same id through
+  // either front end).
+  constexpr int kThreads = 8;
+  constexpr int kSharedLabels = 32;
+  const std::uint32_t commit_before = props::labels::commit.value();
+
+  std::vector<std::vector<std::uint32_t>> seen(kThreads);
+  std::vector<std::thread> threads;
+  std::atomic<int> ready{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &seen, &ready] {
+      ++ready;
+      while (ready.load() < kThreads) {
+      }  // line up for maximal contention
+      auto& mine = seen[static_cast<std::size_t>(t)];
+      for (int i = 0; i < kSharedLabels; ++i) {
+        const std::string shared = "race-label-" + std::to_string(i);
+        mine.push_back(props::Label(shared).value());
+        // Pre-seeded labels resolve on the lock-free compare path.
+        ASSERT_EQ(props::Label("commit"), props::labels::commit);
+        // One id space: interning the same name as a message kind must
+        // yield the label's id.
+        ASSERT_EQ(net::kind(shared).value(), mine.back());
+        const std::string unique =
+            "race-label-t" + std::to_string(t) + "-" + std::to_string(i);
+        const props::Label u(unique);
+        ASSERT_EQ(u.name(), unique);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(props::labels::commit.value(), commit_before);
+  for (int i = 0; i < kSharedLabels; ++i) {
+    const std::uint32_t expect = seen[0][static_cast<std::size_t>(i)];
+    const std::string name = "race-label-" + std::to_string(i);
+    EXPECT_EQ(props::Label(name).value(), expect);
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(seen[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)],
+                expect)
+          << "thread " << t << " label " << name;
+    }
+  }
+}
+
+TEST(ConcurrentTrace, RecorderChunksMigrateAcrossThreads) {
+  // A sweep worker fills a trace from its thread-local chunk pool; the
+  // caller that consumes the RunRecord destroys it, migrating the chunks
+  // to the caller's pool (exactly like cross-thread body frees). Fill on
+  // workers, destroy on main, then refill on main from the migrated
+  // chunks — TSan must see a clean handoff.
+  constexpr int kThreads = 4;
+  std::vector<props::TraceRecorder> traces(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &traces] {
+      props::TraceRecorder rec;
+      for (int i = 0; i < 2'000; ++i) {  // several chunks per thread
+        props::TraceEvent e;
+        e.kind = props::EventKind::kSend;
+        e.at = TimePoint::micros(i);
+        e.actor = sim::ProcessId(static_cast<std::uint32_t>(t));
+        e.label = props::Label::from_wire(net::kinds::money.value());
+        rec.record(e);
+      }
+      traces[static_cast<std::size_t>(t)] = std::move(rec);
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (const auto& rec : traces) {
+    EXPECT_EQ(rec.size(), 2'000u);
+    EXPECT_EQ(rec.count(props::EventKind::kSend), 2'000u);
+  }
+  traces.clear();  // chunks migrate to this thread's pool
+  props::TraceRecorder reuse;
+  for (int i = 0; i < 2'000; ++i) {
+    props::TraceEvent e;
+    e.kind = props::EventKind::kDeliver;
+    reuse.record(e);
+  }
+  EXPECT_EQ(reuse.count(props::EventKind::kDeliver), 2'000u);
 }
 
 // ------------------------------------------------- thread-local body pools

@@ -361,7 +361,7 @@ std::uint64_t trace_hash(const props::TraceRecorder& trace) {
     w.write_i64(e.local_at.count());
     w.write_u32(e.actor.value());
     w.write_u32(e.peer.value());
-    w.write_str(e.label);
+    w.write_str(e.label.name());
     w.write_u64(e.deal_id);
   }
   return w.digest();

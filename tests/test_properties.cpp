@@ -4,7 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
 #include "props/checkers.hpp"
+#include "props/label.hpp"
 
 namespace xcp::props {
 namespace {
@@ -65,6 +71,40 @@ TEST(Checkers, CleanRecordPassesEverything) {
   opts.time_bounded = false;  // synthetic record has no schedule
   EXPECT_TRUE(check_strong_liveness(r, opts).holds);
   EXPECT_TRUE(check_certificate_consistency(r).holds);
+}
+
+TEST(Checkers, ConservationHandlesManyCurrencies) {
+  // Past the 64-currency inline accumulator: the spill path must still
+  // produce a verdict (the old std::map handled any count), and report
+  // violations in currency-id order across the inline/overflow boundary.
+  RunRecord r = clean_record();
+  for (std::uint16_t c = 100; c < 200; ++c) {
+    r.participants[0].initial_holdings.push_back(Amount(1, Currency(c)));
+    r.participants[1].final_holdings.push_back(Amount(1, Currency(c)));
+  }
+  EXPECT_TRUE(check_conservation(r).holds);
+  // Unbalance one inline-region currency (120: among the first 64 seen)
+  // and one overflow-region currency (199): both must be reported, lowest
+  // id first — the order the old std::map walk produced.
+  RunRecord bad = clean_record();
+  for (std::uint16_t c = 100; c < 200; ++c) {
+    bad.participants[0].initial_holdings.push_back(Amount(1, Currency(c)));
+    bad.participants[1].final_holdings.push_back(Amount(1, Currency(c)));
+  }
+  bad.participants[1].final_holdings.pop_back(); // CUR199 short -1 (overflow)
+  bad.participants[2].final_holdings.push_back(
+      Amount(2, Currency(120)));                 // CUR120 minted +2 (inline)
+  const auto res = check_conservation(bad);
+  EXPECT_FALSE(res.holds);
+  ASSERT_EQ(res.violations.size(), 2u);
+  EXPECT_NE(res.violations[0].find("CUR120"), std::string::npos)
+      << res.violations[0];
+  EXPECT_NE(res.violations[0].find("net 2"), std::string::npos)
+      << res.violations[0];
+  EXPECT_NE(res.violations[1].find("CUR199"), std::string::npos)
+      << res.violations[1];
+  EXPECT_NE(res.violations[1].find("net -1"), std::string::npos)
+      << res.violations[1];
 }
 
 TEST(Checkers, ConservationDetectsMintedValue) {
@@ -231,6 +271,252 @@ TEST(Checkers, ReportAggregation) {
   EXPECT_FALSE(report.all_hold());
   const auto failed = report.failed();
   EXPECT_NE(std::find(failed.begin(), failed.end(), "CS3"), failed.end());
+}
+
+// ------------------------------------------------ label/arena differential
+
+namespace legacy {
+
+/// The seed implementation of the trace pipeline, kept verbatim as the
+/// reference side of the differential tests: string labels, one monolithic
+/// vector, O(n) scans. The arena/interner rebuild must render and answer
+/// queries byte-identically to this.
+struct Event {
+  EventKind kind = EventKind::kCustom;
+  TimePoint at;
+  TimePoint local_at;
+  sim::ProcessId actor;
+  sim::ProcessId peer;
+  std::string label;
+  std::optional<Amount> amount;
+  std::uint64_t deal_id = 0;
+
+  std::string str() const {
+    std::ostringstream os;
+    os << at.str() << " " << event_kind_name(kind) << " actor=p"
+       << actor.value();
+    if (peer.valid()) os << " peer=p" << peer.value();
+    if (!label.empty()) os << " [" << label << "]";
+    if (amount) os << " " << amount->str();
+    return os.str();
+  }
+};
+
+struct Recorder {
+  std::vector<Event> events;
+
+  void record(Event e) { events.push_back(std::move(e)); }
+  std::size_t count(EventKind kind) const {
+    std::size_t n = 0;
+    for (const auto& e : events) n += (e.kind == kind);
+    return n;
+  }
+  std::size_t count(EventKind kind, sim::ProcessId actor) const {
+    std::size_t n = 0;
+    for (const auto& e : events) n += (e.kind == kind && e.actor == actor);
+    return n;
+  }
+  std::size_t count_label(EventKind kind, const std::string& label) const {
+    std::size_t n = 0;
+    for (const auto& e : events) n += (e.kind == kind && e.label == label);
+    return n;
+  }
+  const Event* first(EventKind kind, sim::ProcessId actor) const {
+    for (const auto& e : events) {
+      if (e.kind == kind && e.actor == actor) return &e;
+    }
+    return nullptr;
+  }
+  std::vector<const Event*> all(EventKind kind) const {
+    std::vector<const Event*> out;
+    for (const auto& e : events) {
+      if (e.kind == kind) out.push_back(&e);
+    }
+    return out;
+  }
+  std::string render(std::size_t max_lines = 200) const {
+    std::ostringstream os;
+    std::size_t n = 0;
+    for (const auto& e : events) {
+      if (n++ >= max_lines) {
+        os << "... (" << events.size() - max_lines << " more)\n";
+        break;
+      }
+      os << e.str() << "\n";
+    }
+    return os.str();
+  }
+};
+
+}  // namespace legacy
+
+/// A deterministic event stream shaped like a protocol run, fed to both
+/// recorders. Exercises every kind, multi-chunk storage (the count spans
+/// several 16 KB chunks), optional amounts, deal ids and repeated labels.
+template <typename RecordFn>
+void feed_scenario(RecordFn&& rec) {
+  const char* labels[] = {"G", "P", "$", "chi", "chi_c", "chi_a",
+                          "commit", "abort", "await_chi", "done"};
+  for (int i = 0; i < 1500; ++i) {
+    const auto kind = static_cast<EventKind>(i % kEventKindCount);
+    TimePoint at = TimePoint::micros(17 * i);
+    sim::ProcessId actor(static_cast<std::uint32_t>(i % 9));
+    sim::ProcessId peer;
+    if (i % 3 != 0) peer = sim::ProcessId(static_cast<std::uint32_t>(i % 5));
+    std::optional<Amount> amount;
+    if (i % 4 == 0) amount = Amount(i, Currency::usd());
+    const char* label = (i % 2 == 0) ? labels[i % 10] : "";
+    rec(kind, at, actor, peer, label, amount,
+        static_cast<std::uint64_t>(i % 3));
+  }
+}
+
+TEST(Trace, DifferentialAgainstLegacyStringRecorder) {
+  TraceRecorder now;
+  legacy::Recorder then;
+  feed_scenario([&](EventKind kind, TimePoint at, sim::ProcessId actor,
+                    sim::ProcessId peer, const char* label,
+                    std::optional<Amount> amount, std::uint64_t deal) {
+    TraceEvent e;
+    e.kind = kind;
+    e.at = at;
+    e.local_at = at;
+    e.actor = actor;
+    e.peer = peer;
+    e.label = label[0] == '\0' ? Label() : Label(label);
+    e.amount = amount;
+    e.deal_id = deal;
+    now.record(e);
+    legacy::Event o;
+    o.kind = kind;
+    o.at = at;
+    o.local_at = at;
+    o.actor = actor;
+    o.peer = peer;
+    o.label = label;
+    o.amount = amount;
+    o.deal_id = deal;
+    then.record(std::move(o));
+  });
+
+  // Rendering must be byte-identical (the interned label resolves to the
+  // same text), for the default line cap and for full dumps.
+  ASSERT_EQ(now.size(), then.events.size());
+  EXPECT_EQ(now.render(), then.render());
+  EXPECT_EQ(now.render(100000), then.render(100000));
+
+  // Every query form must agree with the legacy O(n) scans.
+  for (std::size_t k = 0; k < kEventKindCount; ++k) {
+    const auto kind = static_cast<EventKind>(k);
+    EXPECT_EQ(now.count(kind), then.count(kind)) << k;
+    EXPECT_EQ(now.all(kind).size(), then.all(kind).size()) << k;
+    for (std::uint32_t a = 0; a < 9; ++a) {
+      const sim::ProcessId actor(a);
+      EXPECT_EQ(now.count(kind, actor), then.count(kind, actor));
+      const TraceEvent* f = now.first(kind, actor);
+      const legacy::Event* g = then.first(kind, actor);
+      ASSERT_EQ(f == nullptr, g == nullptr);
+      if (f != nullptr) EXPECT_EQ(f->str(), g->str());
+    }
+    for (const char* l : {"G", "chi", "commit", "abort", "nope"}) {
+      EXPECT_EQ(now.count_label(kind, l), then.count_label(kind, l));
+    }
+  }
+
+  // all() walks the kind index in record order, mirroring the legacy scan.
+  const auto now_decides = now.all(EventKind::kDecide);
+  const auto then_decides = then.all(EventKind::kDecide);
+  ASSERT_EQ(now_decides.size(), then_decides.size());
+  for (std::size_t i = 0; i < now_decides.size(); ++i) {
+    EXPECT_EQ(now_decides[i]->str(), then_decides[i]->str());
+  }
+}
+
+TEST(Trace, EventListIndexingAndIterationAgree) {
+  TraceRecorder t;
+  for (int i = 0; i < 1200; ++i) {  // > 2 chunks of events
+    TraceEvent e;
+    e.kind = EventKind::kSend;
+    e.at = TimePoint::micros(i);
+    e.actor = sim::ProcessId(static_cast<std::uint32_t>(i));
+    t.record(e);
+  }
+  const auto list = t.events();
+  ASSERT_EQ(list.size(), 1200u);
+  std::size_t i = 0;
+  for (const TraceEvent& e : list) {
+    EXPECT_EQ(e.actor.value(), i);
+    EXPECT_EQ(&e, &list[i]);
+    ++i;
+  }
+  EXPECT_EQ(i, 1200u);
+}
+
+TEST(Trace, ClearRetainsChunksAndCloneRebuildsIndexes) {
+  TraceRecorder t;
+  TraceEvent e;
+  e.kind = EventKind::kDecide;
+  e.label = labels::commit;
+  t.record(e);
+  const TraceRecorder copy = t.clone();
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.count(EventKind::kDecide), 0u);
+  EXPECT_EQ(copy.size(), 1u);
+  EXPECT_EQ(copy.count(EventKind::kDecide), 1u);
+  EXPECT_EQ(copy.all(EventKind::kDecide)[0]->label, labels::commit);
+  // Refill after clear: indexes rebuild from scratch.
+  t.record(e);
+  t.record(e);
+  EXPECT_EQ(t.count(EventKind::kDecide), 2u);
+}
+
+TEST(Trace, DeprecatedAllVectorShimMatchesRange) {
+  TraceRecorder t;
+  for (int i = 0; i < 300; ++i) {
+    TraceEvent e;
+    e.kind = (i % 2 == 0) ? EventKind::kSend : EventKind::kDeliver;
+    e.actor = sim::ProcessId(static_cast<std::uint32_t>(i));
+    t.record(e);
+  }
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const std::vector<const TraceEvent*> shim = t.all_vector(EventKind::kSend);
+#pragma GCC diagnostic pop
+  const auto range = t.all(EventKind::kSend);
+  ASSERT_EQ(shim.size(), range.size());
+  std::size_t i = 0;
+  for (const TraceEvent* e : range) {
+    EXPECT_EQ(e, shim[i]);  // same underlying events, same order
+    ++i;
+  }
+}
+
+TEST(Trace, FindIsNonInsertingAndMatchesNothingWhenAbsent) {
+  TraceRecorder t;
+  TraceEvent unlabeled;
+  unlabeled.kind = EventKind::kSend;
+  t.record(unlabeled);  // label id 0 (empty)
+  TraceEvent labeled;
+  labeled.kind = EventKind::kSend;
+  labeled.label = "find-test-present";
+  t.record(labeled);
+
+  // A known name resolves to the same label without inserting anything.
+  EXPECT_EQ(Label::find("find-test-present"), Label("find-test-present"));
+  EXPECT_EQ(t.count_label(EventKind::kSend, Label::find("find-test-present")),
+            1u);
+
+  // A never-interned probe matches nothing — in particular NOT the
+  // unlabeled (id 0) event — and does not grow the table: a second find
+  // still comes back absent.
+  const Label absent = Label::find("find-test-never-interned");
+  EXPECT_NE(absent, Label());
+  EXPECT_EQ(t.count_label(EventKind::kSend, absent), 0u);
+  EXPECT_EQ(t.first_label(EventKind::kSend, absent), nullptr);
+  EXPECT_EQ(Label::find("find-test-never-interned"), absent);
+  EXPECT_EQ(Label::find("find-test-never-interned").value(),
+            support::kNameNotFound);
 }
 
 TEST(Trace, QueryHelpers) {
