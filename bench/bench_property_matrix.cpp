@@ -11,6 +11,8 @@
 // (S = safety: ES/CS/CC/conservation; T = termination; L = Bob paid in
 // all-honest runs; for weak protocols L is weak liveness.)
 
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -49,21 +51,34 @@ std::string peak_rss() {
 
 int main(int argc, char** argv) {
   // --buffered: run every cell through the pre-streaming reference path
-  // (whole RunRecords buffered per sweep); --seeds N scales the sweep so
-  // the buffering cost is visible. Verdicts are identical either way (the
-  // streaming differential test proves it); only the footprint differs.
+  // (whole RunRecords buffered per sweep, full horizon); --seeds N scales
+  // the sweep. --full-horizon: streaming, but with early termination
+  // disabled (the monitor still watches) — the A/B baseline for the online
+  // early-stop numbers in docs/PERF.md. --differential: every seed runs
+  // twice and online verdicts are required to equal the post-mortem
+  // checkers event-for-event (throws on divergence). Verdicts are
+  // identical in every mode; only wall-clock and footprint differ.
   bool buffered = false;
+  bool full_horizon = false;
+  bool differential = false;
   std::size_t kSeeds = 8;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--buffered") == 0) buffered = true;
+    if (std::strcmp(argv[i], "--full-horizon") == 0) full_horizon = true;
+    if (std::strcmp(argv[i], "--differential") == 0) differential = true;
     if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
       kSeeds = static_cast<std::size_t>(std::stoul(argv[++i]));
     }
   }
   constexpr int kN = 2;
   const auto run_cell = [&](ProtocolKind p, Regime r) {
-    return buffered ? exp::run_matrix_cell_buffered(p, r, kN, kSeeds)
-                    : exp::run_matrix_cell(p, r, kN, kSeeds);
+    if (buffered) return exp::run_matrix_cell_buffered(p, r, kN, kSeeds);
+    if (differential) {
+      return exp::run_matrix_cell_differential(p, r, kN, kSeeds);
+    }
+    exp::CellOptions opts;
+    opts.online.early_stop = !full_horizon;
+    return exp::run_matrix_cell(p, r, kN, kSeeds, 1, opts);
   };
 
   const std::vector<ProtocolKind> protocols{
@@ -88,16 +103,39 @@ int main(int argc, char** argv) {
   Table table(headers);
 
   std::vector<std::string> notes;
+  Table timing({"protocol", "regime", "wall-clock", "events", "early-stop",
+                "mean decided-at"});
+  double total_ms = 0.0;
   for (ProtocolKind p : protocols) {
     std::vector<std::string> row{exp::protocol_kind_name(p)};
     for (Regime r : regimes) {
+      const auto t0 = std::chrono::steady_clock::now();
       const auto cell = run_cell(p, r);
+      const double ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+      total_ms += ms;
       row.push_back(cell_str(cell));
       if (!cell.example_violations.empty() && notes.size() < 8) {
         notes.push_back(std::string(exp::protocol_kind_name(p)) + " @ " +
                         exp::regime_name(r) + ": " +
                         cell.example_violations.front());
       }
+      char wall[32];
+      std::snprintf(wall, sizeof(wall), "%.2f ms", ms);
+      char rate[32];
+      std::snprintf(rate, sizeof(rate), "%.0f%%",
+                    100.0 * cell.early_stop_rate());
+      const std::string decided =
+          cell.early_stops == 0
+              ? "-"
+              : (cell.decided_at_total /
+                 static_cast<std::int64_t>(cell.early_stops))
+                    .str();
+      timing.add_row({exp::protocol_kind_name(p), exp::regime_name(r), wall,
+                      Table::fmt(static_cast<std::int64_t>(cell.events_total)),
+                      rate, decided});
     }
     table.add_row(std::move(row));
   }
@@ -108,7 +146,16 @@ int main(int argc, char** argv) {
     for (const auto& n : notes) std::cout << "  - " << n << "\n";
   }
 
-  std::cout << "\nsweep mode: " << (buffered ? "buffered" : "streaming")
-            << ", peak RSS (VmHWM):" << peak_rss() << "\n";
+  std::cout << "\n";
+  timing.print(std::cout,
+               "per-cell sweep cost (early-stop = decided seeds stopped at "
+               "their verdict)");
+
+  const char* mode = buffered       ? "buffered (full horizon)"
+                     : differential ? "differential (each seed run twice)"
+                     : full_horizon ? "streaming, full horizon"
+                                    : "streaming + online early stop";
+  std::printf("\nsweep mode: %s, total %.1f ms, peak RSS (VmHWM):%s\n", mode,
+              total_ms, peak_rss().c_str());
   return 0;
 }

@@ -2,17 +2,28 @@
 """Compare two google-benchmark JSON files and emit a markdown delta table.
 
 Usage: bench_delta.py PREV.json CURR.json [--threshold PCT]
+                      [--fail-threshold PCT] [--fail-filter REGEX]
 
-Report-only by design: always exits 0 (fail-soft — CI annotates the job
-summary with the deltas but never fails the build on a perf swing, because
-shared runners are far too noisy for a hard gate). Benchmarks present on
-only one side are listed as added/removed. Aggregate entries (mean/median/
-stddev rows from --benchmark_repetitions) are skipped; the smoke run uses
-one repetition.
+Report-only by default: exits 0 regardless of deltas (fail-soft — CI
+annotates the job summary but never fails the build on a perf swing,
+because shared runners are far too noisy for a blanket hard gate).
+
+--fail-threshold PCT opts specific benchmarks into a hard gate: any
+benchmark whose name matches --fail-filter (default: all benchmarks) and
+regressed by more than PCT percent makes the script exit 1. The intended
+use is gating only the benches with known-stable cost profiles (the
+timer-reset and trace-pipeline families) while everything else stays
+report-only. Missing/unreadable inputs always degrade to "no previous
+data" with exit 0, so the first CI run of a branch never trips the gate.
+
+Benchmarks present on only one side are listed as added/removed. Aggregate
+entries (mean/median/stddev rows from --benchmark_repetitions) are
+skipped; the smoke run uses one repetition.
 """
 
 import argparse
 import json
+import re
 import sys
 
 
@@ -44,7 +55,13 @@ def main():
     ap.add_argument("prev")
     ap.add_argument("curr")
     ap.add_argument("--threshold", type=float, default=10.0,
-                    help="flag deltas beyond this percentage")
+                    help="flag deltas beyond this percentage (report only)")
+    ap.add_argument("--fail-threshold", type=float, default=None,
+                    help="exit 1 when a gated benchmark regresses beyond "
+                         "this percentage")
+    ap.add_argument("--fail-filter", default=".*",
+                    help="regex selecting which benchmarks the "
+                         "--fail-threshold gate applies to")
     args = ap.parse_args()
 
     prev = load(args.prev)
@@ -54,9 +71,16 @@ def main():
               "skipping comparison._")
         return 0
 
+    gate = re.compile(args.fail_filter) if args.fail_threshold is not None \
+        else None
+    gated_failures = []
+
     print("### Benchmark delta vs previous artifact\n")
     print(f"_report-only; |Δ| > {args.threshold:.0f}% flagged; "
           "shared-runner numbers are noisy_\n")
+    if gate is not None:
+        print(f"_hard gate: > +{args.fail_threshold:.0f}% on benchmarks "
+              f"matching `{args.fail_filter}` fails the job_\n")
     print("| benchmark | previous | current | Δ |")
     print("|---|---:|---:|---:|")
     for name in sorted(curr):
@@ -73,12 +97,23 @@ def main():
             flag = " ⚠️ slower"
         elif delta <= -args.threshold:
             flag = " 🟢 faster"
+        if gate is not None and gate.search(name) \
+                and delta > args.fail_threshold:
+            flag += " ❌ gated"
+            gated_failures.append((name, delta))
         print(f"| `{name}` | {fmt_time(t_prev, unit)} | "
               f"{fmt_time(t_curr, unit)} | {delta:+.1f}%{flag} |")
     removed = sorted(set(prev) - set(curr))
     for name in removed:
         t_prev, unit = prev[name]
         print(f"| `{name}` | {fmt_time(t_prev, unit)} | _removed_ | — |")
+
+    if gated_failures:
+        print(f"\n**{len(gated_failures)} gated benchmark(s) regressed "
+              f"beyond +{args.fail_threshold:.0f}%:**")
+        for name, delta in gated_failures:
+            print(f"- `{name}`: {delta:+.1f}%")
+        return 1
     return 0
 
 

@@ -60,8 +60,10 @@ proto::AdversaryFactory chi_griefing_adversary(TimePoint release) {
 }
 
 proto::RunRecord run_time_bounded_family(ProtocolKind protocol, Regime regime,
-                                         int n, std::uint64_t seed) {
+                                         int n, std::uint64_t seed,
+                                         props::OnlineOptions online = {}) {
   proto::TimeBoundedConfig cfg = thm1_config(n, seed);
+  cfg.online = online;
   cfg.compensated = protocol == ProtocolKind::kTimeBounded;
   switch (regime) {
     case Regime::kSynchronyConforming:
@@ -92,13 +94,15 @@ proto::RunRecord run_time_bounded_family(ProtocolKind protocol, Regime regime,
 }
 
 proto::RunRecord run_weak_family(ProtocolKind protocol, Regime regime, int n,
-                                 std::uint64_t seed) {
+                                 std::uint64_t seed,
+                                 props::OnlineOptions online = {}) {
   using proto::weak::TmKind;
   TmKind tm = TmKind::kTrustedParty;
   if (protocol == ProtocolKind::kWeakContract) tm = TmKind::kSmartContract;
   if (protocol == ProtocolKind::kWeakCommittee) tm = TmKind::kNotaryCommittee;
 
   proto::weak::WeakConfig cfg = thm3_config(tm, n, seed);
+  cfg.online = online;
   switch (regime) {
     case Regime::kSynchronyConforming:
     case Regime::kSynchronyHighDrift:
@@ -162,12 +166,19 @@ struct CellAccum {
   std::size_t safety_violations = 0;
   std::size_t termination_failures = 0;
   std::size_t liveness_failures = 0;
+  // Early-stop telemetry: plain sums, so the merge stays order-insensitive.
+  std::size_t early_stops = 0;
+  Duration decided_at_total;
+  std::uint64_t events_total = 0;
   std::vector<Example> examples;  // sorted by (seed, ordinal), capped
 
   void merge(CellAccum&& o) {
     safety_violations += o.safety_violations;
     termination_failures += o.termination_failures;
     liveness_failures += o.liveness_failures;
+    early_stops += o.early_stops;
+    decided_at_total = decided_at_total + o.decided_at_total;
+    events_total += o.events_total;
     std::vector<Example> merged;
     merged.reserve(std::min(examples.size() + o.examples.size(), kMaxExamples));
     std::size_t a = 0;
@@ -226,37 +237,187 @@ void fold_record(const proto::RunRecord& record, bool weak_family,
 
   // Strong liveness: all honest => Bob paid.
   if (!record.bob_paid()) ++acc.liveness_failures;
+
+  // Early-stop verdict telemetry from the online monitor (zeros when no
+  // monitor was attached).
+  if (record.online.attached && record.online.early_stopped) {
+    ++acc.early_stops;
+    acc.decided_at_total =
+        acc.decided_at_total + (record.online.decided_at - TimePoint::origin());
+  }
+  acc.events_total += record.stats.events_executed;
+}
+
+/// Re-derives the monitor configuration a runner would have used for this
+/// record: the shared scalar config plus the abiding cast (the outcomes
+/// record the same abiding flags the runner filtered on).
+props::OnlineMonitor::Config monitor_config_for(const proto::RunRecord& r) {
+  props::OnlineMonitor::Config cfg = proto::base_online_config(r.spec, r.parts);
+  for (const auto& p : r.participants) {
+    if (p.abiding) cfg.cast.push_back(p.pid);
+  }
+  return cfg;
+}
+
+/// Post-mortem replay: feeds the record's full trace, in record order,
+/// through fresh online machines. By the monotonicity contract this must
+/// reproduce the live monitor's verdicts event-for-event.
+props::OnlineOutcome replay_online(const proto::RunRecord& r) {
+  props::OnlineMonitor monitor(monitor_config_for(r));
+  for (const props::TraceEvent& e : r.trace.events()) monitor.on_record(e);
+  return monitor.outcome();
+}
+
+void require_verdicts_match(const props::OnlineOutcome& live,
+                            const proto::RunRecord& full, bool weak_family,
+                            std::uint64_t seed) {
+  using props::Verdict;
+  const props::OnlineOutcome replayed = replay_online(full);
+
+  // Live incremental vs post-mortem replay: same verdicts, decided at the
+  // same event (time *and* ordinal).
+  const auto same = [&](Verdict a, Verdict b, const char* what) {
+    XCP_REQUIRE(a == b, std::string("online/post-mortem verdict mismatch (") +
+                            what + ") at seed " + std::to_string(seed));
+  };
+  same(live.termination, replayed.termination, "termination");
+  same(live.liveness, replayed.liveness, "liveness");
+  same(live.cert_consistency, replayed.cert_consistency, "CC");
+  same(live.abort_freedom, replayed.abort_freedom, "abort-freedom");
+  XCP_REQUIRE(live.decided_at == replayed.decided_at &&
+                  live.decided_seq == replayed.decided_seq,
+              "online decided-at diverges from post-mortem replay at seed " +
+                  std::to_string(seed));
+
+  // Online verdicts vs the batch checkers on the full-horizon record.
+  bool all_cast_terminated = true;
+  for (const auto& p : full.participants) {
+    if (p.abiding && !p.terminated) all_cast_terminated = false;
+  }
+  XCP_REQUIRE((live.termination == Verdict::kHolds) == all_cast_terminated,
+              "online termination verdict disagrees with the record");
+  XCP_REQUIRE((live.liveness == Verdict::kHolds) == full.bob_paid(),
+              "online liveness verdict disagrees with bob_paid()");
+  XCP_REQUIRE(
+      (live.abort_freedom == Verdict::kViolated) ==
+          (full.trace.count(props::EventKind::kAbortRequested) > 0),
+      "online abort-freedom verdict disagrees with the trace");
+  if (weak_family) {
+    const auto cc = props::check_certificate_consistency(full);
+    // The batch checker adds a holdings cross-check on top of the decide
+    // clause; a decide-clause violation must imply the batch violation.
+    if (live.cert_consistency == Verdict::kViolated) {
+      XCP_REQUIRE(!cc.holds, "online CC violation not confirmed post-mortem");
+    }
+  }
+}
+
+/// Assembles the returned MatrixCell from a merged accumulator — the one
+/// place the accumulator's fields map onto the cell's, shared by the
+/// streaming, differential and buffered paths.
+MatrixCell make_cell(ProtocolKind protocol, Regime regime, std::size_t seeds,
+                     CellAccum&& acc) {
+  MatrixCell cell;
+  cell.protocol = protocol;
+  cell.regime = regime;
+  cell.runs = seeds;
+  cell.safety_violations = acc.safety_violations;
+  cell.termination_failures = acc.termination_failures;
+  cell.liveness_failures = acc.liveness_failures;
+  cell.early_stops = acc.early_stops;
+  cell.decided_at_total = acc.decided_at_total;
+  cell.events_total = acc.events_total;
+  for (auto& ex : acc.examples) {
+    cell.example_violations.push_back(std::move(ex.text));
+  }
+  return cell;
 }
 
 }  // namespace
 
 MatrixCell run_matrix_cell(ProtocolKind protocol, Regime regime, int n,
-                           std::size_t seeds, std::uint64_t first_seed) {
-  MatrixCell cell;
-  cell.protocol = protocol;
-  cell.regime = regime;
-  cell.runs = seeds;
-
+                           std::size_t seeds, std::uint64_t first_seed,
+                           const CellOptions& opts) {
   const bool weak_family = is_weak_family(protocol);
 
   // Streaming: run, check, fold, drop — the RunRecord (and its trace
   // arena) dies on the worker that produced it, so its chunks recycle
-  // seed-over-seed instead of accumulating for the whole sweep.
+  // seed-over-seed instead of accumulating for the whole sweep. With the
+  // default options each run also carries an online monitor that ends it
+  // at its deciding event.
   CellAccum acc = sweep_accumulate<CellAccum>(
       first_seed, seeds, [&](std::uint64_t seed, CellAccum& a) {
         const proto::RunRecord record =
-            weak_family ? run_weak_family(protocol, regime, n, seed)
-                        : run_time_bounded_family(protocol, regime, n, seed);
+            weak_family
+                ? run_weak_family(protocol, regime, n, seed, opts.online)
+                : run_time_bounded_family(protocol, regime, n, seed,
+                                          opts.online);
         fold_record(record, weak_family, seed, a);
       });
 
-  cell.safety_violations = acc.safety_violations;
-  cell.termination_failures = acc.termination_failures;
-  cell.liveness_failures = acc.liveness_failures;
-  for (auto& ex : acc.examples) {
-    cell.example_violations.push_back(std::move(ex.text));
-  }
-  return cell;
+  return make_cell(protocol, regime, seeds, std::move(acc));
+}
+
+MatrixCell run_matrix_cell_differential(ProtocolKind protocol, Regime regime,
+                                        int n, std::size_t seeds,
+                                        std::uint64_t first_seed) {
+  const bool weak_family = is_weak_family(protocol);
+
+  // Per seed: the early-stopped run and the full-horizon run (monitor
+  // attached, stop unarmed) must agree on every verdict.
+  CellAccum early_acc = sweep_accumulate<CellAccum>(
+      first_seed, seeds, [&](std::uint64_t seed, CellAccum& a) {
+        const props::OnlineOptions stop{/*enabled=*/true, /*early_stop=*/true};
+        const props::OnlineOptions watch{/*enabled=*/true,
+                                         /*early_stop=*/false};
+        const proto::RunRecord stopped =
+            weak_family ? run_weak_family(protocol, regime, n, seed, stop)
+                        : run_time_bounded_family(protocol, regime, n, seed,
+                                                  stop);
+        const proto::RunRecord full =
+            weak_family ? run_weak_family(protocol, regime, n, seed, watch)
+                        : run_time_bounded_family(protocol, regime, n, seed,
+                                                  watch);
+
+        // The full run's live verdicts vs its own post-mortem forms.
+        require_verdicts_match(full.online, full, weak_family, seed);
+        // The stopped run decided at the same event as the full run.
+        XCP_REQUIRE(stopped.online.early_stopped ==
+                        (full.online.termination == props::Verdict::kHolds),
+                    "early stop fired iff the full run's cast terminated");
+        if (stopped.online.early_stopped) {
+          XCP_REQUIRE(stopped.online.decided_at == full.online.decided_at &&
+                          stopped.online.decided_seq ==
+                              full.online.decided_seq,
+                      "early-stop decision point diverges from the full run");
+        }
+        // Both records fold to the same verdict bits.
+        CellAccum stopped_bits;
+        CellAccum full_bits;
+        fold_record(stopped, weak_family, seed, stopped_bits);
+        fold_record(full, weak_family, seed, full_bits);
+        XCP_REQUIRE(
+            stopped_bits.safety_violations == full_bits.safety_violations &&
+                stopped_bits.termination_failures ==
+                    full_bits.termination_failures &&
+                stopped_bits.liveness_failures == full_bits.liveness_failures,
+            "early-stopped verdict bits diverge from the full horizon at "
+            "seed " +
+                std::to_string(seed));
+        XCP_REQUIRE(
+            stopped_bits.examples.size() == full_bits.examples.size(),
+            "early-stopped violation examples diverge from the full horizon");
+        for (std::size_t i = 0; i < stopped_bits.examples.size(); ++i) {
+          XCP_REQUIRE(stopped_bits.examples[i].text ==
+                          full_bits.examples[i].text,
+                      "early-stopped violation text diverges at seed " +
+                          std::to_string(seed));
+        }
+
+        fold_record(stopped, weak_family, seed, a);
+      });
+
+  return make_cell(protocol, regime, seeds, std::move(early_acc));
 }
 
 MatrixCell run_matrix_cell_buffered(ProtocolKind protocol, Regime regime,

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "props/checkers.hpp"
+#include "props/online.hpp"
 #include "proto/outcome.hpp"
 
 namespace xcp::exp {
@@ -40,26 +41,64 @@ struct MatrixCell {
   std::size_t liveness_failures = 0;   // Bob unpaid in all-honest runs
   std::vector<std::string> example_violations;
 
+  // Online-checking telemetry (streamed per seed; zero when the cell ran
+  // without a monitor, e.g. the buffered reference).
+  std::size_t early_stops = 0;         // seeds whose run stopped at decision
+  Duration decided_at_total;           // sum of decided-at over early stops
+  std::uint64_t events_total = 0;      // simulator events across all seeds
+
   bool safety_ok() const { return safety_violations == 0; }
   bool termination_ok() const { return termination_failures == 0; }
   bool liveness_ok() const { return liveness_failures == 0; }
+  double early_stop_rate() const {
+    return runs == 0 ? 0.0
+                     : static_cast<double>(early_stops) /
+                           static_cast<double>(runs);
+  }
+};
+
+/// How a matrix cell drives the online-checking subsystem.
+struct CellOptions {
+  /// Attach the OnlineMonitor and terminate each seed the moment its
+  /// verdict is decided (every abiding participant terminated). The
+  /// default: verdict-proportional sweep time. Checker verdicts are
+  /// unchanged by construction — run_matrix_cell_differential proves it.
+  props::OnlineOptions online{/*enabled=*/true, /*early_stop=*/true};
 };
 
 /// Runs `seeds` all-honest executions of `protocol` under `regime` (chain
 /// length n) and aggregates property outcomes. Streaming: each seed's
 /// RunRecord is checked and folded into a worker-local accumulator the
 /// moment it completes (exp::sweep_accumulate), so the sweep's live state
-/// is O(workers) — whole-run traces are never buffered. Results are
-/// bit-identical for any worker count (and to the buffered variant below).
+/// is O(workers) — whole-run traces are never buffered. With the default
+/// options each seed also stops at its deciding event (early-stop counts
+/// and decided-at sums fold into the cell). Results are bit-identical for
+/// any worker count (and, field-for-field on the verdict counters, to the
+/// buffered full-horizon variant below).
 MatrixCell run_matrix_cell(ProtocolKind protocol, Regime regime, int n,
-                           std::size_t seeds, std::uint64_t first_seed = 1);
+                           std::size_t seeds, std::uint64_t first_seed = 1,
+                           const CellOptions& opts = {});
 
 /// The pre-streaming implementation: buffers every seed's whole RunRecord
-/// (trace included) before checking. Kept as the A/B twin for peak-RSS
-/// measurements and as the reference side of the streaming differential
-/// test; produces byte-identical MatrixCells.
+/// (trace included) before checking, always to the full horizon. Kept as
+/// the A/B twin for peak-RSS measurements and as the reference side of the
+/// streaming differential test; produces byte-identical verdict counters.
 MatrixCell run_matrix_cell_buffered(ProtocolKind protocol, Regime regime,
                                     int n, std::size_t seeds,
                                     std::uint64_t first_seed = 1);
+
+/// Differential mode: every seed is executed twice — once with early
+/// termination, once to the full horizon with the monitor attached — and
+/// the two runs' verdicts are required to agree event-for-event:
+///  - the live online verdicts equal a post-mortem replay of the full
+///    trace through fresh machines (same verdict, decided-at time and
+///    deciding event ordinal),
+///  - the online verdicts equal the batch checkers' answers on the
+///    full-horizon record (bob_paid, termination, CC, abort count),
+///  - the early-stopped record folds to byte-identical cell verdicts.
+/// Throws (XCP_REQUIRE) on any divergence; returns the early-stop cell.
+MatrixCell run_matrix_cell_differential(ProtocolKind protocol, Regime regime,
+                                        int n, std::size_t seeds,
+                                        std::uint64_t first_seed = 1);
 
 }  // namespace xcp::exp

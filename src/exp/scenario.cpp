@@ -36,6 +36,17 @@ proto::EnvironmentConfig partial_env(const proto::TimingParams& assumed,
   return env;
 }
 
+proto::EnvironmentConfig deterministic_env(Duration delta) {
+  proto::EnvironmentConfig env;
+  env.synchrony = proto::SynchronyKind::kSynchronous;
+  env.delta_min = delta;
+  env.delta_max = delta;
+  env.processing = default_timing().processing;
+  env.actual_rho = 0.0;
+  env.clock_offset_max = Duration::zero();
+  return env;
+}
+
 proto::TimeBoundedConfig thm1_config(int n, std::uint64_t seed) {
   proto::TimeBoundedConfig cfg;
   cfg.seed = seed;

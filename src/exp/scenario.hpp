@@ -21,6 +21,13 @@ proto::EnvironmentConfig partial_env(const proto::TimingParams& assumed,
                                      std::int64_t gst_seconds,
                                      Duration pre_gst_typical);
 
+/// A deterministic-delay synchronous environment: every delivery takes
+/// exactly `delta` (net::DelayModel::synchronous), so a broadcast's replies
+/// arrive same-instant and coalesce through batched delivery — one
+/// simulator event per committee round instead of one per message. Perfect
+/// clocks: the regime is about delivery determinism, not drift.
+proto::EnvironmentConfig deterministic_env(Duration delta);
+
 /// Time-bounded protocol config for the Thm 1 experiments.
 proto::TimeBoundedConfig thm1_config(int n, std::uint64_t seed);
 

@@ -6,6 +6,33 @@
 
 namespace xcp::net {
 
+namespace {
+
+/// The deterministic-delay preset's model: a fixed delta, no RNG draw per
+/// message (a SynchronousModel with delta_min == delta_max would sample —
+/// and consume — a random number anyway).
+class FixedDelayModel final : public DelayModel {
+ public:
+  explicit FixedDelayModel(Duration delta) : delta_(delta) {
+    XCP_REQUIRE(delta >= Duration::zero(), "negative fixed delay");
+  }
+
+  Duration sample(const Message&, TimePoint, Rng&) override { return delta_; }
+  TimePoint latest_delivery(const Message&, TimePoint now) const override {
+    return now + delta_;
+  }
+  std::optional<Duration> known_bound() const override { return delta_; }
+
+ private:
+  Duration delta_;
+};
+
+}  // namespace
+
+std::unique_ptr<DelayModel> DelayModel::synchronous(Duration delta) {
+  return std::make_unique<FixedDelayModel>(delta);
+}
+
 SynchronousModel::SynchronousModel(Duration delta_min, Duration delta_max)
     : delta_min_(delta_min), delta_max_(delta_max) {
   XCP_REQUIRE(Duration::zero() <= delta_min && delta_min <= delta_max,

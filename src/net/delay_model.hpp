@@ -29,6 +29,16 @@ class DelayModel {
  public:
   virtual ~DelayModel() = default;
 
+  /// Deterministic-delay synchrony preset: every message takes *exactly*
+  /// `delta`, and sampling never touches the RNG (unlike a
+  /// SynchronousModel with collapsed bounds, which still draws a number
+  /// per message). Under it, the m replies of a committee round — or any
+  /// broadcast's responses — arrive at their destination at the same
+  /// instant and coalesce through the network's batched delivery into one
+  /// simulator event, so committee/theorem sweeps pay one event per round
+  /// instead of one per message.
+  static std::unique_ptr<DelayModel> synchronous(Duration delta);
+
   /// Default delivery delay for a message sent at `now`.
   virtual Duration sample(const Message& m, TimePoint now, Rng& rng) = 0;
 

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "props/label.hpp"
+#include "props/online.hpp"
 
 namespace xcp::props {
 
@@ -327,21 +328,18 @@ PropertyResult check_strong_liveness(const proto::RunRecord& r,
 PropertyResult check_certificate_consistency(const proto::RunRecord& r) {
   PropertyResult res;
   res.name = "CC";
-  // Decide events carry a deal id when several deals share one substrate
-  // (multi-deal runs); only this record's deal (or unscoped events) count.
-  // Indexed walk over just the kDecide events, comparing interned label ids.
-  auto issued = [&](Label label) {
-    for (const TraceEvent* e : r.trace.all(EventKind::kDecide)) {
-      if (e->label == label &&
-          (e->deal_id == 0 || e->deal_id == r.spec.deal_id)) {
-        return true;
-      }
-    }
-    return false;
-  };
-  const bool commit_issued = issued(labels::commit);
-  const bool abort_issued = issued(labels::abort_);
-  if (commit_issued && abort_issued) {
+  // Thin replay of the incremental machine (props/online.hpp): the batch
+  // verdict is, by the monotonicity contract, exactly what the online
+  // checker latches when fed the whole trace. Decide events carry a deal id
+  // when several deals share one substrate (multi-deal runs); the machine
+  // scopes to this record's deal (unscoped events count), comparing
+  // interned label ids over just the kDecide index.
+  CertConsistencyOnline cc(r.spec.deal_id);
+  std::uint64_t seq = 0;
+  for (const TraceEvent* e : r.trace.all(EventKind::kDecide)) {
+    cc.on_event(*e, seq++);
+  }
+  if (cc.verdict() == Verdict::kViolated) {
     violate(res, "both chi_c and chi_a were issued");
   }
   // Also cross-check what participants ended up holding.
@@ -361,8 +359,15 @@ PropertyResult check_weak_liveness(const proto::RunRecord& r,
                                    const CheckOptions& opts) {
   PropertyResult res;
   res.name = "Lw";
-  const bool nobody_aborted =
-      r.trace.count(EventKind::kAbortRequested) == 0;
+  // Applicability clause as a thin replay: AbortFreedomOnline latches on
+  // the first patience loss; feeding it the kAbortRequested index is the
+  // batch equivalent of watching the run live.
+  AbortFreedomOnline aborts;
+  std::uint64_t seq = 0;
+  for (const TraceEvent* e : r.trace.all(EventKind::kAbortRequested)) {
+    aborts.on_event(*e, seq++);
+  }
+  const bool nobody_aborted = aborts.final_verdict() == Verdict::kHolds;
   if (!all_abide(r) || !nobody_aborted || !opts.environment_conforms) {
     res.applicable = false;
     return res;

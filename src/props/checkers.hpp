@@ -25,6 +25,12 @@
 // Checkers evaluate a RunRecord (trace + outcomes) only; they never look at
 // protocol internals. Each returns applicability (safety clauses are
 // conditional on "her escrows abide") plus a violation list.
+//
+// The trace-decidable clauses (CC's conflicting decisions, Lw's patience
+// losses) are thin replays of the incremental OnlineChecker machines in
+// props/online.hpp — the same state machines that run mid-simulation to
+// decide verdicts early; feeding them the finished trace is the batch
+// special case.
 
 #include <string>
 #include <vector>

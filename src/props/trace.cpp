@@ -202,6 +202,8 @@ void TraceRecorder::steal(TraceRecorder&& o) {
   bump_end_ = o.bump_end_;
   size_ = o.size_;
   index_ = std::move(o.index_);
+  sink_ = o.sink_;
+  o.sink_ = nullptr;
   o.chunks_.clear();
   for (KindIndex& ix : o.index_) ix.chunks.clear();
   o.clear();
@@ -242,14 +244,6 @@ const TraceEvent* TraceRecorder::first_label(EventKind kind,
     if (e->label == label) return e;
   }
   return nullptr;
-}
-
-std::vector<const TraceEvent*> TraceRecorder::all_vector(EventKind kind) const {
-  std::vector<const TraceEvent*> out;
-  const KindRange r = all(kind);
-  out.reserve(r.size());
-  for (const TraceEvent* e : r) out.push_back(e);
-  return out;
 }
 
 std::string TraceRecorder::render(std::size_t max_lines) const {

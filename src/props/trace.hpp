@@ -132,6 +132,16 @@ class ChunkedView {
   std::size_t n_;
 };
 
+/// Observer of the record() stream. An attached sink sees every event the
+/// moment it is stored — this is what feeds the online property checkers
+/// (props/online.hpp) so verdicts can be evaluated mid-run instead of
+/// post-mortem. The sink must not record into the recorder re-entrantly.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_record(const TraceEvent& e) = 0;
+};
+
 class TraceRecorder {
  public:
   /// Chunk geometry. One fixed block size serves both event storage and the
@@ -165,7 +175,8 @@ class TraceRecorder {
 
   /// Appends an event: a bump-pointer store plus one index append. The only
   /// cold path is a chunk boundary, and even that reuses pooled chunks in
-  /// steady state.
+  /// steady state. An attached sink (online checkers) is notified last, so
+  /// it observes the event already indexed.
   void record(const TraceEvent& e) {
     if (bump_ == bump_end_) next_event_chunk();
     TraceEvent* stored = bump_++;
@@ -175,7 +186,14 @@ class TraceRecorder {
     if (ix.bump == ix.bump_end) next_index_chunk(ix);
     *ix.bump++ = stored;
     ++ix.size;
+    if (sink_ != nullptr) sink_->on_record(*stored);
   }
+
+  /// Attaches/detaches the online observer (nullptr = none). Not owned; the
+  /// sink must outlive its attachment — runners detach before the recorder
+  /// leaves the run's scope.
+  void set_sink(TraceSink* sink) { sink_ = sink; }
+  TraceSink* sink() const { return sink_; }
 
   /// The recorded events as an indexable, iterable view (storage is
   /// chunked; there is no contiguous vector to return).
@@ -209,11 +227,6 @@ class TraceRecorder {
     return KindRange(ix.chunks.data(), ix.size);
   }
 
-  /// Pre-range shim: materialises all(kind) into a vector. Allocates on
-  /// every call — exactly the hot-loop pathology the range API removes.
-  [[deprecated("use all(), which returns an allocation-free range")]]
-  std::vector<const TraceEvent*> all_vector(EventKind kind) const;
-
   /// Renders the first `max_lines` events; for narrating example runs.
   std::string render(std::size_t max_lines = 200) const;
 
@@ -242,6 +255,7 @@ class TraceRecorder {
   TraceEvent* bump_end_ = nullptr;
   std::size_t size_ = 0;
   std::array<KindIndex, kEventKindCount> index_;
+  TraceSink* sink_ = nullptr;  // not owned
 };
 
 }  // namespace xcp::props

@@ -43,6 +43,15 @@ bool RunRecord::bob_paid() const {
   return bob().net_units(last_hop.currency()) >= last_hop.units();
 }
 
+props::OnlineMonitor::Config base_online_config(const DealSpec& spec,
+                                                const Participants& parts) {
+  props::OnlineMonitor::Config cfg;
+  cfg.deal_id = spec.deal_id;
+  cfg.bob = parts.bob();
+  cfg.last_hop = spec.hop_amount(spec.n - 1);
+  return cfg;
+}
+
 std::string RunRecord::summary() const {
   Table t({"participant", "abiding", "terminated", "final state", "t_local",
            "net change", "certs"});

@@ -12,6 +12,7 @@
 #include "proto/byzantine.hpp"
 #include "proto/deal_spec.hpp"
 #include "proto/timelock_schedule.hpp"
+#include "props/online.hpp"
 #include "props/trace.hpp"
 
 namespace xcp::proto {
@@ -61,6 +62,9 @@ struct RunRecord {
   std::vector<ledger::EscrowDeal> escrow_deals;
   props::TraceRecorder trace;
   RunStats stats;
+  /// Mid-run verdicts from the online monitor, when the run attached one
+  /// (props::OnlineOptions::enabled). attached == false otherwise.
+  props::OnlineOutcome online;
 
   const ParticipantOutcome* find(sim::ProcessId pid) const;
   const ParticipantOutcome& customer(int i) const;
@@ -74,5 +78,13 @@ struct RunRecord {
   /// One row per participant; for examples and debugging.
   std::string summary() const;
 };
+
+/// The scalar online-monitor configuration every run derives from its
+/// deal: deal id, Bob and the last hop amount. One definition for the
+/// live runners (run_time_bounded / run_weak) and the post-mortem replay
+/// (exp::runner's differential), so they can never drift apart; callers
+/// append the abiding cast, which is contextual.
+props::OnlineMonitor::Config base_online_config(const DealSpec& spec,
+                                                const Participants& parts);
 
 }  // namespace xcp::proto

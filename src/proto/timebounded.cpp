@@ -2,11 +2,14 @@
 
 #include <memory>
 
+#include <optional>
+
 #include "anta/interpreter.hpp"
 #include "crypto/certificate.hpp"
 #include "net/delay_model.hpp"
 #include "net/network.hpp"
 #include "proto/figure2.hpp"
+#include "props/online.hpp"
 #include "sim/simulator.hpp"
 #include "support/status.hpp"
 
@@ -26,6 +29,12 @@ namespace {
 std::unique_ptr<net::DelayModel> make_model(const EnvironmentConfig& env) {
   switch (env.synchrony) {
     case SynchronyKind::kSynchronous:
+      if (env.delta_min == env.delta_max) {
+        // Deterministic-delay preset (exp::deterministic_env): fixed
+        // delta with no per-message RNG draw, so same-instant replies
+        // coalesce through batched delivery.
+        return net::DelayModel::synchronous(env.delta_max);
+      }
       return std::make_unique<net::SynchronousModel>(env.delta_min,
                                                      env.delta_max);
     case SynchronyKind::kPartiallySynchronous:
@@ -138,8 +147,30 @@ RunRecord run_time_bounded(const TimeBoundedConfig& config) {
   initial.reserve(interps.size());
   for (const auto* in : interps) initial.push_back(ledger.holdings(in->id()));
 
+  // Online checking: verdict state machines ride the trace stream; with
+  // early_stop armed, the run ends at the event that terminates the last
+  // abiding participant instead of draining residual timers to the horizon.
+  std::optional<props::OnlineMonitor> monitor;
+  if (config.online.enabled) {
+    props::OnlineMonitor::Config ocfg = base_online_config(config.spec, parts);
+    for (std::size_t k = 0; k < interps.size(); ++k) {
+      if (abiding[k]) ocfg.cast.push_back(interps[k]->id());
+    }
+    monitor.emplace(ocfg);
+    if (config.online.early_stop) monitor->arm_stop(&simulator.stop_token());
+    record.trace.set_sink(&*monitor);
+  }
+
   const Duration horizon = record.schedule->horizon() + config.extra_horizon;
-  const bool drained = simulator.run_until(TimePoint::origin() + horizon);
+  bool drained = simulator.run_until(TimePoint::origin() + horizon);
+  if (monitor) {
+    record.trace.set_sink(nullptr);
+    record.online = monitor->outcome();
+    // An early-stopped run is quiescent for every checker input: report it
+    // as drained, the convention the weak runner's termination check has
+    // always used for its own early exit.
+    if (simulator.stop_requested()) drained = true;
+  }
 
   // Extract outcomes.
   for (std::size_t k = 0; k < interps.size(); ++k) {

@@ -77,6 +77,13 @@ struct TimeBoundedConfig {
   /// the paper's protocol would hang — at the price of CS3 (the checkers
   /// catch it). Unset = the paper's protocol.
   std::optional<Duration> customer_giveup;
+
+  /// Online checking: attach an OnlineMonitor to the run's trace (verdicts
+  /// land in RunRecord::online) and optionally terminate the run the moment
+  /// every abiding participant has terminated — checker-visible outcomes
+  /// are frozen by then, so post-mortem verdicts are unchanged while the
+  /// residual queue (dead timers, horizon padding) is never executed.
+  props::OnlineOptions online;
 };
 
 RunRecord run_time_bounded(const TimeBoundedConfig& config);

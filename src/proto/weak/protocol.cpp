@@ -2,8 +2,11 @@
 
 #include <algorithm>
 
+#include <optional>
+
 #include "chain/blockchain.hpp"
 #include "net/delay_model.hpp"
+#include "props/online.hpp"
 #include "proto/weak/contract_tm.hpp"
 #include "proto/weak/trusted_tm.hpp"
 #include "support/status.hpp"
@@ -15,6 +18,12 @@ namespace {
 std::unique_ptr<net::DelayModel> make_model(const EnvironmentConfig& env) {
   switch (env.synchrony) {
     case SynchronyKind::kSynchronous:
+      if (env.delta_min == env.delta_max) {
+        // Deterministic-delay preset: fixed delta, no per-message RNG
+        // draw; committee replies land same-instant and coalesce through
+        // batched delivery.
+        return net::DelayModel::synchronous(env.delta_max);
+      }
       return std::make_unique<net::SynchronousModel>(env.delta_min,
                                                      env.delta_max);
     case SynchronyKind::kPartiallySynchronous:
@@ -220,26 +229,57 @@ RunRecord run_weak(const WeakConfig& config) {
   initial.reserve(members.size());
   for (const auto* p : members) initial.push_back(ledger.holdings(p->id()));
 
-  // Run in slices so the blockchain's perpetual block timer can be stopped
-  // once every participant has terminated (letting the queue drain).
-  const TimePoint deadline = TimePoint::origin() + config.horizon;
-  const Duration slice = Duration::seconds(1);
-  bool drained = false;
-  while (simulator.now() < deadline) {
-    const TimePoint next = std::min(deadline, simulator.now() + slice);
-    drained = simulator.run_until(next);
-    // Byzantine participants may never terminate by design; the run is done
-    // once every *abiding* participant has.
-    bool all_done = true;
+  // Online checking: the monitor watches the trace stream and, when armed,
+  // stops the run at the event that terminates the last abiding member.
+  std::optional<props::OnlineMonitor> monitor;
+  if (config.online.enabled) {
+    props::OnlineMonitor::Config ocfg = base_online_config(config.spec, parts);
     for (std::size_t k = 0; k < members.size(); ++k) {
-      if (abiding[k] && !members[k]->terminated()) all_done = false;
+      if (abiding[k]) ocfg.cast.push_back(members[k]->id());
     }
-    if (all_done) {
-      if (chain_ptr != nullptr) chain_ptr->stop();
-      drained = true;
-      break;
+    monitor.emplace(ocfg);
+    if (config.online.early_stop) monitor->arm_stop(&simulator.stop_token());
+    record.trace.set_sink(&*monitor);
+  }
+
+  const TimePoint deadline = TimePoint::origin() + config.horizon;
+  bool drained = false;
+  if (monitor && config.online.early_stop) {
+    // Event-granular early termination: the stop lands on the deciding
+    // terminate event itself, so the blockchain's perpetual block timer and
+    // notary round timers simply never fire again — no slicing needed.
+    drained = simulator.run_until(deadline) || simulator.stop_requested();
+  } else if (monitor) {
+    // Watch-only mode: the monitor observes but never intervenes — the run
+    // takes its natural course to the horizon (the post-mortem discipline;
+    // the blockchain's perpetual block timer runs the full window). This is
+    // the A/B baseline the early-stop speedups are measured against.
+    drained = simulator.run_until(deadline);
+  } else {
+    // No monitor: the pre-online behaviour, kept for runs that want the
+    // legacy stop rule — slices, so the blockchain's perpetual block timer
+    // can be stopped once every participant has terminated (letting the
+    // queue drain). Byzantine participants may never terminate by design;
+    // the run is done once every *abiding* participant has.
+    const Duration slice = Duration::seconds(1);
+    while (simulator.now() < deadline) {
+      const TimePoint next = std::min(deadline, simulator.now() + slice);
+      drained = simulator.run_until(next);
+      bool all_done = true;
+      for (std::size_t k = 0; k < members.size(); ++k) {
+        if (abiding[k] && !members[k]->terminated()) all_done = false;
+      }
+      if (all_done) {
+        if (chain_ptr != nullptr) chain_ptr->stop();
+        drained = true;
+        break;
+      }
+      if (drained) break;
     }
-    if (drained) break;
+  }
+  if (monitor) {
+    record.trace.set_sink(nullptr);
+    record.online = monitor->outcome();
   }
 
   // Extract outcomes.

@@ -62,6 +62,12 @@ struct WeakConfig {
 
   /// An adversary factory over the participant ids (timing attacks).
   std::function<std::unique_ptr<net::Adversary>(const Participants&)> adversary;
+
+  /// Online checking (see props/online.hpp). With early_stop, the run ends
+  /// at the exact event that terminates the last abiding member — replacing
+  /// the 1-second slice polling below with an event-granular stop, and
+  /// halting TM infrastructure (block timers, notary rounds) implicitly.
+  props::OnlineOptions online;
 };
 
 RunRecord run_weak(const WeakConfig& config);

@@ -80,7 +80,6 @@ std::uint32_t EventQueue::acquire_slot() {
         ::operator new[](chunk_slots * sizeof(Slot)));
   }
   pos_.push_back(kNil);
-  wheel_nodes_.emplace_back();
   const std::uint32_t idx = slot_count_++;
   ::new (static_cast<void*>(&slot(idx))) Slot();
   return idx;
@@ -116,17 +115,21 @@ void EventQueue::sync_wheel() {
                                       ? std::numeric_limits<std::int64_t>::max()
                                       : heap_[0].at.count();
     if (wheel_.next_due_lower_bound() > heap_top) break;
-    std::uint32_t n = wheel_.detach_earliest_if_due(heap_top);
-    if (n == TimerWheel::kNone) break;  // exact bound refreshed: not due
-    while (n != TimerWheel::kNone) {
-      // Intrusive storage: the chain's nodes are the slots' rows in the
-      // parallel array, and the entry index doubles as the heap-entry slot.
-      const TimerWheel::Node& node = wheel_nodes_[n];
-      const std::uint32_t next = node.next;
-      push_heap_entry(HeapEntry{node.at, node.seq, n});
-      wheel_.consume_detached();
-      n = next;
+    const TimerWheel::DetachedView due =
+        wheel_.detach_earliest_if_due(heap_top);
+    if (due.size == 0) break;  // exact bound refreshed: not due
+    // One contiguous walk of the bucket's entry array, skipping free
+    // entries (cancelled positions awaiting reuse); the heap restores the
+    // (at, seq) total order, so the array's scrambled order is irrelevant
+    // to the pop sequence.
+    std::size_t consumed = 0;
+    for (std::size_t i = 0; i < due.size; ++i) {
+      const TimerWheel::Entry& e = due.data[i];
+      if (e.idx == TimerWheel::kNone) continue;
+      push_heap_entry(HeapEntry{e.at, e.seq, e.idx});
+      ++consumed;
     }
+    wheel_.release_detached(consumed);
   }
 }
 
@@ -138,9 +141,7 @@ EventQueue::PushTicket EventQueue::begin_push(TimePoint at) {
   const std::uint32_t idx = acquire_slot();
   Slot& s = slot(idx);
   const auto seq = static_cast<std::uint32_t>(next_seq_++);
-  // idx < kWheelBit: a slot index above 2^31 could alias the pos_ tag bit;
-  // such events (an absurd ~200 GB slab) take the heap instead.
-  if (wheel_enabled_ && idx < kWheelBit) {
+  if (wheel_enabled_) {
     // A fully-drained queue being refilled (a fresh run, or a benchmark
     // reusing one instance) gets its wheel rewound so the new epoch's
     // timeouts take the O(1) path again.
@@ -148,8 +149,9 @@ EventQueue::PushTicket EventQueue::begin_push(TimePoint at) {
         at.count() != std::numeric_limits<std::int64_t>::min()) {
       wheel_.reset_cursor(at.count() - 1);
     }
-    if (wheel_.try_insert(wheel_nodes(), at, seq, idx)) {
-      pos_[idx] = kWheelBit | idx;
+    const std::uint32_t locator = wheel_.try_insert(at, seq, idx);
+    if (locator != TimerWheel::kNone) {
+      pos_[idx] = kWheelBit | locator;
       return PushTicket{&s.fn, make_id(s.gen, idx)};
     }
   }
@@ -167,7 +169,7 @@ bool EventQueue::cancel(EventId id) {
   if (s.gen != gen_of(id)) return false;
   const std::uint32_t p = pos_[idx];
   if (p & kWheelBit) {
-    wheel_.erase(wheel_nodes(), idx);
+    wheel_.erase(p & ~kWheelBit);
     release_slot(s, idx);
   } else {
     remove_at(p);

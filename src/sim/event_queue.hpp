@@ -7,9 +7,9 @@
 // Two-layer routing, invisible to callers:
 //  - events whose expiry lands in an undrained wheel slot within the
 //    wheel's ~19h horizon get O(1) schedule and O(1) cancel via the wheel's
-//    bucket lists (sim/timer_wheel.hpp) — the common path for protocol
-//    timeouts, which are re-armed or cancelled far more often than they
-//    fire;
+//    per-slot bucket arrays (sim/timer_wheel.hpp) — the common path for
+//    protocol timeouts, which are re-armed or cancelled far more often than
+//    they fire;
 //  - everything else (past/imminent times, beyond-horizon times) goes to
 //    the heap directly. Just before virtual time reaches a wheel slot, the
 //    slot's survivors are drained into the heap, which restores the exact
@@ -134,14 +134,16 @@ class EventQueue {
   PushTicket begin_push(TimePoint at);
 
   static constexpr std::uint32_t kNil = 0xffffffffu;
-  // pos_ tag for "this slot's event lives in the wheel". Wheel storage is
-  // intrusive (entry index == slot index; the links are the slot's own
-  // `wheel` member), so the tag carries the slot's own index in the low 31
-  // bits purely for symmetry with heap positions. Heap positions never
-  // reach 2^31, so the top bit discriminates; slots at index >= 2^31 (~200
-  // GB of slab) are routed to the heap instead of the wheel so the tag can
-  // never alias. (kNil itself only appears for free slots, whose pos_
-  // threads the slot freelist and is never interpreted as a location.)
+  // pos_ tag for "this slot's event lives in the wheel". The low 31 bits
+  // carry the wheel's packed locator (bucket << 22 | position), so a
+  // cancel resolves the entry from the same hot 4-bytes-per-slot table it
+  // reads for heap positions — no parallel node array. (Packing the
+  // locator into the Slot beside gen was measured and rejected: the slot
+  // slab's 104-byte stride makes that line the coldest possible locator
+  // source, and crowd cancels got ~10% slower than sourcing it from
+  // pos_.) Heap positions never reach 2^31, so the top bit discriminates;
+  // kNil itself only appears for free slots, whose pos_ threads the slot
+  // freelist and is never interpreted as a location.
   static constexpr std::uint32_t kWheelBit = 0x80000000u;
 
   // 16 bytes: sifting a 100k-event heap moves a third of the bytes the
@@ -177,13 +179,6 @@ class EventQueue {
   /// Drains every wheel slot due at or before the heap's head time, so the
   /// heap head is the global minimum.
   void sync_wheel();
-  /// The wheel's intrusive node accessor: entry index == slot index, the
-  /// node is the slot's row in the dense parallel array below.
-  auto wheel_nodes() {
-    return [this](std::uint32_t idx) -> TimerWheel::Node& {
-      return wheel_nodes_[idx];
-    };
-  }
 
   // The slab is chunked so growth never moves a live Slot (vector
   // reallocation would relocate every callable through an indirect call).
@@ -212,17 +207,8 @@ class EventQueue {
   }
 
   std::vector<HeapEntry> heap_;     // 4-ary min-heap, keys inline
-  std::vector<std::uint32_t> pos_;  // slot -> heap pos | wheel tag; freelist
+  std::vector<std::uint32_t> pos_;  // slot -> heap pos | wheel locator tag
   TimerWheel wheel_;                // O(1) front end for future timeouts
-  // The wheel's intrusive node storage, folded into the event slot slab as
-  // a slot-indexed parallel array (row i belongs to slot i, like pos_).
-  // Replacing PR-2's freelist-recycled node slab removed the payload field,
-  // the node-index indirection through pos_, and the freelist maintenance,
-  // and packed the rows to 24 B — the bucket-neighbour unlink traffic of a
-  // big timer crowd now hits a denser array. (Embedding the links *inside*
-  // Slot was measured too and lost: it spread that same neighbour traffic
-  // over the 104-byte slot stride — see docs/PERF.md.)
-  std::vector<TimerWheel::Node> wheel_nodes_;  // slot-indexed, dense
   Slot* chunks_[kMaxChunks] = {};   // recycled slab of callables (owned)
   std::uint32_t chunk_count_ = 0;
   std::uint32_t slot_count_ = 0;

@@ -45,6 +45,7 @@ void Simulator::start_all_pending() {
 
 bool Simulator::step() {
   start_all_pending();
+  if (stop_token_.stop_requested) return false;
   if (queue_.empty()) return false;
   EventQueue::Popped ev = queue_.pop();
   XCP_REQUIRE(ev.at >= now_, "event queue time went backwards");
@@ -66,6 +67,10 @@ bool Simulator::run_until(TimePoint deadline) {
   running_ = true;
   for (;;) {
     start_all_pending();
+    if (stop_token_.stop_requested) {
+      running_ = false;
+      return false;
+    }
     if (queue_.empty()) {
       running_ = false;
       return true;

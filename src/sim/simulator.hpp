@@ -14,6 +14,7 @@
 
 #include "sim/event_queue.hpp"
 #include "sim/process.hpp"
+#include "sim/stop_token.hpp"
 #include "support/rng.hpp"
 #include "support/status.hpp"
 #include "support/time.hpp"
@@ -60,15 +61,26 @@ class Simulator {
   }
   void cancel(EventId id);
 
-  /// Executes the next event; returns false when the queue is empty.
+  /// Executes the next event; returns false when the queue is empty or a
+  /// stop has been requested.
   bool step();
 
-  /// Runs until the queue empties or `events_executed` reaches the limit.
+  /// Runs until the queue empties, a stop is requested, or
+  /// `events_executed` reaches the limit.
   void run();
 
   /// Runs events with time <= deadline; the simulator clock ends at
   /// min(deadline, time-of-last-event). Returns true if the queue drained.
+  /// A stop request (see stop_token()) ends the loop early with `false`;
+  /// callers distinguish the cases via stop_requested().
   bool run_until(TimePoint deadline);
+
+  /// The run's stop latch. Online monitors hold a pointer to it and
+  /// request() the moment a verdict is decided mid-event; the simulator
+  /// checks it before popping each event, so the stop lands at event
+  /// granularity (the deciding event completes, nothing after it runs).
+  StopToken& stop_token() { return stop_token_; }
+  bool stop_requested() const { return stop_token_.stop_requested; }
 
   std::uint64_t events_executed() const { return events_executed_; }
 
@@ -90,6 +102,7 @@ class Simulator {
   Rng rng_;
   std::uint64_t events_executed_ = 0;
   std::uint64_t event_limit_ = 50'000'000;
+  StopToken stop_token_;
   bool running_ = false;
 };
 

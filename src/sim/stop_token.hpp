@@ -1,0 +1,35 @@
+#pragma once
+// Cooperative early termination for simulation runs.
+//
+// A StopToken is a one-way latch the simulator polls between events: once
+// requested, Simulator::run/run_until return before popping the next event.
+// The requester is typically an online property monitor observing the trace
+// stream (props::OnlineMonitor) — the moment a run's verdict is decided,
+// draining the remaining queue cannot change any checker-visible outcome,
+// so the run stops and the sweep moves to the next seed.
+//
+// Single-threaded like the simulator itself: a plain bool, no atomics.
+
+#include "support/time.hpp"
+
+namespace xcp::sim {
+
+struct StopToken {
+  bool stop_requested = false;
+  TimePoint requested_at;  // virtual time of the deciding event
+
+  /// Latches the request; later requests keep the first timestamp.
+  void request(TimePoint at) {
+    if (!stop_requested) {
+      stop_requested = true;
+      requested_at = at;
+    }
+  }
+
+  void reset() {
+    stop_requested = false;
+    requested_at = TimePoint();
+  }
+};
+
+}  // namespace xcp::sim

@@ -1,6 +1,8 @@
 #include "sim/timer_wheel.hpp"
 
 #include <bit>
+#include <cstring>
+#include <new>
 
 #include "support/status.hpp"
 
@@ -15,6 +17,24 @@ constexpr std::int64_t quot(std::int64_t t, int level) {
 }
 
 }  // namespace
+
+TimerWheel::~TimerWheel() {
+  for (Bucket& b : buckets_) {
+    ::operator delete(static_cast<void*>(b.data));
+  }
+}
+
+void TimerWheel::grow(Bucket& b) {
+  const std::uint32_t cap = b.cap == 0 ? 64 : b.cap * 2;
+  auto* data = static_cast<Entry*>(
+      ::operator new(static_cast<std::size_t>(cap) * sizeof(Entry)));
+  if (b.size != 0) {
+    std::memcpy(data, b.data, static_cast<std::size_t>(b.size) * sizeof(Entry));
+  }
+  ::operator delete(static_cast<void*>(b.data));
+  b.data = data;
+  b.cap = cap;
+}
 
 void TimerWheel::find_earliest(int& level, std::int64_t& quotient) const {
   // Per level: occupied slots hold quotients in (qc, qc + 64]; rotating the
@@ -44,7 +64,9 @@ void TimerWheel::find_earliest(int& level, std::int64_t& quotient) const {
   quotient = best_quot;
 }
 
-std::uint32_t TimerWheel::detach_earliest_if_due(std::int64_t limit) {
+TimerWheel::DetachedView TimerWheel::detach_earliest_if_due(
+    std::int64_t limit) {
+  XCP_REQUIRE(detached_ == kNoBucket, "previous detach not released");
   int level = 0;
   std::int64_t q = 0;
   find_earliest(level, q);
@@ -52,20 +74,36 @@ std::uint32_t TimerWheel::detach_earliest_if_due(std::int64_t limit) {
       static_cast<std::uint64_t>(q) << (kSlotBits * level));
   if (start > limit) {
     next_due_lb_ = start;  // exact: nothing is due before this
-    return kNone;
+    return DetachedView{};
   }
   const std::uint32_t slot =
       static_cast<std::uint32_t>(q) & (kSlotsPerLevel - 1);
   const std::uint16_t bucket =
       static_cast<std::uint16_t>(level * kSlotsPerLevel + slot);
-  const std::uint32_t head = heads_[bucket];
-  heads_[bucket] = kNone;
   occupied_[static_cast<std::size_t>(level)] &= ~(std::uint64_t{1} << slot);
   // Every slot before this one is empty (this was the earliest); advance to
   // just before its start so same-start slots at other levels — and entries
   // re-inserted at exactly this start — are still found and drained.
   if (start - 1 > cursor_) cursor_ = start - 1;
-  return head;
+  detached_ = bucket;
+  const Bucket& b = buckets_[bucket];
+  return DetachedView{b.data, b.size};
+}
+
+void TimerWheel::release_detached(std::size_t consumed) {
+  XCP_REQUIRE(detached_ != kNoBucket, "release without a detach");
+  Bucket& b = buckets_[detached_];
+  XCP_REQUIRE(consumed == b.live, "detached-view consumption mismatch");
+  count_ -= consumed;  // count_ tracks live entries only
+  // Forget entries and free positions alike; capacity is kept, so a
+  // warmed wheel re-fills without allocating.
+  b.size = 0;
+  b.live = 0;
+  b.free = kNone;
+  detached_ = kNoBucket;
+  if (count_ == 0) {
+    next_due_lb_ = std::numeric_limits<std::int64_t>::max();
+  }
 }
 
 }  // namespace xcp::sim

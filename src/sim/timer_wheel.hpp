@@ -13,30 +13,52 @@
 // An entry is placed at the *lowest* level whose current wheel revolution
 // contains its expiry (the classic hashed hierarchical wheel rule), which
 // guarantees each (level, slot) bucket only ever holds entries from a
-// single revolution. Buckets are doubly-linked lists; a per-level occupancy
-// bitmap (one word per level, 64 slots) makes "when is the next non-empty
-// slot due?" a rotate + count-trailing-zeros.
+// single revolution. A per-level occupancy bitmap (one word per level, 64
+// slots) makes "when is the next non-empty slot due?" a rotate +
+// count-trailing-zeros.
 //
-// Storage is *intrusive*: the wheel owns no node slab and runs no freelist.
-// Each entry's links (TimerWheel::Node) live in owner storage indexed by
-// the owner's own event-slot index — sim::EventQueue keeps them in a dense
-// slot-indexed parallel array alongside its pos_ table — and the wheel
-// addresses them through the owner-supplied `node_of(index)` accessor (a
-// template parameter, so it inlines to a direct array index). Entry index
-// == owner slot index, which removes the payload field, the node-index
-// indirection through the owner's position table, and all freelist
-// maintenance the PR-2 recycled slab needed, and packs nodes to 24 bytes —
-// so the bucket-neighbour unlink traffic of a big timer crowd hits a ~25%
-// denser array. (Embedding the links *inside* the event slot itself was
-// measured and rejected: it spread exactly that neighbour traffic over the
-// 104-byte slot stride and lost ~7% on the 65536-timer crowd bench.)
+// Buckets are *per-slot arrays of entries*: each (level, slot) owns a
+// contiguous growable array of 16-byte Entry{at, seq, idx} records. The
+// PR-2/PR-3 designs threaded a doubly-linked chain through a global
+// slot-indexed node slab, so every unlink dirtied two neighbour-node
+// lines scattered across the whole slab; here live entries carry no links
+// at all. Concretely:
 //
-// The wheel does NOT order entries within a slot. Instead of cascading
-// expired slots down the hierarchy, the owner (sim::EventQueue) drains the
-// earliest slot into its indexed min-heap just before virtual time reaches
-// the slot's start; the heap restores the exact (time, seq) total order.
-// Entries cancelled before their slot comes due — the common case for
-// timeouts — never touch the heap at all.
+//  - insert reuses the most recently freed position in the bucket (warm
+//    line — re-arm churn cycles a small hot set, via an in-array free
+//    stack) or appends. Amortised O(1); arrays keep their capacity and
+//    freed positions are recycled, so a bucket's footprint tracks its
+//    live high-water mark, not its cancel count, and a warmed wheel
+//    allocates nothing.
+//  - erase frees the entry *in place* — its own line is the only random
+//    memory the operation touches. Bucket emptiness is a counter, not a
+//    chain head, and an all-free bucket collapses to size 0 immediately.
+//    (Variants that moved entries were measured and rejected on the
+//    65536-crowd bench: swap-with-last dirtied a second random line
+//    fixing the moved entry's locator, and tombstone-plus-compaction
+//    paid an amortised locator scatter per erase; see docs/PERF.md.)
+//  - draining a due slot walks one contiguous array (skipping free
+//    entries) instead of pointer-chasing across the owner's slab.
+//
+// Owner-side state per entry vanishes entirely: try_insert returns a
+// 31-bit packed locator (bucket << 22 | pos) which the owner stows in the
+// payload bits of its existing slot -> position table (EventQueue's pos_
+// already stores a wheel-residency tag there) and hands back to erase().
+// The PR-3 design kept a whole parallel node array and addressed it
+// through an accessor; that array, its growth, and the extra dependent
+// load per cancel are gone. Positions are stable for an entry's lifetime
+// (the free list recycles them without moving live entries), which is
+// what makes the packed locator possible. Buckets deeper than 2^22
+// entries are routed to the heap instead — a loud, graceful bound far
+// above the million-timer design point.
+//
+// The wheel does NOT order entries within a slot (position reuse
+// scrambles them freely). Instead of cascading expired slots down the
+// hierarchy, the owner (sim::EventQueue) drains the earliest slot into
+// its indexed min-heap just before virtual time reaches the slot's start;
+// the heap restores the exact (time, seq) total order, so pop order is
+// independent of bucket layout. Entries cancelled before their slot comes
+// due — the common case for timeouts — never touch the heap at all.
 //
 // Single-threaded, like the EventQueue that owns it.
 
@@ -50,12 +72,14 @@ namespace xcp::sim {
 
 class TimerWheel {
  public:
-  /// Sentinel entry index: "not in the wheel" / end of a chain.
+  /// Sentinel entry index: "not in the wheel".
   static constexpr std::uint32_t kNone = 0xffffffffu;
 
   static constexpr int kLevels = 6;
   static constexpr int kSlotBits = 6;  // 64 slots per level, 1 bitmap word
   static constexpr std::uint32_t kSlotsPerLevel = 1u << kSlotBits;
+  static constexpr std::size_t kBuckets =
+      static_cast<std::size_t>(kLevels) * kSlotsPerLevel;
 
   // Routing policy: only entries that land at this level or above are
   // accepted (level 3 slots are 64^3 us ~ 0.26 s wide). Near-future events
@@ -68,31 +92,56 @@ class TimerWheel {
   // owner routes them straight to its heap.
   static constexpr int kMinLevel = 3;
 
-  /// The intrusive per-entry state, kept in owner storage indexed by the
-  /// owner's slot index (EventQueue's dense parallel array). 24 bytes.
-  struct Node {
+  /// Packed locator layout: bit 31 unused (the owner's tag bit), bits
+  /// 22..30 the bucket, bits 0..21 the position within it.
+  static constexpr int kPosBits = 22;
+  static constexpr std::uint32_t kMaxBucketEntries = 1u << kPosBits;
+  static_assert(kBuckets <= (1u << (31 - kPosBits)),
+                "bucket index must fit the locator's upper bits");
+
+  /// One parked entry; bucket arrays are contiguous runs of these, with
+  /// the bucket's free stack threaded *through the array* by position: a
+  /// free (erased, reusable) entry has idx == kNone and its seq field
+  /// holds the next free position. Consumers of a DetachedView must skip
+  /// free entries. There is no live chain: draining walks the array, and
+  /// bucket emptiness is a counter, so live entries carry no links.
+  struct Entry {
     TimePoint at;
-    std::uint32_t seq;      // the owner's push sequence, for final ordering
-    std::uint32_t prev;     // bucket list links (owner slot indices)
-    std::uint32_t next;
-    std::uint16_t bucket;   // level * kSlotsPerLevel + slot, for O(1) erase
+    std::uint32_t seq;  // push sequence; for free entries: next free pos
+    std::uint32_t idx;  // owner slot index; kNone marks a free entry
+  };
+  static_assert(sizeof(Entry) == 16);
+
+  /// A due bucket handed to the owner by detach_earliest_if_due(): a view
+  /// over its contiguous entries — unordered, and including free entries
+  /// (idx == kNone), which the consumer skips. The consumer reports how
+  /// many live entries it took via release_detached(consumed). Valid until
+  /// that call; no wheel mutation is legal in between. An occupied slot
+  /// always holds at least one live entry, so size == 0 unambiguously
+  /// means "nothing due".
+  struct DetachedView {
+    const Entry* data = nullptr;
+    std::size_t size = 0;
   };
 
-  TimerWheel() { heads_.fill(kNone); }
+  TimerWheel() = default;
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+  ~TimerWheel();
 
-  /// Places entry `idx` (whose Node lives at node_of(idx)), returning true
-  /// — or false when the entry does not fit the wheel (expiry at or before
-  /// the cursor, i.e. in a slot already drained, or beyond the horizon)
-  /// and must go to the fallback ordering structure instead. O(1). Defined
-  /// inline below: this is the schedule hot path and must inline into the
-  /// caller together with the node accessor.
-  template <typename NodeOf>
-  bool try_insert(NodeOf&& node_of, TimePoint at, std::uint32_t seq,
-                  std::uint32_t idx);
+  /// Places an entry, returning its packed locator — or kNone when the
+  /// entry does not fit the wheel (expiry at or before the cursor, i.e. in
+  /// a slot already drained; beyond the horizon; or a pathologically deep
+  /// bucket) and must go to the fallback ordering structure instead. The
+  /// caller keeps the locator (EventQueue stows it in pos_'s payload bits)
+  /// and passes it back to erase(). Amortised O(1). Defined inline below:
+  /// this is the schedule hot path.
+  std::uint32_t try_insert(TimePoint at, std::uint32_t seq,
+                           std::uint32_t idx);
 
-  /// Unlinks live entry `idx`. O(1). Inline: the cancel/re-arm hot path.
-  template <typename NodeOf>
-  void erase(NodeOf&& node_of, std::uint32_t idx);
+  /// Unlinks the live entry behind a packed locator. O(1). Inline: the
+  /// cancel/re-arm hot path.
+  void erase(std::uint32_t locator);
 
   bool empty() const { return count_ == 0; }
   std::size_t size() const { return count_; }
@@ -104,21 +153,18 @@ class TimerWheel {
   /// INT64_MAX when empty.
   std::int64_t next_due_lower_bound() const { return next_due_lb_; }
 
-  /// If the earliest non-empty slot starts at or before `limit`, detaches
-  /// its chain (linked via Node::next, unordered) and advances the cursor
-  /// past every slot before it; the caller consumes each entry by reading
-  /// its own node storage and acknowledging with consume_detached().
-  /// Otherwise refreshes the cached lower bound and returns kNone. One
-  /// bitmap scan either way. Requires !empty().
-  std::uint32_t detach_earliest_if_due(std::int64_t limit);
+  /// If the earliest non-empty slot starts at or before `limit`, hands its
+  /// entry array to the caller (unordered view) and advances the cursor
+  /// past every slot before it; the caller consumes the view and
+  /// acknowledges with release_detached(). Otherwise refreshes the cached
+  /// lower bound and returns an empty view. One bitmap scan either way.
+  /// Requires !empty().
+  DetachedView detach_earliest_if_due(std::int64_t limit);
 
-  /// Acknowledges one entry of a detached chain (bookkeeping only; the
-  /// entry's storage belongs to the owner). Inline.
-  void consume_detached() {
-    if (--count_ == 0) {
-      next_due_lb_ = std::numeric_limits<std::int64_t>::max();
-    }
-  }
+  /// Acknowledges a detached bucket: forgets its entries (the array keeps
+  /// its capacity for reuse). `consumed` is the number of live entries the
+  /// caller took from the view (free entries excluded).
+  void release_detached(std::size_t consumed);
 
   /// Moves the cursor (e.g. back in time when the owning queue has fully
   /// drained and is being reused). Requires empty().
@@ -126,6 +172,30 @@ class TimerWheel {
   std::int64_t cursor() const { return cursor_; }
 
  private:
+  static constexpr std::uint16_t kNoBucket = 0xffff;
+
+  /// Minimal growable entry array with an in-array free stack. Not
+  /// std::vector: the insert/erase hot paths want a flat header with
+  /// plain-integer size/capacity — libstdc++'s three-pointer layout
+  /// recomputes size/cap by pointer subtraction and cost a measured ~5 ns
+  /// per re-arm pair. `free` is the free-position stack top; erased
+  /// positions are recycled by inserts, so the array's footprint tracks
+  /// the bucket's live high-water mark. A bucket whose last live entry is
+  /// erased collapses to size 0 on the spot (the 1-live watchdog pattern
+  /// cycles a bucket through size 1/0 and never accumulates free
+  /// entries).
+  struct Bucket {
+    Entry* data = nullptr;
+    std::uint32_t size = 0;
+    std::uint32_t cap = 0;
+    std::uint32_t live = 0;
+    std::uint32_t free = kNone;  // free stack top (position)
+  };
+
+  /// The cold growth path (doubling, 64-entry floor), out of line so
+  /// try_insert inlines tight.
+  static void grow(Bucket& b);
+
   // Earliest non-empty slot: level and its absolute slot quotient.
   void find_earliest(int& level, std::int64_t& quotient) const;
 
@@ -134,22 +204,21 @@ class TimerWheel {
   // fallback heap). Starts at -1 so a fresh wheel accepts times >= 0.
   std::int64_t cursor_ = -1;
   // Invariant: next_due_lb_ <= start of every occupied slot (exact after
-  // next_slot_start(), possibly stale-low after erases). INT64_MAX when
-  // the wheel is empty.
+  // detach_earliest_if_due's refresh, possibly stale-low after erases).
+  // INT64_MAX when the wheel is empty.
   std::int64_t next_due_lb_ = std::numeric_limits<std::int64_t>::max();
   std::size_t count_ = 0;
+  std::uint16_t detached_ = kNoBucket;  // bucket currently on loan
   std::array<std::uint64_t, kLevels> occupied_{};  // per-level slot bitmap
-  std::array<std::uint32_t, static_cast<std::size_t>(kLevels) * kSlotsPerLevel>
-      heads_;
+  std::array<Bucket, kBuckets> buckets_;
 };
 
 // ------------------------------------------------------- inline hot paths
 
-template <typename NodeOf>
-inline bool TimerWheel::try_insert(NodeOf&& node_of, TimePoint at,
-                                   std::uint32_t seq, std::uint32_t idx) {
+inline std::uint32_t TimerWheel::try_insert(TimePoint at, std::uint32_t seq,
+                                            std::uint32_t idx) {
   const std::int64_t t = at.count();
-  if (t <= cursor_) return false;  // slot already drained: fallback orders it
+  if (t <= cursor_) return kNone;  // slot already drained: fallback orders it
   // Lowest level >= kMinLevel whose current revolution contains t. The
   // quotient difference is computed in uint64: t > cursor_, so the wrapped
   // difference equals the true (non-negative) difference even when the
@@ -158,14 +227,14 @@ inline bool TimerWheel::try_insert(NodeOf&& node_of, TimePoint at,
   std::int64_t qt = t >> (kSlotBits * kMinLevel);
   std::int64_t qc = cursor_ >> (kSlotBits * kMinLevel);
   for (;; ++level) {
-    if (level == kLevels) return false;  // beyond the horizon
+    if (level == kLevels) return kNone;  // beyond the horizon
     const std::uint64_t diff =
         static_cast<std::uint64_t>(qt) - static_cast<std::uint64_t>(qc);
     if (diff < kSlotsPerLevel) {
       // diff == 0 means t shares the cursor's (possibly part-drained)
       // kMinLevel slot — a near-future event that will fire almost
       // immediately. It belongs on the heap (see kMinLevel).
-      if (diff == 0) return false;
+      if (diff == 0) return kNone;
       break;
     }
     qt >>= kSlotBits;
@@ -173,36 +242,53 @@ inline bool TimerWheel::try_insert(NodeOf&& node_of, TimePoint at,
   }
   const std::uint32_t slot =
       static_cast<std::uint32_t>(qt) & (kSlotsPerLevel - 1);
-  const std::uint16_t bucket =
-      static_cast<std::uint16_t>(level * kSlotsPerLevel + slot);
+  const std::uint32_t bucket =
+      static_cast<std::uint32_t>(level) * kSlotsPerLevel + slot;
   const std::int64_t slot_start = static_cast<std::int64_t>(
       static_cast<std::uint64_t>(qt) << (kSlotBits * level));
   if (slot_start < next_due_lb_) next_due_lb_ = slot_start;
 
-  Node& n = node_of(idx);
-  n.at = at;
-  n.seq = seq;
-  n.bucket = bucket;
-  n.prev = kNone;
-  n.next = heads_[bucket];
-  if (n.next != kNone) node_of(n.next).prev = idx;
-  heads_[bucket] = idx;
+  Bucket& b = buckets_[bucket];
+  std::uint32_t pos;
+  if (b.free != kNone) {
+    // Reuse the most recently freed position — its line is warm from the
+    // erase that freed it (re-arm churn cycles a small hot set).
+    pos = b.free;
+    b.free = b.data[pos].seq;
+  } else {
+    if (b.size == b.cap) {
+      if (b.size == kMaxBucketEntries) return kNone;  // locator bound
+      grow(b);
+    }
+    pos = b.size++;
+  }
+  Entry& e = b.data[pos];
+  e.at = at;
+  e.seq = seq;
+  e.idx = idx;
+  ++b.live;
   occupied_[static_cast<std::size_t>(level)] |= std::uint64_t{1} << slot;
   ++count_;
-  return true;
+  return (bucket << kPosBits) | pos;
 }
 
-template <typename NodeOf>
-inline void TimerWheel::erase(NodeOf&& node_of, std::uint32_t idx) {
-  Node& n = node_of(idx);
-  const std::uint16_t bucket = n.bucket;
-  if (n.prev != kNone) {
-    node_of(n.prev).next = n.next;
-  } else {
-    heads_[bucket] = n.next;
-  }
-  if (n.next != kNone) node_of(n.next).prev = n.prev;
-  if (heads_[bucket] == kNone) {
+inline void TimerWheel::erase(std::uint32_t locator) {
+  const std::uint32_t bucket = locator >> kPosBits;
+  const std::uint32_t pos = locator & (kMaxBucketEntries - 1);
+  Bucket& b = buckets_[bucket];
+  // Free the position in place: the erase's only random memory traffic is
+  // the entry's own line (live entries carry no links, so nothing else
+  // needs touching — vs the two neighbour-node lines of the PR-3 global
+  // slab's unlink).
+  Entry& e = b.data[pos];
+  e.idx = kNone;
+  e.seq = b.free;
+  b.free = pos;
+  if (--b.live == 0) {
+    // Last live entry gone: collapse the bucket outright and clear its
+    // occupancy bit.
+    b.size = 0;
+    b.free = kNone;
     occupied_[bucket >> kSlotBits] &=
         ~(std::uint64_t{1} << (bucket & (kSlotsPerLevel - 1)));
   }

@@ -15,8 +15,10 @@
 #include "proto/bodies.hpp"
 #include "props/checkers.hpp"
 #include "props/label.hpp"
+#include "props/online.hpp"
 #include "props/trace.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/stop_token.hpp"
 #include "support/pool.hpp"
 
 namespace {
@@ -259,6 +261,46 @@ TEST(ZeroAlloc, FullRecordCheckCycleSteadyState) {
   const std::uint64_t after = g_allocations;
   EXPECT_EQ(after, before);
   EXPECT_TRUE(ok);
+}
+
+TEST(ZeroAlloc, OnlineMonitorOnEventSteadyState) {
+  // The online-checking hot path: every record() also feeds the attached
+  // OnlineMonitor (kind-indexed dispatch, interned-label compares, plain
+  // counters). Setup allocates (the cast list); the observed stream must
+  // not. One monitor per round, as runners use one per seed — monitor
+  // construction is part of the measured loop only through its fixed-size
+  // members, so warm one first to charge the cast vector's allocation
+  // pattern, then require the recording rounds stay clean.
+  props::OnlineMonitor::Config cfg;
+  cfg.deal_id = 1;
+  cfg.bob = sim::ProcessId(2);
+  cfg.last_hop = Amount(100, Currency::generic());
+  for (std::uint32_t i = 0; i <= 4; ++i) cfg.cast.push_back(sim::ProcessId(i));
+
+  props::TraceRecorder t;
+  {
+    // Warm-up: chunks to high-water mark, one full observed stream.
+    props::OnlineMonitor monitor(cfg);
+    t.set_sink(&monitor);
+    record_run_shape(t, 600);
+    t.set_sink(nullptr);
+    t.clear();
+  }
+
+  props::OnlineMonitor monitor(cfg);  // constructed before the measurement
+  sim::StopToken token;
+  monitor.arm_stop(&token);
+  t.set_sink(&monitor);
+  const std::uint64_t before = g_allocations;
+  record_run_shape(t, 600);  // every record() dispatches through the sink
+  const std::uint64_t after = g_allocations;
+  t.set_sink(nullptr);
+  EXPECT_EQ(after, before);
+  // The stream terminates actors 0..6, so the 5-member cast quiesced and
+  // the verdict telemetry is live — proving the measured path did the work.
+  EXPECT_TRUE(monitor.quiescent());
+  EXPECT_TRUE(token.stop_requested);
+  EXPECT_EQ(monitor.outcome().events_seen, 601u);
 }
 
 }  // namespace

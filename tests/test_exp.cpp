@@ -171,6 +171,71 @@ TEST(MatrixRunner, StreamingMatchesBufferedReference) {
   }
 }
 
+TEST(MatrixRunner, OnlineVerdictsMatchPostMortemAcrossTheoremMatrix) {
+  // The acceptance differential: every (protocol, regime) cell of the
+  // theorem matrix, each seed run twice — once stopped at its deciding
+  // event, once to the full horizon — with online verdicts required to
+  // equal the post-mortem checkers event-for-event (the runner throws on
+  // any divergence).
+  const std::vector<ProtocolKind> protocols{
+      ProtocolKind::kUniversalNaive,    ProtocolKind::kTimeBounded,
+      ProtocolKind::kInterledgerAtomic, ProtocolKind::kWeakTrusted,
+      ProtocolKind::kWeakContract,      ProtocolKind::kWeakCommittee};
+  const std::vector<Regime> regimes{
+      Regime::kSynchronyConforming, Regime::kSynchronyHighDrift,
+      Regime::kPartialSynchrony, Regime::kPartialSynchronyAdversarial};
+  for (ProtocolKind p : protocols) {
+    for (Regime r : regimes) {
+      const auto cell = run_matrix_cell_differential(p, r, 2, 3);
+      EXPECT_EQ(cell.runs, 3u);
+    }
+  }
+}
+
+TEST(MatrixRunner, EarlyStopCellMatchesFullHorizonCell) {
+  // Whole-cell equality (verdict counters AND the capped violation-example
+  // list) between the early-stopping default and the watch-only full
+  // horizon. The adversarial atomic cell reliably produces violations, so
+  // the example strings exercise the frozen-at-stop holdings too.
+  const struct {
+    ProtocolKind protocol;
+    Regime regime;
+  } cells[] = {
+      {ProtocolKind::kWeakContract, Regime::kSynchronyConforming},
+      {ProtocolKind::kInterledgerAtomic, Regime::kPartialSynchrony},
+      {ProtocolKind::kWeakCommittee, Regime::kPartialSynchronyAdversarial},
+      {ProtocolKind::kUniversalNaive, Regime::kSynchronyHighDrift},
+  };
+  for (const auto& c : cells) {
+    CellOptions stop;  // default: online + early stop
+    CellOptions watch;
+    watch.online.early_stop = false;
+    const auto early = run_matrix_cell(c.protocol, c.regime, 2, 5, 1, stop);
+    const auto full = run_matrix_cell(c.protocol, c.regime, 2, 5, 1, watch);
+    expect_cells_identical(early, full);
+    EXPECT_EQ(full.early_stops, 0u);
+    // Early termination must never execute more events than the full run.
+    EXPECT_LE(early.events_total, full.events_total);
+  }
+}
+
+TEST(Sweep, PinnedWorkersProduceIdenticalResults) {
+  // Worker pinning is a scheduling hint, never a semantics change: the
+  // same sweep with pin_workers on and off must produce identical results
+  // (and the option must be restorable).
+  auto& pool = detail::SweepPool::instance();
+  const auto saved = pool.options();
+  const auto fn = [](std::uint64_t seed) { return seed * seed + 1; };
+  const auto unpinned = parallel_sweep<std::uint64_t>(1, 64, fn, 4);
+  detail::SweepPool::Options pin;
+  pin.pin_workers = true;
+  pool.set_options(pin);
+  const auto pinned = parallel_sweep<std::uint64_t>(1, 64, fn, 4);
+  pool.set_options(saved);
+  EXPECT_EQ(pinned, unpinned);
+  EXPECT_FALSE(pool.options().pin_workers);
+}
+
 TEST(MatrixRunner, StreamingCellIsWorkerCountInvariant) {
   // Same cell computed with the pool free to shard vs. forced inline:
   // results must not depend on sharding. run_matrix_cell has no workers

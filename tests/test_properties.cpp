@@ -5,12 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <optional>
+#include <random>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "props/checkers.hpp"
 #include "props/label.hpp"
+#include "props/online.hpp"
 
 namespace xcp::props {
 namespace {
@@ -471,25 +473,28 @@ TEST(Trace, ClearRetainsChunksAndCloneRebuildsIndexes) {
   EXPECT_EQ(t.count(EventKind::kDecide), 2u);
 }
 
-TEST(Trace, DeprecatedAllVectorShimMatchesRange) {
+TEST(Trace, KindRangeIndexingMatchesIteration) {
+  // The allocation-free KindRange replaced the all_vector() shim outright;
+  // this pins the contract the shim's test used to pin: record order, one
+  // entry per matching event, operator[] consistent with iteration — across
+  // a chunk boundary of the pointer index (> kPtrsPerChunk sends).
   TraceRecorder t;
-  for (int i = 0; i < 300; ++i) {
+  const int kSends = 3000;  // > one 16 KB pointer chunk of index entries
+  for (int i = 0; i < 2 * kSends; ++i) {
     TraceEvent e;
     e.kind = (i % 2 == 0) ? EventKind::kSend : EventKind::kDeliver;
     e.actor = sim::ProcessId(static_cast<std::uint32_t>(i));
     t.record(e);
   }
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const std::vector<const TraceEvent*> shim = t.all_vector(EventKind::kSend);
-#pragma GCC diagnostic pop
   const auto range = t.all(EventKind::kSend);
-  ASSERT_EQ(shim.size(), range.size());
+  ASSERT_EQ(range.size(), static_cast<std::size_t>(kSends));
   std::size_t i = 0;
   for (const TraceEvent* e : range) {
-    EXPECT_EQ(e, shim[i]);  // same underlying events, same order
+    EXPECT_EQ(e->actor.value(), 2 * i);  // record order preserved
+    EXPECT_EQ(range[i], e);              // operator[] agrees with iteration
     ++i;
   }
+  EXPECT_EQ(i, static_cast<std::size_t>(kSends));
 }
 
 TEST(Trace, FindIsNonInsertingAndMatchesNothingWhenAbsent) {
@@ -517,6 +522,229 @@ TEST(Trace, FindIsNonInsertingAndMatchesNothingWhenAbsent) {
   EXPECT_EQ(Label::find("find-test-never-interned"), absent);
   EXPECT_EQ(Label::find("find-test-never-interned").value(),
             support::kNameNotFound);
+}
+
+// ------------------------------------------------- online checker fuzzing
+
+/// Randomized differential: 1000+ fuzzed traces, each fed (a) incrementally
+/// through an OnlineMonitor — the live path — and (b) to an independent
+/// straight-line reimplementation of each property in this test. Verdicts,
+/// decided-at times and deciding event ordinals must match exactly; the
+/// batch checkers must agree wherever they consume the same evidence. This
+/// is the guarantee that lets early-stopped runs claim post-mortem
+/// verdicts.
+TEST(Online, FuzzedTraceDifferential) {
+  std::mt19937_64 rng(0xA11CE);
+  constexpr int kTraces = 1200;
+
+  for (int t = 0; t < kTraces; ++t) {
+    // A random cast of 2..8 participants; Bob is the last one.
+    const std::uint32_t cast_n = 2 + static_cast<std::uint32_t>(rng() % 7);
+    const sim::ProcessId bob(cast_n - 1);
+    const Amount last_hop(100 + static_cast<std::int64_t>(rng() % 50),
+                          Currency::generic());
+    const std::uint64_t deal = 1 + rng() % 3;
+
+    OnlineMonitor::Config cfg;
+    cfg.deal_id = deal;
+    cfg.bob = bob;
+    cfg.last_hop = last_hop;
+    for (std::uint32_t p = 0; p < cast_n; ++p) {
+      cfg.cast.push_back(sim::ProcessId(p));
+    }
+    OnlineMonitor monitor(cfg);
+
+    // A random event stream, weighted towards the checker-relevant kinds,
+    // with a noise floor of sends/delivers.
+    const int len = 16 + static_cast<int>(rng() % 150);
+    std::vector<TraceEvent> stream;
+    for (int i = 0; i < len; ++i) {
+      TraceEvent e;
+      e.at = TimePoint::micros(17 * i + static_cast<std::int64_t>(rng() % 5));
+      e.local_at = e.at;
+      e.actor = sim::ProcessId(static_cast<std::uint32_t>(rng() % (cast_n + 2)));
+      e.peer = sim::ProcessId(static_cast<std::uint32_t>(rng() % (cast_n + 2)));
+      switch (rng() % 8) {
+        case 0:
+          e.kind = EventKind::kTerminate;
+          break;
+        case 1: {
+          e.kind = EventKind::kTransfer;
+          const bool other_currency = rng() % 4 == 0;
+          e.amount = Amount(static_cast<std::int64_t>(rng() % 120),
+                            other_currency ? Currency::usd()
+                                           : Currency::generic());
+          break;
+        }
+        case 2:
+          e.kind = EventKind::kDecide;
+          e.label = (rng() % 2 == 0) ? labels::commit : labels::abort_;
+          e.deal_id = rng() % 4;  // 0 = unscoped, may or may not match
+          break;
+        case 3:
+          e.kind = EventKind::kAbortRequested;
+          break;
+        default:
+          e.kind = (rng() % 2 == 0) ? EventKind::kSend : EventKind::kDeliver;
+          e.label = labels::chi;
+          break;
+      }
+      stream.push_back(e);
+      monitor.on_record(e);
+    }
+
+    // Independent straight-line evaluation of each property.
+    // Termination: earliest index after which every cast pid terminated.
+    {
+      std::vector<bool> seen(cast_n, false);
+      std::size_t pending = cast_n;
+      std::int64_t decide_ix = -1;
+      for (std::size_t i = 0; i < stream.size() && decide_ix < 0; ++i) {
+        const TraceEvent& e = stream[i];
+        if (e.kind == EventKind::kTerminate && e.actor.value() < cast_n &&
+            !seen[e.actor.value()]) {
+          seen[e.actor.value()] = true;
+          if (--pending == 0) decide_ix = static_cast<std::int64_t>(i);
+        }
+      }
+      const auto& term = monitor.termination();
+      if (decide_ix >= 0) {
+        EXPECT_EQ(term.verdict(), Verdict::kHolds);
+        EXPECT_EQ(term.decided_seq(), static_cast<std::uint64_t>(decide_ix));
+        EXPECT_EQ(term.decided_at(),
+                  stream[static_cast<std::size_t>(decide_ix)].at);
+      } else {
+        EXPECT_EQ(term.verdict(), Verdict::kUndecided);
+        EXPECT_EQ(term.final_verdict(), Verdict::kViolated);
+      }
+    }
+    // Liveness: earliest index where Bob's running net inflow in the hop
+    // currency reaches the hop amount.
+    {
+      std::int64_t net = 0;
+      std::int64_t decide_ix = -1;
+      for (std::size_t i = 0; i < stream.size() && decide_ix < 0; ++i) {
+        const TraceEvent& e = stream[i];
+        if (e.kind != EventKind::kTransfer || !e.amount ||
+            e.amount->currency() != last_hop.currency()) {
+          continue;
+        }
+        if (e.peer == bob) net += e.amount->units();
+        if (e.actor == bob) net -= e.amount->units();
+        if (net >= last_hop.units()) decide_ix = static_cast<std::int64_t>(i);
+      }
+      const auto& live = monitor.liveness();
+      if (decide_ix >= 0) {
+        EXPECT_EQ(live.verdict(), Verdict::kHolds);
+        EXPECT_EQ(live.decided_seq(), static_cast<std::uint64_t>(decide_ix));
+        EXPECT_EQ(live.decided_at(),
+                  stream[static_cast<std::size_t>(decide_ix)].at);
+      } else {
+        EXPECT_EQ(live.final_verdict(), Verdict::kViolated);
+      }
+    }
+    // CC: earliest index where both commit and abort were decided in scope.
+    {
+      bool commit = false;
+      bool abort_seen = false;
+      std::int64_t decide_ix = -1;
+      for (std::size_t i = 0; i < stream.size() && decide_ix < 0; ++i) {
+        const TraceEvent& e = stream[i];
+        if (e.kind != EventKind::kDecide) continue;
+        if (e.deal_id != 0 && e.deal_id != deal) continue;
+        commit = commit || e.label == labels::commit;
+        abort_seen = abort_seen || e.label == labels::abort_;
+        if (commit && abort_seen) decide_ix = static_cast<std::int64_t>(i);
+      }
+      const auto& cc = monitor.cert_consistency();
+      if (decide_ix >= 0) {
+        EXPECT_EQ(cc.verdict(), Verdict::kViolated);
+        EXPECT_EQ(cc.decided_seq(), static_cast<std::uint64_t>(decide_ix));
+      } else {
+        EXPECT_EQ(cc.final_verdict(), Verdict::kHolds);
+      }
+    }
+    // Abort freedom: the first abort request decides.
+    {
+      std::int64_t decide_ix = -1;
+      for (std::size_t i = 0; i < stream.size(); ++i) {
+        if (stream[i].kind == EventKind::kAbortRequested) {
+          decide_ix = static_cast<std::int64_t>(i);
+          break;
+        }
+      }
+      const auto& aborts = monitor.abort_freedom();
+      if (decide_ix >= 0) {
+        EXPECT_EQ(aborts.verdict(), Verdict::kViolated);
+        EXPECT_EQ(aborts.decided_seq(), static_cast<std::uint64_t>(decide_ix));
+      } else {
+        EXPECT_EQ(aborts.final_verdict(), Verdict::kHolds);
+      }
+    }
+    // Batch agreement: the thin-replay batch checkers answer from the same
+    // evidence — build a RunRecord around the trace and cross-check.
+    {
+      proto::RunRecord r;
+      r.spec = proto::DealSpec::uniform(deal, 2, 100, 5);
+      for (const TraceEvent& e : stream) r.trace.record(e);
+      const auto cc_batch = check_certificate_consistency(r);
+      EXPECT_EQ(cc_batch.holds,
+                monitor.cert_consistency().final_verdict() == Verdict::kHolds)
+          << "trace " << t;
+      EXPECT_EQ(r.trace.count(EventKind::kAbortRequested) > 0,
+                monitor.abort_freedom().final_verdict() == Verdict::kViolated);
+    }
+  }
+}
+
+TEST(Online, MonitorRidesTraceRecorderSink) {
+  // The monitor observes through TraceRecorder::record() — the exact wiring
+  // the runners use — not by being fed separately.
+  OnlineMonitor::Config cfg;
+  cfg.bob = sim::ProcessId(1);
+  cfg.last_hop = Amount(100, Currency::generic());
+  cfg.cast = {sim::ProcessId(0), sim::ProcessId(1)};
+  OnlineMonitor monitor(cfg);
+
+  sim::StopToken token;
+  monitor.arm_stop(&token);
+
+  TraceRecorder trace;
+  trace.set_sink(&monitor);
+
+  TraceEvent pay;
+  pay.kind = EventKind::kTransfer;
+  pay.at = TimePoint::micros(10);
+  pay.actor = sim::ProcessId(0);
+  pay.peer = sim::ProcessId(1);
+  pay.amount = Amount(100, Currency::generic());
+  trace.record(pay);
+  EXPECT_EQ(monitor.liveness().verdict(), Verdict::kHolds);
+  EXPECT_FALSE(token.stop_requested);  // cast not yet quiescent
+
+  TraceEvent done;
+  done.kind = EventKind::kTerminate;
+  done.at = TimePoint::micros(20);
+  done.actor = sim::ProcessId(0);
+  trace.record(done);
+  EXPECT_FALSE(token.stop_requested);
+  done.actor = sim::ProcessId(1);
+  done.at = TimePoint::micros(30);
+  trace.record(done);
+  // The second terminate completes the cast: the stop latches with the
+  // deciding event's timestamp.
+  EXPECT_TRUE(token.stop_requested);
+  EXPECT_EQ(token.requested_at, TimePoint::micros(30));
+  EXPECT_TRUE(monitor.quiescent());
+  const OnlineOutcome o = monitor.outcome();
+  EXPECT_TRUE(o.early_stopped);
+  EXPECT_EQ(o.termination, Verdict::kHolds);
+  EXPECT_EQ(o.liveness, Verdict::kHolds);
+  EXPECT_EQ(o.cert_consistency, Verdict::kHolds);
+  EXPECT_EQ(o.abort_freedom, Verdict::kHolds);
+  EXPECT_EQ(o.decided_at, TimePoint::micros(30));
+  EXPECT_EQ(o.events_seen, 3u);
+  trace.set_sink(nullptr);
 }
 
 TEST(Trace, QueryHelpers) {

@@ -94,6 +94,26 @@ TEST(Simulator, RunUntilStopsAtDeadline) {
   EXPECT_EQ(fired, 2);
 }
 
+TEST(Simulator, StopTokenEndsRunAtEventGranularity) {
+  Simulator sim(1);
+  std::vector<int> ran;
+  sim.schedule_at(TimePoint::micros(10), [&] { ran.push_back(1); });
+  sim.schedule_at(TimePoint::micros(20), [&] {
+    ran.push_back(2);
+    // Request mid-event: this event completes, nothing after it runs.
+    sim.stop_token().request(sim.now());
+  });
+  sim.schedule_at(TimePoint::micros(20), [&] { ran.push_back(3); });
+  sim.schedule_at(TimePoint::micros(30), [&] { ran.push_back(4); });
+  const bool drained = sim.run_until(TimePoint::micros(100));
+  EXPECT_FALSE(drained);  // queue still holds the abandoned events
+  EXPECT_TRUE(sim.stop_requested());
+  EXPECT_EQ(sim.stop_token().requested_at, TimePoint::micros(20));
+  EXPECT_EQ(ran, (std::vector<int>{1, 2}));
+  // The clock never advanced past the deciding event.
+  EXPECT_EQ(sim.now(), TimePoint::micros(20));
+}
+
 TEST(Simulator, EventLimitCatchesLivelock) {
   Simulator sim(1);
   sim.set_event_limit(100);
