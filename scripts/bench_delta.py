@@ -16,7 +16,10 @@ timer-reset and trace-pipeline families) while everything else stays
 report-only. Missing/unreadable inputs always degrade to "no previous
 data" with exit 0, so the first CI run of a branch never trips the gate.
 
-Benchmarks present on only one side are listed as added/removed. Aggregate
+Benchmarks present on only one side are listed as added/removed; new
+benchmarks and benchmarks whose baseline time is zero/near-zero (a broken
+previous artifact) report as "new"/"no baseline" and are never gated.
+Aggregate
 entries (mean/median/stddev rows from --benchmark_repetitions) are
 skipped; the smoke run uses one repetition.
 """
@@ -48,6 +51,25 @@ def load(path):
 
 def fmt_time(value, unit):
     return f"{value:,.0f} {unit}"
+
+
+# Unit multipliers to nanoseconds, for the baseline sanity floor.
+_NS_PER_UNIT = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+# A baseline below this (in ns) cannot be a real measurement — google
+# benchmark reports sub-nanosecond times only for corrupt or placeholder
+# entries. Such rows report as "no baseline" and never gate: dividing by
+# them would either crash (zero) or synthesize a million-percent
+# "regression" that hard-fails the build spuriously.
+_MIN_BASELINE_NS = 1e-3
+
+
+def to_ns(value, unit):
+    return value * _NS_PER_UNIT.get(unit, 1.0)
+
+
+def usable_baseline(value, unit):
+    return to_ns(value, unit) > _MIN_BASELINE_NS
 
 
 def main():
@@ -86,12 +108,25 @@ def main():
     for name in sorted(curr):
         t_curr, unit = curr[name]
         if name not in prev:
+            # A benchmark added since the baseline artifact has nothing to
+            # regress against: report it as new, never gate it (the next
+            # run's artifact becomes its baseline).
             print(f"| `{name}` | _new_ | {fmt_time(t_curr, unit)} | — |")
             continue
-        t_prev, _ = prev[name]
-        if t_prev <= 0:
+        t_prev, prev_unit = prev[name]
+        if not usable_baseline(t_prev, prev_unit):
+            # Zero/near-zero baselines are artifacts of a broken previous
+            # run, not data: report the row (the old code dropped it
+            # silently) and keep it out of the gate.
+            print(f"| `{name}` | _no baseline_ | {fmt_time(t_curr, unit)} "
+                  "| — |")
             continue
-        delta = 100.0 * (t_curr - t_prev) / t_prev
+        # Compare in a common unit: a benchmark whose time_unit changed
+        # between artifacts (e.g. us -> ms) would otherwise produce a
+        # nonsense delta that either masks a real regression or trips the
+        # gate spuriously.
+        delta = 100.0 * (to_ns(t_curr, unit) - to_ns(t_prev, prev_unit)) \
+            / to_ns(t_prev, prev_unit)
         flag = ""
         if delta >= args.threshold:
             flag = " ⚠️ slower"
@@ -101,7 +136,7 @@ def main():
                 and delta > args.fail_threshold:
             flag += " ❌ gated"
             gated_failures.append((name, delta))
-        print(f"| `{name}` | {fmt_time(t_prev, unit)} | "
+        print(f"| `{name}` | {fmt_time(t_prev, prev_unit)} | "
               f"{fmt_time(t_curr, unit)} | {delta:+.1f}%{flag} |")
     removed = sorted(set(prev) - set(curr))
     for name in removed:

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Regression tests for bench_delta.py's --fail-threshold gate.
+
+Exercises the baseline edge cases that used to misbehave: a benchmark
+present only in the current run must report as "new" (never gate), and a
+zero/near-zero baseline must neither divide-by-zero nor synthesize a
+spurious hard failure. Run directly or via ctest; exits nonzero on the
+first failing case.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "bench_delta.py")
+
+
+def bench_json(path, entries):
+    data = {"benchmarks": [
+        {"name": name, "real_time": t, "time_unit": unit}
+        for (name, t, unit) in entries
+    ]}
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(data, f)
+
+
+def run(prev, curr, *extra):
+    proc = subprocess.run(
+        [sys.executable, SCRIPT, prev, curr, *extra],
+        capture_output=True, text=True, check=False)
+    return proc.returncode, proc.stdout
+
+
+def main():
+    failures = []
+
+    def check(label, cond, detail=""):
+        if not cond:
+            failures.append(f"{label}: {detail}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        prev = os.path.join(tmp, "prev.json")
+        curr = os.path.join(tmp, "curr.json")
+
+        # 1. A gated benchmark that regressed beyond the threshold fails
+        #    (the gate itself works).
+        bench_json(prev, [("BM_Gated/1", 100.0, "ns")])
+        bench_json(curr, [("BM_Gated/1", 200.0, "ns")])
+        rc, out = run(prev, curr, "--fail-threshold", "40")
+        check("regression gates", rc == 1, f"rc={rc}\n{out}")
+
+        # 2. A benchmark new in the current run reports as "new" and does
+        #    not gate, even when the gate filter matches it.
+        bench_json(prev, [("BM_Old/1", 100.0, "ns")])
+        bench_json(curr, [("BM_Old/1", 101.0, "ns"),
+                          ("BM_Gated/1", 5000.0, "ns")])
+        rc, out = run(prev, curr, "--fail-threshold", "40",
+                      "--fail-filter", "BM_Gated")
+        check("new bench exits 0", rc == 0, f"rc={rc}\n{out}")
+        check("new bench reports as new", "_new_" in out, out)
+
+        # 3. A zero baseline: no divide-by-zero crash, no gate, and the row
+        #    is reported rather than silently dropped.
+        bench_json(prev, [("BM_Gated/1", 0.0, "ns")])
+        bench_json(curr, [("BM_Gated/1", 123.0, "ns")])
+        rc, out = run(prev, curr, "--fail-threshold", "40")
+        check("zero baseline exits 0", rc == 0, f"rc={rc}\n{out}")
+        check("zero baseline row reported", "_no baseline_" in out, out)
+
+        # 4. A near-zero baseline (broken artifact, not a measurement):
+        #    would be a +1e8% "regression" — must not gate.
+        bench_json(prev, [("BM_Gated/1", 1e-7, "ns")])
+        bench_json(curr, [("BM_Gated/1", 123.0, "ns")])
+        rc, out = run(prev, curr, "--fail-threshold", "40")
+        check("near-zero baseline exits 0", rc == 0, f"rc={rc}\n{out}")
+        check("near-zero baseline not gated", "❌" not in out, out)
+
+        # 5. A legitimately fast sub-ns baseline still compares and still
+        #    gates (the floor must not swallow real measurements).
+        bench_json(prev, [("BM_Gated/1", 0.5, "ns")])
+        bench_json(curr, [("BM_Gated/1", 1.5, "ns")])
+        rc, out = run(prev, curr, "--fail-threshold", "40")
+        check("fast baseline still gates", rc == 1, f"rc={rc}\n{out}")
+
+        # 5b. A unit change between artifacts must compare in a common
+        #     unit: 900 us -> 1.1 ms is a real +22% regression (gates),
+        #     not a -99.9% improvement on raw values.
+        bench_json(prev, [("BM_Gated/1", 900.0, "us")])
+        bench_json(curr, [("BM_Gated/1", 1.1, "ms")])
+        rc, out = run(prev, curr, "--fail-threshold", "10")
+        check("unit change still gates", rc == 1, f"rc={rc}\n{out}")
+        check("unit change delta sane", "+22.2%" in out, out)
+
+        # 5c. ...and the reverse direction must not synthesize a spurious
+        #     gated failure (1.1 ms -> 900 us is an improvement).
+        bench_json(prev, [("BM_Gated/1", 1.1, "ms")])
+        bench_json(curr, [("BM_Gated/1", 900.0, "us")])
+        rc, out = run(prev, curr, "--fail-threshold", "10")
+        check("reverse unit change exits 0", rc == 0, f"rc={rc}\n{out}")
+
+        # 6. Missing baseline file degrades to report-only success.
+        rc, out = run(os.path.join(tmp, "nope.json"), curr,
+                      "--fail-threshold", "40")
+        check("missing baseline exits 0", rc == 0, f"rc={rc}\n{out}")
+
+        # 7. An improvement on a gated bench does not fail.
+        bench_json(prev, [("BM_Gated/1", 200.0, "ns")])
+        bench_json(curr, [("BM_Gated/1", 100.0, "ns")])
+        rc, out = run(prev, curr, "--fail-threshold", "40")
+        check("improvement exits 0", rc == 0, f"rc={rc}\n{out}")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL {f}", file=sys.stderr)
+        return 1
+    print("bench_delta gate tests: all cases passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

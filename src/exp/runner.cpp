@@ -149,53 +149,6 @@ proto::RunRecord run_weak_family(ProtocolKind protocol, Regime regime, int n,
   return proto::weak::run_weak(cfg);
 }
 
-/// Worker-local fold state for the streaming cell sweep. Merge is a plain
-/// sum except for the example list, which keeps the (seed, ordinal)-lowest
-/// few — every operation is insensitive to how seeds were partitioned
-/// across workers, so the merged cell is bit-identical for any worker
-/// count (and to the buffered reference implementation).
-struct CellAccum {
-  static constexpr std::size_t kMaxExamples = 4;
-
-  struct Example {
-    std::uint64_t seed = 0;
-    std::uint32_t ordinal = 0;  // order within the seed's checker pass
-    std::string text;
-  };
-
-  std::size_t safety_violations = 0;
-  std::size_t termination_failures = 0;
-  std::size_t liveness_failures = 0;
-  // Early-stop telemetry: plain sums, so the merge stays order-insensitive.
-  std::size_t early_stops = 0;
-  Duration decided_at_total;
-  std::uint64_t events_total = 0;
-  std::vector<Example> examples;  // sorted by (seed, ordinal), capped
-
-  void merge(CellAccum&& o) {
-    safety_violations += o.safety_violations;
-    termination_failures += o.termination_failures;
-    liveness_failures += o.liveness_failures;
-    early_stops += o.early_stops;
-    decided_at_total = decided_at_total + o.decided_at_total;
-    events_total += o.events_total;
-    std::vector<Example> merged;
-    merged.reserve(std::min(examples.size() + o.examples.size(), kMaxExamples));
-    std::size_t a = 0;
-    std::size_t b = 0;
-    while (merged.size() < kMaxExamples &&
-           (a < examples.size() || b < o.examples.size())) {
-      const bool take_a =
-          b >= o.examples.size() ||
-          (a < examples.size() &&
-           std::pair(examples[a].seed, examples[a].ordinal) <
-               std::pair(o.examples[b].seed, o.examples[b].ordinal));
-      merged.push_back(std::move(take_a ? examples[a++] : o.examples[b++]));
-    }
-    examples = std::move(merged);
-  }
-};
-
 /// Evaluates one record's property verdicts into the accumulator. Shared by
 /// nothing else on purpose: run_matrix_cell_buffered keeps the original
 /// record-by-record loop as an independent reference implementation.
@@ -312,15 +265,37 @@ void require_verdicts_match(const props::OnlineOutcome& live,
   }
 }
 
-/// Assembles the returned MatrixCell from a merged accumulator — the one
-/// place the accumulator's fields map onto the cell's, shared by the
-/// streaming, differential and buffered paths.
-MatrixCell make_cell(ProtocolKind protocol, Regime regime, std::size_t seeds,
-                     CellAccum&& acc) {
+}  // namespace
+
+void CellAccum::merge(CellAccum&& o) {
+  safety_violations += o.safety_violations;
+  termination_failures += o.termination_failures;
+  liveness_failures += o.liveness_failures;
+  early_stops += o.early_stops;
+  decided_at_total = decided_at_total + o.decided_at_total;
+  events_total += o.events_total;
+  std::vector<Example> merged;
+  merged.reserve(std::min(examples.size() + o.examples.size(), kMaxExamples));
+  std::size_t a = 0;
+  std::size_t b = 0;
+  while (merged.size() < kMaxExamples &&
+         (a < examples.size() || b < o.examples.size())) {
+    const bool take_a =
+        b >= o.examples.size() ||
+        (a < examples.size() &&
+         std::pair(examples[a].seed, examples[a].ordinal) <
+             std::pair(o.examples[b].seed, o.examples[b].ordinal));
+    merged.push_back(std::move(take_a ? examples[a++] : o.examples[b++]));
+  }
+  examples = std::move(merged);
+}
+
+MatrixCell cell_from_accum(ProtocolKind protocol, Regime regime,
+                           std::size_t runs, CellAccum&& acc) {
   MatrixCell cell;
   cell.protocol = protocol;
   cell.regime = regime;
-  cell.runs = seeds;
+  cell.runs = runs;
   cell.safety_violations = acc.safety_violations;
   cell.termination_failures = acc.termination_failures;
   cell.liveness_failures = acc.liveness_failures;
@@ -333,11 +308,9 @@ MatrixCell make_cell(ProtocolKind protocol, Regime regime, std::size_t seeds,
   return cell;
 }
 
-}  // namespace
-
-MatrixCell run_matrix_cell(ProtocolKind protocol, Regime regime, int n,
-                           std::size_t seeds, std::uint64_t first_seed,
-                           const CellOptions& opts) {
+CellAccum run_matrix_cell_accum(ProtocolKind protocol, Regime regime, int n,
+                                std::size_t seeds, std::uint64_t first_seed,
+                                const CellOptions& opts) {
   const bool weak_family = is_weak_family(protocol);
 
   // Streaming: run, check, fold, drop — the RunRecord (and its trace
@@ -345,7 +318,7 @@ MatrixCell run_matrix_cell(ProtocolKind protocol, Regime regime, int n,
   // seed-over-seed instead of accumulating for the whole sweep. With the
   // default options each run also carries an online monitor that ends it
   // at its deciding event.
-  CellAccum acc = sweep_accumulate<CellAccum>(
+  return sweep_accumulate<CellAccum>(
       first_seed, seeds, [&](std::uint64_t seed, CellAccum& a) {
         const proto::RunRecord record =
             weak_family
@@ -354,8 +327,14 @@ MatrixCell run_matrix_cell(ProtocolKind protocol, Regime regime, int n,
                                           opts.online);
         fold_record(record, weak_family, seed, a);
       });
+}
 
-  return make_cell(protocol, regime, seeds, std::move(acc));
+MatrixCell run_matrix_cell(ProtocolKind protocol, Regime regime, int n,
+                           std::size_t seeds, std::uint64_t first_seed,
+                           const CellOptions& opts) {
+  return cell_from_accum(
+      protocol, regime, seeds,
+      run_matrix_cell_accum(protocol, regime, n, seeds, first_seed, opts));
 }
 
 MatrixCell run_matrix_cell_differential(ProtocolKind protocol, Regime regime,
@@ -417,7 +396,7 @@ MatrixCell run_matrix_cell_differential(ProtocolKind protocol, Regime regime,
         fold_record(stopped, weak_family, seed, a);
       });
 
-  return make_cell(protocol, regime, seeds, std::move(early_acc));
+  return cell_from_accum(protocol, regime, seeds, std::move(early_acc));
 }
 
 MatrixCell run_matrix_cell_buffered(ProtocolKind protocol, Regime regime,

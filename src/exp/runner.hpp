@@ -3,6 +3,7 @@
 // summarizes which of the paper's requirements held. Feeds the
 // TAB-properties bench (the §1/§5 comparison) and several tests.
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,10 @@ struct MatrixCell {
   Duration decided_at_total;           // sum of decided-at over early stops
   std::uint64_t events_total = 0;      // simulator events across all seeds
 
+  /// Whole-cell equality, used by the distributed-sweep byte-identity
+  /// checks; defaulted so a new field can never be forgotten.
+  bool operator==(const MatrixCell&) const = default;
+
   bool safety_ok() const { return safety_violations == 0; }
   bool termination_ok() const { return termination_failures == 0; }
   bool liveness_ok() const { return liveness_failures == 0; }
@@ -65,6 +70,53 @@ struct CellOptions {
   /// unchanged by construction — run_matrix_cell_differential proves it.
   props::OnlineOptions online{/*enabled=*/true, /*early_stop=*/true};
 };
+
+/// Worker-local fold state for the streaming cell sweep — and the unit
+/// shipped between sweep-shard processes (exp/shard.hpp). Merge is a plain
+/// sum except for the example list, which keeps the (seed, ordinal)-lowest
+/// few — every operation is insensitive to how seeds were partitioned
+/// across workers or shards and associative across merges, so the merged
+/// cell is bit-identical for any worker count, shard count, or merge order.
+/// Merging a default-constructed CellAccum is a no-op (idle worker slots
+/// and empty shards merge too).
+struct CellAccum {
+  static constexpr std::size_t kMaxExamples = 4;
+
+  struct Example {
+    std::uint64_t seed = 0;
+    std::uint32_t ordinal = 0;  // order within the seed's checker pass
+    std::string text;
+  };
+
+  std::size_t safety_violations = 0;
+  std::size_t termination_failures = 0;
+  std::size_t liveness_failures = 0;
+  // Early-stop telemetry: plain sums, so the merge stays order-insensitive.
+  std::size_t early_stops = 0;
+  Duration decided_at_total;
+  std::uint64_t events_total = 0;
+  std::vector<Example> examples;  // sorted by (seed, ordinal), capped
+
+  void merge(CellAccum&& o);
+};
+
+/// The streaming sweep behind run_matrix_cell, exposed as an accumulator:
+/// runs seeds [first_seed, first_seed + seeds) and returns the merged fold
+/// state instead of a finished cell. This is the unit of work a sweep shard
+/// (one process of exp::distributed_sweep) executes; folding shard accums
+/// with CellAccum::merge and finishing with cell_from_accum reproduces
+/// run_matrix_cell byte-for-byte.
+CellAccum run_matrix_cell_accum(ProtocolKind protocol, Regime regime, int n,
+                                std::size_t seeds,
+                                std::uint64_t first_seed = 1,
+                                const CellOptions& opts = {});
+
+/// Assembles the returned MatrixCell from a merged accumulator — the one
+/// place the accumulator's fields map onto the cell's, shared by the
+/// streaming, differential and distributed paths. `runs` is the total seed
+/// count the accumulator covers.
+MatrixCell cell_from_accum(ProtocolKind protocol, Regime regime,
+                           std::size_t runs, CellAccum&& acc);
 
 /// Runs `seeds` all-honest executions of `protocol` under `regime` (chain
 /// length n) and aggregates property outcomes. Streaming: each seed's

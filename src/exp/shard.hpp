@@ -1,0 +1,155 @@
+#pragma once
+// Cross-process sweep sharding: the transport that turns the single-box
+// SweepPool into a multi-process (and machine-ready) sweep fabric.
+//
+// Per-seed determinism plus order-insensitive mergeable accumulators
+// (CellAccum's contract) already make shard results combinable by
+// construction; this header supplies the missing piece — a versioned,
+// endianness-stable wire format for CellAccum and a driver that partitions
+// a seed range across K worker processes (tools/xcp_sweep_shard) and folds
+// their blobs with the existing merge(). Splitting the workload is provably
+// invisible in the result: distributed_sweep(K) == run_matrix_cell(1
+// process) byte-for-byte on every verdict counter, early-stop count,
+// decided-at sum and example string (tests/test_shard.cpp proves it across
+// the 6x4 theorem matrix for K in {1, 2, 3, 7}).
+//
+// Wire format (version 1)
+// -----------------------
+//   header : magic u32 ("XCPA", little-endian byte order throughout —
+//            every integer is serialized byte-wise LE, so blobs are
+//            byte-identical across host endianness), version u16,
+//            reserved u16 (zero)
+//   fields : a sequence of { tag u16, length u32, payload[length] }
+//            frames until end of blob
+//
+// Per-field framing is what makes the format evolvable deterministically: a
+// future v2 reader upgrades a v1 payload by defaulting the fields v1 never
+// wrote, and a v1 reader *rejects* a v2 payload outright (version > reader)
+// instead of misparsing it. Within a supported version, unknown tags,
+// duplicate tags, missing required tags, short frames and trailing bytes
+// are all hard parse errors (WireError) — corrupt or truncated blobs are
+// rejected loudly, never interpreted.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+
+namespace xcp::exp {
+
+/// Parse/validation failure on an accumulator blob: bad magic, unsupported
+/// version, unknown/duplicate/missing field, short frame, trailing bytes,
+/// or a meta cross-check mismatch. Deliberately a distinct type so callers
+/// can tell "the transport handed us garbage" from simulator invariants.
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what)
+      : std::runtime_error("shard wire: " + what) {}
+};
+
+/// "XCPA" as a little-endian u32 ('X' is the first byte on the wire).
+inline constexpr std::uint32_t kWireMagic = 0x41504358u;
+inline constexpr std::uint16_t kWireVersion = 1;
+/// Oldest payload version this reader upgrades; anything older (or newer
+/// than kWireVersion) is rejected.
+inline constexpr std::uint16_t kWireMinVersion = 1;
+
+/// Serializes every streamed field of a CellAccum (verdict counts,
+/// early-stop count, decided-at sum, events total, example records) into a
+/// self-describing blob. Round-trips bit-exactly through parse_cell_accum.
+std::vector<std::uint8_t> serialize_cell_accum(const CellAccum& acc);
+
+/// Parses a serialize_cell_accum blob. Throws WireError on anything
+/// malformed; never exhibits UB on corrupt/truncated/version-bumped input.
+CellAccum parse_cell_accum(const std::uint8_t* data, std::size_t size);
+inline CellAccum parse_cell_accum(const std::vector<std::uint8_t>& blob) {
+  return parse_cell_accum(blob.data(), blob.size());
+}
+
+/// What a shard worker was asked to compute — carried inside the blob so
+/// the driver can prove each worker ran the right (cell, seed range,
+/// monitor mode) before merging its accumulator.
+struct ShardMeta {
+  ProtocolKind protocol = ProtocolKind::kTimeBounded;
+  Regime regime = Regime::kSynchronyConforming;
+  std::int32_t n = 2;
+  std::uint64_t first_seed = 1;
+  std::uint64_t seed_count = 0;
+  bool online = true;
+  bool early_stop = true;
+
+  bool operator==(const ShardMeta&) const = default;
+};
+
+struct ShardBlob {
+  ShardMeta meta;
+  CellAccum accum;
+};
+
+/// The envelope a shard worker writes to stdout: the same header and accum
+/// fields as serialize_cell_accum plus a meta frame identifying the work.
+std::vector<std::uint8_t> serialize_shard_blob(const ShardMeta& meta,
+                                               const CellAccum& acc);
+ShardBlob parse_shard_blob(const std::uint8_t* data, std::size_t size);
+inline ShardBlob parse_shard_blob(const std::vector<std::uint8_t>& blob) {
+  return parse_shard_blob(blob.data(), blob.size());
+}
+
+/// Stable CLI tokens for the worker command line (distinct from the pretty
+/// display names in protocol_kind_name/regime_name, which carry spaces and
+/// theorem references). parse_* return false on unknown tokens.
+const char* protocol_token(ProtocolKind k);
+const char* regime_token(Regime r);
+bool parse_protocol_token(const std::string& token, ProtocolKind& out);
+bool parse_regime_token(const std::string& token, Regime& out);
+
+/// One shard's contiguous slice of the sweep's seed range.
+struct ShardRange {
+  std::uint64_t first_seed = 0;
+  std::uint64_t count = 0;
+};
+
+/// Partitions [first_seed, first_seed + seeds) into `shards` contiguous
+/// ranges: the first (seeds % shards) ranges get one extra seed, so ragged
+/// divisions stay contiguous and deterministic. shards > seeds yields empty
+/// trailing ranges (their accumulators merge as no-ops).
+std::vector<ShardRange> plan_shards(std::uint64_t first_seed,
+                                    std::size_t seeds, unsigned shards);
+
+struct DistributedOptions {
+  /// Path to the xcp_sweep_shard worker binary. Empty runs each shard
+  /// in-process instead — the accumulator still round-trips through
+  /// serialize -> parse -> merge, so the wire format and merge contract are
+  /// exercised identically; only the process boundary is elided. Useful
+  /// for tests and for environments where the tool isn't deployed.
+  std::string worker_path;
+  /// Forwarded to every shard's run_matrix_cell_accum.
+  CellOptions cell;
+};
+
+/// Resolves the xcp_sweep_shard binary for process-transport callers:
+/// $XCP_SWEEP_SHARD_BIN when set (throws std::runtime_error if set but
+/// not executable — an explicit configuration must not silently degrade
+/// to in-process shards), else ./xcp_sweep_shard if executable (ctest and
+/// the benches run from the build directory, where CMake puts the tool),
+/// else empty — callers then fall back to in-process shards or skip.
+std::string default_worker_path();
+
+/// Runs one matrix cell as `shards` shard processes: partitions the seed
+/// range with plan_shards, launches tools/xcp_sweep_shard per shard
+/// (scenario + cell + seed range in, one serialized accumulator blob on
+/// stdout), parses and cross-checks each blob's meta, folds the
+/// accumulators with CellAccum::merge, and finishes with cell_from_accum.
+/// Workers run concurrently; the fold is order-insensitive, so the result
+/// is byte-identical to run_matrix_cell over the same range. Throws
+/// WireError on malformed blobs and std::runtime_error when a worker fails
+/// to launch or exits nonzero.
+MatrixCell distributed_sweep(ProtocolKind protocol, Regime regime, int n,
+                             std::size_t seeds, unsigned shards,
+                             std::uint64_t first_seed = 1,
+                             const DistributedOptions& opts = {});
+
+}  // namespace xcp::exp

@@ -118,6 +118,19 @@ void EventQueue::sync_wheel() {
     const TimerWheel::DetachedView due =
         wheel_.detach_earliest_if_due(heap_top);
     if (due.size == 0) break;  // exact bound refreshed: not due
+    // The bucket is on loan until released; if anything below throws, the
+    // scope restores it (entries intact, loan returned) instead of leaving
+    // the wheel's detach latch stuck. Throwing is confined to the guarded
+    // reservation: after it, moving entries into the heap cannot fail, so
+    // an entry is never both restored to the wheel and pushed to the heap.
+    TimerWheel::DetachScope scope(wheel_);
+    XCP_REQUIRE(heap_.size() + due.size < kWheelBit,
+                "event heap position space exhausted");
+    if (heap_.capacity() - heap_.size() < due.size) {
+      // Keep vector growth geometric: repeated exact-size reserves would
+      // otherwise reallocate on every drain once the heap is near capacity.
+      heap_.reserve(std::max(heap_.size() + due.size, heap_.capacity() * 2));
+    }
     // One contiguous walk of the bucket's entry array, skipping free
     // entries (cancelled positions awaiting reuse); the heap restores the
     // (at, seq) total order, so the array's scrambled order is irrelevant
@@ -129,7 +142,7 @@ void EventQueue::sync_wheel() {
       push_heap_entry(HeapEntry{e.at, e.seq, e.idx});
       ++consumed;
     }
-    wheel_.release_detached(consumed);
+    scope.release(consumed);
   }
 }
 

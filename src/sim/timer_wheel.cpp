@@ -86,8 +86,21 @@ TimerWheel::DetachedView TimerWheel::detach_earliest_if_due(
   // re-inserted at exactly this start — are still found and drained.
   if (start - 1 > cursor_) cursor_ = start - 1;
   detached_ = bucket;
+  detached_start_ = start;
   const Bucket& b = buckets_[bucket];
   return DetachedView{b.data, b.size};
+}
+
+void TimerWheel::restore_detached() {
+  XCP_REQUIRE(detached_ != kNoBucket, "restore without a detach");
+  // Re-occupy the slot exactly as detach found it. The cursor stays where
+  // detach advanced it (just before the slot's start), so the bucket is
+  // still ahead of the cursor and the next drain re-finds it; entries were
+  // never touched, so counts and the free stack are already correct.
+  occupied_[detached_ >> kSlotBits] |=
+      std::uint64_t{1} << (detached_ & (kSlotsPerLevel - 1));
+  if (detached_start_ < next_due_lb_) next_due_lb_ = detached_start_;
+  detached_ = kNoBucket;
 }
 
 void TimerWheel::release_detached(std::size_t consumed) {

@@ -166,6 +166,44 @@ class TimerWheel {
   /// caller took from the view (free entries excluded).
   void release_detached(std::size_t consumed);
 
+  /// Returns a detached bucket unconsumed: re-occupies its slot and
+  /// restores the due lower bound, as if detach_earliest_if_due had never
+  /// run (the cursor stays where detach left it — the slot's start is
+  /// still ahead of it, so a later drain finds the bucket again). The
+  /// unwind path when a consumer throws mid-drain; normally reached via
+  /// DetachScope, not called directly.
+  void restore_detached();
+
+  /// RAII loan of a due bucket. detach_earliest_if_due hands out a raw
+  /// view; if the consumer throws mid-drain before release_detached, the
+  /// bucket stays on loan forever and the next detach trips
+  /// XCP_REQUIRE(detached_ == kNoBucket), bricking the queue. Construct a
+  /// scope after a successful (non-empty) detach: release(consumed) on the
+  /// happy path, and unwinding restores the bucket — entries intact, loan
+  /// returned, wheel usable.
+  class DetachScope {
+   public:
+    explicit DetachScope(TimerWheel& wheel) : wheel_(&wheel) {}
+    DetachScope(const DetachScope&) = delete;
+    DetachScope& operator=(const DetachScope&) = delete;
+    ~DetachScope() {
+      if (wheel_ != nullptr) wheel_->restore_detached();
+    }
+    /// Happy-path acknowledgement; forwards to release_detached once.
+    /// Disarms *before* forwarding: by this point the consumer has taken
+    /// the view's entries, so if release_detached throws (consumption
+    /// mismatch), restoring would resurrect entries the consumer already
+    /// owns — the loud invariant failure must not become duplication.
+    void release(std::size_t consumed) {
+      TimerWheel* w = wheel_;
+      wheel_ = nullptr;
+      w->release_detached(consumed);
+    }
+
+   private:
+    TimerWheel* wheel_;
+  };
+
   /// Moves the cursor (e.g. back in time when the owning queue has fully
   /// drained and is being reused). Requires empty().
   void reset_cursor(std::int64_t t) { cursor_ = t; }
@@ -209,6 +247,7 @@ class TimerWheel {
   std::int64_t next_due_lb_ = std::numeric_limits<std::int64_t>::max();
   std::size_t count_ = 0;
   std::uint16_t detached_ = kNoBucket;  // bucket currently on loan
+  std::int64_t detached_start_ = 0;     // its slot start, for restore
   std::array<std::uint64_t, kLevels> occupied_{};  // per-level slot bitmap
   std::array<Bucket, kBuckets> buckets_;
 };

@@ -6,12 +6,14 @@
 
 #include <algorithm>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "exp/scenario.hpp"
 #include "net/msg_kind.hpp"
 #include "proto/weak/protocol.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/timer_wheel.hpp"
 #include "sim/simulator.hpp"
 #include "support/hash.hpp"
 #include "support/inline_callable.hpp"
@@ -334,6 +336,153 @@ TEST(EventQueue, WheelReArmChurnKeepsStorageBounded) {
   }
   EXPECT_EQ(q.live_size(), 1u);
   EXPECT_LE(q.slab_size(), 2u);
+}
+
+TEST(TimerWheel, ThrowingConsumerRestoresDetachedBucket) {
+  // Regression: a consumer that threw between detach_earliest_if_due and
+  // release_detached (an event callback exploding mid-drain) left the
+  // bucket on loan forever — the next detach tripped
+  // XCP_REQUIRE(detached_ == kNoBucket, "previous detach not released") and
+  // bricked the queue. DetachScope's unwind path must return the loan with
+  // every entry intact.
+  sim::TimerWheel w;
+  const TimePoint at = TimePoint::micros(std::int64_t{2} << 18);  // level 3
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    ASSERT_NE(w.try_insert(at, i, i), sim::TimerWheel::kNone);
+  }
+  ASSERT_EQ(w.size(), 3u);
+
+  const auto drain_throwing = [&] {
+    const sim::TimerWheel::DetachedView due =
+        w.detach_earliest_if_due(at.count());
+    ASSERT_EQ(due.size, 3u);
+    sim::TimerWheel::DetachScope scope(w);
+    for (std::size_t i = 0; i < due.size; ++i) {
+      if (i == 1) throw std::runtime_error("callback exploded mid-drain");
+    }
+    scope.release(3);  // never reached
+  };
+  EXPECT_THROW(drain_throwing(), std::runtime_error);
+
+  // The loan was returned and nothing was lost: the wheel still holds all
+  // three entries and a fresh detach succeeds (this is the call that used
+  // to throw "previous detach not released").
+  EXPECT_EQ(w.size(), 3u);
+  const sim::TimerWheel::DetachedView due =
+      w.detach_earliest_if_due(at.count());
+  ASSERT_EQ(due.size, 3u);
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < due.size; ++i) {
+    if (due.data[i].idx != sim::TimerWheel::kNone) ++live;
+  }
+  EXPECT_EQ(live, 3u);
+  w.release_detached(live);
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(EventQueue, ThrowingCallbackLeavesQueueDrainable) {
+  // An event callable that throws unwinds through the owner's run loop;
+  // the queue (wheel included) must stay fully usable afterwards.
+  sim::EventQueue q;
+  q.push(TimePoint::micros(10),
+         [] { throw std::runtime_error("callback exploded"); });
+  int fired = 0;
+  q.push(TimePoint::micros(5'000'000), [&fired] { ++fired; });  // wheel
+  EXPECT_EQ(q.wheel_size(), 1u);
+
+  auto ev = q.pop();
+  EXPECT_THROW(ev.fn(), std::runtime_error);
+
+  // The parked timeout still drains and fires in order.
+  auto next = q.pop();
+  EXPECT_EQ(next.at, TimePoint::micros(5'000'000));
+  next.fn();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(TimerWheel, BucketCapRejectsOverflowAndRecyclesPositions) {
+  // The packed locator reserves 22 bits for the in-bucket position:
+  // position kMaxBucketEntries would alias the bucket bits, so try_insert
+  // must return kNone at the cap (the owner's contract routes the entry to
+  // its fallback heap — the same kNone path the horizon test drives
+  // through a full EventQueue, which would need ~400MB of event slots to
+  // reach this cap end-to-end).
+  sim::TimerWheel w;
+  const TimePoint at = TimePoint::micros(std::int64_t{2} << 18);  // level 3
+  std::uint32_t first = sim::TimerWheel::kNone;
+  for (std::uint32_t i = 0; i < sim::TimerWheel::kMaxBucketEntries; ++i) {
+    const std::uint32_t loc = w.try_insert(at, i, i);
+    ASSERT_NE(loc, sim::TimerWheel::kNone) << i;
+    if (i == 0) first = loc;
+  }
+  EXPECT_EQ(w.size(), sim::TimerWheel::kMaxBucketEntries);
+
+  // Bucket full: the next insert is rejected, loudly and gracefully.
+  EXPECT_EQ(w.try_insert(at, 1u << 22, 1u << 22), sim::TimerWheel::kNone);
+
+  // Erase frees a position; the free stack recycles it for the next
+  // insert, so the bucket accepts exactly one more entry and is full
+  // again.
+  w.erase(first);
+  EXPECT_NE(w.try_insert(at, 7, 7), sim::TimerWheel::kNone);
+  EXPECT_EQ(w.try_insert(at, 8, 8), sim::TimerWheel::kNone);
+
+  // The crowded bucket still drains coherently.
+  const sim::TimerWheel::DetachedView due =
+      w.detach_earliest_if_due(at.count());
+  ASSERT_EQ(due.size, sim::TimerWheel::kMaxBucketEntries);
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < due.size; ++i) {
+    if (due.data[i].idx != sim::TimerWheel::kNone) ++live;
+  }
+  EXPECT_EQ(live, sim::TimerWheel::kMaxBucketEntries);
+  w.release_detached(live);
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(EventQueue, WheelRejectionsFallBackToHeapWithCancelAndRearm) {
+  // Both try_insert rejection reasons the queue can hit cheaply —
+  // beyond-horizon expiry and at-or-before-cursor expiry — must route to
+  // the heap, with cancel and re-arm resolving correctly through pos_'s
+  // tag bit for wheel and heap residents alike.
+  sim::EventQueue q;
+  q.push(TimePoint::micros(100), [] {});  // anchor; rewinds cursor to 99
+
+  // Beyond the ~19h horizon: heap, not wheel.
+  const TimePoint far = TimePoint::micros(std::int64_t{1} << 40);
+  sim::EventId beyond = q.push(far, [] {});
+  EXPECT_EQ(q.wheel_size(), 0u);
+
+  // Within the horizon: parked in the wheel.
+  sim::EventId parked = q.push(TimePoint::micros(5'000'000), [] {});
+  EXPECT_EQ(q.wheel_size(), 1u);
+
+  // At or before the cursor (a past-due time next to the anchor): heap.
+  q.push(TimePoint::micros(50), [] {});
+  EXPECT_EQ(q.wheel_size(), 1u);
+  EXPECT_EQ(q.live_size(), 4u);
+
+  // Cancel resolves through both pos_ encodings (heap position vs tagged
+  // wheel locator), and both events re-arm cleanly.
+  EXPECT_TRUE(q.cancel(beyond));
+  EXPECT_TRUE(q.cancel(parked));
+  EXPECT_EQ(q.live_size(), 2u);
+  EXPECT_EQ(q.wheel_size(), 0u);
+  beyond = q.push(far, [] {});
+  parked = q.push(TimePoint::micros(6'000'000), [] {});
+  EXPECT_EQ(q.wheel_size(), 1u);
+
+  // Pop order is the exact (at, seq) total order across heap and wheel.
+  EXPECT_EQ(q.pop().at, TimePoint::micros(50));
+  EXPECT_EQ(q.pop().at, TimePoint::micros(100));
+  EXPECT_EQ(q.pop().at, TimePoint::micros(6'000'000));
+  EXPECT_EQ(q.pop().at, far);
+  EXPECT_TRUE(q.empty());
+
+  // Stale handles for fired events are no-ops.
+  EXPECT_FALSE(q.cancel(beyond));
+  EXPECT_FALSE(q.cancel(parked));
 }
 
 TEST(EventQueue, TimerResetChurnDoesNotGrowStorage) {

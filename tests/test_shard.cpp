@@ -1,0 +1,429 @@
+// Cross-process sweep sharding tests: the versioned accumulator wire format
+// (round-trip, fuzz, corruption rejection) and the differential proof that
+// distributed_sweep(K shards) == run_matrix_cell(single process)
+// byte-for-byte across the 6x4 theorem matrix for K in {1, 2, 3, 7}.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "exp/shard.hpp"
+#include "support/rng.hpp"
+
+namespace xcp::exp {
+namespace {
+
+const std::vector<ProtocolKind> kAllProtocols{
+    ProtocolKind::kUniversalNaive,    ProtocolKind::kTimeBounded,
+    ProtocolKind::kInterledgerAtomic, ProtocolKind::kWeakTrusted,
+    ProtocolKind::kWeakContract,      ProtocolKind::kWeakCommittee};
+const std::vector<Regime> kAllRegimes{
+    Regime::kSynchronyConforming, Regime::kSynchronyHighDrift,
+    Regime::kPartialSynchrony, Regime::kPartialSynchronyAdversarial};
+
+void expect_accums_identical(const CellAccum& a, const CellAccum& b) {
+  EXPECT_EQ(a.safety_violations, b.safety_violations);
+  EXPECT_EQ(a.termination_failures, b.termination_failures);
+  EXPECT_EQ(a.liveness_failures, b.liveness_failures);
+  EXPECT_EQ(a.early_stops, b.early_stops);
+  EXPECT_EQ(a.decided_at_total.count(), b.decided_at_total.count());
+  EXPECT_EQ(a.events_total, b.events_total);
+  ASSERT_EQ(a.examples.size(), b.examples.size());
+  for (std::size_t i = 0; i < a.examples.size(); ++i) {
+    EXPECT_EQ(a.examples[i].seed, b.examples[i].seed) << i;
+    EXPECT_EQ(a.examples[i].ordinal, b.examples[i].ordinal) << i;
+    EXPECT_EQ(a.examples[i].text, b.examples[i].text) << i;
+  }
+}
+
+void expect_cells_identical(const MatrixCell& a, const MatrixCell& b) {
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.safety_violations, b.safety_violations);
+  EXPECT_EQ(a.termination_failures, b.termination_failures);
+  EXPECT_EQ(a.liveness_failures, b.liveness_failures);
+  EXPECT_EQ(a.early_stops, b.early_stops);
+  EXPECT_EQ(a.decided_at_total.count(), b.decided_at_total.count());
+  EXPECT_EQ(a.events_total, b.events_total);
+  ASSERT_EQ(a.example_violations.size(), b.example_violations.size());
+  for (std::size_t i = 0; i < a.example_violations.size(); ++i) {
+    EXPECT_EQ(a.example_violations[i], b.example_violations[i]) << i;
+  }
+}
+
+/// A randomized accumulator: arbitrary counters (full 64-bit range),
+/// negative decided-at sums included, 0..kMaxExamples examples — strictly
+/// (seed, ordinal)-increasing, like every accumulator a real fold or merge
+/// produces (the parser enforces that invariant) — with texts that cover
+/// empty strings, embedded NULs and high bytes.
+CellAccum random_accum(Rng& rng) {
+  CellAccum acc;
+  acc.safety_violations = rng.next_u64();
+  acc.termination_failures = rng.next_u64();
+  acc.liveness_failures = rng.next_u64();
+  acc.early_stops = rng.next_u64();
+  acc.decided_at_total = Duration::micros(
+      rng.next_int(std::numeric_limits<std::int32_t>::min(),
+                   std::numeric_limits<std::int32_t>::max()) *
+      (rng.next_bool(0.5) ? 1 : -1));
+  acc.events_total = rng.next_u64();
+  const std::size_t n_examples = rng.next_below(CellAccum::kMaxExamples + 1);
+  std::uint64_t seed = rng.next_below(1000);
+  std::uint32_t ordinal = static_cast<std::uint32_t>(rng.next_below(3));
+  for (std::size_t i = 0; i < n_examples; ++i) {
+    if (i > 0) {
+      if (rng.next_bool(0.3)) {
+        ordinal += 1 + static_cast<std::uint32_t>(rng.next_below(2));
+      } else {
+        seed += 1 + rng.next_below(9);
+        ordinal = static_cast<std::uint32_t>(rng.next_below(3));
+      }
+    }
+    CellAccum::Example ex;
+    ex.seed = seed;
+    ex.ordinal = ordinal;
+    const std::size_t len = rng.next_below(40);
+    for (std::size_t c = 0; c < len; ++c) {
+      ex.text.push_back(static_cast<char>(rng.next_below(256)));
+    }
+    acc.examples.push_back(std::move(ex));
+  }
+  return acc;
+}
+
+// ------------------------------------------------------------- wire format
+
+TEST(ShardWire, DefaultAccumRoundTripsAndMergesAsNoop) {
+  const CellAccum empty;
+  const std::vector<std::uint8_t> blob = serialize_cell_accum(empty);
+  const CellAccum parsed = parse_cell_accum(blob);
+  expect_accums_identical(parsed, empty);
+
+  // Merging a parsed empty accumulator must be a no-op (empty shards and
+  // idle worker slots go through exactly this path).
+  Rng rng(7);
+  CellAccum populated = random_accum(rng);
+  const std::vector<std::uint8_t> before = serialize_cell_accum(populated);
+  populated.merge(parse_cell_accum(blob));
+  EXPECT_EQ(serialize_cell_accum(populated), before);
+}
+
+TEST(ShardWire, PopulatedAccumRoundTripsBitExactly) {
+  CellAccum acc;
+  acc.safety_violations = 3;
+  acc.termination_failures = 1;
+  acc.liveness_failures = 0xffffffffffffffffull;
+  acc.early_stops = 42;
+  acc.decided_at_total = Duration::micros(-123456789);
+  acc.events_total = 1ull << 60;
+  acc.examples.push_back({5, 0, std::string("plain text")});
+  acc.examples.push_back({5, 1, std::string("embedded\0nul", 12)});
+  acc.examples.push_back({9, 0, std::string("\xff\xfe high bytes \x80")});
+  acc.examples.push_back({9, 2, std::string()});  // empty text
+
+  const std::vector<std::uint8_t> blob = serialize_cell_accum(acc);
+  const CellAccum parsed = parse_cell_accum(blob);
+  expect_accums_identical(parsed, acc);
+  // Serialization is canonical: re-serializing the parse is byte-identical.
+  EXPECT_EQ(serialize_cell_accum(parsed), blob);
+}
+
+TEST(ShardWire, FuzzRoundTripSerializeParseBitExact) {
+  Rng rng(20260730);
+  for (int i = 0; i < 500; ++i) {
+    const CellAccum acc = random_accum(rng);
+    const std::vector<std::uint8_t> blob = serialize_cell_accum(acc);
+    const CellAccum parsed = parse_cell_accum(blob);
+    expect_accums_identical(parsed, acc);
+    EXPECT_EQ(serialize_cell_accum(parsed), blob) << "iteration " << i;
+  }
+}
+
+TEST(ShardWire, FuzzMergeThroughWireMatchesInProcessMerge) {
+  // serialize -> parse -> merge must equal the in-process merge for any
+  // accumulator contents and any shard count.
+  Rng rng(99);
+  for (int round = 0; round < 100; ++round) {
+    const std::size_t k = 1 + rng.next_below(6);
+    std::vector<CellAccum> parts;
+    for (std::size_t i = 0; i < k; ++i) parts.push_back(random_accum(rng));
+
+    CellAccum direct;
+    for (const CellAccum& p : parts) {
+      CellAccum copy = p;  // merge consumes
+      direct.merge(std::move(copy));
+    }
+    CellAccum wired;
+    for (const CellAccum& p : parts) {
+      wired.merge(parse_cell_accum(serialize_cell_accum(p)));
+    }
+    expect_accums_identical(wired, direct);
+  }
+}
+
+TEST(ShardWire, TruncationsAreRejected) {
+  Rng rng(3);
+  const CellAccum acc = random_accum(rng);
+  const std::vector<std::uint8_t> blob = serialize_cell_accum(acc);
+  // Every proper prefix must be a clean parse error — header cut short,
+  // frame header cut short, payload cut short.
+  for (std::size_t len = 0; len < blob.size(); ++len) {
+    EXPECT_THROW(parse_cell_accum(blob.data(), len), WireError) << len;
+  }
+}
+
+TEST(ShardWire, CorruptionsAreRejectedOrParseable) {
+  // Single-byte corruption anywhere must never be UB: it either still
+  // parses (a flipped counter bit) or throws WireError. Run the parse on
+  // every position to shake out bounds bugs; ASan/UBSan builds turn any
+  // miss into a crash.
+  Rng rng(4);
+  CellAccum acc = random_accum(rng);
+  if (acc.examples.empty()) {
+    acc.examples.push_back({1, 0, "corruption target"});
+  }
+  const std::vector<std::uint8_t> blob = serialize_cell_accum(acc);
+  for (std::size_t pos = 0; pos < blob.size(); ++pos) {
+    for (const std::uint8_t flip : {std::uint8_t{0x01}, std::uint8_t{0xff}}) {
+      std::vector<std::uint8_t> bad = blob;
+      bad[pos] ^= flip;
+      try {
+        (void)parse_cell_accum(bad);
+      } catch (const WireError&) {
+        // expected for structural damage
+      }
+    }
+  }
+}
+
+TEST(ShardWire, VersionAndMagicAreEnforced) {
+  const std::vector<std::uint8_t> blob = serialize_cell_accum(CellAccum{});
+
+  std::vector<std::uint8_t> bad_magic = blob;
+  bad_magic[0] ^= 0xff;
+  EXPECT_THROW(parse_cell_accum(bad_magic), WireError);
+
+  // Version bumped beyond the reader: deterministic rejection, not a
+  // misparse (a v2 writer may have changed any field's meaning).
+  std::vector<std::uint8_t> v_next = blob;
+  v_next[4] = static_cast<std::uint8_t>(kWireVersion + 1);
+  EXPECT_THROW(parse_cell_accum(v_next), WireError);
+
+  // Version below the supported floor (0 is never valid).
+  std::vector<std::uint8_t> v_zero = blob;
+  v_zero[4] = 0;
+  v_zero[5] = 0;
+  EXPECT_THROW(parse_cell_accum(v_zero), WireError);
+
+  // Reserved header bytes must be zero.
+  std::vector<std::uint8_t> reserved = blob;
+  reserved[6] = 1;
+  EXPECT_THROW(parse_cell_accum(reserved), WireError);
+}
+
+TEST(ShardWire, StructuralDamageIsRejected) {
+  const std::vector<std::uint8_t> blob = serialize_cell_accum(CellAccum{});
+
+  // Trailing garbage after the last frame.
+  std::vector<std::uint8_t> trailing = blob;
+  trailing.push_back(0x7f);
+  EXPECT_THROW(parse_cell_accum(trailing), WireError);
+
+  // An unknown field tag (the meta tag is unknown to the bare-accum
+  // parser; a wholly unassigned tag behaves the same).
+  const std::vector<std::uint8_t> with_meta =
+      serialize_shard_blob(ShardMeta{}, CellAccum{});
+  EXPECT_THROW(parse_cell_accum(with_meta), WireError);
+
+  // A duplicated field: append a copy of the first frame (tag 1, u64).
+  std::vector<std::uint8_t> dup = blob;
+  dup.insert(dup.end(), blob.begin() + 8, blob.begin() + 8 + 2 + 4 + 8);
+  EXPECT_THROW(parse_cell_accum(dup), WireError);
+
+  // A missing required field: drop the first frame entirely.
+  std::vector<std::uint8_t> missing(blob.begin(), blob.begin() + 8);
+  missing.insert(missing.end(), blob.begin() + 8 + 2 + 4 + 8, blob.end());
+  EXPECT_THROW(parse_cell_accum(missing), WireError);
+}
+
+TEST(ShardWire, InvalidExampleListsAreRejected) {
+  // The serializer trusts in-process accumulators, but the parser sits at
+  // a trust boundary: merge()'s two-pointer example merge relies on
+  // sorted, capped lists, so blobs violating the invariant must be
+  // rejected, not silently mis-merged downstream.
+  CellAccum oversize;
+  for (std::uint64_t i = 0; i < CellAccum::kMaxExamples + 1; ++i) {
+    oversize.examples.push_back({i, 0, "x"});
+  }
+  EXPECT_THROW(parse_cell_accum(serialize_cell_accum(oversize)), WireError);
+
+  CellAccum unsorted;
+  unsorted.examples.push_back({9, 0, "a"});
+  unsorted.examples.push_back({3, 0, "b"});
+  EXPECT_THROW(parse_cell_accum(serialize_cell_accum(unsorted)), WireError);
+
+  CellAccum duplicate;
+  duplicate.examples.push_back({3, 1, "a"});
+  duplicate.examples.push_back({3, 1, "b"});
+  EXPECT_THROW(parse_cell_accum(serialize_cell_accum(duplicate)), WireError);
+
+  // Same seed with increasing ordinals is legal (one seed, two findings).
+  CellAccum legal;
+  legal.examples.push_back({3, 0, "a"});
+  legal.examples.push_back({3, 1, "b"});
+  expect_accums_identical(parse_cell_accum(serialize_cell_accum(legal)),
+                          legal);
+}
+
+TEST(ShardWire, ShardBlobCarriesMeta) {
+  ShardMeta meta;
+  meta.protocol = ProtocolKind::kWeakCommittee;
+  meta.regime = Regime::kPartialSynchronyAdversarial;
+  meta.n = 3;
+  meta.first_seed = 17;
+  meta.seed_count = 5;
+  meta.online = true;
+  meta.early_stop = false;
+  Rng rng(11);
+  const CellAccum acc = random_accum(rng);
+
+  const std::vector<std::uint8_t> blob = serialize_shard_blob(meta, acc);
+  const ShardBlob parsed = parse_shard_blob(blob);
+  EXPECT_TRUE(parsed.meta == meta);
+  expect_accums_identical(parsed.accum, acc);
+
+  // The envelope parser requires the meta frame.
+  EXPECT_THROW(parse_shard_blob(serialize_cell_accum(acc)), WireError);
+}
+
+TEST(ShardWire, TokensRoundTrip) {
+  for (const ProtocolKind k : kAllProtocols) {
+    ProtocolKind back{};
+    EXPECT_TRUE(parse_protocol_token(protocol_token(k), back));
+    EXPECT_EQ(back, k);
+  }
+  for (const Regime r : kAllRegimes) {
+    Regime back{};
+    EXPECT_TRUE(parse_regime_token(regime_token(r), back));
+    EXPECT_EQ(back, r);
+  }
+  ProtocolKind p{};
+  Regime r{};
+  EXPECT_FALSE(parse_protocol_token("no-such-protocol", p));
+  EXPECT_FALSE(parse_regime_token("no-such-regime", r));
+}
+
+// ---------------------------------------------------------- shard planning
+
+TEST(ShardPlan, RaggedPartitionsAreContiguousAndComplete) {
+  for (const unsigned shards : {1u, 2u, 3u, 7u}) {
+    for (const std::size_t seeds : {0u, 1u, 5u, 7u, 20u}) {
+      const auto plan = plan_shards(100, seeds, shards);
+      ASSERT_EQ(plan.size(), shards);
+      std::uint64_t next = 100;
+      std::uint64_t total = 0;
+      for (const ShardRange& range : plan) {
+        EXPECT_EQ(range.first_seed, next);
+        next += range.count;
+        total += range.count;
+        // Balanced to within one seed.
+        EXPECT_LE(range.count, seeds / shards + 1);
+      }
+      EXPECT_EQ(total, seeds);
+    }
+  }
+}
+
+// ------------------------------------------------- the differential proof
+
+/// distributed_sweep (in-process shards, every accumulator still shipped
+/// through serialize -> parse -> merge) vs run_matrix_cell, every cell of
+/// the 6x4 theorem matrix, K in {1, 2, 3, 7}. seeds = 5 makes every K > 1
+/// partition ragged and K = 7 include empty shards.
+TEST(DistributedSweep, MatchesSingleProcessAcrossTheoremMatrix) {
+  constexpr std::size_t kSeeds = 5;
+  for (const ProtocolKind p : kAllProtocols) {
+    for (const Regime r : kAllRegimes) {
+      const MatrixCell single = run_matrix_cell(p, r, 2, kSeeds);
+      for (const unsigned shards : {1u, 2u, 3u, 7u}) {
+        const MatrixCell sharded =
+            distributed_sweep(p, r, 2, kSeeds, shards);
+        SCOPED_TRACE(std::string(protocol_kind_name(p)) + " / " +
+                     regime_name(r) + " / K=" + std::to_string(shards));
+        expect_cells_identical(sharded, single);
+      }
+    }
+  }
+}
+
+TEST(DistributedSweep, ProcessTransportMatchesSingleProcess) {
+  // $XCP_SWEEP_SHARD_BIN when set (CI, manual runs), else
+  // ./xcp_sweep_shard (ctest runs from the build directory, where CMake
+  // puts both this test and the tool).
+  const std::string worker = default_worker_path();
+  if (worker.empty()) {
+    GTEST_SKIP() << "xcp_sweep_shard binary not found (set "
+                    "XCP_SWEEP_SHARD_BIN or run from the build directory)";
+  }
+  DistributedOptions opts;
+  opts.worker_path = worker;
+
+  // Full matrix at K = 3 (ragged: 5 seeds split 2/2/1) through real worker
+  // processes — the acceptance differential for the transport itself.
+  constexpr std::size_t kSeeds = 5;
+  for (const ProtocolKind p : kAllProtocols) {
+    for (const Regime r : kAllRegimes) {
+      const MatrixCell single = run_matrix_cell(p, r, 2, kSeeds);
+      const MatrixCell sharded = distributed_sweep(p, r, 2, kSeeds, 3, 1,
+                                                   opts);
+      SCOPED_TRACE(std::string(protocol_kind_name(p)) + " / " +
+                   regime_name(r));
+      expect_cells_identical(sharded, single);
+    }
+  }
+
+  // One violation-producing cell across every K, including K = 7 > seeds
+  // (two empty shards whose blobs must merge as no-ops).
+  const MatrixCell single = run_matrix_cell(
+      ProtocolKind::kInterledgerAtomic, Regime::kPartialSynchrony, 2, kSeeds);
+  for (const unsigned shards : {1u, 2u, 3u, 7u}) {
+    const MatrixCell sharded =
+        distributed_sweep(ProtocolKind::kInterledgerAtomic,
+                          Regime::kPartialSynchrony, 2, kSeeds, shards, 1,
+                          opts);
+    SCOPED_TRACE("K=" + std::to_string(shards));
+    expect_cells_identical(sharded, single);
+  }
+}
+
+TEST(DistributedSweep, NonDefaultSeedRangeAndOptionsPropagate) {
+  // first_seed != 1 and watch-only monitoring must flow through the worker
+  // command line / meta cross-check unchanged.
+  DistributedOptions opts;
+  opts.cell.online.early_stop = false;
+  const MatrixCell single =
+      run_matrix_cell(ProtocolKind::kWeakContract,
+                      Regime::kSynchronyConforming, 2, 6, 11, opts.cell);
+  const MatrixCell sharded = distributed_sweep(
+      ProtocolKind::kWeakContract, Regime::kSynchronyConforming, 2, 6, 3, 11,
+      opts);
+  expect_cells_identical(sharded, single);
+  EXPECT_EQ(sharded.early_stops, 0u);
+}
+
+TEST(DistributedSweep, FailedWorkerIsAnErrorNotAWrongAnswer) {
+  DistributedOptions opts;
+  opts.worker_path = "/nonexistent/xcp_sweep_shard";
+  // popen succeeds (the shell launches) but the worker cannot: the blob is
+  // empty and the exit status nonzero — either way this must throw, never
+  // return a cell computed from fewer seeds than requested.
+  EXPECT_THROW(distributed_sweep(ProtocolKind::kTimeBounded,
+                                 Regime::kSynchronyConforming, 2, 4, 2, 1,
+                                 opts),
+               std::exception);
+}
+
+}  // namespace
+}  // namespace xcp::exp

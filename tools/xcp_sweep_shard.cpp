@@ -1,0 +1,150 @@
+// xcp_sweep_shard: one shard of a distributed property-matrix sweep.
+//
+// exp::distributed_sweep launches one of these per shard: scenario + cell
+// + seed range in on the command line, one serialized accumulator blob
+// (exp::serialize_shard_blob) out on stdout. The process is stateless and
+// deterministic — per-seed determinism plus CellAccum's order-insensitive
+// merge make the driver's fold byte-identical to a single-process sweep,
+// whatever the shard count. Run with --help for the flag list.
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "exp/runner.hpp"
+#include "exp/shard.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --protocol TOKEN --regime TOKEN [--n N] [--first-seed S]\n"
+      "          [--seeds COUNT] [--online 0|1] [--early-stop 0|1]\n"
+      "\n"
+      "Runs COUNT seeds of one property-matrix cell and writes a versioned\n"
+      "accumulator blob to stdout (parse with exp::parse_shard_blob).\n"
+      "protocol tokens: time-bounded universal-naive interledger-atomic\n"
+      "                 weak-trusted weak-contract weak-committee\n"
+      "regime tokens:   synchrony synchrony-drift partial-synchrony\n"
+      "                 partial-adversary\n",
+      argv0);
+  return 2;
+}
+
+// Strict numeric parsing: the whole token must be a non-negative decimal
+// in range. std::sto* would let "--seeds -1" wrap to 2^64-1 and throw
+// (uncaught -> SIGABRT) on "--n abc"; bad values must be usage errors.
+bool parse_u64(const char* s, std::uint64_t& out) {
+  // Require a leading digit, not just "no leading '-'": strtoull itself
+  // skips whitespace and accepts a sign, so " -1" would otherwise wrap to
+  // 2^64-1.
+  if (s == nullptr || *s < '0' || *s > '9') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+bool parse_i32(const char* s, std::int32_t& out) {
+  std::uint64_t v = 0;
+  if (!parse_u64(s, v) || v > 0x7fffffffu) return false;
+  out = static_cast<std::int32_t>(v);
+  return true;
+}
+
+bool parse_bool(const char* s, bool& out) {
+  if (std::strcmp(s, "0") == 0) {
+    out = false;
+    return true;
+  }
+  if (std::strcmp(s, "1") == 0) {
+    out = true;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xcp;
+
+  exp::ShardMeta meta;
+  bool have_protocol = false;
+  bool have_regime = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (arg == "--protocol") {
+      const char* v = value();
+      if (v == nullptr || !exp::parse_protocol_token(v, meta.protocol)) {
+        std::fprintf(stderr, "%s: bad --protocol token\n", argv[0]);
+        return usage(argv[0]);
+      }
+      have_protocol = true;
+    } else if (arg == "--regime") {
+      const char* v = value();
+      if (v == nullptr || !exp::parse_regime_token(v, meta.regime)) {
+        std::fprintf(stderr, "%s: bad --regime token\n", argv[0]);
+        return usage(argv[0]);
+      }
+      have_regime = true;
+    } else if (arg == "--n") {
+      const char* v = value();
+      if (v == nullptr || !parse_i32(v, meta.n)) return usage(argv[0]);
+    } else if (arg == "--first-seed") {
+      const char* v = value();
+      if (v == nullptr || !parse_u64(v, meta.first_seed)) {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--seeds") {
+      const char* v = value();
+      if (v == nullptr || !parse_u64(v, meta.seed_count)) {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--online") {
+      const char* v = value();
+      if (v == nullptr || !parse_bool(v, meta.online)) return usage(argv[0]);
+    } else if (arg == "--early-stop") {
+      const char* v = value();
+      if (v == nullptr || !parse_bool(v, meta.early_stop)) {
+        return usage(argv[0]);
+      }
+    } else {
+      std::fprintf(stderr, "%s: unknown flag %s\n", argv[0], arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (!have_protocol || !have_regime) return usage(argv[0]);
+
+  try {
+    exp::CellOptions opts;
+    opts.online.enabled = meta.online;
+    opts.online.early_stop = meta.early_stop;
+    const exp::CellAccum acc = exp::run_matrix_cell_accum(
+        meta.protocol, meta.regime, meta.n,
+        static_cast<std::size_t>(meta.seed_count), meta.first_seed, opts);
+    const std::vector<std::uint8_t> blob =
+        exp::serialize_shard_blob(meta, acc);
+    if (std::fwrite(blob.data(), 1, blob.size(), stdout) != blob.size() ||
+        std::fflush(stdout) != 0) {
+      std::fprintf(stderr, "%s: short write on stdout\n", argv[0]);
+      return 1;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    return 1;
+  }
+  return 0;
+}
