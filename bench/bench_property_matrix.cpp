@@ -22,6 +22,7 @@
 #include <unistd.h>
 #include <string>
 
+#include "exp/dispatch.hpp"
 #include "exp/runner.hpp"
 #include "exp/shard.hpp"
 #include "support/table.hpp"
@@ -69,12 +70,19 @@ int main(int argc, char** argv) {
   // single-process matrix as they stream). --worker PATH selects the
   // xcp_sweep_shard binary; default $XCP_SWEEP_SHARD_BIN, then
   // ./xcp_sweep_shard, then in-process shards (wire round-trip, no exec).
+  // --fault SPEC (repeatable) and --fault-delay-ms MS forward the worker's
+  // fault-injection flags through the dispatcher, so the supervision
+  // overhead (retries, deadline kills, hedges) can be measured under a
+  // chosen fault schedule. Report-only: the dispatch report is printed
+  // after the scaling table and never gates the bench — byte-identity of
+  // the recovered results is still enforced.
   bool buffered = false;
   bool full_horizon = false;
   bool differential = false;
   std::size_t kSeeds = 8;
   std::vector<unsigned> shard_counts;
   std::string worker_path;
+  std::vector<std::string> fault_args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--buffered") == 0) buffered = true;
     if (std::strcmp(argv[i], "--full-horizon") == 0) full_horizon = true;
@@ -99,6 +107,12 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--worker") == 0 && i + 1 < argc) {
       worker_path = argv[++i];
+    }
+    if (std::strcmp(argv[i], "--fault") == 0 && i + 1 < argc) {
+      fault_args.insert(fault_args.end(), {"--fault", argv[++i]});
+    }
+    if (std::strcmp(argv[i], "--fault-delay-ms") == 0 && i + 1 < argc) {
+      fault_args.insert(fault_args.end(), {"--fault-delay-ms", argv[++i]});
     }
     if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       std::istringstream list(argv[++i]);
@@ -131,6 +145,12 @@ int main(int argc, char** argv) {
                 << "' is not an executable file\n";
       return 2;
     }
+  }
+  if (!fault_args.empty() &&
+      (shard_counts.empty() || worker_path.empty())) {
+    std::cerr << "--fault requires --shards and a worker binary "
+                 "(in-process shards cannot inject process faults)\n";
+    return 2;
   }
   constexpr int kN = 2;
   const auto run_cell = [&](ProtocolKind p, Regime r) {
@@ -256,6 +276,9 @@ int main(int argc, char** argv) {
     exp::DistributedOptions dopts;
     dopts.worker_path = worker_path;
     dopts.cell = copts;
+    dopts.dispatch.extra_worker_args = fault_args;
+    exp::DispatchReport dispatch_report;
+    dopts.report = &dispatch_report;
     Table scaling({"shards", "wall-clock", "vs single-process", "verified"});
     {
       char wall[32];
@@ -295,6 +318,11 @@ int main(int argc, char** argv) {
     scaling.print(std::cout,
                   "distributed_sweep wall-clock by shard count (every K "
                   "verified byte-identical to the single-process cells)");
+    // Supervision telemetry across every K above. Report-only by design:
+    // retries/timeouts/hedges vary with machine load (and with any
+    // injected --fault schedule), so this never gates — the byte-identity
+    // check above is the gate.
+    std::cout << "\n" << dispatch_report.to_string() << "\n";
   }
   return 0;
 }

@@ -1,11 +1,9 @@
 #include "exp/shard.hpp"
 
-#include <cstdio>
 #include <cstdlib>
 #include <utility>
 
 #if !defined(_WIN32)
-#include <sys/wait.h>
 #include <unistd.h>
 #endif
 
@@ -288,37 +286,6 @@ ShardBlob parse_blob(const std::uint8_t* data, std::size_t size,
   return out;
 }
 
-/// Single-quote shell quoting for the popen command line: the worker path
-/// is the only externally-supplied token (all other args are generated
-/// enum tokens and integers).
-std::string shell_quote(const std::string& s) {
-  std::string out = "'";
-  for (const char c : s) {
-    if (c == '\'') {
-      out += "'\\''";
-    } else {
-      out += c;
-    }
-  }
-  out += "'";
-  return out;
-}
-
-std::string worker_command(const std::string& worker_path,
-                           const ShardMeta& m) {
-  std::string cmd = shell_quote(worker_path);
-  cmd += " --protocol ";
-  cmd += protocol_token(m.protocol);
-  cmd += " --regime ";
-  cmd += regime_token(m.regime);
-  cmd += " --n " + std::to_string(m.n);
-  cmd += " --first-seed " + std::to_string(m.first_seed);
-  cmd += " --seeds " + std::to_string(m.seed_count);
-  cmd += std::string(" --online ") + (m.online ? "1" : "0");
-  cmd += std::string(" --early-stop ") + (m.early_stop ? "1" : "0");
-  return cmd;
-}
-
 }  // namespace
 
 std::vector<std::uint8_t> serialize_cell_accum(const CellAccum& acc) {
@@ -435,97 +402,6 @@ std::vector<ShardRange> plan_shards(std::uint64_t first_seed,
     next += count;
   }
   return out;
-}
-
-MatrixCell distributed_sweep(ProtocolKind protocol, Regime regime, int n,
-                             std::size_t seeds, unsigned shards,
-                             std::uint64_t first_seed,
-                             const DistributedOptions& opts) {
-  const std::vector<ShardRange> ranges = plan_shards(first_seed, seeds,
-                                                     shards);
-  const auto meta_for = [&](const ShardRange& range) {
-    ShardMeta m;
-    m.protocol = protocol;
-    m.regime = regime;
-    m.n = n;
-    m.first_seed = range.first_seed;
-    m.seed_count = range.count;
-    m.online = opts.cell.online.enabled;
-    m.early_stop = opts.cell.online.early_stop;
-    return m;
-  };
-
-  std::vector<std::vector<std::uint8_t>> blobs;
-  blobs.reserve(ranges.size());
-  if (opts.worker_path.empty()) {
-    // In-process shards: same partition, same wire round-trip, no exec.
-    for (const ShardRange& range : ranges) {
-      const CellAccum acc = run_matrix_cell_accum(
-          protocol, regime, n, range.count, range.first_seed, opts.cell);
-      blobs.push_back(serialize_shard_blob(meta_for(range), acc));
-    }
-  } else {
-#if defined(_WIN32)
-    throw std::runtime_error(
-        "distributed_sweep: process transport is POSIX-only");
-#else
-    // Launch every worker before reading any: the shards run concurrently
-    // and the sequential reads below just ride out the slowest one.
-    std::vector<FILE*> pipes(ranges.size(), nullptr);
-    const auto close_all = [&] {
-      for (FILE*& f : pipes) {
-        if (f != nullptr) {
-          pclose(f);
-          f = nullptr;
-        }
-      }
-    };
-    try {
-      for (std::size_t i = 0; i < ranges.size(); ++i) {
-        const std::string cmd =
-            worker_command(opts.worker_path, meta_for(ranges[i]));
-        pipes[i] = popen(cmd.c_str(), "r");
-        if (pipes[i] == nullptr) {
-          throw std::runtime_error("distributed_sweep: popen failed for: " +
-                                   cmd);
-        }
-      }
-      for (std::size_t i = 0; i < ranges.size(); ++i) {
-        std::vector<std::uint8_t> blob;
-        std::uint8_t buf[4096];
-        std::size_t got = 0;
-        while ((got = fread(buf, 1, sizeof(buf), pipes[i])) > 0) {
-          blob.insert(blob.end(), buf, buf + got);
-        }
-        const int status = pclose(pipes[i]);
-        pipes[i] = nullptr;
-        if (status == -1 || !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
-          throw std::runtime_error(
-              "distributed_sweep: shard " + std::to_string(i) +
-              " worker failed (status " + std::to_string(status) + ")");
-        }
-        blobs.push_back(std::move(blob));
-      }
-    } catch (...) {
-      close_all();
-      throw;
-    }
-#endif
-  }
-
-  CellAccum total;
-  for (std::size_t i = 0; i < blobs.size(); ++i) {
-    ShardBlob parsed = parse_shard_blob(blobs[i]);
-    // The meta equality fully constrains the seed coverage too: each
-    // shard's echoed seed_count must equal its plan_shards range, and the
-    // ranges sum to `seeds` by construction.
-    if (!(parsed.meta == meta_for(ranges[i]))) {
-      throw WireError("shard " + std::to_string(i) +
-                      " meta does not match the work it was assigned");
-    }
-    total.merge(std::move(parsed.accum));
-  }
-  return cell_from_accum(protocol, regime, seeds, std::move(total));
 }
 
 }  // namespace xcp::exp

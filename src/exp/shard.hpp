@@ -4,14 +4,16 @@
 //
 // Per-seed determinism plus order-insensitive mergeable accumulators
 // (CellAccum's contract) already make shard results combinable by
-// construction; this header supplies the missing piece — a versioned,
-// endianness-stable wire format for CellAccum and a driver that partitions
-// a seed range across K worker processes (tools/xcp_sweep_shard) and folds
-// their blobs with the existing merge(). Splitting the workload is provably
-// invisible in the result: distributed_sweep(K) == run_matrix_cell(1
-// process) byte-for-byte on every verdict counter, early-stop count,
-// decided-at sum and example string (tests/test_shard.cpp proves it across
-// the 6x4 theorem matrix for K in {1, 2, 3, 7}).
+// construction; this header supplies the transport: a versioned,
+// endianness-stable wire format for CellAccum, the shard envelope with its
+// meta cross-check, seed-range planning, and the worker CLI tokens. The
+// driver that launches and supervises K worker processes and folds their
+// blobs with the existing merge() is layered above in exp/dispatch.hpp.
+// Splitting the workload is provably invisible in the result:
+// distributed_sweep(K) == run_matrix_cell(1 process) byte-for-byte on
+// every verdict counter, early-stop count, decided-at sum and example
+// string (tests/test_shard.cpp and tests/test_dispatch.cpp prove it across
+// the 6x4 theorem matrix for K in {1, 2, 3, 7}, faults included).
 //
 // Wire format (version 1)
 // -----------------------
@@ -119,17 +121,6 @@ struct ShardRange {
 std::vector<ShardRange> plan_shards(std::uint64_t first_seed,
                                     std::size_t seeds, unsigned shards);
 
-struct DistributedOptions {
-  /// Path to the xcp_sweep_shard worker binary. Empty runs each shard
-  /// in-process instead — the accumulator still round-trips through
-  /// serialize -> parse -> merge, so the wire format and merge contract are
-  /// exercised identically; only the process boundary is elided. Useful
-  /// for tests and for environments where the tool isn't deployed.
-  std::string worker_path;
-  /// Forwarded to every shard's run_matrix_cell_accum.
-  CellOptions cell;
-};
-
 /// Resolves the xcp_sweep_shard binary for process-transport callers:
 /// $XCP_SWEEP_SHARD_BIN when set (throws std::runtime_error if set but
 /// not executable — an explicit configuration must not silently degrade
@@ -138,18 +129,9 @@ struct DistributedOptions {
 /// else empty — callers then fall back to in-process shards or skip.
 std::string default_worker_path();
 
-/// Runs one matrix cell as `shards` shard processes: partitions the seed
-/// range with plan_shards, launches tools/xcp_sweep_shard per shard
-/// (scenario + cell + seed range in, one serialized accumulator blob on
-/// stdout), parses and cross-checks each blob's meta, folds the
-/// accumulators with CellAccum::merge, and finishes with cell_from_accum.
-/// Workers run concurrently; the fold is order-insensitive, so the result
-/// is byte-identical to run_matrix_cell over the same range. Throws
-/// WireError on malformed blobs and std::runtime_error when a worker fails
-/// to launch or exits nonzero.
-MatrixCell distributed_sweep(ProtocolKind protocol, Regime regime, int n,
-                             std::size_t seeds, unsigned shards,
-                             std::uint64_t first_seed = 1,
-                             const DistributedOptions& opts = {});
+// The driver that runs a cell as `shards` supervised worker processes —
+// exp::distributed_sweep and its DistributedOptions — lives in
+// exp/dispatch.hpp: dispatch policy (deadlines, retries, hedging,
+// fallback) is layered above this transport, not baked into it.
 
 }  // namespace xcp::exp

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "exp/dispatch.hpp"
 #include "exp/runner.hpp"
 #include "exp/shard.hpp"
 #include "support/rng.hpp"
@@ -336,6 +337,56 @@ TEST(ShardPlan, RaggedPartitionsAreContiguousAndComplete) {
   }
 }
 
+TEST(ShardPlan, ZeroShardsIsRejected) {
+  EXPECT_THROW(plan_shards(1, 10, 0), std::logic_error);
+  EXPECT_THROW(plan_shards(1, 0, 0), std::logic_error);
+}
+
+TEST(ShardPlan, MoreShardsThanSeedsYieldsEmptyTrailingRanges) {
+  const auto plan = plan_shards(7, 3, 9);
+  ASSERT_EQ(plan.size(), 9u);
+  // The first three shards get one seed each, the rest are empty.
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(plan[i].count, i < 3 ? 1u : 0u) << i;
+  }
+  EXPECT_EQ(plan[0].first_seed, 7u);
+  EXPECT_EQ(plan[1].first_seed, 8u);
+  EXPECT_EQ(plan[2].first_seed, 9u);
+  // Empty ranges still carry a well-defined (degenerate) start.
+  for (std::size_t i = 3; i < plan.size(); ++i) {
+    EXPECT_EQ(plan[i].first_seed, 10u) << i;
+  }
+}
+
+TEST(ShardPlan, ZeroSeedRangeYieldsAllEmptyShards) {
+  const auto plan = plan_shards(42, 0, 5);
+  ASSERT_EQ(plan.size(), 5u);
+  for (const ShardRange& range : plan) {
+    EXPECT_EQ(range.count, 0u);
+    EXPECT_EQ(range.first_seed, 42u);
+  }
+}
+
+TEST(ShardPlan, FuzzRaggedPartitionsAlwaysSumExactly) {
+  Rng rng(20260807);
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t first = rng.next_u64() >> 16;  // headroom, no wrap
+    const std::size_t seeds = static_cast<std::size_t>(rng.next_below(5000));
+    const unsigned shards = 1 + static_cast<unsigned>(rng.next_below(64));
+    const auto plan = plan_shards(first, seeds, shards);
+    ASSERT_EQ(plan.size(), shards);
+    std::uint64_t next = first;
+    std::uint64_t total = 0;
+    for (const ShardRange& range : plan) {
+      EXPECT_EQ(range.first_seed, next) << "iteration " << i;
+      next += range.count;
+      total += range.count;
+      EXPECT_LE(range.count, seeds / shards + 1);
+    }
+    EXPECT_EQ(total, seeds) << "iteration " << i;
+  }
+}
+
 // ------------------------------------------------- the differential proof
 
 /// distributed_sweep (in-process shards, every accumulator still shipped
@@ -413,16 +464,35 @@ TEST(DistributedSweep, NonDefaultSeedRangeAndOptionsPropagate) {
   EXPECT_EQ(sharded.early_stops, 0u);
 }
 
-TEST(DistributedSweep, FailedWorkerIsAnErrorNotAWrongAnswer) {
+TEST(DistributedSweep, FailedWorkerIsAnErrorOrAFallbackNeverAWrongAnswer) {
+  // A worker binary that cannot launch at all: with in-process fallback
+  // disabled the sweep must throw — never return a cell computed from
+  // fewer seeds than requested.
   DistributedOptions opts;
   opts.worker_path = "/nonexistent/xcp_sweep_shard";
-  // popen succeeds (the shell launches) but the worker cannot: the blob is
-  // empty and the exit status nonzero — either way this must throw, never
-  // return a cell computed from fewer seeds than requested.
+  opts.dispatch.backoff_base = std::chrono::milliseconds(1);
+  opts.dispatch.fallback_in_process = false;
   EXPECT_THROW(distributed_sweep(ProtocolKind::kTimeBounded,
                                  Regime::kSynchronyConforming, 2, 4, 2, 1,
                                  opts),
-               std::exception);
+               DispatchError);
+
+  // With the default fallback ladder the sweep degrades gracefully to
+  // in-process execution — byte-identical result, every failed launch on
+  // the record.
+  opts.dispatch.fallback_in_process = true;
+  DispatchReport report;
+  opts.report = &report;
+  const MatrixCell single = run_matrix_cell(ProtocolKind::kTimeBounded,
+                                            Regime::kSynchronyConforming, 2,
+                                            4);
+  const MatrixCell swept = distributed_sweep(ProtocolKind::kTimeBounded,
+                                             Regime::kSynchronyConforming, 2,
+                                             4, 2, 1, opts);
+  expect_cells_identical(swept, single);
+  EXPECT_EQ(report.fallbacks, 2u);
+  EXPECT_GE(report.launch_failures, 2u);
+  EXPECT_FALSE(report.clean());
 }
 
 }  // namespace
