@@ -807,7 +807,7 @@ MatrixCell distributed_sweep(ProtocolKind protocol, Regime regime, int n,
                              std::uint64_t first_seed,
                              const DistributedOptions& opts) {
   const std::vector<ShardRange> ranges =
-      plan_shards(first_seed, seeds, shards);
+      plan_shards(first_seed, seeds, shards, opts.min_seeds_per_shard);
 
   if (opts.worker_path.empty()) {
     // In-process shards: same partition, same wire round-trip, no process

@@ -254,6 +254,11 @@ struct DistributedOptions {
   CellOptions cell;
   /// Supervision policy for the process transport.
   DispatchOptions dispatch;
+  /// Anti-sliver floor forwarded to plan_shards: with a non-zero value the
+  /// sweep concentrates seeds on fewer shards rather than paying process
+  /// supervision overhead on slivers (trailing shards come back empty and
+  /// merge as no-ops). 0 preserves the spread-over-all-shards partition.
+  std::size_t min_seeds_per_shard = 0;
   /// When non-null, attempt records and counters for the sweep are
   /// appended here (including synthetic kSuccess records for in-process
   /// shards, so the report always covers every shard).

@@ -1,5 +1,6 @@
 #include "exp/shard.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <utility>
 
@@ -84,17 +85,28 @@ void put_u64_frame(std::vector<std::uint8_t>& out, std::uint16_t tag,
 
 /// Bounds-checked cursor over an untrusted blob: every read throws
 /// WireError instead of walking off the end, so truncation is always a
-/// clean rejection.
+/// clean rejection. Errors carry the absolute byte offset into the blob
+/// (base_off threads through nested per-frame readers) plus the frame
+/// context — the same diagnostic shape as net::wire's Reader.
 struct Reader {
+  const std::uint8_t* base;
   const std::uint8_t* p;
   std::size_t left;
-  const char* what;  // context for error messages
+  std::string what;  // context for error messages
+  std::size_t base_off = 0;  // absolute offset of `base` within the blob
 
+  std::size_t offset() const {
+    return base_off + static_cast<std::size_t>(p - base);
+  }
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw WireError(what + ": " + msg + " at offset " +
+                        std::to_string(offset()),
+                    offset());
+  }
   void need(std::size_t n) const {
     if (left < n) {
-      throw WireError(std::string("truncated ") + what + " (need " +
-                      std::to_string(n) + " bytes, " + std::to_string(left) +
-                      " left)");
+      fail("truncated: need " + std::to_string(n) + " byte(s), " +
+           std::to_string(left) + " left");
     }
   }
   std::uint8_t u8() {
@@ -175,38 +187,43 @@ void put_header(std::vector<std::uint8_t>& out) {
 /// the meta frame is required there and rejected in bare accum blobs.
 ShardBlob parse_blob(const std::uint8_t* data, std::size_t size,
                      bool want_meta) {
-  Reader r{data, size, want_meta ? "shard blob" : "accum blob"};
-  if (r.u32() != kWireMagic) throw WireError("bad magic");
+  Reader r{data, data, size, want_meta ? "shard blob" : "accum blob"};
+  if (r.u32() != kWireMagic) r.fail("bad magic");
   const std::uint16_t version = r.u16();
   if (version > kWireVersion) {
-    throw WireError("payload version " + std::to_string(version) +
-                    " newer than reader (max " +
-                    std::to_string(kWireVersion) + ")");
+    r.fail("payload version " + std::to_string(version) +
+           " newer than reader (max " + std::to_string(kWireVersion) + ")");
   }
   if (version < kWireMinVersion) {
-    throw WireError("payload version " + std::to_string(version) +
-                    " older than supported minimum " +
-                    std::to_string(kWireMinVersion));
+    r.fail("payload version " + std::to_string(version) +
+           " older than supported minimum " +
+           std::to_string(kWireMinVersion));
   }
-  if (r.u16() != 0) throw WireError("nonzero reserved header field");
+  if (r.u16() != 0) r.fail("nonzero reserved header field");
 
   ShardBlob out;
   std::uint32_t seen = 0;
   while (r.left != 0) {
+    const std::size_t frame_at = r.offset();
     const std::uint16_t tag = r.u16();
     const std::uint32_t len = r.u32();
     r.need(len);
     if (tag == 0 || tag > kTagMeta || (tag == kTagMeta && !want_meta)) {
       throw WireError("unknown field tag " + std::to_string(tag) +
-                      " in version " + std::to_string(version) + " blob");
+                          " in version " + std::to_string(version) +
+                          " blob at offset " + std::to_string(frame_at),
+                      frame_at);
     }
     if (seen & (1u << tag)) {
-      throw WireError("duplicate field tag " + std::to_string(tag));
+      throw WireError("duplicate field tag " + std::to_string(tag) +
+                          " at offset " + std::to_string(frame_at),
+                      frame_at);
     }
     seen |= 1u << tag;
     // A nested reader bounded by the frame keeps a corrupt length from
-    // letting a field read its neighbour's bytes.
-    Reader f{r.p, len, "field"};
+    // letting a field read its neighbour's bytes; its offsets stay
+    // absolute via base_off so diagnostics point into the whole blob.
+    Reader f{r.p, r.p, len, "field tag " + std::to_string(tag), r.offset()};
     r.p += len;
     r.left -= len;
     switch (tag) {
@@ -225,9 +242,9 @@ ShardBlob parse_blob(const std::uint8_t* data, std::size_t size,
         // list, so a blob that violates it would be silently
         // misinterpreted downstream rather than rejected here.
         if (count > CellAccum::kMaxExamples) {
-          throw WireError("example count " + std::to_string(count) +
-                          " exceeds the accumulator cap of " +
-                          std::to_string(CellAccum::kMaxExamples));
+          f.fail("example count " + std::to_string(count) +
+                 " exceeds the accumulator cap of " +
+                 std::to_string(CellAccum::kMaxExamples));
         }
         out.accum.examples.reserve(count);
         for (std::uint32_t i = 0; i < count; ++i) {
@@ -240,8 +257,7 @@ ShardBlob parse_blob(const std::uint8_t* data, std::size_t size,
             const CellAccum::Example& prev = out.accum.examples.back();
             if (std::pair(prev.seed, prev.ordinal) >=
                 std::pair(ex.seed, ex.ordinal)) {
-              throw WireError(
-                  "example list not strictly ordered by (seed, ordinal)");
+              f.fail("example list not strictly ordered by (seed, ordinal)");
             }
           }
           out.accum.examples.push_back(std::move(ex));
@@ -253,11 +269,11 @@ ShardBlob parse_blob(const std::uint8_t* data, std::size_t size,
         const std::uint32_t regime = f.u32();
         if (protocol > static_cast<std::uint32_t>(
                            ProtocolKind::kWeakCommittee)) {
-          throw WireError("meta protocol ordinal out of range");
+          f.fail("meta protocol ordinal out of range");
         }
         if (regime > static_cast<std::uint32_t>(
                          Regime::kPartialSynchronyAdversarial)) {
-          throw WireError("meta regime ordinal out of range");
+          f.fail("meta regime ordinal out of range");
         }
         out.meta.protocol = static_cast<ProtocolKind>(protocol);
         out.meta.regime = static_cast<Regime>(regime);
@@ -271,17 +287,16 @@ ShardBlob parse_blob(const std::uint8_t* data, std::size_t size,
       default: break;  // unreachable: guarded above
     }
     if (f.left != 0) {
-      throw WireError("field tag " + std::to_string(tag) + " has " +
-                      std::to_string(f.left) + " trailing bytes");
+      f.fail("frame has " + std::to_string(f.left) + " trailing byte(s)");
     }
   }
   for (std::uint16_t tag = 1; tag <= kLastAccumTag; ++tag) {
     if (!(seen & (1u << tag))) {
-      throw WireError("missing required field tag " + std::to_string(tag));
+      r.fail("missing required field tag " + std::to_string(tag));
     }
   }
   if (want_meta && !(seen & (1u << kTagMeta))) {
-    throw WireError("missing shard meta field");
+    r.fail("missing shard meta field");
   }
   return out;
 }
@@ -389,15 +404,25 @@ std::string default_worker_path() {
 }
 
 std::vector<ShardRange> plan_shards(std::uint64_t first_seed,
-                                    std::size_t seeds, unsigned shards) {
+                                    std::size_t seeds, unsigned shards,
+                                    std::size_t min_seeds_per_shard) {
   XCP_REQUIRE(shards > 0, "plan_shards needs at least one shard");
+  // The anti-sliver heuristic only ever *narrows* the spread: seeds go to
+  // the leading `spread` shards so each non-empty shard gets at least
+  // min_seeds_per_shard (one shard minimum; min = 0 keeps all of them).
+  std::uint64_t spread = shards;
+  if (min_seeds_per_shard > 0) {
+    const std::uint64_t fit = seeds / min_seeds_per_shard;
+    spread = std::max<std::uint64_t>(1, std::min<std::uint64_t>(spread, fit));
+  }
   std::vector<ShardRange> out;
   out.reserve(shards);
-  const std::uint64_t base = seeds / shards;
-  const std::uint64_t extra = seeds % shards;
+  const std::uint64_t base = seeds / spread;
+  const std::uint64_t extra = seeds % spread;
   std::uint64_t next = first_seed;
   for (unsigned i = 0; i < shards; ++i) {
-    const std::uint64_t count = base + (i < extra ? 1 : 0);
+    const std::uint64_t count =
+        i < spread ? base + (i < extra ? 1 : 0) : 0;
     out.push_back(ShardRange{next, count});
     next += count;
   }

@@ -46,10 +46,18 @@ namespace xcp::exp {
 /// version, unknown/duplicate/missing field, short frame, trailing bytes,
 /// or a meta cross-check mismatch. Deliberately a distinct type so callers
 /// can tell "the transport handed us garbage" from simulator invariants.
+/// Same diagnostic shape as net::WireError: the message names the byte
+/// offset and the frame/tag being decoded, and offset() exposes it.
 class WireError : public std::runtime_error {
  public:
-  explicit WireError(const std::string& what)
-      : std::runtime_error("shard wire: " + what) {}
+  explicit WireError(const std::string& what, std::size_t offset = 0)
+      : std::runtime_error("shard wire: " + what), offset_(offset) {}
+
+  /// Byte offset into the blob at which parsing failed.
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_ = 0;
 };
 
 /// "XCPA" as a little-endian u32 ('X' is the first byte on the wire).
@@ -118,8 +126,18 @@ struct ShardRange {
 /// ranges: the first (seeds % shards) ranges get one extra seed, so ragged
 /// divisions stay contiguous and deterministic. shards > seeds yields empty
 /// trailing ranges (their accumulators merge as no-ops).
+///
+/// `min_seeds_per_shard` > 0 is an anti-sliver heuristic: the seeds are
+/// spread over only as many leading shards as can each hold at least that
+/// many (never fewer than one shard), and the remaining ranges come back
+/// empty — a dispatcher then pays process spawn/supervision cost only for
+/// shards with enough work to amortize it. 0 (the default) preserves the
+/// historical spread-over-all-shards behaviour exactly. The returned
+/// vector always has `shards` entries and the non-empty ranges always
+/// concatenate to exactly [first_seed, first_seed + seeds).
 std::vector<ShardRange> plan_shards(std::uint64_t first_seed,
-                                    std::size_t seeds, unsigned shards);
+                                    std::size_t seeds, unsigned shards,
+                                    std::size_t min_seeds_per_shard = 0);
 
 /// Resolves the xcp_sweep_shard binary for process-transport callers:
 /// $XCP_SWEEP_SHARD_BIN when set (throws std::runtime_error if set but

@@ -52,6 +52,20 @@ void Network::send(sim::ProcessId from, sim::ProcessId to, MsgKind kind,
     trace_->record(e);
   }
 
+  // Seam: a send to an id not attached here leaves the process through the
+  // gateway transport (when installed). The kSend trace record above still
+  // fires — the local trace keeps the send — but the local loss model and
+  // delay model do not apply; the remote link is real. Without a gateway
+  // the message takes the historical path (scheduled, dropped at delivery).
+  if (gateway_ != nullptr) {
+    ActorEntry* dest = entry_for(to);
+    if (dest == nullptr || dest->actor == nullptr) {
+      ++stats_.messages_gatewayed;
+      gateway_->send(m);
+      return;
+    }
+  }
+
   if (drop_probability_ > 0.0 && rng_.next_bool(drop_probability_)) {
     ++stats_.messages_dropped;
     if (trace_) {
@@ -100,6 +114,12 @@ void Network::send(sim::ProcessId from, sim::ProcessId to, MsgKind kind,
     sim_.schedule_at(deliver_at, [this, bi] { deliver_batch(bi); });
   }
   batches_[entry.open_batch].msgs.push_back(std::move(m));
+}
+
+void Network::inject(Message m) {
+  m.id = next_message_id_++;
+  ++stats_.messages_injected;
+  sim_.schedule_at(sim_.now(), [this, m = std::move(m)] { deliver(m); });
 }
 
 std::uint32_t Network::acquire_batch() {

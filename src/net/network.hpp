@@ -36,6 +36,19 @@ struct NetworkStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_gatewayed = 0;  // handed to the egress transport
+  std::uint64_t messages_injected = 0;   // arrived from a remote transport
+};
+
+/// Abstract egress backend for messages addressed to process ids that are
+/// not attached to this Network — the seam that lets the same protocol
+/// actors run over real sockets in separate processes as well as in-sim.
+/// Backends: SimTransport (net/transport.hpp) and SocketTransport
+/// (net/socket_transport.hpp).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual void send(const Message& m) = 0;
 };
 
 class Network {
@@ -48,6 +61,17 @@ class Network {
 
   /// Timing adversary; may be null. Not owned.
   void set_adversary(Adversary* adversary) { adversary_ = adversary; }
+
+  /// Egress transport for sends to unattached ids; may be null (then such
+  /// sends are dropped at delivery time, the pre-seam behaviour — in-sim
+  /// runs that never set a gateway are bit-identical to before the seam
+  /// existed). Not owned.
+  void set_gateway(Transport* gateway) { gateway_ = gateway; }
+
+  /// Delivers a message that arrived from a remote transport: stamps a
+  /// fresh local id and schedules delivery at the current instant, so the
+  /// receive runs inside the event loop with normal tracing and stats.
+  void inject(Message m);
 
   /// Sends a message; computes the delivery time as
   ///   clamp(adversary proposal or model sample)  within the legal envelope
@@ -118,6 +142,7 @@ class Network {
   std::unique_ptr<DelayModel> model_;
   props::TraceRecorder* trace_;
   Adversary* adversary_ = nullptr;
+  Transport* gateway_ = nullptr;
   std::vector<ActorEntry> actors_;  // indexed by ProcessId value
   std::vector<Batch> batches_;
   std::uint32_t free_batch_ = kNoBatch;

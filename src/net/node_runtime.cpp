@@ -1,0 +1,69 @@
+#include "net/node_runtime.hpp"
+
+#include <algorithm>
+
+namespace xcp::net {
+
+namespace {
+// Upper bound on one transport pump: keeps the loop responsive to virtual
+// timers even when the next pending event is far away, and bounds how
+// stale the heartbeat/death bookkeeping can get.
+constexpr std::chrono::milliseconds kMaxPump{5};
+}  // namespace
+
+NodeRuntime::NodeRuntime(sim::Simulator& sim, Network& network,
+                         SocketTransport& transport)
+    : sim_(sim), network_(network), transport_(transport) {
+  network_.set_gateway(&transport_);
+  transport_.set_receive_handler(
+      [this](Message&& m) { network_.inject(std::move(m)); });
+}
+
+void NodeRuntime::advance_to_wall() {
+  const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - wall_origin_);
+  sim_.run_until(virtual_origin_ + Duration::micros(elapsed.count()));
+}
+
+bool NodeRuntime::run(Millis wall_limit, const std::function<bool()>& done) {
+  if (!started_) {
+    wall_origin_ = std::chrono::steady_clock::now();
+    virtual_origin_ = sim_.now();
+    started_ = true;
+  }
+  const auto deadline = std::chrono::steady_clock::now() + wall_limit;
+  for (;;) {
+    advance_to_wall();
+    if (done()) return true;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+
+    // Sleep inside poll() until the next virtual event is due, capped so
+    // inbound traffic and supervision stay fresh.
+    Millis wait = kMaxPump;
+    if (auto next = sim_.next_event_time()) {
+      const std::int64_t gap_us =
+          next->count() -
+          (virtual_origin_ +
+           Duration::micros(std::chrono::duration_cast<
+                                std::chrono::microseconds>(now - wall_origin_)
+                                .count()))
+              .count();
+      wait = std::clamp(Millis(gap_us / 1000), Millis(0), kMaxPump);
+    }
+    wait = std::min(
+        wait, std::chrono::duration_cast<Millis>(deadline - now) + Millis(1));
+    transport_.pump(wait);
+  }
+}
+
+void NodeRuntime::linger(Millis extra) {
+  const auto until = std::chrono::steady_clock::now() + extra;
+  while (std::chrono::steady_clock::now() < until) {
+    advance_to_wall();
+    transport_.pump(kMaxPump);
+  }
+  advance_to_wall();
+}
+
+}  // namespace xcp::net

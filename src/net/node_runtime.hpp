@@ -1,0 +1,53 @@
+#pragma once
+// NodeRuntime: runs one process's slice of a protocol deployment in real
+// time. The discrete-event simulator stays the execution engine (timers,
+// local delivery, tracing all unchanged); the runtime advances virtual
+// time in lockstep with the wall clock and interleaves socket-transport
+// pumps, so remote messages injected between slices land at the current
+// virtual instant.
+//
+// Wiring (done in the constructor):
+//  - network.set_gateway(&transport): sends to non-local pids leave
+//    through the socket transport;
+//  - transport receive handler -> network.inject: inbound messages are
+//    scheduled into the local event loop at the current virtual time.
+//
+// The mapping is 1 virtual microsecond = 1 wall microsecond from the
+// moment run() starts.
+
+#include <chrono>
+#include <functional>
+
+#include "net/socket_transport.hpp"
+
+namespace xcp::net {
+
+class NodeRuntime {
+ public:
+  using Millis = std::chrono::milliseconds;
+
+  NodeRuntime(sim::Simulator& sim, Network& network,
+              SocketTransport& transport);
+
+  /// Runs until `done()` returns true or `wall_limit` elapses. Returns
+  /// true iff done() fired. The simulator's virtual clock tracks the wall
+  /// clock; between event slices the transport is pumped with a wait sized
+  /// by the next pending virtual event.
+  bool run(Millis wall_limit, const std::function<bool()>& done);
+
+  /// Keeps the clock advancing and the transport pumping for `extra` more
+  /// wall time — lets decision broadcasts and relays drain after run().
+  void linger(Millis extra);
+
+ private:
+  void advance_to_wall();
+
+  sim::Simulator& sim_;
+  Network& network_;
+  SocketTransport& transport_;
+  std::chrono::steady_clock::time_point wall_origin_;
+  TimePoint virtual_origin_;
+  bool started_ = false;
+};
+
+}  // namespace xcp::net

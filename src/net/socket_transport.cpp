@@ -1,0 +1,547 @@
+#include "net/socket_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include "support/rng.hpp"
+
+namespace xcp::net {
+namespace {
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw std::runtime_error("socket transport: " + what + ": " +
+                           std::strerror(errno));
+}
+
+void set_nonblock_cloexec(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    sys_fail("fcntl(O_NONBLOCK)");
+  }
+  int fdflags = ::fcntl(fd, F_GETFD, 0);
+  if (fdflags < 0 || ::fcntl(fd, F_SETFD, fdflags | FD_CLOEXEC) < 0) {
+    sys_fail("fcntl(FD_CLOEXEC)");
+  }
+}
+
+int make_socket(const SocketAddress& addr) {
+  const int fd =
+      ::socket(addr.is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) sys_fail("socket");
+  set_nonblock_cloexec(fd);
+  return fd;
+}
+
+/// Fills a sockaddr storage for the address; returns its size.
+socklen_t fill_sockaddr(const SocketAddress& addr, sockaddr_storage& out) {
+  std::memset(&out, 0, sizeof out);
+  if (addr.is_unix) {
+    auto* sun = reinterpret_cast<sockaddr_un*>(&out);
+    sun->sun_family = AF_UNIX;
+    if (addr.path.size() + 1 > sizeof sun->sun_path) {
+      throw std::runtime_error("socket transport: unix path too long: " +
+                               addr.path);
+    }
+    std::memcpy(sun->sun_path, addr.path.c_str(), addr.path.size() + 1);
+    return static_cast<socklen_t>(sizeof(sockaddr_un));
+  }
+  auto* sin = reinterpret_cast<sockaddr_in*>(&out);
+  sin->sin_family = AF_INET;
+  sin->sin_port = htons(addr.port);
+  if (::inet_pton(AF_INET, addr.ip.c_str(), &sin->sin_addr) != 1) {
+    throw std::runtime_error("socket transport: bad IPv4 address: " +
+                             addr.ip);
+  }
+  return static_cast<socklen_t>(sizeof(sockaddr_in));
+}
+
+void close_quietly(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+SocketAddress SocketAddress::parse(const std::string& spec) {
+  SocketAddress a;
+  if (spec.rfind("unix:", 0) == 0) {
+    a.is_unix = true;
+    a.path = spec.substr(5);
+    if (a.path.empty()) {
+      throw std::runtime_error("socket transport: empty unix path in \"" +
+                               spec + "\"");
+    }
+    return a;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    a.is_unix = false;
+    const std::string rest = spec.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= rest.size()) {
+      throw std::runtime_error(
+          "socket transport: expected tcp:<ipv4>:<port> in \"" + spec +
+          "\"");
+    }
+    a.ip = rest.substr(0, colon);
+    const std::string port = rest.substr(colon + 1);
+    char* end = nullptr;
+    const long v = std::strtol(port.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || v <= 0 || v > 65535) {
+      throw std::runtime_error("socket transport: bad port in \"" + spec +
+                               "\"");
+    }
+    a.port = static_cast<std::uint16_t>(v);
+    return a;
+  }
+  throw std::runtime_error(
+      "socket transport: address must start with unix: or tcp: — got \"" +
+      spec + "\"");
+}
+
+SocketTransport::SocketTransport(std::uint32_t self_node,
+                                 const std::string& listen_addr,
+                                 SocketTransportOptions opts)
+    : self_(self_node),
+      listen_addr_(SocketAddress::parse(listen_addr)),
+      opts_(opts) {
+  if (listen_addr_.is_unix) ::unlink(listen_addr_.path.c_str());
+  listen_fd_ = make_socket(listen_addr_);
+  if (!listen_addr_.is_unix) {
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  }
+  sockaddr_storage ss;
+  const socklen_t len = fill_sockaddr(listen_addr_, ss);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&ss), len) < 0) {
+    sys_fail("bind " + listen_addr);
+  }
+  if (::listen(listen_fd_, 64) < 0) sys_fail("listen");
+  next_heartbeat_ = Clock::now() + opts_.heartbeat_interval;
+}
+
+SocketTransport::~SocketTransport() { close(); }
+
+void SocketTransport::close() {
+  if (closed_) return;
+  closed_ = true;
+  close_quietly(listen_fd_);
+  for (Peer& p : peers_) close_quietly(p.fd);
+  for (InConn& c : conns_) close_quietly(c.fd);
+  conns_.clear();
+  if (listen_addr_.is_unix) ::unlink(listen_addr_.path.c_str());
+}
+
+void SocketTransport::add_peer(std::uint32_t node, const std::string& addr) {
+  Peer p;
+  p.node = node;
+  p.addr = SocketAddress::parse(addr);
+  const auto now = Clock::now();
+  p.next_dial = now;
+  p.last_heard = now;  // grace: the death clock starts at registration
+  peers_.push_back(std::move(p));
+}
+
+void SocketTransport::map_pid(sim::ProcessId pid, std::uint32_t node) {
+  pid_to_node_[pid.value()] = node;
+}
+
+SocketTransport::Peer* SocketTransport::peer_for(std::uint32_t node) {
+  for (Peer& p : peers_) {
+    if (p.node == node) return &p;
+  }
+  return nullptr;
+}
+
+const SocketTransport::Peer* SocketTransport::peer_for(
+    std::uint32_t node) const {
+  for (const Peer& p : peers_) {
+    if (p.node == node) return &p;
+  }
+  return nullptr;
+}
+
+bool SocketTransport::peer_up(std::uint32_t node) const {
+  const Peer* p = peer_for(node);
+  return p != nullptr && !p->down;
+}
+
+bool SocketTransport::peer_connected(std::uint32_t node) const {
+  const Peer* p = peer_for(node);
+  return p != nullptr && p->fd >= 0 && !p->connecting;
+}
+
+SocketTransport::Millis SocketTransport::backoff_before(const Peer& p) const {
+  // Same deterministic shape as the dispatcher's retry backoff: exponential
+  // in the attempt number, capped, with seeded multiplicative jitter keyed
+  // by (peer node, attempt) so schedules are reproducible per deployment.
+  const int k = std::max(1, p.attempt);
+  double ms = static_cast<double>(opts_.reconnect_base.count());
+  for (int i = 1; i < k; ++i) ms *= opts_.reconnect_multiplier;
+  ms = std::min(ms, static_cast<double>(opts_.reconnect_cap.count()));
+  if (opts_.reconnect_jitter > 0.0) {
+    std::uint64_t state =
+        opts_.jitter_seed ^
+        (0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(p.node) + 1) +
+         static_cast<std::uint64_t>(k));
+    Rng rng(splitmix64(state));
+    ms *= rng.next_double(1.0 - opts_.reconnect_jitter,
+                          1.0 + opts_.reconnect_jitter);
+  }
+  return Millis(std::max<std::int64_t>(1, static_cast<std::int64_t>(ms)));
+}
+
+void SocketTransport::dial(Peer& p, Clock::time_point now) {
+  ++stats_.dial_attempts;
+  if (p.attempt > 0) ++stats_.reconnects;
+  int fd = -1;
+  try {
+    fd = make_socket(p.addr);
+    sockaddr_storage ss;
+    const socklen_t len = fill_sockaddr(p.addr, ss);
+    const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&ss), len);
+    if (rc == 0) {
+      p.fd = fd;
+      on_dialed(p, now);
+      return;
+    }
+    if (errno == EINPROGRESS) {
+      p.fd = fd;
+      p.connecting = true;
+      return;
+    }
+  } catch (const std::runtime_error&) {
+    // fall through to failure handling
+  }
+  close_quietly(fd);
+  dial_failed(p, now);
+}
+
+void SocketTransport::on_dialed(Peer& p, Clock::time_point now) {
+  p.connecting = false;
+  p.attempt = 0;
+  // The hello frame must precede anything queued before the connection
+  // existed; tx_off is 0 here (cleared on every disconnect).
+  ControlFrame hello;
+  hello.kind = WireKind::kHello;
+  hello.a = self_;
+  std::vector<std::uint8_t> payload;
+  serialize_control(hello, payload);
+  std::vector<std::uint8_t> framed;
+  append_stream_frame(framed, payload.data(), payload.size());
+  p.tx.insert(p.tx.begin(), framed.begin(), framed.end());
+  ++stats_.frames_sent;
+  flush(p, now);
+}
+
+void SocketTransport::dial_failed(Peer& p, Clock::time_point now) {
+  close_quietly(p.fd);
+  p.connecting = false;
+  p.attempt += 1;
+  p.next_dial = now + backoff_before(p);
+}
+
+void SocketTransport::disconnect(Peer& p, Clock::time_point now) {
+  ++stats_.disconnects;
+  close_quietly(p.fd);
+  p.connecting = false;
+  // Bytes already handed to a broken connection are in an unknown state;
+  // resuming mid-frame would corrupt the stream, so pending output is
+  // dropped (real message loss — the protocols tolerate it) and the next
+  // connection starts clean.
+  p.tx.clear();
+  p.tx_off = 0;
+  p.attempt = std::max(1, p.attempt + 1);
+  p.next_dial = now + backoff_before(p);
+}
+
+void SocketTransport::queue_frame(Peer& p,
+                                  const std::vector<std::uint8_t>& payload,
+                                  Clock::time_point now) {
+  const std::size_t pending = p.tx.size() - p.tx_off;
+  if (pending + payload.size() + 4 > opts_.max_queued_bytes) {
+    ++stats_.sends_dropped;
+    return;
+  }
+  append_stream_frame(p.tx, payload.data(), payload.size());
+  ++stats_.frames_sent;
+  if (p.fd >= 0 && !p.connecting) flush(p, now);
+}
+
+void SocketTransport::flush(Peer& p, Clock::time_point now) {
+  while (p.tx_off < p.tx.size()) {
+    const std::size_t left = p.tx.size() - p.tx_off;
+#ifdef MSG_NOSIGNAL
+    const ssize_t n =
+        ::send(p.fd, p.tx.data() + p.tx_off, left, MSG_NOSIGNAL);
+#else
+    const ssize_t n = ::write(p.fd, p.tx.data() + p.tx_off, left);
+#endif
+    if (n > 0) {
+      p.tx_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    disconnect(p, now);
+    return;
+  }
+  p.tx.clear();
+  p.tx_off = 0;
+}
+
+void SocketTransport::send(const Message& m) {
+  const auto it = pid_to_node_.find(m.to.value());
+  if (it == pid_to_node_.end()) {
+    ++stats_.sends_dropped;
+    return;
+  }
+  const std::uint32_t node = it->second;
+  std::vector<std::uint8_t> payload;
+  try {
+    serialize_message(m, payload, opts_.wire);
+  } catch (const WireError&) {
+    ++stats_.sends_dropped;
+    return;
+  }
+  if (node == self_) {
+    // Loopback through the codec so local and remote delivery agree.
+    try {
+      Message copy = parse_message(payload.data(), payload.size(), opts_.wire);
+      ++stats_.messages_sent;
+      ++stats_.messages_received;
+      if (receive_) receive_(std::move(copy));
+    } catch (const WireError&) {
+      ++stats_.wire_rejects;
+    }
+    return;
+  }
+  Peer* p = peer_for(node);
+  if (p == nullptr || p->down) {
+    // A down peer is the paper's crashed participant: sends evaporate.
+    ++stats_.sends_dropped;
+    return;
+  }
+  ++stats_.messages_sent;
+  queue_frame(*p, payload, Clock::now());
+}
+
+void SocketTransport::heard_from(std::int64_t node, Clock::time_point now) {
+  if (node < 0) return;
+  Peer* p = peer_for(static_cast<std::uint32_t>(node));
+  if (p == nullptr) return;
+  p->last_heard = now;
+  if (p->down) {
+    p->down = false;
+    ++stats_.peers_resurrected;
+  }
+}
+
+bool SocketTransport::read_conn(InConn& c, Clock::time_point now) {
+  for (;;) {
+    std::uint8_t buf[kReadChunk];
+    const ssize_t n = ::recv(c.fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      c.rx.insert(c.rx.end(), buf, buf + n);
+      if (static_cast<std::size_t>(n) < sizeof buf) break;
+      continue;
+    }
+    if (n == 0) return false;  // EOF
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
+  try {
+    std::vector<std::uint8_t> frame;
+    while (extract_stream_frame(c.rx, frame, opts_.max_frame_bytes)) {
+      ParsedFrame pf = parse_frame(frame.data(), frame.size(), opts_.wire);
+      ++stats_.frames_received;
+      if (pf.is_control()) {
+        if (pf.control.kind == WireKind::kHello) {
+          c.node = static_cast<std::int64_t>(pf.control.a);
+        } else {
+          ++stats_.heartbeats_received;
+        }
+        heard_from(c.node, now);
+      } else {
+        ++stats_.messages_received;
+        heard_from(c.node, now);
+        if (receive_) receive_(std::move(pf.message));
+      }
+    }
+  } catch (const WireError&) {
+    // A corrupting peer looks like a crashing one: count it, drop the
+    // connection, keep the process alive.
+    ++stats_.wire_rejects;
+    return false;
+  }
+  return true;
+}
+
+void SocketTransport::emit_heartbeats(Clock::time_point now) {
+  if (now < next_heartbeat_) return;
+  ControlFrame hb;
+  hb.kind = WireKind::kHeartbeat;
+  hb.a = heartbeat_seq_++;
+  std::vector<std::uint8_t> payload;
+  serialize_control(hb, payload);
+  for (Peer& p : peers_) {
+    if (p.fd < 0 || p.connecting) continue;
+    queue_frame(p, payload, now);
+    ++stats_.heartbeats_sent;
+  }
+  next_heartbeat_ = now + opts_.heartbeat_interval;
+}
+
+void SocketTransport::check_deadlines(Clock::time_point now) {
+  for (Peer& p : peers_) {
+    if (p.down) continue;
+    const auto silent =
+        std::chrono::duration_cast<Millis>(now - p.last_heard);
+    if (silent > opts_.peer_timeout) {
+      p.down = true;
+      ++stats_.peers_down;
+      if (peer_down_) peer_down_(p.node, silent);
+    }
+  }
+}
+
+bool SocketTransport::pump(Millis max_wait) {
+  if (closed_) return false;
+  auto now = Clock::now();
+
+  for (Peer& p : peers_) {
+    if (p.fd < 0 && now >= p.next_dial) dial(p, now);
+  }
+  emit_heartbeats(now);
+  check_deadlines(now);
+
+  // poll set: listener, accepted conns, dialed conns.
+  std::vector<pollfd> fds;
+  enum class Slot { kListener, kConn, kPeer };
+  std::vector<std::pair<Slot, std::size_t>> slots;
+  if (listen_fd_ >= 0) {
+    fds.push_back({listen_fd_, POLLIN, 0});
+    slots.emplace_back(Slot::kListener, 0);
+  }
+  for (std::size_t i = 0; i < conns_.size(); ++i) {
+    fds.push_back({conns_[i].fd, POLLIN, 0});
+    slots.emplace_back(Slot::kConn, i);
+  }
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    Peer& p = peers_[i];
+    if (p.fd < 0) continue;
+    short events = POLLIN;
+    if (p.connecting || p.tx_off < p.tx.size()) events |= POLLOUT;
+    fds.push_back({p.fd, events, 0});
+    slots.emplace_back(Slot::kPeer, i);
+  }
+
+  // Wake in time for the nearest scheduled obligation: a due dial, the
+  // next heartbeat, or a peer-death deadline.
+  std::int64_t wait_ms = max_wait.count();
+  auto consider = [&](Clock::time_point at) {
+    const auto d =
+        std::chrono::duration_cast<Millis>(at - now).count();
+    wait_ms = std::min(wait_ms, std::max<std::int64_t>(0, d));
+  };
+  consider(next_heartbeat_);
+  for (const Peer& p : peers_) {
+    if (p.fd < 0) consider(p.next_dial);
+    if (!p.down) consider(p.last_heard + opts_.peer_timeout + Millis(1));
+  }
+
+  const std::uint64_t received_before = stats_.messages_received;
+  const int rc =
+      ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+             static_cast<int>(std::clamp<std::int64_t>(wait_ms, 0, 60'000)));
+  now = Clock::now();
+  if (rc > 0) {
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      const short got = fds[i].revents;
+      if (got == 0) continue;
+      const auto [slot, idx] = slots[i];
+      switch (slot) {
+        case Slot::kListener: {
+          for (;;) {
+            const int cfd = ::accept(listen_fd_, nullptr, nullptr);
+            if (cfd < 0) break;
+            set_nonblock_cloexec(cfd);
+            InConn c;
+            c.fd = cfd;
+            conns_.push_back(std::move(c));
+          }
+          break;
+        }
+        case Slot::kConn: {
+          InConn& c = conns_[idx];
+          if (!read_conn(c, now)) {
+            close_quietly(c.fd);  // compacted below
+          }
+          break;
+        }
+        case Slot::kPeer: {
+          Peer& p = peers_[idx];
+          if (p.fd < 0) break;
+          if (p.connecting) {
+            if (got & (POLLOUT | POLLERR | POLLHUP)) {
+              int err = 0;
+              socklen_t len = sizeof err;
+              ::getsockopt(p.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+              if (err == 0 && !(got & (POLLERR | POLLHUP))) {
+                on_dialed(p, now);
+              } else {
+                dial_failed(p, now);
+              }
+            }
+            break;
+          }
+          if (got & (POLLERR | POLLHUP)) {
+            disconnect(p, now);
+            break;
+          }
+          if (got & POLLIN) {
+            // The remote never sends protocol frames on our dialed
+            // connection; readable here means EOF or stray bytes. Drain
+            // and detect close.
+            std::uint8_t buf[256];
+            const ssize_t n = ::recv(p.fd, buf, sizeof buf, 0);
+            if (n == 0 ||
+                (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                 errno != EINTR)) {
+              disconnect(p, now);
+              break;
+            }
+          }
+          if (got & POLLOUT) flush(p, now);
+          break;
+        }
+      }
+    }
+  }
+  // Compact closed accepted connections.
+  conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                              [](const InConn& c) { return c.fd < 0; }),
+               conns_.end());
+
+  emit_heartbeats(now);
+  check_deadlines(now);
+  return stats_.messages_received > received_before;
+}
+
+}  // namespace xcp::net

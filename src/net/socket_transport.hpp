@@ -1,0 +1,194 @@
+#pragma once
+// The supervised socket backend of the net::Transport seam: real
+// non-blocking sockets between processes, multiplexed by poll() in the
+// style of exp/dispatch.cpp's worker supervisor.
+//
+// Topology: every node listens on one address and dials one outbound
+// connection to each peer. Sends travel only on the dialed connection;
+// accepted connections are receive-only and identify themselves with a
+// Hello control frame. Two simplex channels per pair keeps connection
+// management trivially race-free (no simultaneous-open dedup).
+//
+// Supervision, mirroring the dispatcher's policy rungs:
+//  - length-prefix framing survives partial reads and short writes (frames
+//    are reassembled per-connection; writes keep a bounded pending buffer);
+//  - a failed or broken dial retries with bounded deterministic
+//    exponential backoff + jitter (same splitmix64-seeded shape as
+//    DispatchOptions backoff);
+//  - liveness is heartbeat-based: every established outbound connection
+//    carries a Heartbeat control frame each heartbeat_interval, and a peer
+//    from which nothing (hello/heartbeat/message) has been heard for
+//    peer_timeout is declared down — once, via the peer-down handler;
+//  - degradation is graceful: sends to a down peer are counted and
+//    dropped, which is exactly the paper's crashed-participant semantics
+//    (the protocol tolerates f such crashes); a peer that speaks again is
+//    resurrected.
+//
+// Everything malformed on a connection raises/absorbs net::WireError and
+// drops that connection (never the process): a byte-corrupting peer looks
+// like a crashing one.
+//
+// Single-threaded by design: pump() runs one poll iteration; the caller
+// (net/node_runtime.hpp) interleaves pumps with simulator slices.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/wire.hpp"
+
+namespace xcp::net {
+
+/// "unix:<path>" or "tcp:<ipv4>:<port>" (numeric only; this is a lab
+/// transport, not a resolver).
+struct SocketAddress {
+  bool is_unix = true;
+  std::string path;  // unix form
+  std::string ip;    // tcp form
+  std::uint16_t port = 0;
+
+  /// Throws std::runtime_error on anything it cannot parse.
+  static SocketAddress parse(const std::string& spec);
+};
+
+struct SocketTransportOptions {
+  std::chrono::milliseconds heartbeat_interval{100};
+  /// Silence longer than this declares the peer down (grace-started at
+  /// add_peer time, so slow-starting peers are not declared dead early).
+  std::chrono::milliseconds peer_timeout{1000};
+  std::chrono::milliseconds reconnect_base{25};
+  double reconnect_multiplier = 2.0;
+  std::chrono::milliseconds reconnect_cap{1000};
+  double reconnect_jitter = 0.25;  // +/- fraction of the backoff
+  std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
+  std::size_t max_frame_bytes = kMaxWireFrame;
+  /// Per-peer pending outbound cap; sends past it are dropped (counted).
+  std::size_t max_queued_bytes = std::size_t{8} << 20;
+  WireContext wire;  // committee roster for participation-bitmap certs
+};
+
+struct SocketTransportStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t heartbeats_received = 0;
+  std::uint64_t wire_rejects = 0;     // WireError on an inbound frame
+  std::uint64_t dial_attempts = 0;
+  std::uint64_t reconnects = 0;       // dial attempts after the first
+  std::uint64_t disconnects = 0;      // established connections lost
+  std::uint64_t peers_down = 0;       // heartbeat deadline expiries
+  std::uint64_t peers_resurrected = 0;
+  std::uint64_t sends_dropped = 0;    // to down/unmapped peers or over cap
+};
+
+class SocketTransport final : public Transport {
+ public:
+  using Clock = std::chrono::steady_clock;
+  using Millis = std::chrono::milliseconds;
+
+  /// Binds the listener immediately; throws std::runtime_error on failure.
+  SocketTransport(std::uint32_t self_node, const std::string& listen_addr,
+                  SocketTransportOptions opts = {});
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  /// Declares a peer node and its listen address. Dialing starts at the
+  /// next pump().
+  void add_peer(std::uint32_t node, const std::string& addr);
+
+  /// Routes a protocol process id to a peer node (or to self, for ids
+  /// hosted here — such sends are handed to the receive handler directly).
+  void map_pid(sim::ProcessId pid, std::uint32_t node);
+
+  void set_receive_handler(std::function<void(Message&&)> handler) {
+    receive_ = std::move(handler);
+  }
+  /// Called exactly once per down transition, with how long the peer had
+  /// been silent when declared.
+  void set_peer_down_handler(
+      std::function<void(std::uint32_t node, Millis silent)> handler) {
+    peer_down_ = std::move(handler);
+  }
+
+  // Transport:
+  void send(const Message& m) override;
+
+  /// One supervision + multiplexing step: dials due peers, flushes pending
+  /// writes, reads and dispatches inbound frames, emits due heartbeats,
+  /// applies the peer-death deadline. Blocks in poll() at most `max_wait`.
+  /// Returns true if at least one protocol message was received.
+  bool pump(Millis max_wait);
+
+  /// True until the peer's heartbeat deadline expires (and again after a
+  /// resurrection).
+  bool peer_up(std::uint32_t node) const;
+  bool peer_connected(std::uint32_t node) const;
+
+  const SocketTransportStats& stats() const { return stats_; }
+  std::uint32_t self_node() const { return self_; }
+
+  /// Closes every fd (listener, dialed, accepted). Idempotent; the
+  /// destructor calls it.
+  void close();
+
+ private:
+  struct Peer {
+    std::uint32_t node = 0;
+    SocketAddress addr;
+    int fd = -1;
+    bool connecting = false;
+    std::vector<std::uint8_t> tx;  // pending outbound bytes
+    std::size_t tx_off = 0;        // bytes of tx already written
+    int attempt = 0;               // dial attempts since last success
+    Clock::time_point next_dial;
+    Clock::time_point last_heard;
+    bool down = false;
+  };
+
+  /// An accepted (receive-only) connection; `node` is unknown (-1) until
+  /// the Hello frame arrives.
+  struct InConn {
+    int fd = -1;
+    std::vector<std::uint8_t> rx;
+    std::int64_t node = -1;
+  };
+
+  Peer* peer_for(std::uint32_t node);
+  const Peer* peer_for(std::uint32_t node) const;
+  void dial(Peer& p, Clock::time_point now);
+  void on_dialed(Peer& p, Clock::time_point now);
+  void dial_failed(Peer& p, Clock::time_point now);
+  void disconnect(Peer& p, Clock::time_point now);
+  Millis backoff_before(const Peer& p) const;
+  void flush(Peer& p, Clock::time_point now);
+  void queue_frame(Peer& p, const std::vector<std::uint8_t>& payload,
+                   Clock::time_point now);
+  bool read_conn(InConn& c, Clock::time_point now);  // false = drop conn
+  void heard_from(std::int64_t node, Clock::time_point now);
+  void check_deadlines(Clock::time_point now);
+  void emit_heartbeats(Clock::time_point now);
+
+  std::uint32_t self_;
+  SocketAddress listen_addr_;
+  int listen_fd_ = -1;
+  SocketTransportOptions opts_;
+  std::vector<Peer> peers_;
+  std::vector<InConn> conns_;
+  std::unordered_map<std::uint32_t, std::uint32_t> pid_to_node_;
+  std::function<void(Message&&)> receive_;
+  std::function<void(std::uint32_t, Millis)> peer_down_;
+  Clock::time_point next_heartbeat_;
+  std::uint64_t heartbeat_seq_ = 0;
+  SocketTransportStats stats_;
+  bool closed_ = false;
+};
+
+}  // namespace xcp::net

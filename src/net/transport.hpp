@@ -1,0 +1,38 @@
+#pragma once
+// The transport seam: where a message leaves the local process.
+//
+// Protocol actors always talk to their Network; the Network routes each
+// send either to a locally-attached actor (in-sim delivery, delay model,
+// adversary — unchanged) or, when the destination id is not attached and a
+// gateway transport is installed, to the Transport backend. Two backends
+// exist:
+//
+//  - SimTransport (below): delegates straight back to a Network, used to
+//    differential-test the seam itself — a run through SimTransport must
+//    be indistinguishable from direct delivery.
+//  - SocketTransport (net/socket_transport.hpp): real sockets between
+//    processes, with framing, reconnect and heartbeat supervision.
+//
+// A Network with no gateway behaves exactly as before this seam existed
+// (sends to unattached ids are dropped), so in-sim traces are bit-identical.
+
+#include "net/network.hpp"
+
+namespace xcp::net {
+
+/// In-sim backend: hands the message to (another) Network for virtual-time
+/// delivery. `send` re-enters Network::send, so delay model, adversary,
+/// tracing and batching all apply as if the actor had sent directly.
+class SimTransport final : public Transport {
+ public:
+  explicit SimTransport(Network& net) : net_(net) {}
+
+  void send(const Message& m) override {
+    net_.send(m.from, m.to, m.kind, m.body);
+  }
+
+ private:
+  Network& net_;
+};
+
+}  // namespace xcp::net

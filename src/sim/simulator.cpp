@@ -84,4 +84,10 @@ bool Simulator::run_until(TimePoint deadline) {
   }
 }
 
+std::optional<TimePoint> Simulator::next_event_time() {
+  start_all_pending();
+  if (queue_.empty()) return std::nullopt;
+  return queue_.next_time();
+}
+
 }  // namespace xcp::sim

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -83,6 +84,12 @@ class Simulator {
   bool stop_requested() const { return stop_token_.stop_requested; }
 
   std::uint64_t events_executed() const { return events_executed_; }
+
+  /// Time of the earliest pending event, or nullopt when the queue is
+  /// empty. Used by real-time runtimes (net/node_runtime.hpp) to size
+  /// their wait between run_until slices. Flushes pending on_start
+  /// registrations first so their events are visible.
+  std::optional<TimePoint> next_event_time();
 
   /// Hard cap to catch accidental livelock in experiments (default 50M).
   void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }

@@ -9,6 +9,7 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -449,6 +450,135 @@ TEST(Dispatcher, ReportRendersOutcomesAndStderr) {
   EXPECT_NE(s.find("boom line one"), std::string::npos) << s;
   EXPECT_NE(s.find("boom line two"), std::string::npos) << s;
   EXPECT_FALSE(report.clean());
+}
+
+TEST(DispatchFaults, EvenShardCountHedgesOffTheAveragedMedian) {
+  const std::string worker = worker_or_skip();
+  if (worker.empty()) GTEST_SKIP() << "xcp_sweep_shard binary not found";
+
+  // With 4 shards and one straggler, the hedging threshold is computed
+  // from an even completion sample (3 completions by the time the policy
+  // looks, then re-checks) — the median is the average of the middle pair,
+  // not an element. plan_shards(1, 8, 4) puts the shards at first seeds
+  // 1, 3, 5, 7; the seed-7 shard sleeps 5 s on its first attempt.
+  DistributedOptions opts;
+  opts.worker_path = worker;
+  opts.dispatch = quick_dispatch();
+  opts.dispatch.hedge_stragglers = true;
+  opts.dispatch.straggler_multiple = 3.0;
+  opts.dispatch.straggler_floor = Millis(50);
+  opts.dispatch.shard_deadline = Millis(30'000);
+  opts.dispatch.extra_worker_args = {
+      "--fault", "slow-start@1:if-first-seed=7",
+      "--fault-delay-ms", "5000"};
+  DispatchReport report;
+  opts.report = &report;
+
+  const MatrixCell single = run_matrix_cell(ProtocolKind::kWeakContract,
+                                            Regime::kSynchronyConforming,
+                                            kN, 8);
+  const Clock::time_point t0 = Clock::now();
+  const MatrixCell swept = distributed_sweep(ProtocolKind::kWeakContract,
+                                             Regime::kSynchronyConforming,
+                                             kN, 8, 4, 1, opts);
+  const Millis wall =
+      std::chrono::duration_cast<Millis>(Clock::now() - t0);
+
+  expect_cells_identical(swept, single);
+  EXPECT_GE(report.hedges, 1u);
+  EXPECT_GE(report.superseded, 1u);
+  EXPECT_LT(wall.count(), 4'000)
+      << "even-count median failed to trigger the hedge";
+}
+
+// --------------------------------------------------- stderr capture cap
+
+TEST(DispatchFaults, StderrCapIsConfigurableAndTruncatesNotDrops) {
+  const std::string worker = worker_or_skip();
+  if (worker.empty()) GTEST_SKIP() << "xcp_sweep_shard binary not found";
+
+  // Tiny cap via DistributedOptions: a stderr-flooding worker must yield a
+  // truncated excerpt — the head of the stream plus the truncation marker
+  // — never an empty one and never an uncapped flood in driver memory.
+  DistributedOptions opts;
+  opts.worker_path = worker;
+  opts.dispatch = quick_dispatch();
+  opts.dispatch.stderr_cap = 48;
+  opts.dispatch.extra_worker_args = {"--fault", "huge-blob@1"};
+  DispatchReport report;
+  opts.report = &report;
+
+  const MatrixCell single =
+      run_matrix_cell(kFaultProtocol, kFaultRegime, kN, kSeeds);
+  const MatrixCell swept = distributed_sweep(kFaultProtocol, kFaultRegime,
+                                             kN, kSeeds, 2, 1, opts);
+  expect_cells_identical(swept, single);
+
+  constexpr const char* kMarker = "[stderr truncated]";
+  bool saw_flooded_attempt = false;
+  for (const AttemptRecord& a : report.attempts) {
+    if (a.outcome != AttemptRecord::Outcome::kWireReject) continue;
+    saw_flooded_attempt = true;
+    const std::size_t marker_at = a.stderr_excerpt.find(kMarker);
+    ASSERT_NE(marker_at, std::string::npos) << a.stderr_excerpt;
+    // Truncated, not dropped: real worker bytes precede the marker...
+    EXPECT_GT(marker_at, 0u);
+    // ...and the total stays within cap + marker, nowhere near the flood.
+    EXPECT_LE(a.stderr_excerpt.size(),
+              opts.dispatch.stderr_cap + std::strlen(kMarker) + 1);
+  }
+  EXPECT_TRUE(saw_flooded_attempt);
+}
+
+// ----------------------------------------------- report rendering (golden)
+
+TEST(Dispatcher, ReportToStringGoldenFormat) {
+  // The exact rendering is an interface: operators grep these lines and
+  // the docs quote them. Pin it byte-for-byte so drift is a deliberate,
+  // reviewed change.
+  DispatchReport report;
+  report.shards = 2;
+  report.launches = 4;
+  report.retries = 1;
+  report.timeouts = 1;
+  report.hedges = 1;
+  report.superseded = 1;
+
+  AttemptRecord timeout;
+  timeout.shard = 0;
+  timeout.attempt = 1;
+  timeout.outcome = AttemptRecord::Outcome::kTimeout;
+  timeout.term_signal = 9;
+  timeout.detail = "deadline 250 ms";
+  timeout.wall = Millis(251);
+  timeout.stderr_excerpt = "late\nvery late";
+  report.attempts.push_back(timeout);
+
+  AttemptRecord ok;  // success records render nothing
+  ok.shard = 1;
+  ok.attempt = 1;
+  ok.outcome = AttemptRecord::Outcome::kSuccess;
+  ok.wall = Millis(3);
+  report.attempts.push_back(ok);
+
+  AttemptRecord hedge;
+  hedge.shard = 1;
+  hedge.attempt = 2;
+  hedge.hedge = true;
+  hedge.outcome = AttemptRecord::Outcome::kSuperseded;
+  hedge.wall = Millis(5);
+  report.attempts.push_back(hedge);
+
+  const std::string golden =
+      "dispatch report: 2 shard(s), 4 launch(es), 1 retry, 1 timeout(s), "
+      "0 crash(es), 0 wire reject(s), 0 meta mismatch(es), "
+      "0 nonzero exit(s), 0 launch failure(s), 1 hedge(s), 1 superseded, "
+      "0 fallback(s)\n"
+      "  shard 0 attempt 1: timeout, signal 9, deadline 250 ms after 251 ms\n"
+      "    stderr: late\n"
+      "    stderr: very late\n"
+      "  shard 1 attempt 2 (hedge): superseded after 5 ms";
+  EXPECT_EQ(report.to_string(), golden);
 }
 
 // ------------------------------------------------------ worker exit codes

@@ -1,0 +1,417 @@
+// Wire-format tests and fuzz harness (net/wire.hpp): every protocol
+// message type must round-trip bit-exactly through serialize -> parse ->
+// serialize, and every single-byte corruption and every truncation of a
+// valid frame must either be rejected with net::WireError or parse to a
+// valid message — never UB, never partial state (the asan-ubsan CI job
+// runs this suite under both sanitizers).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "chain/transaction.hpp"
+#include "consensus/messages.hpp"
+#include "crypto/certificate.hpp"
+#include "crypto/identity.hpp"
+#include "net/wire.hpp"
+#include "proto/bodies.hpp"
+
+namespace xcp::net {
+namespace {
+
+using Bytes = std::vector<std::uint8_t>;
+
+// ------------------------------------------------------------- fixtures
+
+crypto::KeyRegistry& registry() {
+  static crypto::KeyRegistry keys(0xfeedULL);
+  return keys;
+}
+
+std::vector<sim::ProcessId> roster() {
+  return {sim::ProcessId(21), sim::ProcessId(22), sim::ProcessId(23),
+          sim::ProcessId(24)};
+}
+
+crypto::Certificate quorum_cert(bool commit) {
+  auto members = roster();
+  std::vector<crypto::Signature> sigs;
+  const sim::ProcessId committee(3'000'013);
+  const auto kind =
+      commit ? crypto::CertKind::kCommit : crypto::CertKind::kAbort;
+  crypto::Certificate chi =
+      crypto::make_payment_cert(registry().signer_for(sim::ProcessId(2)), 13);
+  // Assemble via the production helper so digests/embeds are the real thing.
+  crypto::Certificate probe;
+  probe.kind = kind;
+  probe.deal_id = 13;
+  probe.issuer = committee;
+  for (std::size_t i = 0; i + 1 < members.size(); ++i) {  // 3 of 4 sign
+    sigs.push_back(registry().signer_for(members[i]).sign(probe.digest()));
+  }
+  return crypto::make_quorum_cert(kind, 13, committee, std::move(sigs),
+                                  commit ? &chi : nullptr);
+}
+
+/// One message of every wire-serializable body type (and a body-less one),
+/// with edge-flavoured field values.
+std::vector<Message> corpus() {
+  std::vector<Message> msgs;
+  auto push = [&](MsgKind kind, BodyPtr body) {
+    Message m;
+    m.id = 0x0123456789abcdefULL;
+    m.from = sim::ProcessId(7);
+    m.to = sim::ProcessId(42);
+    m.kind = kind;
+    m.body = std::move(body);
+    msgs.push_back(std::move(m));
+  };
+
+  push(kinds::claim, nullptr);  // pure-signal message, no body
+
+  auto g = make_body<proto::PromiseG>();
+  g->deal_id = ~0ULL;
+  g->d = Duration::micros(-1);  // negative durations survive the codec
+  g->amount = Amount(-42, Currency::btc());
+  push(kinds::g, g);
+
+  auto p = make_body<proto::PromiseP>();
+  p->deal_id = 13;
+  p->a = Duration::seconds(3600);
+  p->amount = Amount(1'000'000, Currency::usd());
+  push(kinds::p, p);
+
+  auto money = make_body<proto::MoneyMsg>();
+  money->deal_id = 13;
+  money->receipt = 0xdeadbeefcafeULL;
+  money->amount = Amount(5, Currency::generic());
+  push(kinds::money, money);
+
+  auto chi = make_body<proto::CertMsg>();
+  chi->cert =
+      crypto::make_payment_cert(registry().signer_for(sim::ProcessId(2)), 13);
+  push(kinds::chi, chi);
+  push(kinds::tm_chi, chi);
+
+  auto report = make_body<consensus::ReportMsg>();
+  report->statement = consensus::make_statement(
+      registry().signer_for(sim::ProcessId(4)), "escrowed", 13, 77);
+  push(kinds::tm_report, report);
+
+  auto proposal = make_body<consensus::ProposalMsg>();
+  proposal->instance = 13;
+  proposal->round = 3;
+  proposal->value = consensus::Value::kCommit;
+  proposal->just.statements.push_back(consensus::make_statement(
+      registry().signer_for(sim::ProcessId(4)), "escrowed", 13));
+  proposal->just.statements.push_back(consensus::make_statement(
+      registry().signer_for(sim::ProcessId(5)), "escrowed", 13));
+  proposal->just.chi =
+      crypto::make_payment_cert(registry().signer_for(sim::ProcessId(2)), 13);
+  proposal->sig = registry().signer_for(sim::ProcessId(21)).sign(
+      consensus::proposal_digest(13, 3, consensus::Value::kCommit));
+  push(kinds::bft_proposal, proposal);
+
+  auto vote = make_body<consensus::VoteMsg>();
+  vote->instance = 13;
+  vote->round = 0;
+  vote->value = consensus::Value::kAbort;
+  vote->phase = consensus::VoteMsg::Phase::kPrecommit;
+  vote->sig = registry().signer_for(sim::ProcessId(22)).sign(0x1234);
+  push(kinds::bft_vote, vote);
+
+  auto nr = make_body<consensus::NewRoundMsg>();
+  nr->instance = 13;
+  nr->round = 5;
+  nr->locked = consensus::Value::kCommit;
+  nr->lock_round = 2;
+  push(kinds::bft_newround, nr);
+
+  auto nr2 = make_body<consensus::NewRoundMsg>();
+  nr2->instance = 13;
+  nr2->round = 1;
+  nr2->lock_round = -1;  // unlocked: the -1 sentinel must survive
+  push(kinds::bft_newround, nr2);
+
+  auto decision = make_body<consensus::DecisionMsg>();
+  decision->cert = quorum_cert(true);
+  push(kinds::tm_cert, decision);
+
+  auto decision_a = make_body<consensus::DecisionMsg>();
+  decision_a->cert = quorum_cert(false);
+  push(kinds::bft_decision, decision_a);
+
+  auto tx = make_body<chain::TxMsg>();
+  tx->tx = chain::make_signed_tx(registry().signer_for(sim::ProcessId(3)),
+                                 "escrow_1", "deposit", 13, 500,
+                                 quorum_cert(true));
+  push(kinds::tx, tx);
+
+  auto ev = make_body<chain::ChainEventMsg>();
+  ev->contract = "escrow_1";
+  ev->topic = "funded";
+  ev->block_height = 991;
+  ev->cert = quorum_cert(false);
+  ev->detail = "deal 13 funded at height 991";
+  push(kinds::chain_event, ev);
+
+  return msgs;
+}
+
+WireContext roster_ctx(const std::vector<sim::ProcessId>& members) {
+  WireContext ctx;
+  ctx.roster = &members;
+  return ctx;
+}
+
+// ------------------------------------------------------------ round trip
+
+TEST(Wire, EveryMessageTypeRoundTripsBitExactly) {
+  const auto members = roster();
+  for (const WireContext& ctx :
+       {WireContext{}, roster_ctx(members)}) {
+    for (const Message& m : corpus()) {
+      const Bytes a = serialize_message(m, ctx);
+      const Message parsed = parse_message(a, ctx);
+      EXPECT_EQ(parsed.id, m.id);
+      EXPECT_EQ(parsed.from, m.from);
+      EXPECT_EQ(parsed.to, m.to);
+      EXPECT_EQ(parsed.kind, m.kind);
+      EXPECT_EQ(parsed.body == nullptr, m.body == nullptr);
+      const Bytes b = serialize_message(parsed, ctx);
+      EXPECT_EQ(a, b) << "re-serialization diverged for kind "
+                      << m.kind.str();
+    }
+  }
+}
+
+TEST(Wire, QuorumCertUsesBitmapWithRosterAndExplicitWithout) {
+  const auto members = roster();
+  const crypto::Certificate cert = quorum_cert(true);
+  const Bytes with = serialize_certificate(cert, roster_ctx(members));
+  const Bytes without = serialize_certificate(cert, WireContext{});
+  // Bitmap form: 8-byte map + one 8-byte mac per signer beats 12 bytes per
+  // signature once more than two sign; and both must round-trip.
+  EXPECT_LT(with.size(), without.size());
+  const crypto::Certificate c1 = parse_certificate(with, roster_ctx(members));
+  const crypto::Certificate c2 = parse_certificate(without, WireContext{});
+  for (const crypto::Certificate* c : {&c1, &c2}) {
+    EXPECT_EQ(c->deal_id, cert.deal_id);
+    EXPECT_EQ(c->quorum.size(), cert.quorum.size());
+    EXPECT_TRUE(crypto::verify_quorum_cert(registry(), *c, members, 3));
+  }
+  // Bitmap form without the roster cannot be decoded.
+  EXPECT_THROW(parse_certificate(with, WireContext{}), WireError);
+}
+
+TEST(Wire, BitmapRejectsBitsBeyondRoster) {
+  const auto members = roster();
+  const crypto::Certificate cert = quorum_cert(false);
+  Bytes buf = serialize_certificate(cert, roster_ctx(members));
+  // The participation bitmap is the u64 right after the quorum-mode byte;
+  // find it by locating the mode byte (1) before the bitmap. Flip a high
+  // bit: signer index 63 does not exist in a 4-member roster.
+  // Layout after the 8-byte header: kind(1) deal(8) issuer(4) sig(12)
+  // embed-flag(1) mode(1) bitmap(8).
+  const std::size_t bitmap_at = 8 + 1 + 8 + 4 + 12 + 1 + 1;
+  ASSERT_LT(bitmap_at + 7, buf.size());
+  buf[bitmap_at + 7] |= 0x80;
+  try {
+    parse_certificate(buf, roster_ctx(members));
+    FAIL() << "bitmap overflow not rejected";
+  } catch (const WireError& e) {
+    EXPECT_NE(std::string(e.what()).find("participation bitmap"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// ------------------------------------------------------------ rejection
+
+TEST(Wire, RejectsVersionBumpMagicAndUnknownTags) {
+  Message m = corpus()[1];
+  Bytes buf = serialize_message(m);
+
+  {  // version bumped past what this build speaks
+    Bytes b = buf;
+    b[4] = 0xff;
+    b[5] = 0xff;
+    try {
+      parse_message(b);
+      FAIL() << "version bump not rejected";
+    } catch (const WireError& e) {
+      EXPECT_NE(std::string(e.what()).find("unsupported version"),
+                std::string::npos);
+      EXPECT_EQ(e.offset(), 4u);
+    }
+  }
+  {  // bad magic
+    Bytes b = buf;
+    b[0] ^= 0x5a;
+    EXPECT_THROW(parse_message(b), WireError);
+  }
+  {  // unknown kind tag
+    Bytes b = buf;
+    b[8] = 200;
+    try {
+      parse_message(b);
+      FAIL() << "unknown kind not rejected";
+    } catch (const WireError& e) {
+      EXPECT_NE(std::string(e.what()).find("unknown kind tag"),
+                std::string::npos);
+    }
+  }
+  {  // unknown body tag
+    Bytes b = buf;
+    b[9] = 99;
+    EXPECT_THROW(parse_message(b), WireError);
+  }
+  {  // nonzero flags
+    Bytes b = buf;
+    b[6] = 1;
+    EXPECT_THROW(parse_message(b), WireError);
+  }
+  {  // trailing bytes
+    Bytes b = buf;
+    b.push_back(0);
+    try {
+      parse_message(b);
+      FAIL() << "trailing bytes not rejected";
+    } catch (const WireError& e) {
+      EXPECT_NE(std::string(e.what()).find("trailing"), std::string::npos);
+    }
+  }
+  {  // control frame where a message is expected
+    ControlFrame hb;
+    hb.kind = WireKind::kHeartbeat;
+    hb.a = 7;
+    Bytes b;
+    serialize_control(hb, b);
+    EXPECT_THROW(parse_message(b), WireError);
+    const ParsedFrame pf = parse_frame(b.data(), b.size());
+    ASSERT_TRUE(pf.is_control());
+    EXPECT_EQ(pf.control.a, 7u);
+  }
+}
+
+TEST(Wire, ErrorsCarryByteOffsetInMessageAndAccessor) {
+  // The diagnostic contract shared with exp::WireError: the offset of the
+  // failure appears both in what() and via offset().
+  Message m = corpus()[1];
+  Bytes buf = serialize_message(m);
+  buf.resize(buf.size() - 3);  // truncate mid-body
+  try {
+    parse_message(buf);
+    FAIL() << "truncation not rejected";
+  } catch (const WireError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("offset"), std::string::npos) << what;
+    EXPECT_NE(what.find(std::to_string(e.offset())), std::string::npos)
+        << what << " vs offset " << e.offset();
+    EXPECT_GT(e.offset(), 0u);
+  }
+}
+
+// ----------------------------------------------------------------- fuzz
+
+TEST(Wire, EveryTruncationRejectsCleanly) {
+  const auto members = roster();
+  const WireContext ctx = roster_ctx(members);
+  for (const Message& m : corpus()) {
+    const Bytes buf = serialize_message(m, ctx);
+    for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+      Bytes b(buf.begin(), buf.begin() + cut);
+      // Strict-prefix truncation can never parse: either a field read runs
+      // short or the trailing-bytes check fires. Anything but WireError
+      // (UB, partial state, other exception types) fails the test.
+      EXPECT_THROW(parse_message(b, ctx), WireError)
+          << m.kind.str() << " truncated to " << cut << " bytes";
+    }
+  }
+}
+
+TEST(Wire, EverySingleByteCorruptionRejectsOrParsesCleanly) {
+  const auto members = roster();
+  const WireContext ctx = roster_ctx(members);
+  // A corrupted byte may still yield a structurally valid message (e.g. a
+  // flipped bit inside a mac); the invariant is no UB and no partial
+  // state — it either throws WireError or returns a message that
+  // re-serializes within the same context.
+  for (const Message& m : corpus()) {
+    const Bytes buf = serialize_message(m, ctx);
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      for (std::uint8_t mask : {0x01, 0x80, 0xff}) {
+        Bytes b = buf;
+        b[i] ^= mask;
+        try {
+          const Message parsed = parse_message(b, ctx);
+          const Bytes re = serialize_message(parsed, ctx);
+          EXPECT_FALSE(re.empty());
+        } catch (const WireError&) {
+          // clean rejection
+        }
+      }
+    }
+  }
+}
+
+TEST(Wire, RandomGarbageNeverParsesAsUB) {
+  // Deterministic xorshift garbage: every outcome must be WireError or a
+  // valid message (with 0x4d504358 magic required, almost always the
+  // former).
+  std::uint64_t state = 0x243f6a8885a308d3ULL;
+  auto next = [&] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int round = 0; round < 2000; ++round) {
+    const std::size_t len = next() % 256;
+    Bytes b(len);
+    for (auto& byte : b) byte = static_cast<std::uint8_t>(next());
+    try {
+      (void)parse_message(b);
+    } catch (const WireError&) {
+    }
+  }
+}
+
+// ---------------------------------------------------------------- framing
+
+TEST(Wire, StreamFramingReassemblesAcrossArbitrarySplits) {
+  const auto members = roster();
+  const WireContext ctx = roster_ctx(members);
+  const auto msgs = corpus();
+  Bytes stream;
+  for (const Message& m : msgs) {
+    const Bytes payload = serialize_message(m, ctx);
+    append_stream_frame(stream, payload.data(), payload.size());
+  }
+  // Feed the stream one byte at a time; the frame count and contents must
+  // be independent of the split points.
+  Bytes rx;
+  std::size_t parsed = 0;
+  for (std::uint8_t byte : stream) {
+    rx.push_back(byte);
+    Bytes frame;
+    while (extract_stream_frame(rx, frame)) {
+      const Message m = parse_message(frame, ctx);
+      EXPECT_EQ(m.kind, msgs[parsed].kind);
+      ++parsed;
+    }
+  }
+  EXPECT_EQ(parsed, msgs.size());
+  EXPECT_TRUE(rx.empty());
+}
+
+TEST(Wire, StreamFramingRejectsOversizeAnnouncement) {
+  Bytes rx = {0xff, 0xff, 0xff, 0x7f};  // announces a ~2 GiB frame
+  Bytes frame;
+  EXPECT_THROW(extract_stream_frame(rx, frame), WireError);
+}
+
+}  // namespace
+}  // namespace xcp::net

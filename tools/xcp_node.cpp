@@ -1,0 +1,254 @@
+// xcp_node: one process of a multi-process notary-committee deployment.
+//
+// Nodes 0..m-1 each host one notary; node m hosts every participant
+// (customers + escrows) and acts as the client: it broadcasts the deal
+// evidence at t=0, waits for a verified quorum decision certificate at
+// every participant, and prints the outcome plus the wire-encoded
+// certificate. All nodes build the identical StandaloneCommittee scenario
+// from the same flags (keys, committee config, evidence — see
+// consensus/standalone.hpp), talk over the supervised socket transport
+// (unix-domain sockets under --sock-dir), and detect dead peers by
+// heartbeat.
+//
+//   xcp_node --node-id K --sock-dir DIR [--notaries 4] [--n 2]
+//            [--deal 13] [--seed 7] [--value commit|abort]
+//            [--base-round-ms 100] [--heartbeat-ms 50]
+//            [--peer-timeout-ms 600] [--wall-limit-ms 15000]
+//            [--linger-ms 300]
+//
+// Output (stdout, line-oriented so harnesses can parse):
+//   PEER-DOWN node=N silent-ms=X     when a peer misses its heartbeat deadline
+//   DECIDED value=V node=K           notary nodes, on local decision
+//   OUTCOME value=... cert=... ...   client node, once all participants have
+//   CERT <hex>                       the decision certificate, wire-encoded
+//
+// Exit: 0 decided/certified, 3 wall-clock timeout, 2 usage error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "consensus/standalone.hpp"
+#include "net/node_runtime.hpp"
+#include "net/socket_transport.hpp"
+#include "net/wire.hpp"
+
+namespace {
+
+using namespace xcp;
+
+struct Args {
+  int node_id = -1;
+  std::string sock_dir;
+  consensus::StandaloneCommittee sc;
+  long heartbeat_ms = 50;
+  long peer_timeout_ms = 600;
+  long wall_limit_ms = 15'000;
+  long linger_ms = 300;
+};
+
+[[noreturn]] void usage(const char* why) {
+  std::fprintf(stderr,
+               "xcp_node: %s\n"
+               "usage: xcp_node --node-id K --sock-dir DIR [--notaries M] "
+               "[--n N] [--deal D] [--seed S] [--value commit|abort] "
+               "[--base-round-ms MS] [--heartbeat-ms MS] "
+               "[--peer-timeout-ms MS] [--wall-limit-ms MS] [--linger-ms MS]\n",
+               why);
+  std::exit(2);
+}
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + flag).c_str());
+      return argv[++i];
+    };
+    if (flag == "--node-id") {
+      a.node_id = std::atoi(next().c_str());
+    } else if (flag == "--sock-dir") {
+      a.sock_dir = next();
+    } else if (flag == "--notaries") {
+      a.sc.notaries = std::atoi(next().c_str());
+    } else if (flag == "--n") {
+      a.sc.n = std::atoi(next().c_str());
+    } else if (flag == "--deal") {
+      a.sc.deal_id = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (flag == "--seed") {
+      a.sc.seed = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (flag == "--value") {
+      const std::string v = next();
+      if (v == "commit") {
+        a.sc.evidence = consensus::Value::kCommit;
+      } else if (v == "abort") {
+        a.sc.evidence = consensus::Value::kAbort;
+      } else {
+        usage("--value must be commit or abort");
+      }
+    } else if (flag == "--base-round-ms") {
+      a.sc.base_round = Duration::millis(std::atol(next().c_str()));
+    } else if (flag == "--heartbeat-ms") {
+      a.heartbeat_ms = std::atol(next().c_str());
+    } else if (flag == "--peer-timeout-ms") {
+      a.peer_timeout_ms = std::atol(next().c_str());
+    } else if (flag == "--wall-limit-ms") {
+      a.wall_limit_ms = std::atol(next().c_str());
+    } else if (flag == "--linger-ms") {
+      a.linger_ms = std::atol(next().c_str());
+    } else {
+      usage(("unknown flag " + flag).c_str());
+    }
+  }
+  if (a.node_id < 0 || a.node_id > a.sc.notaries) {
+    usage("--node-id must be in [0, notaries] (notaries => client node)");
+  }
+  if (a.sock_dir.empty()) usage("--sock-dir is required");
+  if (a.sc.notaries < 1 || a.sc.n < 1) usage("need >=1 notary and >=1 escrow");
+  return a;
+}
+
+std::string node_addr(const Args& a, int node) {
+  return "unix:" + a.sock_dir + "/node-" + std::to_string(node) + ".sock";
+}
+
+std::string hex_of(const std::vector<std::uint8_t>& bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string s;
+  s.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    s.push_back(digits[b >> 4]);
+    s.push_back(digits[b & 0xf]);
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  const consensus::StandaloneCommittee& sc = args.sc;
+  const int m = sc.notaries;
+  const int client_node = m;
+  const bool is_client = args.node_id == client_node;
+
+  // Identical scenario in every process: keys, config, evidence.
+  crypto::KeyRegistry keys = sc.make_keys();
+  auto config = sc.make_config(keys);
+
+  // Decorrelate per-process simulator randomness; protocol determinism
+  // across processes comes from the shared scenario, not the sim seed.
+  sim::Simulator sim(sc.seed ^
+                     (0x9e3779b97f4a7c15ull *
+                      (static_cast<std::uint64_t>(args.node_id) + 1)));
+  net::Network network(sim, net::DelayModel::synchronous(Duration::millis(1)));
+
+  net::SocketTransportOptions topts;
+  topts.heartbeat_interval = std::chrono::milliseconds(args.heartbeat_ms);
+  topts.peer_timeout = std::chrono::milliseconds(args.peer_timeout_ms);
+  topts.jitter_seed = sc.seed;
+  topts.wire.roster = &config->members;
+  net::SocketTransport transport(static_cast<std::uint32_t>(args.node_id),
+                                 node_addr(args, args.node_id), topts);
+  for (int node = 0; node <= m; ++node) {
+    if (node == args.node_id) continue;
+    transport.add_peer(static_cast<std::uint32_t>(node),
+                       node_addr(args, node));
+  }
+  for (int i = 0; i < m; ++i) {
+    transport.map_pid(sc.notary_pid(i), static_cast<std::uint32_t>(i));
+  }
+  for (int i = 0; i < sc.participant_count(); ++i) {
+    transport.map_pid(sim::ProcessId(static_cast<std::uint32_t>(i)),
+                      static_cast<std::uint32_t>(client_node));
+  }
+  transport.set_peer_down_handler([](std::uint32_t node,
+                                     std::chrono::milliseconds silent) {
+    std::printf("PEER-DOWN node=%u silent-ms=%lld\n", node,
+                static_cast<long long>(silent.count()));
+    std::fflush(stdout);
+  });
+
+  net::NodeRuntime runtime(sim, network, transport);
+  const auto wall_limit = std::chrono::milliseconds(args.wall_limit_ms);
+  const auto linger = std::chrono::milliseconds(args.linger_ms);
+
+  if (!is_client) {
+    // Filler processes claim the lower pids so the notary lands on its
+    // protocol id; they are never attached to the network, so traffic to
+    // them routes out the gateway.
+    const int notary_index = args.node_id;
+    for (std::uint32_t pid = 0; pid < sc.notary_pid(notary_index).value();
+         ++pid) {
+      sim.spawn<sim::Process>("filler_" + std::to_string(pid));
+    }
+    auto& notary = sim.spawn<consensus::Notary>(
+        "notary_" + std::to_string(notary_index), config, keys);
+    if (notary.id() != sc.notary_pid(notary_index)) {
+      std::fprintf(stderr, "xcp_node: notary pid prediction broken\n");
+      return 2;
+    }
+    network.attach(notary);
+
+    const bool decided =
+        runtime.run(wall_limit, [&] { return notary.decided(); });
+    if (decided) {
+      // Give the decision broadcast and relays time to drain.
+      runtime.linger(linger);
+      std::printf("DECIDED value=%s node=%d\n",
+                  consensus::value_name(*notary.decision()), args.node_id);
+      std::fflush(stdout);
+      return 0;
+    }
+    std::fprintf(stderr, "xcp_node: notary %d undecided after %ld ms\n",
+                 notary_index, args.wall_limit_ms);
+    return 3;
+  }
+
+  // Client node: hosts every participant, broadcasts the evidence, waits
+  // for a verified certificate at every participant.
+  std::vector<consensus::DecisionCollector*> collectors;
+  for (int i = 0; i < sc.participant_count(); ++i) {
+    auto& c = sim.spawn<consensus::DecisionCollector>(
+        "participant_" + std::to_string(i), config, keys);
+    network.attach(c);
+    collectors.push_back(&c);
+  }
+  auto msgs = sc.client_messages(keys);
+  sim.schedule_at(TimePoint::origin(), [&] {
+    for (const auto& msg : msgs) {
+      network.send(msg.from, msg.to, msg.kind, msg.body);
+    }
+  });
+
+  const bool all_done = runtime.run(wall_limit, [&] {
+    for (const auto* c : collectors) {
+      if (!c->done()) return false;
+    }
+    return true;
+  });
+  if (!all_done) {
+    std::fprintf(stderr,
+                 "xcp_node: client missing certificates after %ld ms\n",
+                 args.wall_limit_ms);
+    return 3;
+  }
+  runtime.linger(linger);
+
+  consensus::CommitteeOutcome outcome;
+  outcome.value = collectors[0]->value();
+  outcome.cert = collectors[0]->cert();
+  outcome.cert_valid = crypto::verify_quorum_cert(
+      keys, outcome.cert, config->members,
+      static_cast<std::size_t>(config->quorum()));
+  std::printf("OUTCOME %s\n", outcome.canonical().c_str());
+  net::WireContext wctx;
+  wctx.roster = &config->members;
+  std::printf("CERT %s\n",
+              hex_of(net::serialize_certificate(outcome.cert, wctx)).c_str());
+  std::fflush(stdout);
+  return 0;
+}
