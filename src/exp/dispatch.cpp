@@ -94,10 +94,22 @@ std::string DispatchReport::to_string() const {
        std::to_string(hedges) + " hedge(s), " +
        std::to_string(superseded) + " superseded, " +
        std::to_string(fallbacks) + " fallback(s)";
+  // Per-host rollups render only when a pooled launcher filled them in, so
+  // plain local dispatch keeps its golden format byte-for-byte.
+  for (const HostRecord& h : hosts) {
+    s += "\n  host " + h.host + ": " + std::to_string(h.attempts) +
+         " attempt(s), " + std::to_string(h.failures) + " failure(s), " +
+         std::to_string(h.quarantines) + " quarantine(s)";
+    if (h.blacklisted) s += ", blacklisted";
+    if (h.startup_cost.count() >= 0) {
+      s += ", startup " + std::to_string(h.startup_cost.count()) + " ms";
+    }
+  }
   for (const AttemptRecord& a : attempts) {
     if (a.outcome == AttemptRecord::Outcome::kSuccess) continue;
     s += "\n  shard " + std::to_string(a.shard) + " attempt " +
-         std::to_string(a.attempt) + (a.hedge ? " (hedge)" : "") + ": " +
+         std::to_string(a.attempt) + (a.hedge ? " (hedge)" : "") +
+         (a.host.empty() ? "" : " @" + a.host) + ": " +
          attempt_outcome_name(a.outcome);
     if (a.outcome == AttemptRecord::Outcome::kExitNonzero) {
       s += ", " + describe_exit_code(a.exit_code);
@@ -211,9 +223,16 @@ void LocalProcessLauncher::terminate(const WorkerHandle& w) {
   if (w.pid > 0) ::kill(static_cast<pid_t>(w.pid), SIGKILL);
 }
 
+void LocalProcessLauncher::terminate_soft(const WorkerHandle& w) {
+  if (w.pid > 0) ::kill(static_cast<pid_t>(w.pid), SIGTERM);
+}
+
 bool LocalProcessLauncher::try_reap(const WorkerHandle& w, int& raw_status) {
   if (w.pid <= 0) return false;
-  const pid_t got = ::waitpid(static_cast<pid_t>(w.pid), &raw_status, WNOHANG);
+  pid_t got;
+  do {
+    got = ::waitpid(static_cast<pid_t>(w.pid), &raw_status, WNOHANG);
+  } while (got == -1 && errno == EINTR);
   return got == static_cast<pid_t>(w.pid);
 }
 
@@ -234,6 +253,10 @@ using Outcome = AttemptRecord::Outcome;
 
 /// One in-flight worker attempt.
 struct Live {
+  /// Why this attempt is being torn down (SIGTERM -> grace -> SIGKILL runs
+  /// asynchronously; the reason is fixed when the escalation starts).
+  enum class TermReason { kNone, kTimeout, kSuperseded };
+
   unsigned shard = 0;
   int attempt_no = 0;
   bool hedge = false;
@@ -244,6 +267,9 @@ struct Live {
   bool out_open = true;
   bool err_open = true;
   bool finished = false;  // marked for sweep-out at the end of a loop pass
+  TermReason term = TermReason::kNone;
+  bool hard_killed = false;     // SIGKILL already sent
+  Clock::time_point kill_at;    // when the grace window ends
   Clock::time_point start;
   Clock::time_point deadline;
 };
@@ -295,6 +321,9 @@ struct CellRun {
       launcher.reap(l.w);
       close_quietly(l.w.stdout_fd);
       close_quietly(l.w.stderr_fd);
+      // Neutral classification so a pooled launcher releases its host slot
+      // without charging the host for the driver's own failure.
+      launcher.attempt_result(l.w, AttemptOutcome::kSuperseded, -1);
     }
   }
 
@@ -410,34 +439,37 @@ struct CellRun {
     ++report.retries;
   }
 
+  /// Starts the SIGTERM -> grace -> SIGKILL escalation for one attempt.
+  /// The attempt stays live (drained and eventually reaped by the normal
+  /// loop machinery) until its worker actually exits — the loop never
+  /// blocks waiting for a signal to land.
+  void start_termination(Live& l, Live::TermReason reason) {
+    if (l.term != Live::TermReason::kNone) return;
+    l.term = reason;
+    if (opts.term_grace.count() <= 0) {
+      launcher.terminate(l.w);
+      l.hard_killed = true;
+    } else {
+      launcher.terminate_soft(l.w);
+      l.kill_at = Clock::now() + opts.term_grace;
+    }
+  }
+
   /// First valid blob wins: the shard is done, everything else still
-  /// flying for it dies now (deterministic shards make the duplicates
+  /// flying for it is torn down (deterministic shards make the duplicates
   /// byte-identical, so which attempt wins is unobservable in the result).
   void supersede_others(unsigned shard, const Live* winner) {
     for (Live& l : live) {
       if (l.finished || l.shard != shard || &l == winner) continue;
-      launcher.terminate(l.w);
-      launcher.reap(l.w);
-      close_quietly(l.w.stdout_fd);
-      close_quietly(l.w.stderr_fd);
-      AttemptRecord rec;
-      rec.shard = shard;
-      rec.attempt = l.attempt_no;
-      rec.hedge = l.hedge;
-      rec.outcome = Outcome::kSuperseded;
-      rec.term_signal = SIGKILL;
-      rec.stderr_excerpt = std::move(l.err);
-      rec.wall = elapsed_ms(l.start, Clock::now());
-      record(std::move(rec));
-      l.finished = true;
+      start_termination(l, Live::TermReason::kSuperseded);
     }
     shards[shard].retry_pending = false;
   }
 
-  /// The attempt's worker has exited (status in raw_status) or was killed
-  /// on deadline (timed_out). Classifies the outcome and advances the
-  /// shard's state machine.
-  void complete_attempt(Live& l, int raw_status, bool timed_out) {
+  /// The attempt's worker has exited (status in raw_status). Classifies
+  /// the outcome — honoring any termination the supervisor started — and
+  /// advances the shard's state machine.
+  void complete_attempt(Live& l, int raw_status) {
     l.finished = true;
     close_quietly(l.w.stdout_fd);
     close_quietly(l.w.stderr_fd);
@@ -447,15 +479,24 @@ struct CellRun {
     rec.shard = l.shard;
     rec.attempt = l.attempt_no;
     rec.hedge = l.hedge;
+    rec.host = l.w.host;
     rec.stderr_excerpt = std::move(l.err);
     rec.wall = elapsed_ms(l.start, Clock::now());
 
-    if (timed_out) {
+    if (l.term == Live::TermReason::kTimeout) {
       rec.outcome = Outcome::kTimeout;
-      rec.term_signal = SIGKILL;
+      rec.term_signal = WIFSIGNALED(raw_status) ? WTERMSIG(raw_status)
+                        : l.hard_killed         ? SIGKILL
+                                                : SIGTERM;
       rec.detail = "deadline of " +
                    std::to_string(opts.shard_deadline.count()) +
                    " ms exceeded";
+    } else if (l.term == Live::TermReason::kSuperseded) {
+      // Whether the loser died to the signal or slipped a clean exit in
+      // first is unobservable in the result (dedup by shard id); either
+      // way it records as superseded.
+      rec.outcome = Outcome::kSuperseded;
+      rec.term_signal = WIFSIGNALED(raw_status) ? WTERMSIG(raw_status) : 0;
     } else if (WIFSIGNALED(raw_status)) {
       rec.outcome = Outcome::kCrashed;
       rec.term_signal = WTERMSIG(raw_status);
@@ -488,11 +529,15 @@ struct CellRun {
       }
     }
 
+    // Feed the launcher's host health tracking with the final
+    // classification — exactly once per reaped handle.
+    launcher.attempt_result(l.w, rec.outcome, rec.exit_code);
+
     const bool succeeded = rec.outcome == Outcome::kSuccess;
     record(std::move(rec));
     if (succeeded) {
       supersede_others(l.shard, &l);
-    } else if (!st.done) {
+    } else if (!st.done && l.term != Live::TermReason::kSuperseded) {
       after_failure(l.shard);
     }
   }
@@ -544,7 +589,10 @@ struct CellRun {
       launch_attempt(i, /*hedge=*/false);
     }
 
-    while (done_count < shards.size()) {
+    // Runs until every shard is resolved AND every live attempt has been
+    // reaped — termination is asynchronous (SIGTERM -> grace -> SIGKILL),
+    // so finished shards can still have losers winding down.
+    for (;;) {
       Clock::time_point now = Clock::now();
 
       // Retries whose backoff has elapsed.
@@ -567,7 +615,7 @@ struct CellRun {
             opts.straggler_multiple * median);
         std::vector<unsigned> to_hedge;
         for (const Live& l : live) {
-          if (l.finished) continue;
+          if (l.finished || l.term != Live::TermReason::kNone) continue;
           ShardState& st = shards[l.shard];
           if (st.done || st.retry_pending) continue;
           if (st.hedges >= opts.max_hedges_per_shard) continue;
@@ -585,9 +633,24 @@ struct CellRun {
         }
       }
 
+      // Termination escalation. First pass: attempts past their deadline
+      // start the SIGTERM -> grace -> SIGKILL ladder. Second pass:
+      // terminating attempts whose grace window expired get the hard kill.
+      now = Clock::now();
+      for (Live& l : live) {
+        if (l.finished) continue;
+        if (l.term == Live::TermReason::kNone && now >= l.deadline) {
+          start_termination(l, Live::TermReason::kTimeout);
+        }
+        if (l.term != Live::TermReason::kNone && !l.hard_killed &&
+            now >= l.kill_at) {
+          launcher.terminate(l.w);
+          l.hard_killed = true;
+        }
+      }
+
       // Anything left to wait for? (Retry scheduling and hedging above can
       // finish shards only via launch failures; re-check before polling.)
-      if (done_count >= shards.size()) break;
       bool any_pending_retry = false;
       Millis wait = Millis(3'600'000);
       now = Clock::now();
@@ -605,8 +668,15 @@ struct CellRun {
         Live& l = live[i];
         if (l.finished) continue;
         any_live = true;
-        wait = std::min(wait, std::max(Millis(0),
-                                       elapsed_ms(now, l.deadline)));
+        if (l.term == Live::TermReason::kNone) {
+          wait = std::min(wait, std::max(Millis(0),
+                                         elapsed_ms(now, l.deadline)));
+        } else if (!l.hard_killed) {
+          // Terminating: wake for the grace expiry, not the (already
+          // passed) deadline — the latter would spin the loop hot.
+          wait = std::min(wait, std::max(Millis(0),
+                                         elapsed_ms(now, l.kill_at)));
+        }
         if (l.out_open) {
           fds.push_back(pollfd{l.w.stdout_fd, POLLIN, 0});
           fd_owner.emplace_back(i, true);
@@ -658,23 +728,15 @@ struct CellRun {
 
       // Attempts whose streams both hit EOF: reap without blocking — a
       // worker that closed its stdio but keeps running stays subject to
-      // its deadline, never to an indefinite waitpid.
+      // its deadline, never to an indefinite waitpid. Terminating attempts
+      // take the same path once their worker actually dies (SIGTERM, or
+      // the SIGKILL the escalation pass sent).
       for (Live& l : live) {
         if (l.finished || l.out_open || l.err_open) continue;
         int raw_status = 0;
         if (launcher.try_reap(l.w, raw_status)) {
-          complete_attempt(l, raw_status, /*timed_out=*/false);
+          complete_attempt(l, raw_status);
         }
-      }
-
-      // Deadline enforcement: SIGKILL, then a blocking reap (safe — the
-      // process is dying) so no zombie outlives the sweep.
-      now = Clock::now();
-      for (Live& l : live) {
-        if (l.finished || now < l.deadline) continue;
-        launcher.terminate(l.w);
-        launcher.reap(l.w);
-        complete_attempt(l, 0, /*timed_out=*/true);
       }
 
       // Compact the finished entries so `live` stays small on long sweeps.
@@ -786,6 +848,7 @@ CellAccum Dispatcher::run_cell(ProtocolKind protocol, Regime regime, int n,
                               run.report.attempts.begin(),
                               run.report.attempts.end());
       merge_counters(*report, run.report);
+      opts_.launcher->append_host_report(*report);
     }
     throw;
   }
@@ -795,6 +858,9 @@ CellAccum Dispatcher::run_cell(ProtocolKind protocol, Regime regime, int n,
                             run.report.attempts.begin(),
                             run.report.attempts.end());
     merge_counters(*report, run.report);
+    // Pooled launchers refresh the per-host rollups (upsert by host name,
+    // cumulative across cells); the default launcher leaves hosts empty.
+    opts_.launcher->append_host_report(*report);
   }
   return total;
 #endif

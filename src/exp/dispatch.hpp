@@ -66,14 +66,35 @@ inline constexpr int kShortWrite = 4;  // stdout write came up short
 inline constexpr int kInternal = 5;    // any other exception
 }  // namespace worker_exit
 
+/// How one attempt of one shard ended, as the dispatcher classified it.
+/// Namespace-scope (with an alias inside AttemptRecord) so the launcher
+/// seam can receive it without depending on the record type.
+enum class AttemptOutcome {
+  kSuccess,        // valid blob, meta verified
+  kTimeout,        // deadline exceeded, worker killed
+  kCrashed,        // exited on a signal
+  kExitNonzero,    // clean exit with nonzero code
+  kWireReject,     // exit 0 but blob rejected (WireError / oversize)
+  kMetaMismatch,   // blob parsed but describes different work
+  kLaunchFailed,   // launcher could not start the worker
+  kSuperseded,     // killed because another attempt finished first
+  kFallback,       // ran in-process after retry exhaustion
+};
+
+struct DispatchReport;
+
 /// A launched worker as the dispatcher sees it: an opaque id it can kill
 /// and reap, plus poll()-able stream fds. For the local process launcher
-/// these are a pid and pipe read ends; a remote launcher would hand back
-/// socket fds and map terminate/reap onto its control channel.
+/// these are a pid and pipe read ends; a remote launcher hands back the fds
+/// of its transport process (ssh et al.) and names the host it chose —
+/// the dispatcher carries `host` into the attempt record verbatim.
 struct WorkerHandle {
   long pid = -1;
   int stdout_fd = -1;
   int stderr_fd = -1;
+  /// Which execution host the launcher placed this attempt on; empty for
+  /// plain local launches.
+  std::string host;
 };
 
 /// The launch/terminate/reap seam between dispatch policy and transport.
@@ -92,12 +113,39 @@ class WorkerLauncher {
   /// leave the handle reapable.
   virtual void terminate(const WorkerHandle& w) = 0;
 
+  /// Polite termination request (SIGTERM for local processes) — the first
+  /// rung of the dispatcher's SIGTERM -> grace -> SIGKILL escalation, so a
+  /// remote wrapper (ssh, job-queue shim) gets a chance to clean up its far
+  /// end. Must be idempotent and must not make the handle unreapable.
+  /// Default: hard-kill, for launchers with no softer signal.
+  virtual void terminate_soft(const WorkerHandle& w) { terminate(w); }
+
   /// Non-blocking reap: true (and the raw waitpid-style status) once the
   /// worker has exited, false while it is still running.
   virtual bool try_reap(const WorkerHandle& w, int& raw_status) = 0;
 
   /// Blocking reap, used only after terminate().
   virtual int reap(const WorkerHandle& w) = 0;
+
+  /// The dispatcher's classification of a finished attempt, delivered once
+  /// per reaped handle (launch failures never reach it — the launcher saw
+  /// those first-hand). Pooled launchers feed host health tracking from
+  /// this; the default launcher ignores it. exit_code is the worker's exit
+  /// status for kSuccess/kExitNonzero/kWireReject and -1 otherwise — remote
+  /// launchers use it to tell a transport failure (ssh's 255) from a worker
+  /// bug that would reproduce on any host.
+  virtual void attempt_result(const WorkerHandle& w, AttemptOutcome o,
+                              int exit_code) {
+    (void)w;
+    (void)o;
+    (void)exit_code;
+  }
+
+  /// Appends per-host rollups (attempts/failures/quarantines per host) to
+  /// the report. No-op for launchers without a host pool.
+  virtual void append_host_report(DispatchReport& report) const {
+    (void)report;
+  }
 };
 
 /// Default launcher: posix_spawn with stdout/stderr piped back on
@@ -107,6 +155,7 @@ class LocalProcessLauncher : public WorkerLauncher {
  public:
   WorkerHandle launch(const std::vector<std::string>& argv) override;
   void terminate(const WorkerHandle& w) override;
+  void terminate_soft(const WorkerHandle& w) override;
   bool try_reap(const WorkerHandle& w, int& raw_status) override;
   int reap(const WorkerHandle& w) override;
 };
@@ -114,9 +163,14 @@ class LocalProcessLauncher : public WorkerLauncher {
 /// Supervision policy. Defaults are production-shaped (generous deadline,
 /// three attempts, sub-second backoff); tests shrink the clocks.
 struct DispatchOptions {
-  /// Wall-clock budget per attempt; past it the worker is SIGKILLed and the
-  /// attempt counts as a timeout.
+  /// Wall-clock budget per attempt; past it the worker is terminated and
+  /// the attempt counts as a timeout.
   std::chrono::milliseconds shard_deadline{30'000};
+  /// Termination escalation: a worker being killed (deadline, supersede)
+  /// first gets terminate_soft (SIGTERM locally) and this much wall-clock
+  /// to exit on its own — remote wrappers use it to tear down their far
+  /// end — then terminate (SIGKILL). 0 skips straight to the hard kill.
+  std::chrono::milliseconds term_grace{500};
   /// Total attempts per shard (first launch + retries + hedges).
   int max_attempts = 3;
   /// Backoff before retry k (k = 2, 3, ...): min(cap, base * mult^(k-2)),
@@ -155,17 +209,7 @@ struct DispatchOptions {
 
 /// Everything that happened to one attempt of one shard.
 struct AttemptRecord {
-  enum class Outcome {
-    kSuccess,        // valid blob, meta verified
-    kTimeout,        // deadline exceeded, worker killed
-    kCrashed,        // exited on a signal
-    kExitNonzero,    // clean exit with nonzero code
-    kWireReject,     // exit 0 but blob rejected (WireError / oversize)
-    kMetaMismatch,   // blob parsed but describes different work
-    kLaunchFailed,   // launcher could not start the worker
-    kSuperseded,     // killed because another attempt finished first
-    kFallback,       // ran in-process after retry exhaustion
-  };
+  using Outcome = AttemptOutcome;
 
   unsigned shard = 0;
   int attempt = 0;     // 1-based, hedges included
@@ -173,6 +217,7 @@ struct AttemptRecord {
   Outcome outcome = Outcome::kSuccess;
   int exit_code = -1;    // valid for kExitNonzero / kSuccess / kWireReject
   int term_signal = 0;   // valid for kCrashed / kTimeout / kSuperseded
+  std::string host;      // launcher-reported execution host, may be empty
   std::string stderr_excerpt;  // captured per attempt, capped, may be empty
   std::string detail;          // parse/meta/launch error text
   std::chrono::milliseconds wall{0};
@@ -184,7 +229,21 @@ const char* attempt_outcome_name(AttemptRecord::Outcome o);
 /// acceptance tests and the bench report read. Appended to across cells
 /// when one report is threaded through several distributed_sweep calls.
 struct DispatchReport {
+  /// Per-host rollup, appended by pooled launchers (append_host_report).
+  /// Empty for plain local dispatch, and to_string() renders nothing for
+  /// it then — the local golden format is unchanged.
+  struct HostRecord {
+    std::string host;
+    std::size_t attempts = 0;
+    std::size_t failures = 0;
+    std::size_t quarantines = 0;
+    bool blacklisted = false;
+    /// Measured startup-probe cost; -1 ms when never probed.
+    std::chrono::milliseconds startup_cost{-1};
+  };
+
   std::vector<AttemptRecord> attempts;
+  std::vector<HostRecord> hosts;
   std::size_t shards = 0;
   std::size_t launches = 0;
   std::size_t retries = 0;    // re-issues after a failed attempt

@@ -1,0 +1,152 @@
+#include "exp/host_pool.hpp"
+
+#include <algorithm>
+
+#include "support/status.hpp"
+
+namespace xcp::exp {
+
+const char* host_state_name(HostState s) {
+  switch (s) {
+    case HostState::kHealthy: return "healthy";
+    case HostState::kQuarantined: return "quarantined";
+    case HostState::kBlacklisted: return "blacklisted";
+  }
+  return "?";
+}
+
+HostPool::HostPool(HostPoolOptions opts) : opts_(opts) {
+  XCP_REQUIRE(opts_.default_slots >= 1, "default_slots must be at least 1");
+  XCP_REQUIRE(opts_.quarantine_after >= 1,
+              "quarantine_after must be at least 1");
+  XCP_REQUIRE(opts_.blacklist_after >= 1,
+              "blacklist_after must be at least 1");
+}
+
+HostPool::Entry* HostPool::find(const std::string& host) {
+  for (Entry& e : hosts_) {
+    if (e.s.host == host) return &e;
+  }
+  return nullptr;
+}
+
+void HostPool::add_host(const std::string& host, std::size_t slots) {
+  XCP_REQUIRE(!host.empty(), "host name must be non-empty");
+  const std::size_t eff = slots == 0 ? opts_.default_slots : slots;
+  if (Entry* e = find(host)) {
+    e->s.slots = eff;  // resize only; health survives re-registration
+    return;
+  }
+  Entry e;
+  e.s.host = host;
+  e.s.slots = eff;
+  hosts_.push_back(std::move(e));
+}
+
+void HostPool::readmit_due(Clock::time_point now) {
+  for (Entry& e : hosts_) {
+    if (e.s.state == HostState::kQuarantined && now >= e.readmit_at) {
+      // Probation, not a clean slate: consecutive_failures resets so the
+      // host gets a real chance, but its quarantine count stands — one
+      // more bad streak and blacklist_after is that much closer.
+      e.s.state = HostState::kHealthy;
+      e.s.consecutive_failures = 0;
+    }
+  }
+}
+
+std::optional<std::string> HostPool::acquire() {
+  readmit_due(Clock::now());
+  Entry* best = nullptr;
+  for (Entry& e : hosts_) {
+    if (e.s.state != HostState::kHealthy) continue;
+    if (e.s.in_flight >= e.s.slots) continue;
+    // Strict < keeps registration order as the tie-break.
+    if (best == nullptr || e.s.in_flight < best->s.in_flight) best = &e;
+  }
+  if (best == nullptr) return std::nullopt;
+  ++best->s.in_flight;
+  ++best->s.attempts;
+  return best->s.host;
+}
+
+void HostPool::fail_once(Entry& e) {
+  ++e.s.failures;
+  ++e.s.consecutive_failures;
+  if (e.s.state == HostState::kBlacklisted) return;
+  if (e.s.consecutive_failures >= opts_.quarantine_after) {
+    ++e.s.quarantines;
+    if (e.s.quarantines >= opts_.blacklist_after) {
+      e.s.state = HostState::kBlacklisted;
+    } else {
+      e.s.state = HostState::kQuarantined;
+      e.readmit_at = Clock::now() + opts_.quarantine_period;
+    }
+  }
+}
+
+void HostPool::release(const std::string& host, bool success) {
+  Entry* e = find(host);
+  if (e == nullptr) return;
+  if (e->s.in_flight > 0) --e->s.in_flight;
+  if (success) {
+    e->s.consecutive_failures = 0;
+  } else {
+    fail_once(*e);
+  }
+}
+
+void HostPool::release_neutral(const std::string& host) {
+  Entry* e = find(host);
+  if (e == nullptr) return;
+  if (e->s.in_flight > 0) --e->s.in_flight;
+}
+
+void HostPool::mark_dead(const std::string& host) {
+  Entry* e = find(host);
+  if (e == nullptr) return;
+  // A dead host fails its whole streak at once: straight to quarantine
+  // (first death) or blacklist (repeat offender).
+  e->s.consecutive_failures =
+      std::max(e->s.consecutive_failures + 1, opts_.quarantine_after);
+  ++e->s.failures;
+  if (e->s.state == HostState::kBlacklisted) return;
+  ++e->s.quarantines;
+  if (e->s.quarantines >= opts_.blacklist_after) {
+    e->s.state = HostState::kBlacklisted;
+  } else {
+    e->s.state = HostState::kQuarantined;
+    e->readmit_at = Clock::now() + opts_.quarantine_period;
+  }
+}
+
+void HostPool::record_startup(const std::string& host,
+                              std::chrono::milliseconds cost) {
+  Entry* e = find(host);
+  if (e == nullptr) return;
+  if (cost > e->s.startup_cost) e->s.startup_cost = cost;
+}
+
+bool HostPool::any_usable() const {
+  for (const Entry& e : hosts_) {
+    if (e.s.state != HostState::kBlacklisted) return true;
+  }
+  return false;
+}
+
+std::chrono::milliseconds HostPool::max_startup_cost() const {
+  std::chrono::milliseconds worst{-1};
+  for (const Entry& e : hosts_) {
+    worst = std::max(worst, e.s.startup_cost);
+  }
+  return worst;
+}
+
+std::vector<HostStats> HostPool::stats() const {
+  std::vector<HostStats> out;
+  out.reserve(hosts_.size());
+  for (const Entry& e : hosts_) out.push_back(e.s);
+  return out;
+}
+
+}  // namespace xcp::exp

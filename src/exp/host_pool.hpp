@@ -1,0 +1,126 @@
+#pragma once
+// Health-tracked registry of remote execution hosts for the elastic sweep
+// dispatcher (exp/remote.hpp). The pool is pure policy — it never talks to
+// a host itself; launchers acquire a placement, report the outcome, and the
+// pool decides who stays eligible:
+//
+//   slots         each host runs at most `slots` concurrent shard attempts;
+//   quarantine    `quarantine_after` consecutive failures sideline a host
+//                 for `quarantine_period`, after which it is re-admitted on
+//                 probation (one more failure re-quarantines immediately);
+//   blacklist     a host quarantined `blacklist_after` times is out for the
+//                 rest of the sweep — flapping hosts stop eating attempts;
+//   elasticity    hosts can be added mid-sweep (add_host) and lose-able at
+//                 any time (mark_dead); when every host is quarantined or
+//                 blacklisted, acquire() returns nullopt and the launcher
+//                 above degrades to local execution.
+//
+// Selection is deterministic: least-loaded healthy host, ties broken by
+// registration order — a re-run with the same failure schedule places every
+// attempt identically. Single-threaded by design (the dispatcher's poll
+// loop is the only caller).
+
+#include <chrono>
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace xcp::exp {
+
+enum class HostState {
+  kHealthy,      // eligible (includes post-quarantine probation)
+  kQuarantined,  // sidelined until its re-admission time
+  kBlacklisted,  // permanently out for this pool's lifetime
+};
+
+const char* host_state_name(HostState s);
+
+struct HostPoolOptions {
+  /// Concurrent attempt slots per host when add_host does not override.
+  std::size_t default_slots = 2;
+  /// Consecutive failures that trigger a quarantine.
+  std::size_t quarantine_after = 3;
+  /// How long a quarantined host sits out before probation.
+  std::chrono::milliseconds quarantine_period{2'000};
+  /// Quarantine count that escalates to a permanent blacklist.
+  std::size_t blacklist_after = 2;
+};
+
+/// One host's full health ledger, as stats() reports it.
+struct HostStats {
+  std::string host;
+  HostState state = HostState::kHealthy;
+  std::size_t slots = 0;
+  std::size_t in_flight = 0;
+  std::size_t attempts = 0;      // acquisitions handed out
+  std::size_t failures = 0;      // released with success=false
+  std::size_t consecutive_failures = 0;
+  std::size_t quarantines = 0;   // times quarantined (lifetime)
+  /// Measured startup-probe / first-launch cost; -1 ms when never recorded.
+  std::chrono::milliseconds startup_cost{-1};
+};
+
+class HostPool {
+ public:
+  explicit HostPool(HostPoolOptions opts = {});
+
+  /// Registers a host. slots == 0 uses options().default_slots. Re-adding
+  /// an existing host updates its slot count but never resets its health.
+  void add_host(const std::string& host, std::size_t slots = 0);
+
+  /// Picks a host for one attempt: re-admits quarantines whose period has
+  /// elapsed, then returns the least-loaded healthy host with a free slot
+  /// (registration order breaks ties). nullopt when nothing is usable —
+  /// the caller's cue to degrade down the ladder.
+  std::optional<std::string> acquire();
+
+  /// Returns the slot taken by acquire() and records the outcome. A
+  /// failure advances the consecutive-failure count toward quarantine;
+  /// success resets it. Unknown hosts are ignored (a host can be removed
+  /// from under an in-flight attempt).
+  void release(const std::string& host, bool success);
+
+  /// Returns the slot without touching health in either direction — for
+  /// attempts the supervisor killed for its own reasons (superseded by a
+  /// faster duplicate), which say nothing about the host.
+  void release_neutral(const std::string& host);
+
+  /// Immediately quarantines (or blacklists, per the escalation count) a
+  /// host known to be gone — e.g. a startup probe that failed outright or
+  /// a launch that could not even start its transport.
+  void mark_dead(const std::string& host);
+
+  /// Records a measured startup cost (probe wall-clock). Keeps the
+  /// maximum seen, since shard sizing must amortize the slowest host.
+  void record_startup(const std::string& host,
+                      std::chrono::milliseconds cost);
+
+  /// True when at least one host is healthy or due for re-admission —
+  /// i.e. acquire() could return a placement now or after releases.
+  bool any_usable() const;
+
+  /// The slowest recorded startup cost across hosts; -1 ms when none was
+  /// ever recorded. Input to the shard-size heuristic (exp/remote.hpp).
+  std::chrono::milliseconds max_startup_cost() const;
+
+  std::vector<HostStats> stats() const;
+  const HostPoolOptions& options() const { return opts_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Entry {
+    HostStats s;
+    Clock::time_point readmit_at;  // valid while quarantined
+  };
+
+  void readmit_due(Clock::time_point now);
+  void fail_once(Entry& e);
+  Entry* find(const std::string& host);
+
+  HostPoolOptions opts_;
+  std::vector<Entry> hosts_;  // registration order == tie-break order
+};
+
+}  // namespace xcp::exp

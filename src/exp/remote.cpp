@@ -1,0 +1,387 @@
+#include "exp/remote.hpp"
+
+#if !defined(_WIN32)
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "support/status.hpp"
+
+namespace xcp::exp {
+
+// ------------------------------------------------------------ PooledLauncher
+
+WorkerHandle PooledLauncher::launch(const std::vector<std::string>& argv) {
+  // Walk surviving hosts until one accepts. A refusal is charged to the
+  // refusing host only — it quarantines itself out of this loop, the shard
+  // attempt moves on without touching its retry budget. The loop is
+  // bounded: every refusal strictly advances some host toward quarantine
+  // and nothing resets the count mid-launch.
+  while (auto host = pool_.acquire()) {
+    try {
+      WorkerHandle w = launch_on_host(*host, argv);
+      w.host = *host;
+      return w;
+    } catch (const DispatchError&) {
+      pool_.release(*host, /*success=*/false);
+    }
+  }
+  if (!degrade_to_local_) {
+    throw DispatchError("no usable host in the pool and local degradation "
+                        "is disabled");
+  }
+  ++local_degradations_;
+  WorkerHandle w = local_.launch(argv);
+  w.host = kLocalHostName;
+  return w;
+}
+
+void PooledLauncher::terminate(const WorkerHandle& w) { local_.terminate(w); }
+
+void PooledLauncher::terminate_soft(const WorkerHandle& w) {
+  local_.terminate_soft(w);
+}
+
+bool PooledLauncher::try_reap(const WorkerHandle& w, int& raw_status) {
+  return local_.try_reap(w, raw_status);
+}
+
+int PooledLauncher::reap(const WorkerHandle& w) { return local_.reap(w); }
+
+void PooledLauncher::attempt_result(const WorkerHandle& w, AttemptOutcome o,
+                                    int exit_code) {
+  if (w.host.empty() || w.host == kLocalHostName) return;
+  switch (o) {
+    case AttemptOutcome::kSuccess:
+      pool_.release(w.host, /*success=*/true);
+      return;
+    case AttemptOutcome::kTimeout:
+    case AttemptOutcome::kCrashed:
+    case AttemptOutcome::kWireReject:
+    case AttemptOutcome::kMetaMismatch:
+      pool_.release(w.host, /*success=*/false);
+      return;
+    case AttemptOutcome::kExitNonzero:
+      // A worker bug reproduces on any host; only transport exit codes
+      // (ssh's 255 et al.) poison the host that produced them.
+      if (exit_code_is_host_failure(exit_code)) {
+        pool_.release(w.host, /*success=*/false);
+      } else {
+        pool_.release_neutral(w.host);
+      }
+      return;
+    case AttemptOutcome::kSuperseded:
+    case AttemptOutcome::kLaunchFailed:
+    case AttemptOutcome::kFallback:
+      // Says nothing about the host (supersede is the supervisor's own
+      // kill; the other two never carry a pooled handle).
+      pool_.release_neutral(w.host);
+      return;
+  }
+}
+
+void PooledLauncher::append_host_report(DispatchReport& report) const {
+  // Upsert by host name: pool stats are cumulative, so a report threaded
+  // through several cells shows lifetime totals, not per-cell deltas.
+  for (const HostStats& h : pool_.stats()) {
+    DispatchReport::HostRecord* slot = nullptr;
+    for (DispatchReport::HostRecord& r : report.hosts) {
+      if (r.host == h.host) {
+        slot = &r;
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      report.hosts.emplace_back();
+      slot = &report.hosts.back();
+      slot->host = h.host;
+    }
+    slot->attempts = h.attempts;
+    slot->failures = h.failures;
+    slot->quarantines = h.quarantines;
+    slot->blacklisted = h.state == HostState::kBlacklisted;
+    slot->startup_cost = h.startup_cost;
+  }
+}
+
+// ------------------------------------------------------------ RemoteOptions
+
+RemoteOptions RemoteOptions::ssh_template() {
+  RemoteOptions o;
+  o.command_template = {"/usr/bin/ssh", "-oBatchMode=yes", "{host}", "{cmd}"};
+  return o;
+}
+
+RemoteOptions RemoteOptions::sh_template() {
+  RemoteOptions o;
+  o.command_template = {"/bin/sh", "-c", "{cmd}"};
+  return o;
+}
+
+std::string shell_quote_join(const std::vector<std::string>& argv) {
+  std::string out;
+  for (const std::string& a : argv) {
+    if (!out.empty()) out += ' ';
+    // Single-quote everything; embedded quotes become '\'' — safe through
+    // sh -c and through the remote shell ssh interposes.
+    out += '\'';
+    for (const char c : a) {
+      if (c == '\'') {
+        out += "'\\''";
+      } else {
+        out += c;
+      }
+    }
+    out += '\'';
+  }
+  return out;
+}
+
+std::size_t amortized_min_seeds(std::chrono::milliseconds startup_cost,
+                                double seeds_per_second,
+                                double startup_fraction) {
+  if (startup_cost.count() <= 0 || seeds_per_second <= 0.0 ||
+      startup_fraction <= 0.0) {
+    return 1;
+  }
+  // Shard runtime ~ seeds / rate; keep startup <= fraction * runtime, i.e.
+  // seeds >= startup_seconds * rate / fraction.
+  const double startup_s =
+      static_cast<double>(startup_cost.count()) / 1000.0;
+  const double seeds =
+      std::ceil(startup_s * seeds_per_second / startup_fraction);
+  return seeds < 1.0 ? 1 : static_cast<std::size_t>(seeds);
+}
+
+// ----------------------------------------------------------- RemoteLauncher
+
+RemoteLauncher::RemoteLauncher(HostPool& pool, RemoteOptions opts,
+                               bool degrade_to_local)
+    : PooledLauncher(pool, degrade_to_local), opts_(std::move(opts)) {
+  XCP_REQUIRE(!opts_.command_template.empty(),
+              "RemoteOptions.command_template must be non-empty");
+}
+
+namespace {
+
+void replace_all(std::string& s, const std::string& key,
+                 const std::string& value) {
+  for (std::size_t pos = 0; (pos = s.find(key, pos)) != std::string::npos;
+       pos += value.size()) {
+    s.replace(pos, key.size(), value);
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> RemoteLauncher::instantiate(
+    const std::string& host, const std::vector<std::string>& argv) const {
+  const std::string cmd = shell_quote_join(argv);
+  std::vector<std::string> out;
+  out.reserve(opts_.command_template.size());
+  for (const std::string& elem : opts_.command_template) {
+    std::string e = elem;
+    replace_all(e, "{host}", host);
+    replace_all(e, "{cmd}", cmd);
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+WorkerHandle RemoteLauncher::launch_on_host(
+    const std::string& host, const std::vector<std::string>& argv) {
+  return local().launch(instantiate(host, argv));
+}
+
+bool RemoteLauncher::exit_code_is_host_failure(int exit_code) const {
+  return std::find(opts_.host_failure_exits.begin(),
+                   opts_.host_failure_exits.end(),
+                   exit_code) != opts_.host_failure_exits.end();
+}
+
+void RemoteLauncher::probe_hosts() {
+#if defined(_WIN32)
+  throw DispatchError("remote dispatch is POSIX-only");
+#else
+  using Clock = std::chrono::steady_clock;
+  for (const HostStats& h : pool().stats()) {
+    if (h.state == HostState::kBlacklisted) continue;
+    const Clock::time_point t0 = Clock::now();
+    WorkerHandle w;
+    try {
+      w = local().launch(instantiate(h.host, {"true"}));
+    } catch (const DispatchError&) {
+      pool().mark_dead(h.host);
+      continue;
+    }
+    const Clock::time_point deadline = t0 + opts_.probe_deadline;
+    int raw_status = 0;
+    bool reaped = false;
+    while (Clock::now() < deadline) {
+      if (local().try_reap(w, raw_status)) {
+        reaped = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    if (!reaped) {
+      local().terminate(w);
+      local().reap(w);
+    }
+    ::close(w.stdout_fd);
+    ::close(w.stderr_fd);
+    const bool ok = reaped && WIFEXITED(raw_status) &&
+                    WEXITSTATUS(raw_status) == 0;
+    if (ok) {
+      pool().record_startup(
+          h.host, std::chrono::duration_cast<std::chrono::milliseconds>(
+                      Clock::now() - t0));
+    } else {
+      pool().mark_dead(h.host);
+    }
+  }
+#endif
+}
+
+std::size_t RemoteLauncher::recommended_min_seeds(
+    double seeds_per_second, double startup_fraction) const {
+  return amortized_min_seeds(pool().max_startup_cost(), seeds_per_second,
+                             startup_fraction);
+}
+
+// ------------------------------------------------------- FakeRemoteLauncher
+
+const char* host_fault_name(HostFault f) {
+  switch (f) {
+    case HostFault::kNone: return "none";
+    case HostFault::kDeadAtLaunch: return "dead-at-launch";
+    case HostFault::kDiesMidShard: return "dies-mid-shard";
+    case HostFault::kSlowLink: return "slow-link";
+    case HostFault::kFlapping: return "flapping";
+    case HostFault::kPartition: return "partition";
+  }
+  return "?";
+}
+
+FakeRemoteLauncher::FakeRemoteLauncher(HostPool& pool,
+                                       std::string worker_path,
+                                       bool degrade_to_local)
+    : PooledLauncher(pool, degrade_to_local),
+      worker_path_(std::move(worker_path)) {}
+
+void FakeRemoteLauncher::set_fault(const std::string& host, HostFault fault,
+                                   std::chrono::milliseconds slow_delay) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    sims_[host].plans.clear();
+  }
+  set_fault_after(host, 0, fault, slow_delay);
+}
+
+void FakeRemoteLauncher::set_fault_after(const std::string& host,
+                                         std::size_t after_launches,
+                                         HostFault fault,
+                                         std::chrono::milliseconds
+                                             slow_delay) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Plan p;
+  p.fault = fault;
+  p.starts_after = after_launches;
+  p.slow_delay = slow_delay;
+  sims_[host].plans.push_back(p);
+}
+
+void FakeRemoteLauncher::kill_host(const std::string& host) {
+#if !defined(_WIN32)
+  const std::lock_guard<std::mutex> lock(mu_);
+  HostSim& sim = sims_[host];
+  sim.plans.clear();
+  sim.plans.push_back(Plan{HostFault::kDeadAtLaunch, 0,
+                           std::chrono::milliseconds{0}});
+  for (const long pid : sim.in_flight_pids) {
+    if (pid > 0) ::kill(static_cast<pid_t>(pid), SIGKILL);
+  }
+#else
+  (void)host;
+#endif
+}
+
+std::size_t FakeRemoteLauncher::launches_on(const std::string& host) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sims_.find(host);
+  return it == sims_.end() ? 0 : it->second.launches;
+}
+
+WorkerHandle FakeRemoteLauncher::launch_on_host(
+    const std::string& host, const std::vector<std::string>& argv) {
+  std::unique_lock<std::mutex> lock(mu_);
+  HostSim& sim = sims_[host];
+  const std::size_t ordinal = sim.launches++;
+  // The eligible step with the largest threshold governs this launch.
+  const Plan* active = nullptr;
+  for (const Plan& p : sim.plans) {
+    if (ordinal < p.starts_after) continue;
+    if (active == nullptr || p.starts_after >= active->starts_after) {
+      active = &p;
+    }
+  }
+  const HostFault fault = active ? active->fault : HostFault::kNone;
+  const std::chrono::milliseconds slow_delay =
+      active ? active->slow_delay : std::chrono::milliseconds{0};
+  lock.unlock();
+
+  if (fault == HostFault::kDeadAtLaunch) {
+    throw DispatchError("host " + host + " unreachable");
+  }
+  if (fault == HostFault::kFlapping && ordinal % 2 == 0) {
+    throw DispatchError("host " + host + " link flapped");
+  }
+
+  // Realize the remaining faults with the worker's own deterministic fault
+  // hook. @999 fires on every attempt ordinal the dispatcher stamps —
+  // the *host's* condition does not heal between retries on it.
+  std::vector<std::string> real = argv;
+  switch (fault) {
+    case HostFault::kDiesMidShard:
+      real.insert(real.end(), {"--fault", "crash-mid-blob@999"});
+      break;
+    case HostFault::kSlowLink:
+      real.insert(real.end(),
+                  {"--fault", "slow-start@999", "--fault-delay-ms",
+                   std::to_string(slow_delay.count())});
+      break;
+    case HostFault::kPartition:
+      real.insert(real.end(), {"--fault", "stall-forever@999"});
+      break;
+    case HostFault::kNone:
+    case HostFault::kFlapping:
+    case HostFault::kDeadAtLaunch:
+      break;
+  }
+  if (!worker_path_.empty()) real[0] = worker_path_;
+
+  WorkerHandle w = local().launch(real);
+  lock.lock();
+  sims_[host].in_flight_pids.push_back(w.pid);
+  return w;
+}
+
+void FakeRemoteLauncher::attempt_result(const WorkerHandle& w,
+                                        AttemptOutcome o, int exit_code) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sims_.find(w.host);
+    if (it != sims_.end()) {
+      auto& pids = it->second.in_flight_pids;
+      pids.erase(std::remove(pids.begin(), pids.end(), w.pid), pids.end());
+    }
+  }
+  PooledLauncher::attempt_result(w, o, exit_code);
+}
+
+}  // namespace xcp::exp

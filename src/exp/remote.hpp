@@ -1,0 +1,244 @@
+#pragma once
+// The remote rung of the sweep dispatcher: WorkerLauncher implementations
+// that place shard attempts on a health-tracked pool of execution hosts
+// (exp/host_pool.hpp) while the Dispatcher's supervision policy — deadlines,
+// retry/backoff, hedging, in-process fallback — applies unchanged, because
+// everything here stays behind the launch/terminate/reap seam.
+//
+//   PooledLauncher      placement + health accounting, transport-agnostic:
+//                       acquires a host per launch, re-tries surviving hosts
+//                       when one refuses, degrades to plain local exec when
+//                       the pool empties, and feeds attempt outcomes back
+//                       into quarantine/blacklist bookkeeping;
+//   RemoteLauncher      execs the worker through a pluggable command
+//                       template ("ssh host cmd" in production, "sh -c cmd"
+//                       for single-box CI) — the transport process's pid and
+//                       pipe fds are what the dispatcher supervises, so a
+//                       dead link looks exactly like a dead worker;
+//   FakeRemoteLauncher  deterministic host-fault harness for tests: per-host
+//                       fault schedules (dead-at-launch, dies-mid-shard,
+//                       slow-link, flapping, partition) realized by local
+//                       worker processes, so byte-identity under host churn
+//                       is provable without a cluster.
+//
+// The degradation ladder, top to bottom: remote host -> another pooled host
+// -> local exec -> the dispatcher's own in-process fallback. Every rung is
+// recorded (AttemptRecord::host, DispatchReport::hosts), none changes the
+// merged bytes. See docs/ROBUSTNESS.md, "The remote rung".
+
+#include <chrono>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exp/dispatch.hpp"
+#include "exp/host_pool.hpp"
+
+namespace xcp::exp {
+
+/// Host name recorded on attempts that ran through the local degradation
+/// rung of a pooled launcher (never a real pool member).
+inline constexpr const char* kLocalHostName = "(local)";
+
+/// Placement + health accounting over a HostPool; subclasses provide the
+/// actual transport via launch_on_host. Not thread-safe (the dispatcher's
+/// poll loop is single-threaded by design).
+class PooledLauncher : public WorkerLauncher {
+ public:
+  explicit PooledLauncher(HostPool& pool, bool degrade_to_local = true)
+      : pool_(pool), degrade_to_local_(degrade_to_local) {}
+
+  /// Tries pooled hosts until one accepts the launch (each refusal is
+  /// charged to its host, so a dead host quarantines itself out of the
+  /// rotation here, without consuming the shard's retry budget). When the
+  /// pool has no usable host: plain local exec if degrade_to_local, else
+  /// DispatchError.
+  WorkerHandle launch(const std::vector<std::string>& argv) final;
+
+  void terminate(const WorkerHandle& w) override;
+  void terminate_soft(const WorkerHandle& w) override;
+  bool try_reap(const WorkerHandle& w, int& raw_status) override;
+  int reap(const WorkerHandle& w) override;
+
+  void attempt_result(const WorkerHandle& w, AttemptOutcome o,
+                      int exit_code) override;
+  void append_host_report(DispatchReport& report) const override;
+
+  HostPool& pool() { return pool_; }
+  const HostPool& pool() const { return pool_; }
+
+  /// Launches that ran on the local rung because no pooled host was usable.
+  std::size_t local_degradations() const { return local_degradations_; }
+
+ protected:
+  /// Starts the worker on (or via a transport process toward) `host`.
+  /// Throws DispatchError when the host refuses; the pool charges it and
+  /// placement moves on. Implementations need not set WorkerHandle::host.
+  virtual WorkerHandle launch_on_host(const std::string& host,
+                                      const std::vector<std::string>& argv) = 0;
+
+  /// Exit codes that indicate the *transport* (not the worker) failed —
+  /// charged to the host. Default: none (every nonzero exit is presumed a
+  /// worker bug that would reproduce anywhere, so it does not poison the
+  /// pool). RemoteLauncher overrides with ssh's {255, 126, 127}.
+  virtual bool exit_code_is_host_failure(int exit_code) const {
+    (void)exit_code;
+    return false;
+  }
+
+  LocalProcessLauncher& local() { return local_; }
+
+ private:
+  HostPool& pool_;
+  LocalProcessLauncher local_;
+  bool degrade_to_local_;
+  std::size_t local_degradations_ = 0;
+};
+
+/// Options for the command-template launcher.
+struct RemoteOptions {
+  /// The transport command: every element has "{host}" and "{cmd}"
+  /// substituted, where {cmd} is the worker argv joined with shell
+  /// quoting. argv[0] must be an absolute path (posix_spawn does no PATH
+  /// search). See ssh_template() / sh_template().
+  std::vector<std::string> command_template;
+  /// Transport exit codes charged to the host rather than the worker.
+  /// Defaults match ssh: 255 connection failure, 126/127 exec failure.
+  std::vector<int> host_failure_exits{255, 126, 127};
+  /// Startup probe budget per host (probe_hosts()).
+  std::chrono::milliseconds probe_deadline{5'000};
+
+  /// Production default: ssh with BatchMode so a dead host fails fast
+  /// instead of prompting.
+  static RemoteOptions ssh_template();
+  /// Single-box CI / test default: run the command through /bin/sh on the
+  /// driver machine — a real exec-template round-trip, no network.
+  static RemoteOptions sh_template();
+};
+
+/// Shell-quotes one argv vector into a single string safe to pass through
+/// `sh -c` or an ssh remote shell.
+std::string shell_quote_join(const std::vector<std::string>& argv);
+
+/// The shard-size heuristic: the smallest per-shard seed count that keeps
+/// measured worker startup cost to at most `startup_fraction` of shard
+/// runtime, given the sweep's throughput. startup_cost < 0 (never
+/// measured) or a non-positive rate returns 1 (no constraint).
+std::size_t amortized_min_seeds(std::chrono::milliseconds startup_cost,
+                                double seeds_per_second,
+                                double startup_fraction = 0.1);
+
+/// Execs xcp_sweep_shard on pooled hosts through RemoteOptions'
+/// command_template. The spawned transport process (ssh, sh) is what the
+/// dispatcher supervises: its pipes carry the worker's stdout/stderr, its
+/// exit mirrors the worker's (ssh forwards the remote exit code), and
+/// killing it tears the attempt down — SIGTERM first, so ssh can close the
+/// far end (the dispatcher's term_grace exists for exactly this).
+class RemoteLauncher : public PooledLauncher {
+ public:
+  RemoteLauncher(HostPool& pool, RemoteOptions opts,
+                 bool degrade_to_local = true);
+
+  /// Probes every registered host by running `true` through the template:
+  /// records the round-trip as the host's startup cost (the shard-size
+  /// heuristic amortizes the slowest) and mark_dead()s hosts that fail or
+  /// time out, so a dead host never costs a real shard attempt.
+  void probe_hosts();
+
+  /// amortized_min_seeds over the pool's slowest measured startup.
+  std::size_t recommended_min_seeds(double seeds_per_second,
+                                    double startup_fraction = 0.1) const;
+
+  const RemoteOptions& remote_options() const { return opts_; }
+
+ protected:
+  WorkerHandle launch_on_host(const std::string& host,
+                              const std::vector<std::string>& argv) override;
+  bool exit_code_is_host_failure(int exit_code) const override;
+
+ private:
+  std::vector<std::string> instantiate(const std::string& host,
+                                       const std::vector<std::string>& argv)
+      const;
+
+  RemoteOptions opts_;
+};
+
+/// Per-host fault modes the deterministic churn harness can realize.
+enum class HostFault {
+  kNone,          // healthy host
+  kDeadAtLaunch,  // every launch refused (connection refused / no route)
+  kDiesMidShard,  // worker starts, host dies mid-blob (crash-mid-blob)
+  kSlowLink,      // worker runs but the link crawls (slow-start + delay)
+  kFlapping,      // alternates refuse / accept per launch
+  kPartition,     // worker starts, then the driver never hears again
+                  // (stall-forever: only the deadline ends the attempt)
+};
+
+const char* host_fault_name(HostFault f);
+
+/// Deterministic host-churn harness: a PooledLauncher whose "hosts" are
+/// fault schedules realized by local worker processes, so every churn
+/// scenario — including losing a host mid-sweep under live attempts — runs
+/// without a network and reproduces exactly. Faults are per-host and can be
+/// scheduled to begin at a later launch ordinal (set_fault_after), which is
+/// how "the host died mid-sweep" is scripted.
+class FakeRemoteLauncher : public PooledLauncher {
+ public:
+  FakeRemoteLauncher(HostPool& pool, std::string worker_path,
+                     bool degrade_to_local = true);
+
+  /// Replaces the host's schedule with a single fault active from its
+  /// next launch onward.
+  void set_fault(const std::string& host, HostFault fault,
+                 std::chrono::milliseconds slow_delay =
+                     std::chrono::milliseconds{400});
+
+  /// Appends a schedule step: once the host has performed `after_launches`
+  /// launches (0 == immediately), its fault becomes `fault` — steps
+  /// compose, so "dies-mid-shard for two launches, then unreachable" is
+  /// two calls. The step with the largest threshold at or below the
+  /// launch ordinal wins.
+  void set_fault_after(const std::string& host, std::size_t after_launches,
+                       HostFault fault,
+                       std::chrono::milliseconds slow_delay =
+                           std::chrono::milliseconds{400});
+
+  /// Violent mid-sweep host loss: SIGKILLs every in-flight worker placed
+  /// on the host and refuses all future launches. In-flight attempts die
+  /// as crashes, exactly as a yanked power cord looks from the driver.
+  void kill_host(const std::string& host);
+
+  void attempt_result(const WorkerHandle& w, AttemptOutcome o,
+                      int exit_code) override;
+
+  std::size_t launches_on(const std::string& host) const;
+
+ protected:
+  WorkerHandle launch_on_host(const std::string& host,
+                              const std::vector<std::string>& argv) override;
+
+ private:
+  struct Plan {
+    HostFault fault = HostFault::kNone;
+    std::size_t starts_after = 0;  // launch ordinal the fault begins at
+    std::chrono::milliseconds slow_delay{400};
+  };
+
+  struct HostSim {
+    std::vector<Plan> plans;  // schedule steps; highest eligible wins
+    std::size_t launches = 0;
+    std::vector<long> in_flight_pids;
+  };
+
+  std::string worker_path_;
+  /// kill_host is the one entry point tests may call from outside the
+  /// dispatcher thread (scripting "the host died while attempts were in
+  /// flight"), so the schedule table is locked.
+  mutable std::mutex mu_;
+  std::map<std::string, HostSim> sims_;
+};
+
+}  // namespace xcp::exp

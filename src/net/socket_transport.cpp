@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -37,11 +38,19 @@ void set_nonblock_cloexec(int fd) {
   }
 }
 
+/// Nagle batching only adds round-trip latency here: frames are small and
+/// consensus progress is gated on their delivery, never on bulk throughput.
+void set_tcp_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
 int make_socket(const SocketAddress& addr) {
   const int fd =
       ::socket(addr.is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
   if (fd < 0) sys_fail("socket");
   set_nonblock_cloexec(fd);
+  if (!addr.is_unix) set_tcp_nodelay(fd);
   return fd;
 }
 
@@ -482,6 +491,7 @@ bool SocketTransport::pump(Millis max_wait) {
             const int cfd = ::accept(listen_fd_, nullptr, nullptr);
             if (cfd < 0) break;
             set_nonblock_cloexec(cfd);
+            if (!listen_addr_.is_unix) set_tcp_nodelay(cfd);
             InConn c;
             c.fd = cfd;
             conns_.push_back(std::move(c));

@@ -7,13 +7,17 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #if !defined(_WIN32)
+#include <pthread.h>
 #include <sys/wait.h>
 #endif
 
@@ -580,6 +584,192 @@ TEST(Dispatcher, ReportToStringGoldenFormat) {
       "  shard 1 attempt 2 (hedge): superseded after 5 ms";
   EXPECT_EQ(report.to_string(), golden);
 }
+
+TEST(Dispatcher, ReportToStringGoldenFormatWithHosts) {
+  // Same contract as the golden above, for pooled-launcher sweeps: host
+  // rollup lines between the summary and the attempt log, and an @host tag
+  // on every attempt a pool placed. Plain local dispatch renders neither.
+  DispatchReport report;
+  report.shards = 1;
+  report.launches = 2;
+  report.retries = 1;
+  report.timeouts = 1;
+
+  DispatchReport::HostRecord a;
+  a.host = "node-a";
+  a.attempts = 5;
+  a.failures = 3;
+  a.quarantines = 1;
+  a.startup_cost = Millis(12);
+  report.hosts.push_back(a);
+
+  DispatchReport::HostRecord b;  // blacklisted, never probed successfully
+  b.host = "node-b";
+  b.failures = 4;
+  b.quarantines = 2;
+  b.blacklisted = true;
+  report.hosts.push_back(b);
+
+  AttemptRecord timeout;
+  timeout.shard = 0;
+  timeout.attempt = 1;
+  timeout.host = "node-a";
+  timeout.outcome = AttemptRecord::Outcome::kTimeout;
+  timeout.term_signal = 9;
+  timeout.detail = "deadline 250 ms";
+  timeout.wall = Millis(251);
+  report.attempts.push_back(timeout);
+
+  AttemptRecord ok;  // success records render nothing, host or not
+  ok.shard = 0;
+  ok.attempt = 2;
+  ok.host = "node-b";
+  ok.outcome = AttemptRecord::Outcome::kSuccess;
+  report.attempts.push_back(ok);
+
+  const std::string golden =
+      "dispatch report: 1 shard(s), 2 launch(es), 1 retry, 1 timeout(s), "
+      "0 crash(es), 0 wire reject(s), 0 meta mismatch(es), "
+      "0 nonzero exit(s), 0 launch failure(s), 0 hedge(s), 0 superseded, "
+      "0 fallback(s)\n"
+      "  host node-a: 5 attempt(s), 3 failure(s), 1 quarantine(s), "
+      "startup 12 ms\n"
+      "  host node-b: 0 attempt(s), 4 failure(s), 2 quarantine(s), "
+      "blacklisted\n"
+      "  shard 0 attempt 1 @node-a: timeout, signal 9, "
+      "deadline 250 ms after 251 ms";
+  EXPECT_EQ(report.to_string(), golden);
+}
+
+// ------------------------------------------- termination escalation + EINTR
+
+#if !defined(_WIN32)
+TEST(DispatchFaults, SigtermImmuneWorkerIsEscalatedToSigkill) {
+  const std::string worker = worker_or_skip();
+  if (worker.empty()) GTEST_SKIP() << "xcp_sweep_shard binary not found";
+
+  // Every attempt installs SIG_IGN for SIGTERM and stalls: the polite
+  // deadline kill does nothing, so the sweep completes only if the
+  // dispatcher escalates to SIGKILL after term_grace — asynchronously,
+  // without stalling supervision of other shards.
+  DistributedOptions opts;
+  opts.worker_path = worker;
+  opts.dispatch = quick_dispatch();
+  opts.dispatch.shard_deadline = Millis(250);
+  opts.dispatch.term_grace = Millis(200);
+  opts.dispatch.max_attempts = 2;
+  opts.dispatch.extra_worker_args = {"--fault", "ignore-sigterm@99"};
+  DispatchReport report;
+  opts.report = &report;
+
+  const MatrixCell single = run_matrix_cell(ProtocolKind::kTimeBounded,
+                                            Regime::kSynchronyConforming,
+                                            kN, 4);
+  const Clock::time_point t0 = Clock::now();
+  const MatrixCell swept =
+      distributed_sweep(ProtocolKind::kTimeBounded,
+                        Regime::kSynchronyConforming, kN, 4, 2, 1, opts);
+  const Millis wall =
+      std::chrono::duration_cast<Millis>(Clock::now() - t0);
+
+  expect_cells_identical(swept, single);
+  EXPECT_LT(wall.count(), 5'000);
+  EXPECT_EQ(report.timeouts, 4u);
+  EXPECT_EQ(report.fallbacks, 2u);
+  for (const AttemptRecord& a : report.attempts) {
+    if (a.outcome != AttemptRecord::Outcome::kTimeout) continue;
+    EXPECT_EQ(a.term_signal, SIGKILL)
+        << "a SIGTERM-immune worker can only have died by escalation";
+    // Died no earlier than deadline + grace, and promptly after it.
+    EXPECT_GE(a.wall.count(), 440);
+    EXPECT_LT(a.wall.count(), 2'000);
+  }
+}
+
+TEST(DispatchFaults, CompliantStallerDiesOnSigtermWithinTheGracePeriod) {
+  const std::string worker = worker_or_skip();
+  if (worker.empty()) GTEST_SKIP() << "xcp_sweep_shard binary not found";
+
+  // The flip side of escalation: a worker that honors SIGTERM is gone
+  // well before the grace period would trigger SIGKILL.
+  DistributedOptions opts;
+  opts.worker_path = worker;
+  opts.dispatch = quick_dispatch();
+  opts.dispatch.shard_deadline = Millis(250);
+  opts.dispatch.term_grace = Millis(10'000);  // escalation would be slow
+  opts.dispatch.max_attempts = 2;
+  opts.dispatch.extra_worker_args = {"--fault", "stall-forever@99"};
+  DispatchReport report;
+  opts.report = &report;
+
+  const MatrixCell single = run_matrix_cell(ProtocolKind::kTimeBounded,
+                                            Regime::kSynchronyConforming,
+                                            kN, 4);
+  const Clock::time_point t0 = Clock::now();
+  const MatrixCell swept =
+      distributed_sweep(ProtocolKind::kTimeBounded,
+                        Regime::kSynchronyConforming, kN, 4, 2, 1, opts);
+  const Millis wall =
+      std::chrono::duration_cast<Millis>(Clock::now() - t0);
+
+  expect_cells_identical(swept, single);
+  EXPECT_LT(wall.count(), 5'000) << "sweep waited out the grace period "
+                                    "instead of reaping the SIGTERM exit";
+  for (const AttemptRecord& a : report.attempts) {
+    if (a.outcome != AttemptRecord::Outcome::kTimeout) continue;
+    EXPECT_EQ(a.term_signal, SIGTERM);
+    EXPECT_LT(a.wall.count(), 2'000);
+  }
+}
+
+TEST(DispatchFaults, SignalStormDuringSweepIsByteIdentical) {
+  const std::string worker = worker_or_skip();
+  if (worker.empty()) GTEST_SKIP() << "xcp_sweep_shard binary not found";
+
+  // EINTR hardening: a no-op SIGUSR1 handler installed WITHOUT SA_RESTART
+  // makes every blocking poll()/read()/waitpid() in the dispatcher
+  // eligible to return EINTR, and a storm of signals from a sidecar
+  // thread makes sure plenty do. The sweep must neither fail nor drift.
+  struct sigaction sa = {};
+  struct sigaction old = {};
+  sa.sa_handler = [](int) {};
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately no SA_RESTART
+  ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+  std::atomic<bool> stop{false};
+  const pthread_t victim = ::pthread_self();
+  std::thread storm([&stop, victim] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      ::pthread_kill(victim, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  DistributedOptions opts;
+  opts.worker_path = worker;
+  opts.dispatch = quick_dispatch();
+  // Slow the workers down a touch so the dispatcher spends real time
+  // blocked in poll() while signals land.
+  opts.dispatch.extra_worker_args = {"--fault", "slow-start@99",
+                                     "--fault-delay-ms", "50"};
+  DispatchReport report;
+  opts.report = &report;
+
+  const MatrixCell single =
+      run_matrix_cell(kFaultProtocol, kFaultRegime, kN, kSeeds);
+  const MatrixCell swept = distributed_sweep(kFaultProtocol, kFaultRegime,
+                                             kN, kSeeds, 3, 1, opts);
+
+  stop.store(true);
+  storm.join();
+  ASSERT_EQ(::sigaction(SIGUSR1, &old, nullptr), 0);
+
+  expect_cells_identical(swept, single);
+  EXPECT_EQ(report.fallbacks, 0u) << report.to_string();
+  EXPECT_EQ(report.crashes, 0u) << report.to_string();
+}
+#endif
 
 // ------------------------------------------------------ worker exit codes
 

@@ -1,0 +1,520 @@
+// The remote rung's acceptance suite: HostPool health policy, pooled
+// placement + degradation, and the host-churn differential — for every
+// host-fault schedule (dead-at-launch, dies-mid-shard, slow-link, flapping,
+// partition) and K in {2, 3, 7} hosts, distributed_sweep through the
+// FakeRemoteLauncher must produce cells byte-identical to the
+// single-process run_matrix_cell, and a sweep whose every host dies
+// mid-run must complete via the local / in-process ladder with the loss
+// recorded in the DispatchReport.
+
+#include <gtest/gtest.h>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+#include <cerrno>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/dispatch.hpp"
+#include "exp/host_pool.hpp"
+#include "exp/remote.hpp"
+#include "exp/runner.hpp"
+#include "exp/shard.hpp"
+
+namespace xcp::exp {
+namespace {
+
+using Millis = std::chrono::milliseconds;
+
+void expect_cells_identical(const MatrixCell& a, const MatrixCell& b) {
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.safety_violations, b.safety_violations);
+  EXPECT_EQ(a.termination_failures, b.termination_failures);
+  EXPECT_EQ(a.liveness_failures, b.liveness_failures);
+  EXPECT_EQ(a.early_stops, b.early_stops);
+  EXPECT_EQ(a.decided_at_total.count(), b.decided_at_total.count());
+  EXPECT_EQ(a.events_total, b.events_total);
+  ASSERT_EQ(a.example_violations.size(), b.example_violations.size());
+  EXPECT_TRUE(a == b);
+}
+
+// The violation-producing cell the dispatch suite also differentials on,
+// so every accumulator field crosses the wire.
+constexpr ProtocolKind kProtocol = ProtocolKind::kInterledgerAtomic;
+constexpr Regime kRegime = Regime::kPartialSynchrony;
+constexpr int kN = 2;
+constexpr std::size_t kSeeds = 5;
+constexpr unsigned kShards = 4;
+
+DispatchOptions quick_dispatch() {
+  DispatchOptions d;
+  d.shard_deadline = Millis(10'000);
+  d.term_grace = Millis(200);
+  d.max_attempts = 3;
+  d.backoff_base = Millis(2);
+  d.backoff_cap = Millis(20);
+  d.hedge_stragglers = false;
+  return d;
+}
+
+/// A pool whose faulty hosts sideline themselves fast and stay out.
+HostPool churn_pool(std::size_t n_hosts) {
+  HostPoolOptions po;
+  po.default_slots = 4;
+  po.quarantine_after = 2;
+  po.quarantine_period = Millis(60'000);  // no re-admission mid-test
+  po.blacklist_after = 2;
+  HostPool pool(po);
+  for (std::size_t i = 0; i < n_hosts; ++i) {
+    pool.add_host("host-" + std::to_string(i));
+  }
+  return pool;
+}
+
+std::string worker_or_skip() { return default_worker_path(); }
+
+// ---------------------------------------------------------- HostPool policy
+
+TEST(HostPool, LeastLoadedPlacementWithRegistrationOrderTieBreak) {
+  HostPoolOptions po;
+  po.default_slots = 2;
+  HostPool pool(po);
+  pool.add_host("alpha");
+  pool.add_host("beta");
+
+  // Ties go to the earlier registration; load balances after that.
+  EXPECT_EQ(pool.acquire().value(), "alpha");
+  EXPECT_EQ(pool.acquire().value(), "beta");
+  EXPECT_EQ(pool.acquire().value(), "alpha");
+  EXPECT_EQ(pool.acquire().value(), "beta");
+  // All slots busy.
+  EXPECT_FALSE(pool.acquire().has_value());
+  pool.release("beta", /*success=*/true);
+  EXPECT_EQ(pool.acquire().value(), "beta");
+}
+
+TEST(HostPool, ConsecutiveFailuresQuarantineAndReadmitOnProbation) {
+  HostPoolOptions po;
+  po.default_slots = 4;
+  po.quarantine_after = 2;
+  po.quarantine_period = Millis(50);
+  po.blacklist_after = 3;
+  HostPool pool(po);
+  pool.add_host("alpha");
+  pool.add_host("beta");
+
+  ASSERT_EQ(pool.acquire().value(), "alpha");
+  pool.release("alpha", false);
+  ASSERT_EQ(pool.acquire().value(), "alpha");  // still least-loaded
+  pool.release("alpha", false);                // 2nd consecutive -> out
+
+  // Alpha is quarantined: everything lands on beta now.
+  EXPECT_EQ(pool.acquire().value(), "beta");
+  EXPECT_EQ(pool.stats()[0].state, HostState::kQuarantined);
+  EXPECT_EQ(pool.stats()[0].quarantines, 1u);
+
+  // After the period it comes back on probation (failure streak reset,
+  // quarantine count kept).
+  std::this_thread::sleep_for(Millis(60));
+  pool.release("beta", true);
+  EXPECT_EQ(pool.acquire().value(), "alpha");
+  EXPECT_EQ(pool.stats()[0].state, HostState::kHealthy);
+  EXPECT_EQ(pool.stats()[0].consecutive_failures, 0u);
+  EXPECT_EQ(pool.stats()[0].quarantines, 1u);
+}
+
+TEST(HostPool, RepeatedQuarantineEscalatesToBlacklist) {
+  HostPoolOptions po;
+  po.default_slots = 4;
+  po.quarantine_after = 1;  // every failure quarantines
+  po.quarantine_period = Millis(1);
+  po.blacklist_after = 2;
+  HostPool pool(po);
+  pool.add_host("alpha");
+
+  ASSERT_TRUE(pool.acquire().has_value());
+  pool.release("alpha", false);  // quarantine #1
+  std::this_thread::sleep_for(Millis(5));
+  ASSERT_TRUE(pool.acquire().has_value());  // probation
+  pool.release("alpha", false);  // quarantine #2 -> blacklist
+  EXPECT_EQ(pool.stats()[0].state, HostState::kBlacklisted);
+  EXPECT_FALSE(pool.acquire().has_value());
+  EXPECT_FALSE(pool.any_usable());
+  // Blacklist is permanent: no timed re-admission.
+  std::this_thread::sleep_for(Millis(5));
+  EXPECT_FALSE(pool.acquire().has_value());
+}
+
+TEST(HostPool, SuccessResetsTheFailureStreak) {
+  HostPoolOptions po;
+  po.quarantine_after = 2;
+  HostPool pool(po);
+  pool.add_host("alpha");
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(pool.acquire().has_value());
+    pool.release("alpha", false);
+    ASSERT_TRUE(pool.acquire().has_value());
+    pool.release("alpha", true);  // never two in a row
+  }
+  EXPECT_EQ(pool.stats()[0].state, HostState::kHealthy);
+  EXPECT_EQ(pool.stats()[0].failures, 8u);
+}
+
+TEST(HostPool, NeutralReleaseReturnsTheSlotWithoutTouchingHealth) {
+  HostPoolOptions po;
+  po.default_slots = 1;
+  po.quarantine_after = 1;
+  HostPool pool(po);
+  pool.add_host("alpha");
+  ASSERT_TRUE(pool.acquire().has_value());
+  EXPECT_FALSE(pool.acquire().has_value());  // slot taken
+  pool.release_neutral("alpha");
+  EXPECT_TRUE(pool.acquire().has_value());  // slot back
+  EXPECT_EQ(pool.stats()[0].failures, 0u);
+  EXPECT_EQ(pool.stats()[0].state, HostState::kHealthy);
+}
+
+TEST(HostPool, MarkDeadSkipsTheStreakAndEscalates) {
+  HostPoolOptions po;
+  po.quarantine_after = 3;
+  po.quarantine_period = Millis(60'000);
+  po.blacklist_after = 2;
+  HostPool pool(po);
+  pool.add_host("alpha");
+  pool.mark_dead("alpha");  // one call, straight to quarantine
+  EXPECT_EQ(pool.stats()[0].state, HostState::kQuarantined);
+  pool.mark_dead("alpha");  // repeat offender -> blacklist
+  EXPECT_EQ(pool.stats()[0].state, HostState::kBlacklisted);
+  EXPECT_FALSE(pool.any_usable());
+}
+
+TEST(HostPool, StartupCostKeepsTheWorstAndFeedsTheHeuristic) {
+  HostPool pool;
+  pool.add_host("fast");
+  pool.add_host("slow");
+  EXPECT_EQ(pool.max_startup_cost().count(), -1);
+  pool.record_startup("fast", Millis(20));
+  pool.record_startup("slow", Millis(900));
+  pool.record_startup("slow", Millis(400));  // lower later probe: keep max
+  EXPECT_EQ(pool.max_startup_cost().count(), 900);
+
+  // 900 ms startup, 50 seeds/s, startup <= 10% of shard runtime:
+  // seeds >= 0.9 * 50 / 0.1 = 450.
+  EXPECT_EQ(amortized_min_seeds(Millis(900), 50.0, 0.1), 450u);
+  EXPECT_EQ(amortized_min_seeds(Millis(-1), 50.0, 0.1), 1u);
+  EXPECT_EQ(amortized_min_seeds(Millis(900), 0.0, 0.1), 1u);
+  // Tiny startup never forces a floor above one seed.
+  EXPECT_EQ(amortized_min_seeds(Millis(1), 1.0, 0.5), 1u);
+}
+
+// ------------------------------------------------- the churn differential
+
+struct ChurnCase {
+  HostFault fault;
+  bool shrinks_deadline;  // partition recovers via the deadline kill
+};
+
+class HostChurn : public ::testing::TestWithParam<ChurnCase> {};
+
+// The tentpole acceptance criterion: one faulty host per pool, K in
+// {2, 3, 7} hosts, every fault schedule — merged cells must match the
+// single-process reference byte-for-byte.
+TEST_P(HostChurn, EveryScheduleAndPoolSizeIsByteIdentical) {
+  const std::string worker = worker_or_skip();
+  if (worker.empty()) GTEST_SKIP() << "xcp_sweep_shard binary not found";
+  const ChurnCase c = GetParam();
+
+  const MatrixCell single = run_matrix_cell(kProtocol, kRegime, kN, kSeeds);
+
+  for (const std::size_t hosts : {2u, 3u, 7u}) {
+    SCOPED_TRACE(std::string(host_fault_name(c.fault)) + " / hosts=" +
+                 std::to_string(hosts));
+    HostPool pool = churn_pool(hosts);
+    FakeRemoteLauncher launcher(pool, worker);
+    launcher.set_fault("host-0", c.fault, /*slow_delay=*/Millis(150));
+
+    DistributedOptions opts;
+    opts.worker_path = worker;
+    opts.dispatch = quick_dispatch();
+    if (c.shrinks_deadline) opts.dispatch.shard_deadline = Millis(500);
+    opts.dispatch.launcher = &launcher;
+    DispatchReport report;
+    opts.report = &report;
+
+    const MatrixCell swept =
+        distributed_sweep(kProtocol, kRegime, kN, kSeeds, kShards, 1, opts);
+    expect_cells_identical(swept, single);
+
+    EXPECT_EQ(report.shards, kShards);
+    // Host rollups made it into the report, one per pool member.
+    ASSERT_EQ(report.hosts.size(), hosts);
+    std::size_t attempts = 0;
+    for (const auto& h : report.hosts) attempts += h.attempts;
+    EXPECT_GT(attempts, 0u);
+    // Every record names where it ran.
+    for (const auto& a : report.attempts) {
+      EXPECT_FALSE(a.host.empty()) << "attempt without host attribution";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, HostChurn,
+    ::testing::Values(ChurnCase{HostFault::kDeadAtLaunch, false},
+                      ChurnCase{HostFault::kDiesMidShard, false},
+                      ChurnCase{HostFault::kSlowLink, false},
+                      ChurnCase{HostFault::kFlapping, false},
+                      ChurnCase{HostFault::kPartition, true}),
+    [](const ::testing::TestParamInfo<ChurnCase>& info) {
+      std::string name = host_fault_name(info.param.fault);
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+// A host dying mid-sweep (fault begins at a later launch ordinal) hands
+// its remaining work to the survivors; the dead host's quarantine is in
+// the rollups and the bytes never change.
+TEST(HostChurnMidSweep, HostLossAfterTwoLaunchesReissuesOnSurvivors) {
+  const std::string worker = worker_or_skip();
+  if (worker.empty()) GTEST_SKIP() << "xcp_sweep_shard binary not found";
+
+  const MatrixCell single = run_matrix_cell(kProtocol, kRegime, kN, kSeeds);
+
+  HostPool pool = churn_pool(2);
+  FakeRemoteLauncher launcher(pool, worker);
+  // host-0 serves its first two launches with workers that die mid-blob,
+  // then drops off the network entirely.
+  launcher.set_fault("host-0", HostFault::kDiesMidShard);
+  launcher.set_fault_after("host-0", 2, HostFault::kDeadAtLaunch);
+
+  DistributedOptions opts;
+  opts.worker_path = worker;
+  opts.dispatch = quick_dispatch();
+  opts.dispatch.launcher = &launcher;
+  DispatchReport report;
+  opts.report = &report;
+
+  const MatrixCell swept =
+      distributed_sweep(kProtocol, kRegime, kN, kSeeds, kShards, 1, opts);
+  expect_cells_identical(swept, single);
+
+  // The dead host was sidelined, the survivor finished the sweep.
+  bool host0_sidelined = false;
+  for (const auto& h : report.hosts) {
+    if (h.host == "host-0") {
+      host0_sidelined = h.quarantines >= 1 || h.blacklisted;
+    }
+  }
+  EXPECT_TRUE(host0_sidelined) << report.to_string();
+  EXPECT_EQ(report.fallbacks, 0u);
+}
+
+// Violent mid-sweep loss: kill_host() SIGKILLs in-flight workers; the
+// crashes are charged to the host and the retries land elsewhere.
+TEST(HostChurnMidSweep, KillHostCrashesInFlightAttemptsAndRecovers) {
+  const std::string worker = worker_or_skip();
+  if (worker.empty()) GTEST_SKIP() << "xcp_sweep_shard binary not found";
+
+  const MatrixCell single = run_matrix_cell(kProtocol, kRegime, kN, kSeeds);
+
+  HostPool pool = churn_pool(3);
+  FakeRemoteLauncher launcher(pool, worker);
+  // host-0's workers stall (they would time out eventually); killing the
+  // host mid-sweep turns them into crashes immediately.
+  launcher.set_fault("host-0", HostFault::kPartition);
+
+  DistributedOptions opts;
+  opts.worker_path = worker;
+  opts.dispatch = quick_dispatch();
+  opts.dispatch.shard_deadline = Millis(5'000);
+  opts.dispatch.launcher = &launcher;
+  DispatchReport report;
+  opts.report = &report;
+
+  // Kill the partitioned host shortly after the sweep starts, from a
+  // sidecar thread — the dispatcher sees its workers die as crashes.
+  std::thread killer([&] {
+    std::this_thread::sleep_for(Millis(300));
+    launcher.kill_host("host-0");
+  });
+  const MatrixCell swept =
+      distributed_sweep(kProtocol, kRegime, kN, kSeeds, kShards, 1, opts);
+  killer.join();
+  expect_cells_identical(swept, single);
+  EXPECT_EQ(report.fallbacks, 0u);
+}
+
+// The ladder's bottom rungs: every host dead at launch. With local
+// degradation the pool empties and the local rung completes the sweep;
+// with it disabled the dispatcher's own in-process fallback does.
+TEST(HostChurnLadder, AllHostsDeadDegradesToLocalExec) {
+  const std::string worker = worker_or_skip();
+  if (worker.empty()) GTEST_SKIP() << "xcp_sweep_shard binary not found";
+
+  const MatrixCell single = run_matrix_cell(kProtocol, kRegime, kN, kSeeds);
+
+  HostPool pool = churn_pool(3);
+  FakeRemoteLauncher launcher(pool, worker);
+  for (int i = 0; i < 3; ++i) {
+    launcher.set_fault("host-" + std::to_string(i),
+                       HostFault::kDeadAtLaunch);
+  }
+
+  DistributedOptions opts;
+  opts.worker_path = worker;
+  opts.dispatch = quick_dispatch();
+  opts.dispatch.launcher = &launcher;
+  DispatchReport report;
+  opts.report = &report;
+
+  const MatrixCell swept =
+      distributed_sweep(kProtocol, kRegime, kN, kSeeds, kShards, 1, opts);
+  expect_cells_identical(swept, single);
+
+  EXPECT_GT(launcher.local_degradations(), 0u);
+  EXPECT_EQ(report.fallbacks, 0u) << "local exec, not in-process, serves "
+                                     "a dead pool";
+  // Every pool member ended sidelined, and the report says so.
+  ASSERT_EQ(report.hosts.size(), 3u);
+  for (const auto& h : report.hosts) {
+    EXPECT_TRUE(h.quarantines >= 1 || h.blacklisted) << h.host;
+  }
+  // The attempts that completed the sweep ran on the local rung.
+  std::size_t local_attempts = 0;
+  for (const auto& a : report.attempts) {
+    if (a.host == kLocalHostName) ++local_attempts;
+  }
+  EXPECT_GE(local_attempts, static_cast<std::size_t>(kShards));
+}
+
+TEST(HostChurnLadder, AllHostsDyingMidRunFallsThroughToInProcess) {
+  const std::string worker = worker_or_skip();
+  if (worker.empty()) GTEST_SKIP() << "xcp_sweep_shard binary not found";
+
+  const MatrixCell single = run_matrix_cell(kProtocol, kRegime, kN, kSeeds);
+
+  // Every host accepts launches but its workers die mid-blob — the pool
+  // drains by quarantine while attempts burn retry budget. With local
+  // degradation off, exhaustion lands on the dispatcher's in-process rung.
+  HostPool pool = churn_pool(2);
+  FakeRemoteLauncher launcher(pool, worker, /*degrade_to_local=*/false);
+  launcher.set_fault("host-0", HostFault::kDiesMidShard);
+  launcher.set_fault("host-1", HostFault::kDiesMidShard);
+
+  DistributedOptions opts;
+  opts.worker_path = worker;
+  opts.dispatch = quick_dispatch();
+  opts.dispatch.launcher = &launcher;
+  DispatchReport report;
+  opts.report = &report;
+
+  const MatrixCell swept =
+      distributed_sweep(kProtocol, kRegime, kN, kSeeds, kShards, 1, opts);
+  expect_cells_identical(swept, single);
+
+  // The loss is recorded: crashed attempts, sidelined hosts, and the
+  // shards that had to fall back in-process.
+  EXPECT_GT(report.crashes + report.launch_failures, 0u);
+  EXPECT_GT(report.fallbacks, 0u) << report.to_string();
+  for (const auto& h : report.hosts) {
+    EXPECT_TRUE(h.quarantines >= 1 || h.blacklisted) << h.host;
+  }
+}
+
+// ------------------------------------------------- sh-exec RemoteLauncher
+
+TEST(RemoteExec, ShTemplateSweepIsByteIdenticalWithHostRollups) {
+  const std::string worker = worker_or_skip();
+  if (worker.empty()) GTEST_SKIP() << "xcp_sweep_shard binary not found";
+
+  const MatrixCell single = run_matrix_cell(kProtocol, kRegime, kN, kSeeds);
+
+  HostPool pool;
+  pool.add_host("box-a");
+  pool.add_host("box-b");
+  RemoteLauncher launcher(pool, RemoteOptions::sh_template());
+  launcher.probe_hosts();
+  // /bin/sh round-trips fast; both hosts must have survived the probe
+  // with a measured startup cost.
+  for (const HostStats& h : pool.stats()) {
+    EXPECT_EQ(h.state, HostState::kHealthy) << h.host;
+    EXPECT_GE(h.startup_cost.count(), 0) << h.host;
+  }
+  EXPECT_GE(launcher.recommended_min_seeds(/*seeds_per_second=*/1000.0), 1u);
+
+  DistributedOptions opts;
+  opts.worker_path = worker;
+  opts.dispatch = quick_dispatch();
+  opts.dispatch.launcher = &launcher;
+  DispatchReport report;
+  opts.report = &report;
+
+  const MatrixCell swept =
+      distributed_sweep(kProtocol, kRegime, kN, kSeeds, kShards, 1, opts);
+  expect_cells_identical(swept, single);
+
+  EXPECT_EQ(report.fallbacks, 0u);
+  ASSERT_EQ(report.hosts.size(), 2u);
+  std::size_t attempts = 0;
+  for (const auto& h : report.hosts) {
+    attempts += h.attempts;
+    EXPECT_GE(h.startup_cost.count(), 0) << h.host;
+  }
+  EXPECT_EQ(attempts, static_cast<std::size_t>(kShards));
+}
+
+TEST(RemoteExec, ProbeMarksDeadHostsBeforeTheyCostAnAttempt) {
+  HostPool pool;
+  pool.add_host("gone");
+  RemoteOptions ro;
+  // The probe command fails for every host: the transport "connects" but
+  // the far end is broken.
+  ro.command_template = {"/bin/sh", "-c", "exit 1 # {host} {cmd}"};
+  ro.probe_deadline = Millis(2'000);
+  RemoteLauncher launcher(pool, ro);
+  launcher.probe_hosts();
+  EXPECT_EQ(pool.stats()[0].state, HostState::kQuarantined);
+}
+
+TEST(RemoteExec, ShellQuotingSurvivesHostileArguments) {
+  // Through a real /bin/sh -c round-trip: the quoted command must
+  // reproduce each argument exactly, metacharacters included.
+  const std::vector<std::string> args{"printf", "%s\\n", "a b", "it's",
+                                     "$(reboot)", "`x`", ";ls", "*"};
+  HostPool pool;
+  pool.add_host("box");
+  RemoteLauncher launcher(pool, RemoteOptions::sh_template());
+  const std::string quoted = shell_quote_join(args);
+  EXPECT_NE(quoted.find("'it'\\''s'"), std::string::npos) << quoted;
+
+  LocalProcessLauncher local;
+  WorkerHandle w = local.launch({"/bin/sh", "-c", quoted});
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t got = ::read(w.stdout_fd, buf, sizeof(buf));
+    if (got > 0) {
+      out.append(buf, static_cast<std::size_t>(got));
+      continue;
+    }
+    if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      std::this_thread::sleep_for(Millis(5));
+      continue;
+    }
+    if (got < 0 && errno == EINTR) continue;
+    break;
+  }
+  local.reap(w);
+  ::close(w.stdout_fd);
+  ::close(w.stderr_fd);
+  EXPECT_EQ(out, "a b\nit's\n$(reboot)\n`x`\n;ls\n*\n");
+}
+
+}  // namespace
+}  // namespace xcp::exp

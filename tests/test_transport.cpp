@@ -360,6 +360,45 @@ TEST(SocketTransport, ManyMessagesReassembleAcrossPartialReads) {
   }
 }
 
+// ----------------------------------------------- TCP endpoints
+
+/// A loopback port range unlikely to collide across concurrent test runs.
+int tcp_base_port() { return 20'000 + static_cast<int>(::getpid() % 20'000); }
+
+TEST(SocketTransport, TcpEndpointsDeliverMessagesAndHeartbeats) {
+  // The transport logic is address-family-agnostic; this pins the tcp:
+  // scheme end to end — bind, non-blocking connect, framing, heartbeats —
+  // on real loopback TCP sockets.
+  const int base = tcp_base_port();
+  const std::string addr_a = "tcp:127.0.0.1:" + std::to_string(base);
+  const std::string addr_b = "tcp:127.0.0.1:" + std::to_string(base + 1);
+  net::SocketTransport a(0, addr_a, fast_opts());
+  net::SocketTransport b(1, addr_b, fast_opts());
+  a.add_peer(1, addr_b);
+  b.add_peer(0, addr_a);
+  a.map_pid(sim::ProcessId(5), 1);
+
+  std::vector<Message> got;
+  b.set_receive_handler([&](Message&& m) { got.push_back(std::move(m)); });
+
+  a.send(money_message(9, 4, 5, 1234));
+  ASSERT_TRUE(pump_until({&a, &b}, [&] { return !got.empty(); }, 3000ms));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].id, 9u);
+  const auto* body = got[0].body_as<proto::MoneyMsg>();
+  ASSERT_NE(body, nullptr);
+  EXPECT_EQ(body->amount, Amount(1234, Currency::generic()));
+
+  EXPECT_TRUE(pump_until({&a, &b},
+                         [&] {
+                           return a.stats().heartbeats_received > 0 &&
+                                  b.stats().heartbeats_received > 0;
+                         },
+                         3000ms));
+  EXPECT_TRUE(a.peer_up(1));
+  EXPECT_TRUE(b.peer_up(0));
+}
+
 // --------------------------------------- multi-process differential
 
 std::string node_bin_or_skip() {
@@ -491,6 +530,48 @@ TEST(NodeCommittee, SocketOutcomeMatchesInSimReference) {
         keys, cert, config->members,
         static_cast<std::size_t>(config->quorum())));
   }
+}
+
+TEST(NodeCommittee, TcpAddressedCommitteeMatchesInSimReference) {
+  const std::string bin = node_bin_or_skip();
+  if (bin.empty()) GTEST_SKIP() << "xcp_node binary not found";
+
+  // The same multi-process differential over explicit tcp: endpoints
+  // (--listen / --peer) instead of the --sock-dir unix scheme — the
+  // deployment shape a real multi-host committee uses.
+  consensus::StandaloneCommittee sc;
+  const auto ref = run_standalone_sim(sc);
+  ASSERT_TRUE(ref.value.has_value()) << "reference run undecided";
+
+  const int base = tcp_base_port() + 100;  // clear of the in-process test
+  const auto addr = [&](int node) {
+    return "tcp:127.0.0.1:" + std::to_string(base + node);
+  };
+
+  TempDir dir;  // only for output capture files
+  std::vector<pid_t> pids;
+  for (int k = 0; k <= sc.notaries; ++k) {
+    std::vector<std::string> args = {"--node-id",       std::to_string(k),
+                                     "--listen",        addr(k),
+                                     "--value",         "commit",
+                                     "--wall-limit-ms", "30000"};
+    for (int j = 0; j <= sc.notaries; ++j) {
+      if (j == k) continue;
+      args.insert(args.end(), {"--peer", std::to_string(j) + "=" + addr(j)});
+    }
+    const pid_t pid =
+        spawn_node(bin, args, dir.file("out-" + std::to_string(k)));
+    ASSERT_GT(pid, 0);
+    pids.push_back(pid);
+  }
+  for (int k = 0; k <= sc.notaries; ++k) {
+    EXPECT_EQ(wait_exit(pids[static_cast<std::size_t>(k)]), 0)
+        << slurp(dir.file("out-" + std::to_string(k) + ".err"));
+  }
+  const std::string out =
+      slurp(dir.file("out-" + std::to_string(sc.notaries)));
+  EXPECT_EQ(line_with_prefix(out, "OUTCOME "), "OUTCOME " + ref.canonical())
+      << out;
 }
 
 TEST(NodeCommittee, SurvivesKillNineOfOneNotary) {

@@ -6,11 +6,18 @@
 // every participant, and prints the outcome plus the wire-encoded
 // certificate. All nodes build the identical StandaloneCommittee scenario
 // from the same flags (keys, committee config, evidence — see
-// consensus/standalone.hpp), talk over the supervised socket transport
-// (unix-domain sockets under --sock-dir), and detect dead peers by
-// heartbeat.
+// consensus/standalone.hpp), talk over the supervised socket transport,
+// and detect dead peers by heartbeat.
 //
-//   xcp_node --node-id K --sock-dir DIR [--notaries 4] [--n 2]
+// Addressing: --sock-dir DIR derives one unix-domain socket per node (the
+// single-box default). For multi-host deployments, give explicit endpoints
+// instead: --listen ADDR for this node plus one repeatable --peer N=ADDR
+// per other node, where ADDR is any transport address ("tcp:<ipv4>:<port>"
+// or "unix:<path>"). Explicit endpoints override the --sock-dir scheme
+// per node, so the two can mix during migration.
+//
+//   xcp_node --node-id K (--sock-dir DIR | --listen ADDR --peer N=ADDR...)
+//            [--notaries 4] [--n 2]
 //            [--deal 13] [--seed 7] [--value commit|abort]
 //            [--base-round-ms 100] [--heartbeat-ms 50]
 //            [--peer-timeout-ms 600] [--wall-limit-ms 15000]
@@ -27,6 +34,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -42,6 +50,8 @@ using namespace xcp;
 struct Args {
   int node_id = -1;
   std::string sock_dir;
+  std::string listen_addr;               // explicit override for this node
+  std::map<int, std::string> peer_addrs;  // explicit overrides, per node
   consensus::StandaloneCommittee sc;
   long heartbeat_ms = 50;
   long peer_timeout_ms = 600;
@@ -52,7 +62,8 @@ struct Args {
 [[noreturn]] void usage(const char* why) {
   std::fprintf(stderr,
                "xcp_node: %s\n"
-               "usage: xcp_node --node-id K --sock-dir DIR [--notaries M] "
+               "usage: xcp_node --node-id K (--sock-dir DIR | --listen ADDR "
+               "--peer N=ADDR...) [--notaries M] "
                "[--n N] [--deal D] [--seed S] [--value commit|abort] "
                "[--base-round-ms MS] [--heartbeat-ms MS] "
                "[--peer-timeout-ms MS] [--wall-limit-ms MS] [--linger-ms MS]\n",
@@ -72,6 +83,16 @@ Args parse_args(int argc, char** argv) {
       a.node_id = std::atoi(next().c_str());
     } else if (flag == "--sock-dir") {
       a.sock_dir = next();
+    } else if (flag == "--listen") {
+      a.listen_addr = next();
+    } else if (flag == "--peer") {
+      const std::string spec = next();
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+        usage("--peer wants N=ADDR (e.g. --peer 1=tcp:10.0.0.2:9101)");
+      }
+      a.peer_addrs[std::atoi(spec.substr(0, eq).c_str())] =
+          spec.substr(eq + 1);
     } else if (flag == "--notaries") {
       a.sc.notaries = std::atoi(next().c_str());
     } else if (flag == "--n") {
@@ -106,13 +127,32 @@ Args parse_args(int argc, char** argv) {
   if (a.node_id < 0 || a.node_id > a.sc.notaries) {
     usage("--node-id must be in [0, notaries] (notaries => client node)");
   }
-  if (a.sock_dir.empty()) usage("--sock-dir is required");
   if (a.sc.notaries < 1 || a.sc.n < 1) usage("need >=1 notary and >=1 escrow");
+  // Without a --sock-dir fallback, every node needs an explicit endpoint:
+  // --listen (or a --peer self-entry) for this node, --peer for the rest.
+  if (a.sock_dir.empty()) {
+    if (a.listen_addr.empty() && !a.peer_addrs.count(a.node_id)) {
+      usage("need --sock-dir, or --listen for this node");
+    }
+    for (int node = 0; node <= a.sc.notaries; ++node) {
+      if (node != a.node_id && !a.peer_addrs.count(node)) {
+        usage(("need --sock-dir, or --peer " + std::to_string(node) +
+               "=ADDR for every other node")
+                  .c_str());
+      }
+    }
+  }
   return a;
 }
 
 std::string node_addr(const Args& a, int node) {
+  const auto it = a.peer_addrs.find(node);
+  if (it != a.peer_addrs.end()) return it->second;
   return "unix:" + a.sock_dir + "/node-" + std::to_string(node) + ".sock";
+}
+
+std::string listen_addr(const Args& a) {
+  return a.listen_addr.empty() ? node_addr(a, a.node_id) : a.listen_addr;
 }
 
 std::string hex_of(const std::vector<std::uint8_t>& bytes) {
@@ -152,7 +192,7 @@ int main(int argc, char** argv) {
   topts.jitter_seed = sc.seed;
   topts.wire.roster = &config->members;
   net::SocketTransport transport(static_cast<std::uint32_t>(args.node_id),
-                                 node_addr(args, args.node_id), topts);
+                                 listen_addr(args), topts);
   for (int node = 0; node <= m; ++node) {
     if (node == args.node_id) continue;
     transport.add_peer(static_cast<std::uint32_t>(node),
