@@ -85,7 +85,9 @@ int main(int argc, char** argv) {
   // --remote sh to exec through /bin/sh on this machine — the CI
   // smoke-test shape); hosts are probed first, the measured startup cost
   // feeds the min-seeds-per-shard heuristic, and the dispatch report
-  // gains per-host rollups.
+  // gains per-host rollups. --hosts-file FILE reads the same inventory
+  // from a file instead — one host[:slots] per line, # comments — the
+  // shape a cluster scheduler hands out; it composes with --hosts.
   bool buffered = false;
   bool full_horizon = false;
   bool differential = false;
@@ -93,7 +95,7 @@ int main(int argc, char** argv) {
   std::vector<unsigned> shard_counts;
   std::string worker_path;
   std::vector<std::string> fault_args;
-  std::vector<std::string> hosts;
+  std::vector<exp::HostSpec> hosts;
   std::string remote_kind = "sh";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--buffered") == 0) buffered = true;
@@ -130,7 +132,16 @@ int main(int argc, char** argv) {
       std::istringstream list(argv[++i]);
       std::string tok;
       while (std::getline(list, tok, ',')) {
-        if (!tok.empty()) hosts.push_back(tok);
+        if (!tok.empty()) hosts.push_back({tok, 0});
+      }
+    }
+    if (std::strcmp(argv[i], "--hosts-file") == 0 && i + 1 < argc) {
+      try {
+        auto specs = exp::parse_hosts_file(argv[++i]);
+        hosts.insert(hosts.end(), specs.begin(), specs.end());
+      } catch (const std::exception& e) {
+        std::cerr << e.what() << "\n";
+        return 2;
       }
     }
     if (std::strcmp(argv[i], "--remote") == 0 && i + 1 < argc) {
@@ -313,7 +324,7 @@ int main(int argc, char** argv) {
     std::unique_ptr<exp::RemoteLauncher> remote;
     if (!hosts.empty()) {
       pool.emplace();
-      for (const std::string& h : hosts) pool->add_host(h);
+      for (const exp::HostSpec& h : hosts) pool->add_host(h.host, h.slots);
       remote = std::make_unique<exp::RemoteLauncher>(
           *pool, remote_kind == "ssh" ? exp::RemoteOptions::ssh_template()
                                       : exp::RemoteOptions::sh_template());

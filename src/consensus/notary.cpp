@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/wire.hpp"
 #include "proto/bodies.hpp"
 #include "support/log.hpp"
 #include "support/status.hpp"
@@ -26,7 +27,74 @@ void Notary::on_start() {
   }
   XCP_REQUIRE(self_index_ >= 0, "notary not a committee member");
   if (behaviour_ == NotaryBehaviour::kSilent) return;  // crashed from birth
+  if (restored_decided_ && decided_) {
+    // A journaled decision is final: no rounds to rejoin. Re-broadcast the
+    // certificate so peers and participants that missed it converge
+    // (idempotent for receivers), then serve catch-ups from decision_cert().
+    if (cert_) {
+      auto body = net::make_body<DecisionMsg>();
+      body->cert = *cert_;
+      for (sim::ProcessId pid : config_->notify) {
+        send(pid, net::kinds::tm_cert, body);
+      }
+      broadcast_to_committee(net::kinds::bft_decision, body);
+    }
+    return;
+  }
   enter_round(0);
+}
+
+void Notary::restore(const std::vector<net::WalRecord>& records) {
+  XCP_REQUIRE(!decided_, "restore on a notary that already decided");
+  for (const net::WalRecord& r : records) {
+    if (r.instance != config_->instance) continue;  // another deal's records
+    const Value v = static_cast<Value>(r.value != 0);
+    switch (r.kind) {
+      case net::WalRecordKind::kPrevote:
+        journaled_prevotes_.emplace(r.round, v);  // first write wins
+        break;
+      case net::WalRecordKind::kPrecommit:
+        // Precommits sign the round-independent decision digest, so one
+        // journaled precommit pins this notary's lock for good.
+        if (!journaled_precommit_) journaled_precommit_ = v;
+        if (r.round >= lock_round_) {
+          locked_ = *journaled_precommit_;
+          lock_round_ = r.round;
+        }
+        break;
+      case net::WalRecordKind::kDecide: {
+        decided_ = v;
+        restored_decided_ = true;
+        if (!r.cert.empty()) {
+          net::WireContext ctx;
+          ctx.roster = &config_->members;
+          cert_ = net::parse_certificate(r.cert, ctx);
+        }
+        break;
+      }
+      case net::WalRecordKind::kInvalid:
+        break;
+    }
+  }
+}
+
+void Notary::journal(net::WalRecordKind kind, int round, Value v,
+                     std::vector<std::uint8_t> cert_bytes) {
+  if (wal_ == nullptr || behaviour_ != NotaryBehaviour::kHonest) return;
+  net::WalRecord r;
+  r.kind = kind;
+  r.instance = config_->instance;
+  r.round = round;
+  r.value = static_cast<std::uint8_t>(v);
+  r.cert = std::move(cert_bytes);
+  wal_->append(r);
+}
+
+std::vector<std::uint8_t> Notary::wire_cert_bytes(
+    const crypto::Certificate& c) const {
+  net::WireContext ctx;
+  ctx.roster = &config_->members;
+  return net::serialize_certificate(c, ctx);
 }
 
 bool Notary::is_leader(int round) const {
@@ -189,6 +257,17 @@ void Notary::handle_proposal(const ProposalMsg& p, sim::ProcessId from) {
 }
 
 void Notary::send_prevote(Value v) {
+  if (behaviour_ == NotaryBehaviour::kHonest) {
+    // Amnesia-safety: a journaled prevote for this round pins the value a
+    // previous life signed. Re-sending the same vote is harmless (receivers
+    // dedup by signer); signing a different one would be equivocation.
+    const auto it = journaled_prevotes_.find(round_);
+    if (it != journaled_prevotes_.end() && it->second != v) return;
+    if (it == journaled_prevotes_.end()) {
+      journal(net::WalRecordKind::kPrevote, round_, v);
+      journaled_prevotes_.emplace(round_, v);
+    }
+  }
   auto vote = net::make_body<VoteMsg>();
   vote->instance = config_->instance;
   vote->round = round_;
@@ -209,6 +288,15 @@ void Notary::send_prevote(Value v) {
 }
 
 void Notary::send_precommit(Value v) {
+  if (behaviour_ == NotaryBehaviour::kHonest) {
+    // Precommits sign the round-independent decision digest: one journaled
+    // precommit for the other value forbids this one forever.
+    if (journaled_precommit_ && *journaled_precommit_ != v) return;
+    if (!journaled_precommit_) {
+      journal(net::WalRecordKind::kPrecommit, round_, v);
+      journaled_precommit_ = v;
+    }
+  }
   auto vote = net::make_body<VoteMsg>();
   vote->instance = config_->instance;
   vote->round = round_;
@@ -233,6 +321,12 @@ void Notary::handle_vote(const VoteMsg& v, sim::ProcessId from) {
     if (v.round == round_ &&
         static_cast<int>(voters.size()) >= config_->quorum() &&
         !precommitted_this_round_) {
+      if (behaviour_ == NotaryBehaviour::kHonest && journaled_precommit_ &&
+          *journaled_precommit_ != v.value) {
+        // A previous life precommitted the other value; adopting this
+        // quorum's lock would let us sign a conflicting decision digest.
+        return;
+      }
       // Lock and precommit.
       locked_ = v.value;
       lock_round_ = v.round;
@@ -271,6 +365,13 @@ void Notary::handle_new_round(const NewRoundMsg& nr, sim::ProcessId from) {
 }
 
 void Notary::decide(Value v) {
+  if (v == Value::kCommit && !chi_.has_value()) {
+    // A recovered notary can reach a commit precommit quorum before it has
+    // re-collected chi (the in-memory evidence died with the old process).
+    // Without chi it cannot assemble a valid commit certificate, so it waits
+    // for a bft_decision relay or catch-up response instead.
+    return;
+  }
   decided_ = v;
   if (round_timer_ != 0) cancel_timer(round_timer_);
 
@@ -290,6 +391,8 @@ void Notary::decide(Value v) {
   const crypto::Certificate cert = crypto::make_quorum_cert(
       cert_kind_of(v), config_->instance, config_->committee_identity,
       std::move(sigs), chi_ptr);
+  cert_ = cert;
+  journal(net::WalRecordKind::kDecide, round_, v, wire_cert_bytes(cert));
 
   record_decide_event(v);
 
@@ -326,6 +429,9 @@ void Notary::handle_decision(const DecisionMsg& d) {
   }
   decided_ = cert.kind == crypto::CertKind::kCommit ? Value::kCommit
                                                     : Value::kAbort;
+  cert_ = cert;
+  journal(net::WalRecordKind::kDecide, round_, *decided_,
+          wire_cert_bytes(cert));
   if (round_timer_ != 0) cancel_timer(round_timer_);
   // Relay to participants (helps when the original decider's sends were
   // slow); decision relays are idempotent for receivers.

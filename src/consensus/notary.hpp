@@ -23,6 +23,7 @@
 
 #include "consensus/committee.hpp"
 #include "net/network.hpp"
+#include "net/wal.hpp"
 #include "props/trace.hpp"
 
 namespace xcp::consensus {
@@ -37,7 +38,31 @@ class Notary : public net::Actor {
 
   bool decided() const { return decided_.has_value(); }
   std::optional<Value> decision() const { return decided_; }
+  /// The quorum certificate this notary assembled or adopted; set exactly
+  /// when decided(). Catch-up responders (tools/xcp_node) serve it to
+  /// rejoining peers.
+  const std::optional<crypto::Certificate>& decision_cert() const {
+    return cert_;
+  }
   int rounds_entered() const { return round_ + 1; }
+
+  // --- crash recovery (net/wal.hpp; docs/ROBUSTNESS.md crash-recovery rung)
+
+  /// Attaches the write-ahead journal: every prevote, precommit and
+  /// decision is appended (and fsync'd) BEFORE the corresponding broadcast
+  /// leaves this notary, so a crash can lose an unsent vote but never sends
+  /// an unjournaled one. Honest notaries only; Byzantine behaviours ignore
+  /// the journal by design.
+  void set_wal(net::WriteAheadLog* wal) { wal_ = wal; }
+
+  /// Replays journal records from a previous life (WriteAheadLog::open()).
+  /// Call after construction, before the simulation starts. Amnesia-safety
+  /// afterwards: this notary refuses to prevote a different value in any
+  /// round it already prevoted, refuses to precommit a value conflicting
+  /// with a journaled precommit (precommits sign the round-independent
+  /// decision digest), and a journaled decision is immediately final —
+  /// on_start re-broadcasts its certificate instead of rejoining rounds.
+  void restore(const std::vector<net::WalRecord>& records);
 
   void on_start() override;
   void on_message(const net::Message& m) override;
@@ -62,6 +87,9 @@ class Notary : public net::Actor {
   void send_precommit(Value v);
   void decide(Value v);
   void record_decide_event(Value v);
+  void journal(net::WalRecordKind kind, int round, Value v,
+               std::vector<std::uint8_t> cert_bytes = {});
+  std::vector<std::uint8_t> wire_cert_bytes(const crypto::Certificate& c) const;
 
   std::shared_ptr<const CommitteeConfig> config_;
   crypto::KeyRegistry& keys_;
@@ -93,6 +121,14 @@ class Notary : public net::Actor {
   int reported_lock_round_ = -1;
 
   std::optional<Value> decided_;
+  std::optional<crypto::Certificate> cert_;
+
+  // Crash-recovery state: the journal (may be null) and what it already
+  // holds — the amnesia-safety guards consult these before signing.
+  net::WriteAheadLog* wal_ = nullptr;
+  std::map<int, Value> journaled_prevotes_;  // round -> value signed
+  std::optional<Value> journaled_precommit_;
+  bool restored_decided_ = false;
 };
 
 }  // namespace xcp::consensus

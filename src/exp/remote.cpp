@@ -8,11 +8,59 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
 #include <thread>
 
 #include "support/status.hpp"
 
 namespace xcp::exp {
+
+// ----------------------------------------------------------- host inventory
+
+std::vector<HostSpec> parse_hosts_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("hosts file '" + path + "': cannot open");
+  }
+  const auto fail = [&](int lineno, const std::string& what) {
+    throw std::runtime_error("hosts file '" + path + "' line " +
+                             std::to_string(lineno) + ": " + what);
+  };
+  const auto trim = [](std::string s) {
+    const auto first = s.find_first_not_of(" \t\r");
+    if (first == std::string::npos) return std::string();
+    return s.substr(first, s.find_last_not_of(" \t\r") - first + 1);
+  };
+
+  std::vector<HostSpec> specs;
+  std::string line;
+  for (int lineno = 1; std::getline(in, line); ++lineno) {
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+
+    HostSpec spec;
+    if (const auto colon = line.rfind(':'); colon != std::string::npos) {
+      const std::string tok = trim(line.substr(colon + 1));
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(tok.c_str(), &end, 10);
+      if (tok.empty() || end == tok.c_str() || *end != '\0' || v == 0) {
+        fail(lineno, "bad slot count '" + tok + "' (want a positive integer)");
+      }
+      spec.slots = static_cast<std::size_t>(v);
+      spec.host = trim(line.substr(0, colon));
+    } else {
+      spec.host = line;
+    }
+    if (spec.host.empty()) fail(lineno, "empty host name");
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
 
 // ------------------------------------------------------------ PooledLauncher
 

@@ -42,6 +42,22 @@ namespace xcp::exp {
 /// rung of a pooled launcher (never a real pool member).
 inline constexpr const char* kLocalHostName = "(local)";
 
+/// One execution host as named in a host inventory file: the address plus
+/// an optional concurrent-slot override (0 = use the pool default).
+struct HostSpec {
+  std::string host;
+  std::size_t slots = 0;
+};
+
+/// Parses a host inventory file, one `host[:slots]` entry per line. Blank
+/// lines are skipped and `#` starts a comment (whole-line or trailing);
+/// surrounding whitespace is trimmed. `slots`, when present, must be a
+/// positive integer. Throws std::runtime_error naming the file and line on
+/// an unreadable file, an empty host, or a malformed slot count — a typo in
+/// a cluster inventory should fail the run loudly, not silently shrink the
+/// pool.
+std::vector<HostSpec> parse_hosts_file(const std::string& path);
+
 /// Placement + health accounting over a HostPool; subclasses provide the
 /// actual transport via launch_on_host. Not thread-safe (the dispatcher's
 /// poll loop is single-threaded by design).

@@ -19,23 +19,34 @@ NodeRuntime::NodeRuntime(sim::Simulator& sim, Network& network,
       [this](Message&& m) { network_.inject(std::move(m)); });
 }
 
+void NodeRuntime::set_clock(WallClock clock) { clock_ = std::move(clock); }
+
+std::chrono::steady_clock::time_point NodeRuntime::wall_now() const {
+  return clock_ ? clock_() : std::chrono::steady_clock::now();
+}
+
 void NodeRuntime::advance_to_wall() {
   const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
-      std::chrono::steady_clock::now() - wall_origin_);
-  sim_.run_until(virtual_origin_ + Duration::micros(elapsed.count()));
+      wall_now() - wall_origin_);
+  // A wall clock that jumped far ahead (suspend/resume, NTP step, a
+  // debugger pause) is absorbed as one run_until: the simulator delivers
+  // every event between the old and new instants in order, so missed ticks
+  // are processed, never skipped — and never re-polled one by one.
+  sim_.run_until(virtual_origin_ +
+                 Duration::micros(std::max<std::int64_t>(0, elapsed.count())));
 }
 
 bool NodeRuntime::run(Millis wall_limit, const std::function<bool()>& done) {
   if (!started_) {
-    wall_origin_ = std::chrono::steady_clock::now();
+    wall_origin_ = wall_now();
     virtual_origin_ = sim_.now();
     started_ = true;
   }
-  const auto deadline = std::chrono::steady_clock::now() + wall_limit;
+  const auto deadline = wall_now() + wall_limit;
   for (;;) {
     advance_to_wall();
     if (done()) return true;
-    const auto now = std::chrono::steady_clock::now();
+    const auto now = wall_now();
     if (now >= deadline) return false;
 
     // Sleep inside poll() until the next virtual event is due, capped so
@@ -58,8 +69,8 @@ bool NodeRuntime::run(Millis wall_limit, const std::function<bool()>& done) {
 }
 
 void NodeRuntime::linger(Millis extra) {
-  const auto until = std::chrono::steady_clock::now() + extra;
-  while (std::chrono::steady_clock::now() < until) {
+  const auto until = wall_now() + extra;
+  while (wall_now() < until) {
     advance_to_wall();
     transport_.pump(kMaxPump);
   }

@@ -25,9 +25,18 @@ namespace xcp::net {
 class NodeRuntime {
  public:
   using Millis = std::chrono::milliseconds;
+  using WallClock = std::function<std::chrono::steady_clock::time_point()>;
 
   NodeRuntime(sim::Simulator& sim, Network& network,
               SocketTransport& transport);
+
+  /// Replaces the wall-clock source (default: steady_clock::now). The
+  /// clock-jump regression tests inject a clock that leaps forward; the
+  /// pacing contract is that a burst of missed wall ticks is absorbed as
+  /// one run_until to the new instant — every pending simulation event
+  /// still fires, in order, with no busy-spin re-polling. Must be set
+  /// before the first run().
+  void set_clock(WallClock clock);
 
   /// Runs until `done()` returns true or `wall_limit` elapses. Returns
   /// true iff done() fired. The simulator's virtual clock tracks the wall
@@ -41,10 +50,12 @@ class NodeRuntime {
 
  private:
   void advance_to_wall();
+  std::chrono::steady_clock::time_point wall_now() const;
 
   sim::Simulator& sim_;
   Network& network_;
   SocketTransport& transport_;
+  WallClock clock_;  // empty = steady_clock::now
   std::chrono::steady_clock::time_point wall_origin_;
   TimePoint virtual_origin_;
   bool started_ = false;

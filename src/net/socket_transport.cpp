@@ -195,24 +195,41 @@ bool SocketTransport::peer_connected(std::uint32_t node) const {
   return p != nullptr && p->fd >= 0 && !p->connecting;
 }
 
-SocketTransport::Millis SocketTransport::backoff_before(const Peer& p) const {
+std::chrono::milliseconds dial_backoff(const SocketTransportOptions& opts,
+                                       std::uint32_t node, int attempt) {
   // Same deterministic shape as the dispatcher's retry backoff: exponential
   // in the attempt number, capped, with seeded multiplicative jitter keyed
   // by (peer node, attempt) so schedules are reproducible per deployment.
-  const int k = std::max(1, p.attempt);
-  double ms = static_cast<double>(opts_.reconnect_base.count());
-  for (int i = 1; i < k; ++i) ms *= opts_.reconnect_multiplier;
-  ms = std::min(ms, static_cast<double>(opts_.reconnect_cap.count()));
-  if (opts_.reconnect_jitter > 0.0) {
+  // The exponentiation stops the moment the cap is reached and the jitter
+  // key saturates with it, so a peer that has been unreachable for days
+  // costs the same as one that failed a handful of times.
+  const int k = std::max(1, attempt);
+  const double cap = static_cast<double>(opts.reconnect_cap.count());
+  double ms = static_cast<double>(opts.reconnect_base.count());
+  int steps = 1;
+  for (; steps < k && ms < cap; ++steps) ms *= opts.reconnect_multiplier;
+  ms = std::min(ms, cap);
+  const int jitter_key = std::min(k, steps + 1);  // saturated with the cap
+  if (opts.reconnect_jitter > 0.0) {
     std::uint64_t state =
-        opts_.jitter_seed ^
-        (0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(p.node) + 1) +
-         static_cast<std::uint64_t>(k));
+        opts.jitter_seed ^
+        (0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(node) + 1) +
+         static_cast<std::uint64_t>(jitter_key));
     Rng rng(splitmix64(state));
-    ms *= rng.next_double(1.0 - opts_.reconnect_jitter,
-                          1.0 + opts_.reconnect_jitter);
+    ms *= rng.next_double(1.0 - opts.reconnect_jitter,
+                          1.0 + opts.reconnect_jitter);
   }
-  return Millis(std::max<std::int64_t>(1, static_cast<std::int64_t>(ms)));
+  return std::chrono::milliseconds(
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(ms)));
+}
+
+SocketTransport::Millis SocketTransport::backoff_before(const Peer& p) const {
+  return dial_backoff(opts_, p.node, p.attempt);
+}
+
+int SocketTransport::reconnect_attempt(std::uint32_t node) const {
+  const Peer* p = peer_for(node);
+  return p == nullptr ? -1 : p->attempt;
 }
 
 void SocketTransport::dial(Peer& p, Clock::time_point now) {
@@ -249,13 +266,62 @@ void SocketTransport::on_dialed(Peer& p, Clock::time_point now) {
   ControlFrame hello;
   hello.kind = WireKind::kHello;
   hello.a = self_;
+  hello.b = hello_status_;
   std::vector<std::uint8_t> payload;
   serialize_control(hello, payload);
   std::vector<std::uint8_t> framed;
   append_stream_frame(framed, payload.data(), payload.size());
   p.tx.insert(p.tx.begin(), framed.begin(), framed.end());
   ++stats_.frames_sent;
+  // A rejoiner repeats its catch-up request on every fresh connection: the
+  // first peers it reaches may themselves be undecided, and re-dials after
+  // a disconnect must not silently drop the request.
+  if (catchup_instance_) {
+    ControlFrame cu;
+    cu.kind = WireKind::kCatchUp;
+    cu.a = *catchup_instance_;
+    cu.b = hello_status_;
+    queue_control(p, cu, now);
+    ++stats_.catchup_requests_sent;
+  }
   flush(p, now);
+}
+
+void SocketTransport::queue_control(Peer& p, const ControlFrame& f,
+                                    Clock::time_point now) {
+  std::vector<std::uint8_t> payload;
+  serialize_control(f, payload);
+  queue_frame(p, payload, now);
+}
+
+void SocketTransport::set_hello_status(std::uint64_t status) {
+  if (hello_status_ == status) return;
+  hello_status_ = status;
+  // Re-announce on every established connection so peers see the
+  // transition without waiting for a redial.
+  const auto now = Clock::now();
+  ControlFrame hello;
+  hello.kind = WireKind::kHello;
+  hello.a = self_;
+  hello.b = hello_status_;
+  for (Peer& p : peers_) {
+    if (p.fd >= 0 && !p.connecting) queue_control(p, hello, now);
+  }
+}
+
+void SocketTransport::request_catchup(std::uint64_t instance) {
+  catchup_instance_ = instance;
+  const auto now = Clock::now();
+  ControlFrame cu;
+  cu.kind = WireKind::kCatchUp;
+  cu.a = instance;
+  cu.b = hello_status_;
+  for (Peer& p : peers_) {
+    if (p.fd >= 0 && !p.connecting) {
+      queue_control(p, cu, now);
+      ++stats_.catchup_requests_sent;
+    }
+  }
 }
 
 void SocketTransport::dial_failed(Peer& p, Clock::time_point now) {
@@ -358,6 +424,12 @@ void SocketTransport::heard_from(std::int64_t node, Clock::time_point now) {
   if (p->down) {
     p->down = false;
     ++stats_.peers_resurrected;
+    // The peer is demonstrably back: forget the accumulated dial failures
+    // and redial immediately instead of sitting out the capped backoff.
+    if (p->fd < 0) {
+      p->attempt = 0;
+      p->next_dial = now;
+    }
   }
 }
 
@@ -383,10 +455,25 @@ bool SocketTransport::read_conn(InConn& c, Clock::time_point now) {
       if (pf.is_control()) {
         if (pf.control.kind == WireKind::kHello) {
           c.node = static_cast<std::int64_t>(pf.control.a);
+          ++stats_.hellos_received;
+          heard_from(c.node, now);
+          if (peer_status_ && c.node >= 0) {
+            peer_status_(static_cast<std::uint32_t>(c.node), pf.control.b);
+          }
+        } else if (pf.control.kind == WireKind::kCatchUp) {
+          ++stats_.catchup_requests_received;
+          heard_from(c.node, now);
+          // A catch-up from a connection that never said Hello has no
+          // identity to answer to; ignore it (the protocol requires Hello
+          // first and our dialer always sends it first).
+          if (catchup_ && c.node >= 0) {
+            catchup_(static_cast<std::uint32_t>(c.node), pf.control.a,
+                     pf.control.b);
+          }
         } else {
           ++stats_.heartbeats_received;
+          heard_from(c.node, now);
         }
-        heard_from(c.node, now);
       } else {
         ++stats_.messages_received;
         heard_from(c.node, now);

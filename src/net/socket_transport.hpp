@@ -34,6 +34,7 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -85,7 +86,19 @@ struct SocketTransportStats {
   std::uint64_t peers_down = 0;       // heartbeat deadline expiries
   std::uint64_t peers_resurrected = 0;
   std::uint64_t sends_dropped = 0;    // to down/unmapped peers or over cap
+  std::uint64_t catchup_requests_sent = 0;
+  std::uint64_t catchup_requests_received = 0;
+  std::uint64_t hellos_received = 0;
 };
+
+/// The deterministic dial backoff: exponential in `attempt` (>= 1) from
+/// reconnect_base, hard-capped at reconnect_cap (the loop exits as soon as
+/// the cap is reached, so arbitrarily large attempt counts neither overflow
+/// nor cost O(attempt) work), with splitmix64 jitter keyed by (node,
+/// attempt). Exposed as a free function so the plateau is testable without
+/// thousands of real failed dials.
+std::chrono::milliseconds dial_backoff(const SocketTransportOptions& opts,
+                                       std::uint32_t node, int attempt);
 
 class SocketTransport final : public Transport {
  public:
@@ -117,6 +130,44 @@ class SocketTransport final : public Transport {
       std::function<void(std::uint32_t node, Millis silent)> handler) {
     peer_down_ = std::move(handler);
   }
+
+  // --- crash-recovery extension (docs/ROBUSTNESS.md, crash-recovery rung)
+
+  /// Sets the status word carried in every Hello this node sends (its
+  /// journaled protocol state; see docs/WIRE.md for the bit layout). A
+  /// change is re-announced immediately on every established connection, so
+  /// peers track state transitions (e.g. voted -> decided) without a redial.
+  void set_hello_status(std::uint64_t status);
+  std::uint64_t hello_status() const { return hello_status_; }
+
+  /// Called for every Hello received, with the sender's status word —
+  /// including re-announcements. This is how a survivor notices that a
+  /// resurrected peer came back behind (and owes it a state transfer).
+  void set_peer_status_handler(
+      std::function<void(std::uint32_t node, std::uint64_t status)> handler) {
+    peer_status_ = std::move(handler);
+  }
+
+  /// Starts requesting catch-up for `instance`: a CatchUp control frame
+  /// (carrying the current hello status) goes out on every established
+  /// connection now and on every future dial until cancel_catchup(). The
+  /// answers arrive as ordinary protocol messages.
+  void request_catchup(std::uint64_t instance);
+  void cancel_catchup() { catchup_instance_.reset(); }
+  bool catchup_active() const { return catchup_instance_.has_value(); }
+
+  /// Called when a peer asks to be caught up on `instance`; `status` is the
+  /// requester's announced state.
+  void set_catchup_handler(
+      std::function<void(std::uint32_t node, std::uint64_t instance,
+                         std::uint64_t status)>
+          handler) {
+    catchup_ = std::move(handler);
+  }
+
+  /// Dial attempts since the last successful connect to `node` (-1 when the
+  /// node is unknown). Test accessor for the backoff/reset regressions.
+  int reconnect_attempt(std::uint32_t node) const;
 
   // Transport:
   void send(const Message& m) override;
@@ -171,6 +222,7 @@ class SocketTransport final : public Transport {
   void flush(Peer& p, Clock::time_point now);
   void queue_frame(Peer& p, const std::vector<std::uint8_t>& payload,
                    Clock::time_point now);
+  void queue_control(Peer& p, const ControlFrame& f, Clock::time_point now);
   bool read_conn(InConn& c, Clock::time_point now);  // false = drop conn
   void heard_from(std::int64_t node, Clock::time_point now);
   void check_deadlines(Clock::time_point now);
@@ -185,6 +237,10 @@ class SocketTransport final : public Transport {
   std::unordered_map<std::uint32_t, std::uint32_t> pid_to_node_;
   std::function<void(Message&&)> receive_;
   std::function<void(std::uint32_t, Millis)> peer_down_;
+  std::function<void(std::uint32_t, std::uint64_t)> peer_status_;
+  std::function<void(std::uint32_t, std::uint64_t, std::uint64_t)> catchup_;
+  std::uint64_t hello_status_ = 0;
+  std::optional<std::uint64_t> catchup_instance_;
   Clock::time_point next_heartbeat_;
   std::uint64_t heartbeat_seq_ = 0;
   SocketTransportStats stats_;

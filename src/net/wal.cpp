@@ -1,0 +1,236 @@
+#include "net/wal.hpp"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/hash.hpp"
+
+namespace xcp::net {
+namespace {
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+/// Parses one record payload; returns false on anything malformed (the
+/// caller treats it as a torn/corrupt suffix and truncates).
+bool parse_payload(const std::uint8_t* p, std::size_t size, WalRecord& out) {
+  // u8 kind + u64 instance + u32 round + u8 value + u32 cert_len = 18 bytes.
+  constexpr std::size_t kFixed = 1 + 8 + 4 + 1 + 4;
+  if (size < kFixed) return false;
+  const std::uint8_t kind = p[0];
+  if (kind < static_cast<std::uint8_t>(WalRecordKind::kPrevote) ||
+      kind > static_cast<std::uint8_t>(WalRecordKind::kDecide)) {
+    return false;
+  }
+  out.kind = static_cast<WalRecordKind>(kind);
+  out.instance = get_u64(p + 1);
+  out.round = static_cast<std::int32_t>(get_u32(p + 9));
+  out.value = p[13];
+  const std::uint32_t cert_len = get_u32(p + 14);
+  if (size != kFixed + cert_len) return false;  // short or trailing bytes
+  out.cert.assign(p + kFixed, p + kFixed + cert_len);
+  return true;
+}
+
+std::vector<std::uint8_t> encode_payload(const WalRecord& r) {
+  std::vector<std::uint8_t> p;
+  put_u8(p, static_cast<std::uint8_t>(r.kind));
+  put_u64(p, r.instance);
+  put_u32(p, static_cast<std::uint32_t>(r.round));
+  put_u8(p, r.value);
+  put_u32(p, static_cast<std::uint32_t>(r.cert.size()));
+  p.insert(p.end(), r.cert.begin(), r.cert.end());
+  return p;
+}
+
+void default_crash() { ::kill(::getpid(), SIGKILL); }
+
+}  // namespace
+
+const char* wal_record_kind_name(WalRecordKind k) {
+  switch (k) {
+    case WalRecordKind::kPrevote: return "prevote";
+    case WalRecordKind::kPrecommit: return "precommit";
+    case WalRecordKind::kDecide: return "decide";
+    case WalRecordKind::kInvalid: break;
+  }
+  return "invalid";
+}
+
+std::vector<std::uint8_t> encode_wal_record(const WalRecord& r) {
+  const std::vector<std::uint8_t> payload = encode_payload(r);
+  if (payload.size() > kMaxWalRecord) {
+    throw WalError("record payload of " + std::to_string(payload.size()) +
+                   " bytes exceeds the " + std::to_string(kMaxWalRecord) +
+                   "-byte cap");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(8 + payload.size());
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, crc32(payload.data(), payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+WriteAheadLog::WriteAheadLog(std::string path, WalOptions opts)
+    : path_(std::move(path)), opts_(std::move(opts)) {
+  if (!opts_.crash) opts_.crash = default_crash;
+}
+
+void WriteAheadLog::write_header() {
+  std::vector<std::uint8_t> h;
+  put_u32(h, kWalMagic);
+  h.push_back(kWalVersion & 0xff);
+  h.push_back(kWalVersion >> 8);
+  h.push_back(0);  // flags
+  h.push_back(0);
+  put_u64(h, 0);  // meta, reserved
+  file_.append(h);
+  if (opts_.sync) {
+    file_.sync();
+    fsync_parent_dir(path_);
+  }
+}
+
+WalRecoverResult WriteAheadLog::scan(const std::vector<std::uint8_t>& bytes) {
+  WalRecoverResult res;
+  if (bytes.empty()) {
+    res.fresh = true;
+    return res;
+  }
+  if (bytes.size() < kWalHeaderBytes) {
+    // A torn creation: nothing durable ever made it in. Start over.
+    res.truncated = true;
+    res.dropped_bytes = bytes.size();
+    return res;
+  }
+  if (get_u32(bytes.data()) != kWalMagic) {
+    throw WalError("bad magic — not a journal file");
+  }
+  const std::uint16_t version = get_u16(bytes.data() + 4);
+  if (version == 0 || version > kWalVersion) {
+    throw WalError("unsupported journal version " + std::to_string(version));
+  }
+  if (get_u16(bytes.data() + 6) != 0) {
+    throw WalError("nonzero header flags");
+  }
+  res.valid_bytes = kWalHeaderBytes;
+  std::size_t off = kWalHeaderBytes;
+  while (off < bytes.size()) {
+    const std::size_t left = bytes.size() - off;
+    if (left < 8) break;  // torn length/CRC prefix
+    const std::uint32_t len = get_u32(bytes.data() + off);
+    const std::uint32_t crc = get_u32(bytes.data() + off + 4);
+    if (len > kMaxWalRecord) break;          // corrupt length
+    if (left - 8 < len) break;               // torn payload
+    const std::uint8_t* payload = bytes.data() + off + 8;
+    if (crc32(payload, len) != crc) break;   // corrupt payload
+    WalRecord r;
+    if (!parse_payload(payload, len, r)) break;  // structurally corrupt
+    res.records.push_back(std::move(r));
+    off += 8 + len;
+    res.valid_bytes = off;
+  }
+  if (res.valid_bytes < bytes.size()) {
+    res.truncated = true;
+    res.dropped_bytes = bytes.size() - res.valid_bytes;
+  }
+  return res;
+}
+
+WalRecoverResult WriteAheadLog::open() {
+  file_.open(path_);
+  WalRecoverResult res = scan(file_.read_all());
+  if (res.fresh || (res.truncated && res.valid_bytes == 0)) {
+    // Fresh journal, or a creation so torn the header never landed.
+    file_.truncate(0);
+    write_header();
+    res.valid_bytes = kWalHeaderBytes;
+    return res;
+  }
+  if (res.truncated) {
+    file_.truncate(res.valid_bytes);
+    if (opts_.sync) file_.sync();
+  }
+  return res;
+}
+
+void WriteAheadLog::append(const WalRecord& r) {
+  if (!file_.is_open()) throw WalError("append on a closed journal");
+  const std::vector<std::uint8_t> framed = encode_wal_record(r);
+
+  const WalCrashPlan& plan = opts_.crash_plan;
+  const bool fire = !crash_fired_ && plan.armed() && plan.kind == r.kind;
+  if (fire && plan.phase == WalCrashPlan::Phase::kBefore) {
+    crash_fired_ = true;
+    opts_.crash();
+    return;  // only reached when the crash hook returns (test hooks)
+  }
+  if (fire && plan.phase == WalCrashPlan::Phase::kTorn) {
+    crash_fired_ = true;
+    const std::size_t keep =
+        std::clamp<std::size_t>(plan.torn_bytes, 1, framed.size() - 1);
+    file_.append(framed.data(), keep);
+    file_.sync();  // make the torn tail durable: that is the scenario
+    opts_.crash();
+    return;
+  }
+  file_.append(framed);
+  if (opts_.sync) file_.sync();
+  if (fire && plan.phase == WalCrashPlan::Phase::kAfter) {
+    crash_fired_ = true;
+    opts_.crash();
+  }
+}
+
+void WriteAheadLog::compact(const std::vector<WalRecord>& snapshot) {
+  if (!file_.is_open()) throw WalError("compact on a closed journal");
+  std::vector<std::uint8_t> out;
+  put_u32(out, kWalMagic);
+  out.push_back(kWalVersion & 0xff);
+  out.push_back(kWalVersion >> 8);
+  out.push_back(0);
+  out.push_back(0);
+  put_u64(out, 0);
+  for (const WalRecord& r : snapshot) {
+    const auto framed = encode_wal_record(r);
+    out.insert(out.end(), framed.begin(), framed.end());
+  }
+  atomic_replace(path_, out);
+  // The old fd still points at the unlinked inode; reopen the new file.
+  file_.open(path_);
+}
+
+}  // namespace xcp::net

@@ -730,7 +730,8 @@ Prologue read_prologue(Reader& r) {
       kind >= 1 && kind <= static_cast<std::uint8_t>(WireKind::kBftDecision);
   const bool known_control =
       kind == static_cast<std::uint8_t>(WireKind::kHello) ||
-      kind == static_cast<std::uint8_t>(WireKind::kHeartbeat);
+      kind == static_cast<std::uint8_t>(WireKind::kHeartbeat) ||
+      kind == static_cast<std::uint8_t>(WireKind::kCatchUp);
   if (!known_protocol && !known_control) {
     throw WireError(std::string(r.what) + ": unknown kind tag " +
                         std::to_string(kind) + " at offset " +
@@ -833,6 +834,7 @@ MsgKind msg_kind_of(WireKind w, std::size_t offset) {
     case WireKind::kInvalid:
     case WireKind::kHello:
     case WireKind::kHeartbeat:
+    case WireKind::kCatchUp:
       break;
   }
   throw WireError("kind tag " +

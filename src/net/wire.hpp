@@ -91,11 +91,36 @@ enum class WireKind : std::uint8_t {
   kBftNewRound = 16, // "bft_newround"
   kBftDecision = 17, // "bft_decision"
   // -- transport control (socket_transport.cpp), no protocol body --
-  kHello = 240,      // peer handshake: a = node id, b = protocol nonce
+  kHello = 240,      // peer handshake: a = node id, b = status word (the
+                     // sender's journaled protocol state; 0 from peers that
+                     // predate crash recovery — see docs/WIRE.md)
   kHeartbeat = 241,  // liveness beacon: a = sequence number
+  kCatchUp = 242,    // state-transfer request from a rejoining node:
+                     // a = consensus instance (deal id), b = requester's
+                     // status word; the receiver answers with protocol
+                     // frames (decision certificates), not a control reply
 };
 
 inline constexpr std::uint8_t kControlBase = 240;
+
+// Hello / CatchUp status word (control field `b`): bits 0-7 hold the
+// sender's journaled protocol tier — 0 fresh, 1 voted (journal holds a
+// prevote or precommit), 2 decided — and bit 8 marks a node that restored
+// state from its journal this life. Peers that predate crash recovery send
+// 0, which decodes as a fresh, non-recovered node; upper bits are reserved
+// and must be ignored on read. See docs/WIRE.md.
+inline constexpr std::uint64_t kHelloStatusRecovered = std::uint64_t{1} << 8;
+
+inline constexpr std::uint64_t hello_status_word(std::uint32_t tier,
+                                                 bool recovered) {
+  return (tier & 0xffu) | (recovered ? kHelloStatusRecovered : 0);
+}
+inline constexpr std::uint32_t hello_status_tier(std::uint64_t word) {
+  return static_cast<std::uint32_t>(word & 0xffu);
+}
+inline constexpr bool hello_status_recovered(std::uint64_t word) {
+  return (word & kHelloStatusRecovered) != 0;
+}
 
 /// uint8 body-type tags. A frame's body tag is independent of its kind tag
 /// (the same body type travels under several kinds, e.g. CertMsg under

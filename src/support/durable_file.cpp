@@ -1,0 +1,160 @@
+#include "support/durable_file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace xcp {
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error("durable file: " + what + " " + path + ": " +
+                           std::strerror(errno));
+}
+
+std::string parent_dir_of(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+void write_fully(int fd, const void* data, std::size_t size,
+                 const std::string& path) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::write(fd, p + off, size - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("write", path);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+AppendFile::~AppendFile() { close(); }
+
+AppendFile::AppendFile(AppendFile&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), path_(std::move(other.path_)) {}
+
+AppendFile& AppendFile::operator=(AppendFile&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+void AppendFile::open(const std::string& path) {
+  close();
+  // O_APPEND is deliberately absent: truncate() must be able to cut a torn
+  // tail and subsequent appends land at the new end via explicit lseek.
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) fail("open", path);
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    ::close(fd);
+    fail("lseek", path);
+  }
+  fd_ = fd;
+  path_ = path;
+}
+
+void AppendFile::append(const void* data, std::size_t size) {
+  if (fd_ < 0) throw std::runtime_error("durable file: append on closed file");
+  write_fully(fd_, data, size, path_);
+}
+
+void AppendFile::sync() {
+  if (fd_ < 0) return;
+#if defined(__linux__)
+  if (::fdatasync(fd_) < 0 && errno != EINVAL && errno != ENOSYS) {
+    fail("fdatasync", path_);
+  }
+#else
+  if (::fsync(fd_) < 0 && errno != EINVAL) fail("fsync", path_);
+#endif
+}
+
+void AppendFile::truncate(std::uint64_t size) {
+  if (fd_ < 0) throw std::runtime_error("durable file: truncate on closed file");
+  if (::ftruncate(fd_, static_cast<off_t>(size)) < 0) fail("ftruncate", path_);
+  if (::lseek(fd_, static_cast<off_t>(size), SEEK_SET) < 0) {
+    fail("lseek", path_);
+  }
+}
+
+std::uint64_t AppendFile::size() const {
+  if (fd_ < 0) return 0;
+  struct stat st;
+  if (::fstat(fd_, &st) < 0) fail("fstat", path_);
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+std::vector<std::uint8_t> AppendFile::read_all() const {
+  if (fd_ < 0) return {};
+  std::vector<std::uint8_t> out(size());
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n =
+        ::pread(fd_, out.data() + off, out.size() - off,
+                static_cast<off_t>(off));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("pread", path_);
+    }
+    if (n == 0) {  // shrank under us; return what exists
+      out.resize(off);
+      break;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return out;
+}
+
+void AppendFile::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void fsync_parent_dir(const std::string& path) {
+  const std::string dir = parent_dir_of(path);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;
+  ::fsync(fd);  // best effort by contract
+  ::close(fd);
+}
+
+void atomic_replace(const std::string& path,
+                    const std::vector<std::uint8_t>& bytes) {
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) fail("open", tmp);
+  try {
+    write_fully(fd, bytes.data(), bytes.size(), tmp);
+    if (::fsync(fd) < 0 && errno != EINVAL) fail("fsync", tmp);
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) < 0) {
+    ::unlink(tmp.c_str());
+    fail("rename", tmp + " -> " + path);
+  }
+  fsync_parent_dir(path);
+}
+
+}  // namespace xcp

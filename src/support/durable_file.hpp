@@ -1,0 +1,77 @@
+#pragma once
+// Durable file primitives for the write-ahead journal (net/wal.hpp):
+//
+//   AppendFile      an fd-owning append handle with full-write semantics
+//                   (EINTR/short-write loops), explicit fsync, and
+//                   truncate-to-length for cutting a torn journal tail;
+//   atomic_replace  temp-file + fsync + rename(2) + parent-directory fsync
+//                   — the snapshot-compaction idiom: readers see either the
+//                   old file or the complete new one, never a partial write.
+//
+// Everything here reports failure with std::system_error-style runtime
+// errors carrying errno text; callers that can continue without durability
+// (tests on exotic filesystems) can disable fsync at the WAL layer instead.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xcp {
+
+/// Owning handle to a file opened for appending (created 0644 if missing).
+/// Reads are also possible through read_all() for recovery scans.
+class AppendFile {
+ public:
+  AppendFile() = default;
+  ~AppendFile();
+
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+  AppendFile(AppendFile&& other) noexcept;
+  AppendFile& operator=(AppendFile&& other) noexcept;
+
+  /// Opens (creating if absent) for read+append. Throws std::runtime_error.
+  void open(const std::string& path);
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  /// Appends every byte (loops over EINTR and short writes); throws on any
+  /// unrecoverable write error.
+  void append(const void* data, std::size_t size);
+  void append(const std::vector<std::uint8_t>& bytes) {
+    append(bytes.data(), bytes.size());
+  }
+
+  /// fdatasync/fsync the file contents to stable storage.
+  void sync();
+
+  /// Truncates the file to `size` bytes (cutting a torn tail) and repositions
+  /// the append offset.
+  void truncate(std::uint64_t size);
+
+  std::uint64_t size() const;
+
+  /// Reads the whole file from offset 0 (recovery scan).
+  std::vector<std::uint8_t> read_all() const;
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// Writes `bytes` to `path` atomically: a sibling temp file is written and
+/// fsync'd, rename(2)'d over `path`, and the parent directory fsync'd so
+/// the rename itself is durable. Throws std::runtime_error on failure.
+void atomic_replace(const std::string& path,
+                    const std::vector<std::uint8_t>& bytes);
+
+/// Best-effort fsync of the directory containing `path` (makes a freshly
+/// created file durable against power loss). No-op on errors: some
+/// filesystems refuse O_RDONLY directory fsync and the data fsync already
+/// happened.
+void fsync_parent_dir(const std::string& path);
+
+}  // namespace xcp

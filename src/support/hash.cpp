@@ -1,5 +1,7 @@
 #include "support/hash.hpp"
 
+#include <array>
+
 namespace xcp {
 
 std::uint64_t fnv1a64(std::string_view bytes) {
@@ -9,6 +11,26 @@ std::uint64_t fnv1a64(std::string_view bytes) {
     h *= 0x100000001b3ULL;
   }
   return h;
+}
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xffffffffu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
 }
 
 std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value) {

@@ -12,6 +12,14 @@ namespace xcp {
 /// FNV-1a 64-bit over a byte string.
 std::uint64_t fnv1a64(std::string_view bytes);
 
+/// CRC-32 (IEEE 802.3, reflected, init/xorout 0xffffffff) — the checksum
+/// framing the write-ahead journal uses to detect torn and corrupt records
+/// (net/wal.hpp). Table-driven, byte-at-a-time.
+std::uint32_t crc32(const void* data, std::size_t size);
+inline std::uint32_t crc32(std::string_view bytes) {
+  return crc32(bytes.data(), bytes.size());
+}
+
 /// Order-dependent combinator (boost-style golden-ratio mix).
 std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value);
 

@@ -42,6 +42,80 @@ void expect_cells_identical(const MatrixCell& a, const MatrixCell& b) {
   EXPECT_TRUE(a == b);
 }
 
+// ------------------------------------------------------- host inventory
+
+/// Writes a host inventory to a unique temp file; unlinked on destruction.
+struct TempHostsFile {
+  std::string path;
+  explicit TempHostsFile(const std::string& contents) {
+    char tmpl[] = "/tmp/xcp_hosts.XXXXXX";
+    const int fd = ::mkstemp(tmpl);
+    if (fd < 0) throw std::runtime_error("mkstemp failed");
+    path = tmpl;
+    if (::write(fd, contents.data(), contents.size()) !=
+        static_cast<ssize_t>(contents.size())) {
+      ::close(fd);
+      throw std::runtime_error("short write to " + path);
+    }
+    ::close(fd);
+  }
+  ~TempHostsFile() { ::unlink(path.c_str()); }
+};
+
+TEST(HostsFile, ParsesHostsCommentsAndSlotOverrides) {
+  TempHostsFile f(
+      "# cluster inventory\n"
+      "alpha\n"
+      "beta:4\n"
+      "\n"
+      "   gamma : 1   # trailing comment, padded tokens\n"
+      "  \t\n"
+      "delta   # default slots\n");
+  const auto specs = parse_hosts_file(f.path);
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].host, "alpha");
+  EXPECT_EQ(specs[0].slots, 0u);
+  EXPECT_EQ(specs[1].host, "beta");
+  EXPECT_EQ(specs[1].slots, 4u);
+  EXPECT_EQ(specs[2].host, "gamma");
+  EXPECT_EQ(specs[2].slots, 1u);
+  EXPECT_EQ(specs[3].host, "delta");
+  EXPECT_EQ(specs[3].slots, 0u);
+}
+
+TEST(HostsFile, MalformedEntriesFailLoudlyWithTheLineNumber) {
+  const auto error_of = [](const std::string& contents) -> std::string {
+    TempHostsFile f(contents);
+    try {
+      (void)parse_hosts_file(f.path);
+    } catch (const std::runtime_error& e) {
+      return e.what();
+    }
+    return "";
+  };
+  // A typo must fail the run, not silently shrink the pool.
+  EXPECT_NE(error_of("alpha\nbeta:two\n").find("line 2"), std::string::npos);
+  EXPECT_NE(error_of("alpha:0\n").find("line 1"), std::string::npos);
+  EXPECT_NE(error_of("alpha:\n").find("line 1"), std::string::npos);
+  EXPECT_NE(error_of(":4\n").find("empty host"), std::string::npos);
+  EXPECT_THROW((void)parse_hosts_file("/nonexistent/xcp-hosts"),
+               std::runtime_error);
+}
+
+TEST(HostsFile, SlotOverridesGovernPoolConcurrency) {
+  TempHostsFile f("solo:2\n");
+  HostPool pool;
+  for (const auto& s : parse_hosts_file(f.path)) {
+    pool.add_host(s.host, s.slots);
+  }
+  // Exactly the two inventory slots are acquirable, then the pool is dry.
+  EXPECT_EQ(pool.acquire(), std::optional<std::string>("solo"));
+  EXPECT_EQ(pool.acquire(), std::optional<std::string>("solo"));
+  EXPECT_EQ(pool.acquire(), std::nullopt);
+  pool.release("solo", true);
+  EXPECT_EQ(pool.acquire(), std::optional<std::string>("solo"));
+}
+
 // The violation-producing cell the dispatch suite also differentials on,
 // so every accumulator field crosses the wire.
 constexpr ProtocolKind kProtocol = ProtocolKind::kInterledgerAtomic;

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -26,6 +27,7 @@
 #include <vector>
 
 #include "consensus/standalone.hpp"
+#include "net/node_runtime.hpp"
 #include "net/socket_transport.hpp"
 #include "net/transport.hpp"
 #include "net/wire.hpp"
@@ -358,6 +360,213 @@ TEST(SocketTransport, ManyMessagesReassembleAcrossPartialReads) {
   for (std::uint64_t i = 0; i < kCount; ++i) {
     ASSERT_EQ(got_ids[i], i) << "out-of-order delivery at " << i;
   }
+}
+
+// ------------------------------------- reconnect backoff regressions
+
+TEST(SocketTransport, DialBackoffPlateausAtCapWithoutOverflow) {
+  // The backoff schedule is a pure function (net/socket_transport.hpp
+  // dial_backoff): exponential from reconnect_base, hard-capped. Repeated
+  // dial failures must plateau — huge attempt counts can neither overflow
+  // the multiplication nor escape the cap via jitter drift.
+  net::SocketTransportOptions o;
+  o.reconnect_base = 10ms;
+  o.reconnect_multiplier = 2.0;
+  o.reconnect_cap = 1000ms;
+  o.reconnect_jitter = 0.25;
+  const auto ceiling = std::chrono::milliseconds(
+      static_cast<long>(1000 * (1.0 + o.reconnect_jitter)) + 1);
+
+  std::chrono::milliseconds at_saturation{0};
+  for (int attempt = 1; attempt <= 100'000;
+       attempt = attempt < 64 ? attempt + 1 : attempt * 7) {
+    const auto d = net::dial_backoff(o, /*node=*/3, attempt);
+    EXPECT_GE(d, 1ms) << attempt;
+    EXPECT_LE(d, ceiling) << attempt;
+    // Deterministic: the same (options, node, attempt) always maps to the
+    // same delay.
+    EXPECT_EQ(d, net::dial_backoff(o, 3, attempt)) << attempt;
+    if (attempt >= 64) {
+      // Far past saturation the schedule is frozen: one fixed plateau
+      // value, not a random walk under the cap.
+      if (at_saturation.count() == 0) at_saturation = d;
+      EXPECT_EQ(d, at_saturation) << attempt;
+    }
+  }
+
+  // INT_MAX attempts: still finite, still capped (the historical failure
+  // mode was O(attempt) doubling work and double overflow to inf).
+  EXPECT_LE(net::dial_backoff(o, 3, std::numeric_limits<int>::max()),
+            ceiling);
+}
+
+TEST(SocketTransport, ResurrectedPeerResetsDialBackoff) {
+  TempDir dir;
+  auto opts = fast_opts();
+  opts.peer_timeout = 150ms;
+  net::SocketTransport a(0, "unix:" + dir.file("a.sock"), opts);
+  a.add_peer(1, "unix:" + dir.file("b.sock"));
+
+  // No listener: dial failures accumulate and the backoff climbs.
+  ASSERT_TRUE(
+      pump_until({&a}, [&] { return a.reconnect_attempt(1) >= 4; }, 5000ms));
+  ASSERT_TRUE(pump_until({&a}, [&] { return !a.peer_up(1); }, 3000ms));
+  const int burned = a.reconnect_attempt(1);
+  ASSERT_GE(burned, 4);
+
+  // The peer comes back and dials us: hearing from it must reset the
+  // accumulated attempts so our redial is prompt, not at the capped rung.
+  net::SocketTransport b(1, "unix:" + dir.file("b.sock"), opts);
+  b.add_peer(0, "unix:" + dir.file("a.sock"));
+  ASSERT_TRUE(pump_until({&a, &b},
+                         [&] { return a.peer_up(1) && a.peer_connected(1); },
+                         3000ms));
+  EXPECT_EQ(a.stats().peers_resurrected, 1u);
+  // Connected again: the attempt counter is back at zero.
+  EXPECT_EQ(a.reconnect_attempt(1), 0);
+  EXPECT_EQ(a.reconnect_attempt(9), -1);  // unknown node sentinel
+}
+
+// ------------------------------------ hello status & catch-up frames
+
+TEST(SocketTransport, HelloStatusIsAnnouncedAndReannounced) {
+  TempDir dir;
+  net::SocketTransport a(0, "unix:" + dir.file("a.sock"), fast_opts());
+  net::SocketTransport b(1, "unix:" + dir.file("b.sock"), fast_opts());
+  a.add_peer(1, "unix:" + dir.file("b.sock"));
+  b.add_peer(0, "unix:" + dir.file("a.sock"));
+
+  a.set_hello_status(net::hello_status_word(1, true));
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> seen;
+  b.set_peer_status_handler([&](std::uint32_t node, std::uint64_t status) {
+    seen.emplace_back(node, status);
+  });
+  ASSERT_TRUE(pump_until({&a, &b}, [&] { return !seen.empty(); }, 3000ms));
+  EXPECT_EQ(seen[0].first, 0u);
+  EXPECT_EQ(net::hello_status_tier(seen[0].second), 1u);
+  EXPECT_TRUE(net::hello_status_recovered(seen[0].second));
+
+  // A status change is re-announced on the live connection (no redial).
+  a.set_hello_status(net::hello_status_word(2, true));
+  ASSERT_TRUE(pump_until({&a, &b}, [&] { return seen.size() >= 2; }, 3000ms));
+  EXPECT_EQ(net::hello_status_tier(seen.back().second), 2u);
+  EXPECT_GE(b.stats().hellos_received, 2u);
+}
+
+TEST(SocketTransport, CatchUpRequestReachesPeerAndRepeatsOnRedial) {
+  TempDir dir;
+  auto opts = fast_opts();
+  opts.peer_timeout = 150ms;
+  net::SocketTransport a(0, "unix:" + dir.file("a.sock"), opts);
+  a.add_peer(1, "unix:" + dir.file("b.sock"));
+  a.set_hello_status(net::hello_status_word(1, true));
+  a.request_catchup(13);
+  EXPECT_TRUE(a.catchup_active());
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> asks;
+  auto arm = [&](net::SocketTransport& t) {
+    t.set_catchup_handler(
+        [&](std::uint32_t node, std::uint64_t instance, std::uint64_t status) {
+          EXPECT_EQ(node, 0u);
+          asks.emplace_back(instance, status);
+        });
+  };
+
+  // The request was made before any connection existed: it must go out on
+  // the first successful dial.
+  std::optional<net::SocketTransport> b;
+  b.emplace(1, "unix:" + dir.file("b.sock"), opts);
+  b->add_peer(0, "unix:" + dir.file("a.sock"));
+  arm(*b);
+  ASSERT_TRUE(pump_until({&a, &*b}, [&] { return !asks.empty(); }, 3000ms));
+  EXPECT_EQ(asks[0].first, 13u);
+  EXPECT_EQ(net::hello_status_tier(asks[0].second), 1u);
+
+  // The peer restarts; while catch-up is active the request repeats on the
+  // fresh dial — a rejoiner keeps asking until it converges.
+  b.reset();
+  ASSERT_TRUE(pump_until({&a}, [&] { return !a.peer_up(1); }, 3000ms));
+  b.emplace(1, "unix:" + dir.file("b.sock"), opts);
+  b->add_peer(0, "unix:" + dir.file("a.sock"));
+  arm(*b);
+  ASSERT_TRUE(pump_until({&a, &*b}, [&] { return asks.size() >= 2; }, 5000ms));
+
+  // cancel_catchup stops the stream: a third restart sees no request.
+  a.cancel_catchup();
+  EXPECT_FALSE(a.catchup_active());
+  const std::size_t before = asks.size();
+  b.reset();
+  ASSERT_TRUE(pump_until({&a}, [&] { return !a.peer_up(1); }, 3000ms));
+  b.emplace(1, "unix:" + dir.file("b.sock"), opts);
+  b->add_peer(0, "unix:" + dir.file("a.sock"));
+  arm(*b);
+  ASSERT_TRUE(pump_until({&a, &*b},
+                         [&] { return a.peer_connected(1) && a.peer_up(1); },
+                         3000ms));
+  (void)pump_until({&a, &*b}, [] { return false; }, 100ms);
+  EXPECT_EQ(asks.size(), before);
+}
+
+// ------------------------------------------ runtime pacing vs the clock
+
+TEST(NodeRuntime, WallClockJumpDeliversEveryMissedTickInOrder) {
+  // A suspended/paused process misses a burst of wall ticks; on resume the
+  // runtime must absorb the jump as one run_until — every pending
+  // simulation event fires, in order, exactly once, with no busy-spin
+  // re-polling and no skipped events.
+  TempDir dir;
+  sim::Simulator sim(1);
+  net::Network network(sim,
+                       net::DelayModel::synchronous(Duration::millis(1)));
+  net::SocketTransport transport(0, "unix:" + dir.file("rt.sock"),
+                                 fast_opts());
+  net::NodeRuntime runtime(sim, network, transport);
+
+  // Injected clock: starts at an arbitrary origin, advances only when the
+  // test says so. Count calls to bound the loop's polling behaviour.
+  const auto origin = std::chrono::steady_clock::now();
+  std::chrono::milliseconds fake_elapsed{0};
+  int clock_calls = 0;
+  runtime.set_clock([&] {
+    ++clock_calls;
+    return origin + fake_elapsed;
+  });
+
+  std::vector<int> fired;
+  for (int i = 1; i <= 50; ++i) {
+    sim.schedule_at(TimePoint::origin() + Duration::millis(10 * i),
+                    [&fired, i] { fired.push_back(i); });
+  }
+
+  // First slice: clock at 25ms — only events 1..2 are due.
+  bool done = runtime.run(std::chrono::milliseconds(0),
+                          [&] { return fired.size() >= 2; });
+  fake_elapsed = std::chrono::milliseconds(25);
+  done = runtime.run(std::chrono::milliseconds(50),
+                     [&] { return fired.size() >= 2; });
+  ASSERT_TRUE(done);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+
+  // The clock now leaps 10 wall-minutes past every scheduled event (a
+  // suspend, an NTP step, a debugger pause). One run must deliver all 48
+  // remaining events in order — not skip them, not replay 1 and 2.
+  fake_elapsed = std::chrono::minutes(10);
+  const int calls_before = clock_calls;
+  done = runtime.run(std::chrono::milliseconds(1000),
+                     [&] { return fired.size() >= 50; });
+  ASSERT_TRUE(done);
+  ASSERT_EQ(fired.size(), 50u);
+  for (int i = 1; i <= 50; ++i) EXPECT_EQ(fired[i - 1], i);
+  // Absorbing the jump is O(1) loop iterations, not one poll per missed
+  // tick: a generous bound still catches a 48-iteration busy-spin.
+  EXPECT_LE(clock_calls - calls_before, 24);
+
+  // A backwards step (the wall clock is supposed to be steady, but be
+  // defensive) clamps to "no progress" instead of underflowing.
+  fake_elapsed = std::chrono::milliseconds(5);
+  done = runtime.run(std::chrono::milliseconds(0), [&] { return true; });
+  EXPECT_TRUE(done);
+  EXPECT_EQ(fired.size(), 50u);  // nothing re-fired
 }
 
 // ----------------------------------------------- TCP endpoints

@@ -16,31 +16,56 @@
 // or "unix:<path>"). Explicit endpoints override the --sock-dir scheme
 // per node, so the two can mix during migration.
 //
+// Crash recovery (docs/ROBUSTNESS.md, crash-recovery rung): --state-dir DIR
+// gives a notary a durable write-ahead journal at DIR/node-K.wal. Every
+// prevote, precommit and decision is journaled (fsync'd) before the
+// corresponding broadcast, so a restarted node replays the journal, refuses
+// to equivocate against anything it already signed, announces its journaled
+// tier in its Hello status word, and — when it comes back undecided —
+// requests catch-up; peers that have decided answer with the decision
+// certificate. --crash-at KIND:PHASE[:BYTES] arms the deterministic crash
+// injector (KIND = prevote|precommit|decide, PHASE = before|torn|after;
+// torn takes the byte count that reaches the file) for the restart harness.
+//
 //   xcp_node --node-id K (--sock-dir DIR | --listen ADDR --peer N=ADDR...)
 //            [--notaries 4] [--n 2]
 //            [--deal 13] [--seed 7] [--value commit|abort]
 //            [--base-round-ms 100] [--heartbeat-ms 50]
 //            [--peer-timeout-ms 600] [--wall-limit-ms 15000]
 //            [--linger-ms 300]
+//            [--state-dir DIR] [--crash-at KIND:PHASE[:BYTES]]
+//            [--journal-compact]
 //
 // Output (stdout, line-oriented so harnesses can parse):
 //   PEER-DOWN node=N silent-ms=X     when a peer misses its heartbeat deadline
+//   RECOVERED node=K records=N dropped=B truncated=0|1 tier=T
+//                                    after a journal replay (non-fresh file)
 //   DECIDED value=V node=K           notary nodes, on local decision
+//   COMPACTED records=N              after --journal-compact snapshotting
 //   OUTCOME value=... cert=... ...   client node, once all participants have
 //   CERT <hex>                       the decision certificate, wire-encoded
 //
-// Exit: 0 decided/certified, 3 wall-clock timeout, 2 usage error.
+// Exit codes (net/node_exit.hpp, mirroring exp::worker_exit): 0 decided/
+// certified, 2 usage, 3 wall-clock timeout, 4 unrecoverable wire error,
+// 5 journal corrupt beyond recovery, 6 internal error.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
+#include <iterator>
 #include <map>
+#include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "consensus/standalone.hpp"
+#include "net/node_exit.hpp"
 #include "net/node_runtime.hpp"
 #include "net/socket_transport.hpp"
+#include "net/wal.hpp"
 #include "net/wire.hpp"
 
 namespace {
@@ -57,6 +82,9 @@ struct Args {
   long peer_timeout_ms = 600;
   long wall_limit_ms = 15'000;
   long linger_ms = 300;
+  std::string state_dir;
+  net::WalCrashPlan crash_plan;
+  bool journal_compact = false;
 };
 
 [[noreturn]] void usage(const char* why) {
@@ -66,9 +94,48 @@ struct Args {
                "--peer N=ADDR...) [--notaries M] "
                "[--n N] [--deal D] [--seed S] [--value commit|abort] "
                "[--base-round-ms MS] [--heartbeat-ms MS] "
-               "[--peer-timeout-ms MS] [--wall-limit-ms MS] [--linger-ms MS]\n",
+               "[--peer-timeout-ms MS] [--wall-limit-ms MS] [--linger-ms MS] "
+               "[--state-dir DIR] [--crash-at KIND:PHASE[:BYTES]] "
+               "[--journal-compact]\n",
                why);
-  std::exit(2);
+  std::exit(net::node_exit::kUsage);
+}
+
+net::WalCrashPlan parse_crash_at(const std::string& spec) {
+  net::WalCrashPlan plan;
+  const std::size_t c1 = spec.find(':');
+  if (c1 == std::string::npos) {
+    usage("--crash-at wants KIND:PHASE[:BYTES] "
+          "(e.g. --crash-at prevote:after)");
+  }
+  const std::string kind = spec.substr(0, c1);
+  std::string phase = spec.substr(c1 + 1);
+  const std::size_t c2 = phase.find(':');
+  if (c2 != std::string::npos) {
+    const long bytes = std::atol(phase.substr(c2 + 1).c_str());
+    if (bytes < 1) usage("--crash-at torn byte count must be >= 1");
+    plan.torn_bytes = static_cast<std::size_t>(bytes);
+    phase = phase.substr(0, c2);
+  }
+  if (kind == "prevote") {
+    plan.kind = net::WalRecordKind::kPrevote;
+  } else if (kind == "precommit") {
+    plan.kind = net::WalRecordKind::kPrecommit;
+  } else if (kind == "decide") {
+    plan.kind = net::WalRecordKind::kDecide;
+  } else {
+    usage("--crash-at kind must be prevote, precommit or decide");
+  }
+  if (phase == "before") {
+    plan.phase = net::WalCrashPlan::Phase::kBefore;
+  } else if (phase == "torn") {
+    plan.phase = net::WalCrashPlan::Phase::kTorn;
+  } else if (phase == "after") {
+    plan.phase = net::WalCrashPlan::Phase::kAfter;
+  } else {
+    usage("--crash-at phase must be before, torn or after");
+  }
+  return plan;
 }
 
 Args parse_args(int argc, char** argv) {
@@ -120,6 +187,12 @@ Args parse_args(int argc, char** argv) {
       a.wall_limit_ms = std::atol(next().c_str());
     } else if (flag == "--linger-ms") {
       a.linger_ms = std::atol(next().c_str());
+    } else if (flag == "--state-dir") {
+      a.state_dir = next();
+    } else if (flag == "--crash-at") {
+      a.crash_plan = parse_crash_at(next());
+    } else if (flag == "--journal-compact") {
+      a.journal_compact = true;
     } else {
       usage(("unknown flag " + flag).c_str());
     }
@@ -128,6 +201,9 @@ Args parse_args(int argc, char** argv) {
     usage("--node-id must be in [0, notaries] (notaries => client node)");
   }
   if (a.sc.notaries < 1 || a.sc.n < 1) usage("need >=1 notary and >=1 escrow");
+  if (a.crash_plan.armed() && a.state_dir.empty()) {
+    usage("--crash-at needs --state-dir (it fires on journal appends)");
+  }
   // Without a --sock-dir fallback, every node needs an explicit endpoint:
   // --listen (or a --peer self-entry) for this node, --peer for the rest.
   if (a.sock_dir.empty()) {
@@ -166,10 +242,7 @@ std::string hex_of(const std::vector<std::uint8_t>& bytes) {
   return s;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Args args = parse_args(argc, argv);
+int run_node(const Args& args) {
   const consensus::StandaloneCommittee& sc = args.sc;
   const int m = sc.notaries;
   const int client_node = m;
@@ -216,6 +289,41 @@ int main(int argc, char** argv) {
   const auto wall_limit = std::chrono::milliseconds(args.wall_limit_ms);
   const auto linger = std::chrono::milliseconds(args.linger_ms);
 
+  // Catch-up serving is shared by both roles: requests (and Hellos from
+  // recovered-but-behind peers) accumulate in `pending_catchup`; `respond`
+  // is filled in per role and drained whenever new state could satisfy it.
+  std::set<std::uint32_t> pending_catchup;
+  std::function<bool(std::uint32_t)> respond;  // true = request satisfied
+  auto serve_catchups = [&] {
+    if (!respond) return;
+    for (auto it = pending_catchup.begin(); it != pending_catchup.end();) {
+      it = respond(*it) ? pending_catchup.erase(it) : std::next(it);
+    }
+  };
+  transport.set_catchup_handler(
+      [&](std::uint32_t node, std::uint64_t instance, std::uint64_t) {
+        if (instance != config->instance) return;
+        pending_catchup.insert(node);
+        serve_catchups();
+      });
+  transport.set_peer_status_handler(
+      [&](std::uint32_t node, std::uint64_t status) {
+        // A peer that recovered from its journal but is not yet decided owes
+        // nothing to us — but we may owe it the decision. Treat the Hello as
+        // an implicit catch-up request (crash-before-vote rejoiners whose
+        // explicit request raced the dial are still served).
+        if (net::hello_status_recovered(status) &&
+            net::hello_status_tier(status) < 2) {
+          pending_catchup.insert(node);
+          serve_catchups();
+        }
+      });
+  // Only notary peers rejoin rounds; a decision sent to their protocol pid
+  // is idempotent for receivers that already decided.
+  auto notary_peer = [&](std::uint32_t node) {
+    return static_cast<int>(node) < m;
+  };
+
   if (!is_client) {
     // Filler processes claim the lower pids so the notary lands on its
     // protocol id; they are never attached to the network, so traffic to
@@ -229,23 +337,88 @@ int main(int argc, char** argv) {
         "notary_" + std::to_string(notary_index), config, keys);
     if (notary.id() != sc.notary_pid(notary_index)) {
       std::fprintf(stderr, "xcp_node: notary pid prediction broken\n");
-      return 2;
+      return net::node_exit::kUsage;
     }
     network.attach(notary);
+
+    respond = [&](std::uint32_t node) {
+      if (!notary.decided() || !notary.decision_cert()) return false;
+      if (notary_peer(node)) {
+        auto body = net::make_body<consensus::DecisionMsg>();
+        body->cert = *notary.decision_cert();
+        network.send(notary.id(), sc.notary_pid(static_cast<int>(node)),
+                     net::kinds::bft_decision, body);
+      }
+      return true;
+    };
+
+    // Journal wiring: open (recovering any previous life's records) before
+    // the simulator starts, so on_start sees the restored state.
+    std::optional<net::WriteAheadLog> wal;
+    bool recovered = false;
+    if (!args.state_dir.empty()) {
+      net::WalOptions wopts;
+      wopts.crash_plan = args.crash_plan;
+      wal.emplace(args.state_dir + "/node-" + std::to_string(args.node_id) +
+                      ".wal",
+                  std::move(wopts));
+      const net::WalRecoverResult rec = wal->open();
+      notary.set_wal(&*wal);
+      if (!rec.records.empty()) notary.restore(rec.records);
+      std::uint32_t tier = 0;
+      for (const net::WalRecord& r : rec.records) {
+        if (r.instance != config->instance) continue;
+        tier = std::max(tier, r.kind == net::WalRecordKind::kDecide ? 2u : 1u);
+      }
+      recovered = !rec.fresh;
+      transport.set_hello_status(net::hello_status_word(tier, recovered));
+      if (recovered) {
+        std::printf(
+            "RECOVERED node=%d records=%zu dropped=%llu truncated=%d "
+            "tier=%u\n",
+            args.node_id, rec.records.size(),
+            static_cast<unsigned long long>(rec.dropped_bytes),
+            rec.truncated ? 1 : 0, tier);
+        std::fflush(stdout);
+        // Came back behind the committee: ask peers to ship what we missed.
+        if (tier < 2) transport.request_catchup(config->instance);
+      }
+    }
 
     const bool decided =
         runtime.run(wall_limit, [&] { return notary.decided(); });
     if (decided) {
-      // Give the decision broadcast and relays time to drain.
+      transport.cancel_catchup();
+      if (wal) {
+        transport.set_hello_status(net::hello_status_word(2, recovered));
+      }
+      serve_catchups();
+      // Give the decision broadcast, relays and catch-up answers time to
+      // drain (rejoiners may dial in during the linger window).
       runtime.linger(linger);
       std::printf("DECIDED value=%s node=%d\n",
                   consensus::value_name(*notary.decision()), args.node_id);
       std::fflush(stdout);
-      return 0;
+      if (wal && args.journal_compact && notary.decision_cert()) {
+        // Snapshot = the decision alone: it is final, so the vote records
+        // that led to it carry no further amnesia-safety obligations.
+        net::WalRecord snap;
+        snap.kind = net::WalRecordKind::kDecide;
+        snap.instance = config->instance;
+        snap.round = notary.rounds_entered() - 1;
+        snap.value = static_cast<std::uint8_t>(*notary.decision());
+        net::WireContext wctx;
+        wctx.roster = &config->members;
+        snap.cert = net::serialize_certificate(*notary.decision_cert(), wctx);
+        wal->compact({snap});
+        std::printf("COMPACTED records=1\n");
+        std::fflush(stdout);
+      }
+      return net::node_exit::kDecided;
     }
     std::fprintf(stderr, "xcp_node: notary %d undecided after %ld ms\n",
                  notary_index, args.wall_limit_ms);
-    return 3;
+    return net::node_exit::kTimeout;
   }
 
   // Client node: hosts every participant, broadcasts the evidence, waits
@@ -257,6 +430,16 @@ int main(int argc, char** argv) {
     network.attach(c);
     collectors.push_back(&c);
   }
+  respond = [&](std::uint32_t node) {
+    if (!collectors[0]->done()) return false;
+    if (notary_peer(node)) {
+      auto body = net::make_body<consensus::DecisionMsg>();
+      body->cert = collectors[0]->cert();
+      network.send(collectors[0]->id(), sc.notary_pid(static_cast<int>(node)),
+                   net::kinds::bft_decision, body);
+    }
+    return true;
+  };
   auto msgs = sc.client_messages(keys);
   sim.schedule_at(TimePoint::origin(), [&] {
     for (const auto& msg : msgs) {
@@ -274,8 +457,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "xcp_node: client missing certificates after %ld ms\n",
                  args.wall_limit_ms);
-    return 3;
+    return net::node_exit::kTimeout;
   }
+  transport.set_hello_status(net::hello_status_word(2, false));
+  serve_catchups();
   runtime.linger(linger);
 
   consensus::CommitteeOutcome outcome;
@@ -290,5 +475,23 @@ int main(int argc, char** argv) {
   std::printf("CERT %s\n",
               hex_of(net::serialize_certificate(outcome.cert, wctx)).c_str());
   std::fflush(stdout);
-  return 0;
+  return net::node_exit::kDecided;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  try {
+    return run_node(args);
+  } catch (const net::WalError& e) {
+    std::fprintf(stderr, "xcp_node: %s\n", e.what());
+    return net::node_exit::kJournalCorrupt;
+  } catch (const net::WireError& e) {
+    std::fprintf(stderr, "xcp_node: %s\n", e.what());
+    return net::node_exit::kWireError;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "xcp_node: internal error: %s\n", e.what());
+    return net::node_exit::kInternal;
+  }
 }
