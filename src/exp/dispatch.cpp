@@ -1,5 +1,10 @@
 #include "exp/dispatch.hpp"
 
+// xcp-lint: allow-file(determinism-wall-clock) supervision layer:
+// deadlines, retry backoff and straggler hedging time real child
+// processes; results stay deterministic because cell payloads never
+// depend on these timestamps (test_dispatch byte-identity covers it).
+
 #if !defined(_WIN32)
 #include <fcntl.h>
 #include <poll.h>
@@ -239,6 +244,8 @@ bool LocalProcessLauncher::try_reap(const WorkerHandle& w, int& raw_status) {
 int LocalProcessLauncher::reap(const WorkerHandle& w) {
   int status = 0;
   if (w.pid <= 0) return status;
+  // xcp-lint: allow(loop-blocking) callers reap only after SIGKILL or a
+  // WNOHANG-confirmed exit, so this wait cannot stall on a live child.
   while (::waitpid(static_cast<pid_t>(w.pid), &status, 0) == -1 &&
          errno == EINTR) {
   }

@@ -41,13 +41,13 @@ void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
 }
 
 void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
+  for (std::uint32_t i = 0; i < 4; ++i) {
     out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
   }
 }
 
 void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
+  for (std::uint32_t i = 0; i < 8; ++i) {
     out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
   }
 }
@@ -150,7 +150,7 @@ struct Reader {
   }
 };
 
-void serialize_accum_fields(std::vector<std::uint8_t>& out,
+void put_accum_fields(std::vector<std::uint8_t>& out,
                             const CellAccum& acc) {
   put_u64_frame(out, kTagSafety, acc.safety_violations);
   put_u64_frame(out, kTagTermination, acc.termination_failures);
@@ -284,7 +284,11 @@ ShardBlob parse_blob(const std::uint8_t* data, std::size_t size,
         out.meta.early_stop = f.u8() != 0;
         break;
       }
-      default: break;  // unreachable: guarded above
+      default:
+        // The range guard above already rejected out-of-range tags;
+        // if an enumerator is added without a case here, fail loudly
+        // instead of silently dropping the field's bytes.
+        f.fail("unhandled field tag " + std::to_string(tag));
     }
     if (f.left != 0) {
       f.fail("frame has " + std::to_string(f.left) + " trailing byte(s)");
@@ -306,7 +310,7 @@ ShardBlob parse_blob(const std::uint8_t* data, std::size_t size,
 std::vector<std::uint8_t> serialize_cell_accum(const CellAccum& acc) {
   std::vector<std::uint8_t> out;
   put_header(out);
-  serialize_accum_fields(out, acc);
+  put_accum_fields(out, acc);
   return out;
 }
 
@@ -329,7 +333,7 @@ std::vector<std::uint8_t> serialize_shard_blob(const ShardMeta& meta,
     put_u8(out, meta.early_stop ? 1 : 0);
     end_frame(out, at);
   }
-  serialize_accum_fields(out, acc);
+  put_accum_fields(out, acc);
   return out;
 }
 

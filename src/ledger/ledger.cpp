@@ -85,6 +85,8 @@ std::int64_t Ledger::total_supply(Currency c) const {
 
 std::int64_t Ledger::sum_of_balances(Currency c) const {
   std::int64_t sum = 0;
+  // xcp-lint: allow(determinism-unordered-iter) integer sum, fold is
+  // order-insensitive (addition over int64 is commutative/associative).
   for (const auto& [key, units] : balances_) {
     if (key.cur == c.id()) sum += units;
   }
@@ -93,6 +95,8 @@ std::int64_t Ledger::sum_of_balances(Currency c) const {
 
 std::vector<Amount> Ledger::holdings(sim::ProcessId who) const {
   std::vector<Amount> out;
+  // xcp-lint: allow(determinism-unordered-iter) collection is sorted by
+  // currency below before returning, so hash order never escapes.
   for (const auto& [key, units] : balances_) {
     if (key.pid == who.value() && units != 0) {
       out.emplace_back(units, Currency(key.cur));

@@ -1,0 +1,195 @@
+#include "lint/lexer.hpp"
+
+#include <cctype>
+
+namespace xcp::lint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when `c` can continue a numeric literal once one has started —
+/// generous on purpose (hex, binary, digit separators, exponents and
+/// suffixes all fold into one token; rules never look inside numbers).
+bool number_char(std::string_view src, std::size_t i) {
+  const char c = src[i];
+  if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '.' ||
+      c == '\'') {
+    return true;
+  }
+  // Exponent signs: 1e+9, 0x1p-3.
+  if ((c == '+' || c == '-') && i > 0) {
+    const char p = src[i - 1];
+    return p == 'e' || p == 'E' || p == 'p' || p == 'P';
+  }
+  return false;
+}
+
+}  // namespace
+
+LexedSource lex(std::string_view src) {
+  LexedSource out;
+  out.tokens.reserve(src.size() / 6);
+  std::size_t i = 0;
+  int line = 1;
+  // Line of the most recent code token; lets a comment know whether it
+  // shares its line with code (trailing) or stands alone.
+  int last_code_line = 0;
+
+  auto advance_lines = [&](std::string_view text) {
+    for (const char c : text) {
+      if (c == '\n') ++line;
+    }
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+
+    // ---- comments --------------------------------------------------------
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      const std::size_t start = i + 2;
+      std::size_t end = src.find('\n', start);
+      if (end == std::string_view::npos) end = src.size();
+      out.comments.push_back(
+          {src.substr(start, end - start), line, last_code_line != line});
+      i = end;
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      const std::size_t start = i + 2;
+      const int start_line = line;
+      std::size_t end = src.find("*/", start);
+      std::size_t resume;
+      if (end == std::string_view::npos) {
+        end = src.size();
+        resume = src.size();
+      } else {
+        resume = end + 2;
+      }
+      const std::string_view body = src.substr(start, end - start);
+      out.comments.push_back({body, start_line, last_code_line != start_line});
+      advance_lines(src.substr(i, resume - i));
+      i = resume;
+      continue;
+    }
+
+    // ---- preprocessor directive (only at logical line start) -------------
+    if (c == '#' &&
+        (out.tokens.empty() || out.tokens.back().line != line ||
+         out.tokens.back().kind == TokKind::kDirective)) {
+      const std::size_t start = i;
+      const int start_line = line;
+      while (i < src.size()) {
+        if (src[i] == '\\' && i + 1 < src.size() && src[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') break;
+        ++i;
+      }
+      out.tokens.push_back(
+          {TokKind::kDirective, src.substr(start, i - start), start_line});
+      continue;
+    }
+
+    // ---- string / char literals -----------------------------------------
+    // Encoding prefixes (u8"", L"", ...) lex as an identifier token followed
+    // by the string token; rules don't care. Raw strings are the one case
+    // handled here because their body may contain quotes and newlines.
+    if (c == '"' || c == '\'') {
+      // R"delim( ... )delim" — recognise when the immediately preceding
+      // token is the identifier R / u8R / uR / LR glued to this quote.
+      bool raw = false;
+      if (c == '"' && !out.tokens.empty()) {
+        const Token& p = out.tokens.back();
+        if (p.kind == TokKind::kIdent &&
+            p.text.data() + p.text.size() == src.data() + i &&
+            !p.text.empty() && p.text.back() == 'R') {
+          raw = true;
+        }
+      }
+      const std::size_t start = i;
+      const int start_line = line;
+      if (raw) {
+        std::size_t d = i + 1;
+        while (d < src.size() && src[d] != '(') ++d;
+        const std::string delim(src.substr(i + 1, d - (i + 1)));
+        const std::string closer = ")" + delim + "\"";
+        std::size_t end = src.find(closer, d);
+        end = end == std::string_view::npos ? src.size()
+                                            : end + closer.size();
+        advance_lines(src.substr(i, end - i));
+        out.tokens.push_back(
+            {TokKind::kString, src.substr(start, end - start), start_line});
+        i = end;
+      } else {
+        ++i;
+        while (i < src.size() && src[i] != c && src[i] != '\n') {
+          if (src[i] == '\\' && i + 1 < src.size()) ++i;
+          ++i;
+        }
+        if (i < src.size() && src[i] == c) ++i;
+        out.tokens.push_back({c == '"' ? TokKind::kString : TokKind::kChar,
+                              src.substr(start, i - start), start_line});
+      }
+      last_code_line = line;
+      continue;
+    }
+
+    // ---- identifiers / numbers ------------------------------------------
+    if (ident_start(c)) {
+      const std::size_t start = i;
+      while (i < src.size() && ident_char(src[i])) ++i;
+      out.tokens.push_back(
+          {TokKind::kIdent, src.substr(start, i - start), line});
+      last_code_line = line;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      const std::size_t start = i;
+      ++i;
+      while (i < src.size() && number_char(src, i)) ++i;
+      out.tokens.push_back(
+          {TokKind::kNumber, src.substr(start, i - start), line});
+      last_code_line = line;
+      continue;
+    }
+
+    // ---- punctuation -----------------------------------------------------
+    // `::` is the one multi-character operator rules pattern-match on;
+    // everything else can stay single-character.
+    if (c == ':' && i + 1 < src.size() && src[i + 1] == ':') {
+      out.tokens.push_back({TokKind::kPunct, src.substr(i, 2), line});
+      i += 2;
+      last_code_line = line;
+      continue;
+    }
+    if (c == '-' && i + 1 < src.size() && src[i + 1] == '>') {
+      out.tokens.push_back({TokKind::kPunct, src.substr(i, 2), line});
+      i += 2;
+      last_code_line = line;
+      continue;
+    }
+    out.tokens.push_back({TokKind::kPunct, src.substr(i, 1), line});
+    ++i;
+    last_code_line = line;
+  }
+  out.last_line = line;
+  return out;
+}
+
+}  // namespace xcp::lint

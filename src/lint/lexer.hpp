@@ -1,0 +1,60 @@
+// A minimal C++ tokenizer for xcp-lint (tools/xcp_lint.cpp).
+//
+// This is not a compiler front end: it has no preprocessor, no symbol
+// table and no type system. It produces exactly the view the lint rules
+// need — a flat token stream with line numbers, comments collected
+// separately (suppression directives live there), and preprocessor
+// directives folded into single tokens so `#include <vector>` never leaks
+// a stray `<` into a rule's pattern match. String/char literals (including
+// raw strings) are single tokens, so an identifier inside a string can
+// never trip a rule.
+//
+// The trade-off is deliberate: the rules in rules.cpp are written against
+// lexical patterns plus small amounts of local structure (balanced
+// parens/braces), which keeps the analyzer dependency-free — no
+// libclang, no clang-dev headers — while still being include/flag-aware
+// at the driver layer via compile_commands.json.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xcp::lint {
+
+enum class TokKind : std::uint8_t {
+  kIdent,      // identifiers and keywords
+  kNumber,     // numeric literals (approximate: one token per literal)
+  kString,     // "..." including raw strings and encoding prefixes
+  kChar,       // '...'
+  kPunct,      // operators/punctuation; `::` is a single token
+  kDirective,  // a whole preprocessor line (continuations folded in)
+};
+
+struct Token {
+  TokKind kind;
+  std::string_view text;  // view into the source buffer
+  int line;               // 1-based line of the token's first character
+};
+
+/// A comment with its location; `text` excludes the delimiters.
+struct Comment {
+  std::string_view text;
+  int line;        // line the comment starts on
+  bool own_line;   // no code token precedes it on its line
+};
+
+struct LexedSource {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  int last_line = 1;
+};
+
+/// Tokenizes `source` (which must outlive the result — tokens are views).
+/// Never throws on malformed input: an unterminated literal or comment is
+/// consumed to end-of-file and lexing ends cleanly; lint rules must work
+/// on the code people actually write, including mid-edit states.
+LexedSource lex(std::string_view source);
+
+}  // namespace xcp::lint

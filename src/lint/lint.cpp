@@ -1,0 +1,285 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <sstream>
+
+namespace xcp::lint {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+constexpr std::string_view kDirectiveMark = "xcp-lint:";
+
+/// Parses the directive in one comment, if any. Returns true when the
+/// comment contains the directive mark at all (so callers can report
+/// malformed ones); fills `sup` only on a well-formed grant with a reason.
+bool parse_directive(const Comment& c, Suppression& sup, std::string& error) {
+  const std::size_t at = c.text.find(kDirectiveMark);
+  if (at == std::string_view::npos) return false;
+  std::string_view rest = trim(c.text.substr(at + kDirectiveMark.size()));
+
+  bool file_wide = false;
+  if (rest.rfind("allow-file(", 0) == 0) {
+    file_wide = true;
+    rest.remove_prefix(std::string_view("allow-file(").size());
+  } else if (rest.rfind("allow(", 0) == 0) {
+    rest.remove_prefix(std::string_view("allow(").size());
+  } else {
+    error = "directive must be allow(rule-id) or allow-file(rule-id)";
+    return true;
+  }
+  const std::size_t close = rest.find(')');
+  if (close == std::string_view::npos) {
+    error = "unterminated rule id (missing ')')";
+    return true;
+  }
+  const std::string_view rule = trim(rest.substr(0, close));
+  const std::string_view reason = trim(rest.substr(close + 1));
+  if (rule.empty()) {
+    error = "empty rule id";
+    return true;
+  }
+  if (!known_rule(rule)) {
+    error = "unknown rule id '" + std::string(rule) + "'";
+    return true;
+  }
+  if (reason.empty()) {
+    error = "suppression of '" + std::string(rule) +
+            "' carries no reason; an unauditable grant is worse than none";
+    return true;
+  }
+  sup.rule = std::string(rule);
+  sup.line = c.line;
+  sup.file_wide = file_wide;
+  sup.own_line = c.own_line;
+  error.clear();
+  return true;
+}
+
+}  // namespace
+
+bool finding_less(const Finding& a, const Finding& b) {
+  if (a.path != b.path) return a.path < b.path;
+  if (a.line != b.line) return a.line < b.line;
+  return a.rule < b.rule;
+}
+
+std::string SourceFile::line_text(int line) const {
+  std::size_t pos = 0;
+  for (int n = 1; n < line; ++n) {
+    pos = text.find('\n', pos);
+    if (pos == std::string::npos) return "";
+    ++pos;
+  }
+  std::size_t end = text.find('\n', pos);
+  if (end == std::string::npos) end = text.size();
+  return std::string(trim(std::string_view(text).substr(pos, end - pos)));
+}
+
+SourceFile make_source(std::string path, std::string text) {
+  SourceFile f;
+  f.path = std::move(path);
+  f.text = std::move(text);
+  f.lexed = lex(f.text);
+  for (const Comment& c : f.lexed.comments) {
+    Suppression sup;
+    std::string error;
+    if (!parse_directive(c, sup, error)) continue;
+    if (!error.empty()) {
+      Finding bad;
+      bad.rule = "lint-directive";
+      bad.path = f.path;
+      bad.line = c.line;
+      bad.message = "malformed xcp-lint directive: " + error;
+      bad.excerpt = f.line_text(c.line);
+      f.directive_findings.push_back(std::move(bad));
+      continue;
+    }
+    f.suppressions.push_back(std::move(sup));
+  }
+  // An own-line directive grants the first code line after the contiguous
+  // own-line comment block it sits in, so a grant can carry a multi-line
+  // explanation above the statement it covers.
+  std::set<int> own_comment_lines;
+  for (const Comment& c : f.lexed.comments) {
+    if (c.own_line) own_comment_lines.insert(c.line);
+  }
+  for (Suppression& s : f.suppressions) {
+    if (!s.own_line) continue;
+    int last = s.line;
+    while (own_comment_lines.count(last + 1) != 0) ++last;
+    s.grants_line = last + 1;
+  }
+  return f;
+}
+
+bool known_rule(std::string_view id) {
+  if (id == "lint-directive") return true;
+  for (const Rule& r : rules()) {
+    if (r.id == id) return true;
+  }
+  return false;
+}
+
+namespace {
+
+bool suppressed_by(const SourceFile& file, const Finding& f) {
+  for (const Suppression& s : file.suppressions) {
+    if (s.rule != f.rule) continue;
+    if (s.file_wide) return true;
+    if (!s.own_line && s.line == f.line) return true;
+    // An own-line comment block grants the statement line right after it.
+    if (s.own_line && s.grants_line == f.line) return true;
+  }
+  return false;
+}
+
+bool rule_selected(const RunOptions& options, std::string_view id) {
+  if (options.only_rules.empty()) return true;
+  return std::find(options.only_rules.begin(), options.only_rules.end(),
+                   id) != options.only_rules.end();
+}
+
+}  // namespace
+
+RunResult run_files(const Config& config, const std::vector<SourceFile>& files,
+                    const RunOptions& options) {
+  RunResult result;
+  result.files_scanned = static_cast<int>(files.size());
+  std::vector<Finding> raw;
+  for (const SourceFile& file : files) {
+    if (rule_selected(options, "lint-directive")) {
+      raw.insert(raw.end(), file.directive_findings.begin(),
+                 file.directive_findings.end());
+    }
+    for (const Rule& rule : rules()) {
+      if (!rule_selected(options, rule.id)) continue;
+      if (!rule.applies(config, file.path)) continue;
+      std::vector<Finding> found;
+      rule.scan(config, file, files, found);
+      for (Finding& f : found) {
+        if (suppressed_by(file, f)) {
+          result.suppressed.push_back(std::move(f));
+        } else {
+          raw.push_back(std::move(f));
+        }
+      }
+    }
+  }
+  if (rule_selected(options, "wire-serialize-parse-pair")) {
+    std::vector<Finding> pair_findings;
+    scan_serialize_parse_pairs(config, files, pair_findings);
+    for (Finding& f : pair_findings) {
+      const SourceFile* origin = nullptr;
+      for (const SourceFile& file : files) {
+        if (file.path == f.path) {
+          origin = &file;
+          break;
+        }
+      }
+      if (origin != nullptr && suppressed_by(*origin, f)) {
+        result.suppressed.push_back(std::move(f));
+      } else {
+        raw.push_back(std::move(f));
+      }
+    }
+  }
+  std::sort(raw.begin(), raw.end(), finding_less);
+  result.findings = std::move(raw);
+  std::sort(result.suppressed.begin(), result.suppressed.end(), finding_less);
+  return result;
+}
+
+// --------------------------------------------------------------- baseline
+
+std::string Baseline::key(const Finding& f) {
+  return f.rule + "|" + f.path + "|" + f.excerpt;
+}
+
+std::string Baseline::render(const std::vector<Finding>& findings) {
+  std::string out;
+  out +=
+      "# xcp-lint baseline: findings that are understood but not yet "
+      "fixed.\n"
+      "# Format: rule-id|path|trimmed source line. Line numbers are "
+      "omitted on\n"
+      "# purpose: edits elsewhere in the file keep the entry valid, while "
+      "any\n"
+      "# edit to the flagged line itself resurfaces the finding. Shrink "
+      "me.\n";
+  std::vector<Finding> sorted = findings;
+  std::sort(sorted.begin(), sorted.end(), finding_less);
+  for (const Finding& f : sorted) {
+    out += key(f) + "\n";
+  }
+  return out;
+}
+
+std::optional<Baseline> Baseline::parse(std::string_view text,
+                                        std::string& error) {
+  Baseline b;
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = trim(text.substr(pos, end - pos));
+    ++line_no;
+    pos = end + 1;
+    if (line.empty() || line.front() == '#') {
+      if (end == text.size()) break;
+      continue;
+    }
+    // rule|path|excerpt — excerpt may itself contain '|', so split on the
+    // first two separators only.
+    const std::size_t p1 = line.find('|');
+    const std::size_t p2 =
+        p1 == std::string_view::npos ? std::string_view::npos
+                                     : line.find('|', p1 + 1);
+    if (p2 == std::string_view::npos) {
+      error = "baseline line " + std::to_string(line_no) +
+              ": expected rule-id|path|excerpt, got '" + std::string(line) +
+              "'";
+      return std::nullopt;
+    }
+    const std::string_view rule = trim(line.substr(0, p1));
+    if (!known_rule(rule)) {
+      error = "baseline line " + std::to_string(line_no) +
+              ": unknown rule id '" + std::string(rule) + "'";
+      return std::nullopt;
+    }
+    ++b.entries[std::string(line)];
+    if (end == text.size()) break;
+  }
+  error.clear();
+  return b;
+}
+
+void apply_baseline(const Baseline& baseline, RunResult& result,
+                    std::vector<Finding>& baselined) {
+  std::map<std::string, int> budget = baseline.entries;
+  std::vector<Finding> kept;
+  for (Finding& f : result.findings) {
+    auto it = budget.find(Baseline::key(f));
+    if (it != budget.end() && it->second > 0) {
+      --it->second;
+      baselined.push_back(std::move(f));
+    } else {
+      kept.push_back(std::move(f));
+    }
+  }
+  result.findings = std::move(kept);
+}
+
+}  // namespace xcp::lint

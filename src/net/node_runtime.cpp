@@ -22,6 +22,8 @@ NodeRuntime::NodeRuntime(sim::Simulator& sim, Network& network,
 void NodeRuntime::set_clock(WallClock clock) { clock_ = std::move(clock); }
 
 std::chrono::steady_clock::time_point NodeRuntime::wall_now() const {
+  // xcp-lint: allow(determinism-wall-clock) this IS the injectable seam:
+  // the one sanctioned real-clock read, overridden via set_clock in tests.
   return clock_ ? clock_() : std::chrono::steady_clock::now();
 }
 

@@ -31,13 +31,13 @@ void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
 }
 
 void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
+  for (std::uint32_t i = 0; i < 4; ++i) {
     out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
   }
 }
 
 void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
+  for (std::uint32_t i = 0; i < 8; ++i) {
     out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
   }
 }
@@ -647,7 +647,7 @@ BodyPtr get_body(Reader& r, WireBody tag, const WireContext& ctx) {
   }
   const std::size_t at = r.offset();
   throw WireError(std::string(r.what) + ": unknown body tag " +
-                      std::to_string(static_cast<unsigned>(tag)) +
+                      std::to_string(static_cast<std::uint32_t>(tag)) +
                       " at offset " + std::to_string(at),
                   at);
 }
@@ -893,6 +893,31 @@ void serialize_control(const ControlFrame& f, std::vector<std::uint8_t>& out) {
   put_u64(out, f.b);
 }
 
+ControlFrame parse_control(const std::uint8_t* data, std::size_t size) {
+  if (size > kMaxWireFrame) {
+    throw WireError("frame of " + std::to_string(size) +
+                        " bytes exceeds the " +
+                        std::to_string(kMaxWireFrame) + "-byte cap",
+                    0);
+  }
+  Reader r(data, size, "control frame");
+  const Prologue pl = read_prologue(r);
+  if (static_cast<std::uint8_t>(pl.kind) < kControlBase) {
+    r.fail("expected a control frame, got protocol kind " +
+           std::to_string(static_cast<std::uint32_t>(pl.kind)));
+  }
+  if (pl.body_tag != 0) {
+    r.fail("control frame with nonzero body tag " +
+           std::to_string(pl.body_tag));
+  }
+  ControlFrame f;
+  f.kind = pl.kind;
+  f.a = r.u64();
+  f.b = r.u64();
+  r.expect_consumed();
+  return f;
+}
+
 ParsedFrame parse_frame(const std::uint8_t* data, std::size_t size,
                         const WireContext& ctx) {
   if (size > kMaxWireFrame) {
@@ -992,9 +1017,8 @@ bool extract_stream_frame(std::vector<std::uint8_t>& stream,
                           std::size_t max_frame) {
   if (stream.size() < 4) return false;
   std::uint32_t len = 0;
-  for (int i = 0; i < 4; ++i) {
-    len |= static_cast<std::uint32_t>(stream[static_cast<std::size_t>(i)])
-           << (8 * i);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(stream[i]) << (8 * i);
   }
   if (len > max_frame) {
     throw WireError("stream announces a " + std::to_string(len) +

@@ -191,6 +191,14 @@ struct ControlFrame {
 
 void serialize_control(const ControlFrame& f, std::vector<std::uint8_t>& out);
 
+/// Decodes a frame that must be a control frame (the inverse of
+/// serialize_control); throws WireError when the bytes carry a protocol
+/// message instead. Transport code that accepts either uses parse_frame.
+ControlFrame parse_control(const std::uint8_t* data, std::size_t size);
+inline ControlFrame parse_control(const std::vector<std::uint8_t>& buf) {
+  return parse_control(buf.data(), buf.size());
+}
+
 /// Result of parsing an arbitrary inbound frame: exactly one of `control`
 /// (kind != kInvalid) or `message` is meaningful.
 struct ParsedFrame {

@@ -86,6 +86,9 @@ class EventQueue {
       // heap fallback), unwind it so the queue never holds an event with
       // an empty callable.
       try {
+        // xcp-lint: allow(hotpath-alloc) InlineCallable::emplace constructs
+        // in place inside the slab slot; it is not container growth (the
+        // oversize heap fallback inside it is the cold, counted path).
         t.fn->emplace(std::forward<F>(fn));
       } catch (...) {
         cancel(t.id);

@@ -1,6 +1,8 @@
 #include "support/pool.hpp"
 
 #include <array>
+#include <mutex>
+#include <vector>
 
 #include "support/status.hpp"
 
@@ -65,10 +67,18 @@ BlockPool* pool_for(std::size_t size) {
   static thread_local std::array<BlockPool*, kClasses + 1> pools = {};
   BlockPool*& pool = pools[cls];
   if (pool == nullptr) {
-    // Leaked intentionally: pools live for the process, and bodies may be
-    // released during static destruction (or on another thread long after
-    // the allocating thread exited) after a pool's own teardown.
+    // Pools are immortal by design: bodies may be released during static
+    // destruction, or on another thread long after the allocating thread
+    // exited, so no teardown order is safe. Park each pool in a
+    // process-lifetime registry (itself never destroyed) so the
+    // immortality is an explicit live root rather than an allocation that
+    // becomes unreachable when the owning thread's TLS is torn down —
+    // without this, LeakSanitizer reports every exited worker's pools.
     pool = new BlockPool(cls * kClassBytes);
+    static std::mutex registry_mu;
+    static std::vector<BlockPool*>* registry = new std::vector<BlockPool*>();
+    const std::lock_guard<std::mutex> lock(registry_mu);
+    registry->push_back(pool);
   }
   return pool;
 }

@@ -296,6 +296,47 @@ TEST(Wire, RejectsVersionBumpMagicAndUnknownTags) {
   }
 }
 
+TEST(Wire, ControlFramesRoundTripThroughParseControl) {
+  // serialize_control's dedicated inverse: every control kind round-trips
+  // with both payload words intact, without going through ParsedFrame.
+  for (const WireKind kind : {WireKind::kHello, WireKind::kHeartbeat}) {
+    ControlFrame f;
+    f.kind = kind;
+    f.a = 0x0123456789abcdefull;
+    f.b = 0xfedcba9876543210ull;
+    Bytes b;
+    serialize_control(f, b);
+    const ControlFrame got = parse_control(b);
+    EXPECT_EQ(got.kind, f.kind);
+    EXPECT_EQ(got.a, f.a);
+    EXPECT_EQ(got.b, f.b);
+  }
+}
+
+TEST(Wire, ParseControlRejectsMessagesAndTruncation) {
+  {  // a protocol message is not a control frame
+    const Bytes b = serialize_message(corpus()[0]);
+    EXPECT_THROW(parse_control(b), WireError);
+  }
+  ControlFrame hb;
+  hb.kind = WireKind::kHeartbeat;
+  hb.a = 7;
+  hb.b = 9;
+  Bytes b;
+  serialize_control(hb, b);
+  {  // every truncation rejects
+    for (std::size_t n = 0; n < b.size(); ++n) {
+      Bytes cut(b.begin(), b.begin() + static_cast<std::ptrdiff_t>(n));
+      EXPECT_THROW(parse_control(cut), WireError) << "length " << n;
+    }
+  }
+  {  // trailing bytes reject
+    Bytes padded = b;
+    padded.push_back(0);
+    EXPECT_THROW(parse_control(padded), WireError);
+  }
+}
+
 TEST(Wire, ErrorsCarryByteOffsetInMessageAndAccessor) {
   // The diagnostic contract shared with exp::WireError: the offset of the
   // failure appears both in what() and via offset().

@@ -1,0 +1,463 @@
+// xcp_lint — the project-invariant static analysis pass (docs/LINT.md).
+//
+//   xcp_lint --root . --compile-commands build/compile_commands.json
+//            --baseline tools/lint_baseline.txt
+//
+// File discovery, most specific wins:
+//   1. explicit positional files;
+//   2. --compile-commands: every translation unit the build actually
+//      compiles, plus every project-local header reachable from one
+//      through `#include "..."` resolved against the TU's -I flags (so
+//      the scan set tracks the build graph, not a directory glob);
+//   3. fallback: a tree walk of <root>/src and <root>/tools.
+//
+// Exit codes (see lint::lint_exit): 0 clean, 1 findings, 2 usage, 3 I/O,
+// 4 malformed baseline.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace fs = std::filesystem;
+using namespace xcp::lint;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--root DIR] [--compile-commands FILE]\n"
+               "          [--baseline FILE] [--write-baseline FILE]\n"
+               "          [--rules ID[,ID...]] [--list-rules] [--quiet]\n"
+               "          [files...]\n",
+               argv0);
+  return lint_exit::kUsage;
+}
+
+std::optional<std::string> read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Repo-relative path with forward slashes; files outside root keep an
+/// absolute-ish lexical form (rules then scope them out).
+std::string rel_path(const fs::path& file, const fs::path& root) {
+  std::error_code ec;
+  const fs::path canon_file = fs::weakly_canonical(file, ec);
+  const fs::path canon_root = fs::weakly_canonical(root, ec);
+  fs::path rel = canon_file.lexically_relative(canon_root);
+  if (rel.empty() || *rel.begin() == "..") rel = canon_file;
+  return rel.generic_string();
+}
+
+bool is_cpp_source(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+// ------------------------------------------------ compile_commands.json
+//
+// A compilation database is a JSON array of objects with "directory",
+// "file" and "command"/"arguments" keys. This parser extracts exactly
+// those string fields (with escape handling) — no general JSON tree.
+
+std::string json_unescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out += s[i];
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case 'n': out += '\n'; break;
+      case 't': out += '\t'; break;
+      case 'r': out += '\r'; break;
+      case 'u': i += 4; out += '?'; break;  // rules never need non-ASCII
+      default: out += s[i];
+    }
+  }
+  return out;
+}
+
+struct CompileEntry {
+  std::string directory;
+  std::string file;
+  std::vector<std::string> include_dirs;  // from -I / -isystem flags
+};
+
+/// Splits a shell-ish command string into words (quotes respected enough
+/// for compiler command lines).
+std::vector<std::string> split_command(const std::string& cmd) {
+  std::vector<std::string> words;
+  std::string cur;
+  char quote = 0;
+  for (std::size_t i = 0; i < cmd.size(); ++i) {
+    const char c = cmd[i];
+    if (quote != 0) {
+      if (c == quote) {
+        quote = 0;
+      } else if (c == '\\' && quote == '"' && i + 1 < cmd.size()) {
+        cur += cmd[++i];
+      } else {
+        cur += c;
+      }
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      quote = c;
+    } else if (c == ' ' || c == '\t') {
+      if (!cur.empty()) words.push_back(std::move(cur));
+      cur.clear();
+    } else if (c == '\\' && i + 1 < cmd.size()) {
+      cur += cmd[++i];
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) words.push_back(std::move(cur));
+  return words;
+}
+
+void collect_include_dirs(const std::vector<std::string>& words,
+                          std::vector<std::string>& dirs) {
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    const std::string& w = words[i];
+    if (w == "-I" || w == "-isystem" || w == "-iquote") {
+      if (i + 1 < words.size()) dirs.push_back(words[i + 1]);
+    } else if (w.rfind("-I", 0) == 0 && w.size() > 2) {
+      dirs.push_back(w.substr(2));
+    }
+  }
+}
+
+std::optional<std::vector<CompileEntry>> parse_compile_commands(
+    const std::string& text) {
+  std::vector<CompileEntry> entries;
+  CompileEntry cur;
+  bool in_object = false;
+  std::size_t i = 0;
+  auto read_string = [&](std::size_t& pos) -> std::optional<std::string> {
+    // pos points at the opening quote.
+    std::size_t j = pos + 1;
+    std::string raw;
+    while (j < text.size() && text[j] != '"') {
+      if (text[j] == '\\' && j + 1 < text.size()) {
+        raw += text[j];
+        raw += text[j + 1];
+        j += 2;
+      } else {
+        raw += text[j];
+        ++j;
+      }
+    }
+    if (j >= text.size()) return std::nullopt;
+    pos = j + 1;
+    return json_unescape(raw);
+  };
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == '{') {
+      in_object = true;
+      cur = CompileEntry{};
+      ++i;
+    } else if (c == '}') {
+      if (in_object && !cur.file.empty()) entries.push_back(cur);
+      in_object = false;
+      ++i;
+    } else if (c == '"' && in_object) {
+      std::size_t pos = i;
+      const auto key = read_string(pos);
+      if (!key) return std::nullopt;
+      // Skip to the value.
+      while (pos < text.size() && (text[pos] == ':' || text[pos] == ' ' ||
+                                   text[pos] == '\n' || text[pos] == '\t')) {
+        ++pos;
+      }
+      if (pos < text.size() && text[pos] == '"') {
+        const auto value = read_string(pos);
+        if (!value) return std::nullopt;
+        if (*key == "directory") {
+          cur.directory = *value;
+        } else if (*key == "file") {
+          cur.file = *value;
+        } else if (*key == "command") {
+          collect_include_dirs(split_command(*value), cur.include_dirs);
+        }
+        i = pos;
+      } else if (pos < text.size() && text[pos] == '[') {
+        // "arguments": ["cc", "-I", "include", ...]
+        std::vector<std::string> words;
+        ++pos;
+        while (pos < text.size() && text[pos] != ']') {
+          if (text[pos] == '"') {
+            const auto w = read_string(pos);
+            if (!w) return std::nullopt;
+            words.push_back(*w);
+          } else {
+            ++pos;
+          }
+        }
+        if (*key == "arguments") collect_include_dirs(words, cur.include_dirs);
+        i = pos;
+      } else {
+        i = pos;
+      }
+    } else {
+      ++i;
+    }
+  }
+  return entries;
+}
+
+/// Quoted-include targets of one lexed file, in order.
+std::vector<std::string> quoted_includes(const SourceFile& f) {
+  std::vector<std::string> out;
+  for (const Token& t : f.tokens()) {
+    if (t.kind != TokKind::kDirective) continue;
+    const std::string_view d = t.text;
+    if (d.find("include") == std::string_view::npos) continue;
+    const std::size_t q1 = d.find('"');
+    if (q1 == std::string_view::npos) continue;
+    const std::size_t q2 = d.find('"', q1 + 1);
+    if (q2 == std::string_view::npos) continue;
+    out.emplace_back(d.substr(q1 + 1, q2 - q1 - 1));
+  }
+  return out;
+}
+
+struct Cli {
+  fs::path root = ".";
+  std::string compile_commands;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  RunOptions run_options;
+  bool list_rules = false;
+  bool quiet = false;
+  std::vector<std::string> files;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (a == "--root") {
+      const char* v = need_value("--root");
+      if (v == nullptr) return usage(argv[0]);
+      cli.root = v;
+    } else if (a == "--compile-commands") {
+      const char* v = need_value("--compile-commands");
+      if (v == nullptr) return usage(argv[0]);
+      cli.compile_commands = v;
+    } else if (a == "--baseline") {
+      const char* v = need_value("--baseline");
+      if (v == nullptr) return usage(argv[0]);
+      cli.baseline_path = v;
+    } else if (a == "--write-baseline") {
+      const char* v = need_value("--write-baseline");
+      if (v == nullptr) return usage(argv[0]);
+      cli.write_baseline_path = v;
+    } else if (a == "--rules") {
+      const char* v = need_value("--rules");
+      if (v == nullptr) return usage(argv[0]);
+      std::string ids = v;
+      std::size_t pos = 0;
+      while (pos <= ids.size()) {
+        std::size_t comma = ids.find(',', pos);
+        if (comma == std::string::npos) comma = ids.size();
+        const std::string id = ids.substr(pos, comma - pos);
+        if (!id.empty()) {
+          if (!known_rule(id)) {
+            std::fprintf(stderr, "unknown rule id '%s' (try --list-rules)\n",
+                         id.c_str());
+            return lint_exit::kUsage;
+          }
+          cli.run_options.only_rules.push_back(id);
+        }
+        pos = comma + 1;
+      }
+    } else if (a == "--list-rules") {
+      cli.list_rules = true;
+    } else if (a == "--quiet") {
+      cli.quiet = true;
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "unknown flag '%s'\n", a.c_str());
+      return usage(argv[0]);
+    } else {
+      cli.files.push_back(a);
+    }
+  }
+
+  if (cli.list_rules) {
+    for (const Rule& r : rules()) {
+      std::printf("%-28s %s\n", std::string(r.id).c_str(),
+                  std::string(r.summary).c_str());
+    }
+    std::printf("%-28s %s\n", "lint-directive",
+                "xcp-lint suppressions parse and carry a reason");
+    return lint_exit::kClean;
+  }
+
+  // ------------------------------------------------------ file discovery
+  std::vector<fs::path> scan_paths;
+  if (!cli.files.empty()) {
+    for (const std::string& f : cli.files) scan_paths.emplace_back(f);
+  } else if (!cli.compile_commands.empty()) {
+    const auto db_text = read_file(cli.compile_commands);
+    if (!db_text) {
+      std::fprintf(stderr, "cannot read compile database '%s'\n",
+                   cli.compile_commands.c_str());
+      return lint_exit::kIo;
+    }
+    const auto entries = parse_compile_commands(*db_text);
+    if (!entries) {
+      std::fprintf(stderr, "cannot parse compile database '%s'\n",
+                   cli.compile_commands.c_str());
+      return lint_exit::kIo;
+    }
+    // Seed with the TUs, then chase project-local quoted includes using
+    // each entry's include dirs. `queued` keys on the canonical path.
+    std::set<std::string> queued;
+    std::vector<std::pair<fs::path, std::vector<std::string>>> pending;
+    for (const CompileEntry& e : *entries) {
+      fs::path file = e.file;
+      if (file.is_relative()) file = fs::path(e.directory) / file;
+      const std::string rel = rel_path(file, cli.root);
+      if (rel.rfind("src/", 0) != 0 && rel.rfind("tools/", 0) != 0 &&
+          rel.rfind("tests/", 0) != 0 && rel.rfind("bench/", 0) != 0 &&
+          rel.rfind("examples/", 0) != 0) {
+        continue;  // third-party (FetchContent) TUs
+      }
+      std::vector<std::string> dirs = e.include_dirs;
+      dirs.push_back(file.parent_path().string());
+      if (queued.insert(fs::weakly_canonical(file).string()).second) {
+        pending.emplace_back(file, dirs);
+      }
+    }
+    while (!pending.empty()) {
+      auto [file, dirs] = std::move(pending.back());
+      pending.pop_back();
+      scan_paths.push_back(file);
+      const auto text = read_file(file);
+      if (!text) continue;  // header listed but deleted: skip quietly here
+      SourceFile probe = make_source(rel_path(file, cli.root), *text);
+      for (const std::string& inc : quoted_includes(probe)) {
+        for (const std::string& d : dirs) {
+          const fs::path candidate = fs::path(d) / inc;
+          std::error_code ec;
+          if (!fs::exists(candidate, ec)) continue;
+          const std::string rel = rel_path(candidate, cli.root);
+          if (rel.rfind("src/", 0) != 0 && rel.rfind("tools/", 0) != 0) break;
+          if (queued.insert(fs::weakly_canonical(candidate).string()).second) {
+            pending.emplace_back(candidate, dirs);
+          }
+          break;
+        }
+      }
+    }
+  } else {
+    for (const char* sub : {"src", "tools"}) {
+      const fs::path dir = cli.root / sub;
+      std::error_code ec;
+      if (!fs::exists(dir, ec)) continue;
+      for (auto it = fs::recursive_directory_iterator(dir, ec);
+           it != fs::recursive_directory_iterator(); it.increment(ec)) {
+        if (ec) break;
+        if (it->is_regular_file() && is_cpp_source(it->path())) {
+          scan_paths.push_back(it->path());
+        }
+      }
+    }
+    if (scan_paths.empty()) {
+      std::fprintf(stderr, "no sources found under '%s'\n",
+                   cli.root.string().c_str());
+      return lint_exit::kIo;
+    }
+  }
+
+  // ------------------------------------------------------------- lexing
+  std::vector<SourceFile> sources;
+  sources.reserve(scan_paths.size());
+  for (const fs::path& p : scan_paths) {
+    auto text = read_file(p);
+    if (!text) {
+      std::fprintf(stderr, "cannot read '%s'\n", p.string().c_str());
+      return lint_exit::kIo;
+    }
+    sources.push_back(make_source(rel_path(p, cli.root), std::move(*text)));
+  }
+  std::sort(sources.begin(), sources.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.path < b.path;
+            });
+
+  // ------------------------------------------------------------ analysis
+  const Config config;
+  RunResult result = run_files(config, sources, cli.run_options);
+
+  if (!cli.write_baseline_path.empty()) {
+    std::ofstream out(cli.write_baseline_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write baseline '%s'\n",
+                   cli.write_baseline_path.c_str());
+      return lint_exit::kIo;
+    }
+    out << Baseline::render(result.findings);
+    std::fprintf(stderr, "wrote %zu baseline entr%s to %s\n",
+                 result.findings.size(),
+                 result.findings.size() == 1 ? "y" : "ies",
+                 cli.write_baseline_path.c_str());
+    return lint_exit::kClean;
+  }
+
+  std::vector<Finding> baselined;
+  if (!cli.baseline_path.empty()) {
+    const auto text = read_file(cli.baseline_path);
+    if (!text) {
+      std::fprintf(stderr, "cannot read baseline '%s'\n",
+                   cli.baseline_path.c_str());
+      return lint_exit::kIo;
+    }
+    std::string error;
+    const auto baseline = Baseline::parse(*text, error);
+    if (!baseline) {
+      std::fprintf(stderr, "%s: %s\n", cli.baseline_path.c_str(),
+                   error.c_str());
+      return lint_exit::kBaseline;
+    }
+    apply_baseline(*baseline, result, baselined);
+  }
+
+  if (!cli.quiet) {
+    for (const Finding& f : result.findings) {
+      std::printf("%s:%d: [%s] %s\n", f.path.c_str(), f.line, f.rule.c_str(),
+                  f.message.c_str());
+    }
+  }
+  std::printf(
+      "xcp-lint: %zu finding(s) in %d file(s) (%zu baselined, %zu "
+      "suppressed in-source)\n",
+      result.findings.size(), result.files_scanned, baselined.size(),
+      result.suppressed.size());
+  return result.findings.empty() ? lint_exit::kClean : lint_exit::kFindings;
+}
